@@ -1,0 +1,56 @@
+// Command faultinject runs the adaptive fault injector on individual
+// functions with optional per-experiment tracing, showing the §4.1
+// mechanics live: every probe, every outcome, every guard-page-driven
+// adjustment.
+//
+//	faultinject [-v] [-conservative] <function> [function...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"healers"
+	"healers/internal/injector"
+	"healers/internal/report"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "trace every experiment")
+	conservative := flag.Bool("conservative", false, "use the stricter §4.3 robust-type variant")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: faultinject [-v] [-conservative] <function>...")
+		os.Exit(2)
+	}
+
+	sys, err := healers.NewSystem()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultinject:", err)
+		os.Exit(1)
+	}
+	cfg := injector.DefaultConfig()
+	cfg.Conservative = *conservative
+	if *verbose {
+		cfg.Trace = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	campaign, err := sys.InjectWith(flag.Args(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultinject:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(report.Declarations(campaign))
+	for _, name := range campaign.Order {
+		d := campaign.Results[name].Decl
+		xml, err := d.EncodeXML()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultinject:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(xml))
+	}
+}

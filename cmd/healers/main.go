@@ -1,0 +1,155 @@
+// Command healers drives the full HEALERS pipeline over the simulated
+// C library: prototype extraction, fault injection, wrapper generation,
+// and the paper's three evaluations.
+//
+// Usage:
+//
+//	healers extract             # §3 extraction statistics
+//	healers inject [func...]    # robust argument types (all 86 by default)
+//	healers decl <func>         # Figure 2 XML declaration for one function
+//	healers wrap [func...]      # Figure 5 C wrapper source
+//	healers table1              # Table 1 error-return classification
+//	healers figure6             # Figure 6 robustness evaluation
+//	healers table2              # Table 2 performance overhead
+//	healers bitflip [func...]   # §9 future work: bit-flip injection
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"healers"
+	"healers/internal/ballista"
+	"healers/internal/bitflip"
+	"healers/internal/report"
+	"healers/internal/wrapgen"
+	"healers/internal/wrapper"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "healers:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: healers extract|inject|decl|wrap|table1|figure6|table2|bitflip")
+	}
+	sys, err := healers.NewSystem()
+	if err != nil {
+		return err
+	}
+	cmd, rest := args[0], args[1:]
+
+	inject := func(names []string) (*healers.Campaign, error) {
+		if len(names) == 0 {
+			names = sys.CrashProne86()
+		}
+		return sys.Inject(names)
+	}
+
+	switch cmd {
+	case "extract":
+		fmt.Print(report.Extraction(sys.Extraction.Stats))
+		return nil
+
+	case "inject":
+		campaign, err := inject(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Declarations(campaign))
+		return nil
+
+	case "decl":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: healers decl <function>")
+		}
+		campaign, err := inject(rest)
+		if err != nil {
+			return err
+		}
+		d := campaign.Results[rest[0]].Decl
+		xml, err := d.EncodeXML()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(xml))
+		return nil
+
+	case "wrap":
+		campaign, err := inject(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Print(wrapgen.ChecksHeader())
+		fmt.Println()
+		fmt.Print(wrapgen.File(campaign.Decls(), wrapgen.Options{LogViolations: true}))
+		return nil
+
+	case "table1":
+		campaign, err := inject(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Table1(campaign))
+		return nil
+
+	case "figure6":
+		stateless := len(rest) > 0 && rest[0] == "-stateless"
+		campaign, err := inject(nil)
+		if err != nil {
+			return err
+		}
+		decls := campaign.Decls()
+		suite, err := sys.GenerateSuite()
+		if err != nil {
+			return err
+		}
+		fig := sys.RunFigure6(suite, decls, healers.SemiAuto(decls))
+		fmt.Print(fig.Format())
+		if stateless {
+			// Ablation: the full-auto wrapper without its stateful
+			// tables — page probing and stack bounds only (§5.1's
+			// comparison against the signal-handler approach of [2]).
+			template := ballista.NewTemplate()
+			opts := wrapper.DefaultOptions()
+			opts.Stateless = true
+			rep := suite.Run("full-auto-stateless", template,
+				func(p *healers.Process) ballista.Caller {
+					return wrapper.Attach(p, sys.Library, decls, opts)
+				}, 0)
+			fmt.Printf("\nablation: %s\n", rep)
+		}
+		return nil
+
+	case "bitflip":
+		names := rest
+		if len(names) == 0 {
+			names = sys.CrashProne86()
+		}
+		campaign, err := inject(names)
+		if err != nil {
+			return err
+		}
+		bf, err := bitflip.Evaluate(sys.Library, sys.Extraction,
+			healers.SemiAuto(campaign.Decls()), names, bitflip.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bf.Format())
+		return nil
+
+	case "table2":
+		campaign, err := inject(nil)
+		if err != nil {
+			return err
+		}
+		ms := sys.MeasureTable2(healers.SemiAuto(campaign.Decls()))
+		fmt.Print(healers.FormatTable2(ms))
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}

@@ -1,0 +1,33 @@
+// Command objdump dumps the dynamic symbol table of the simulated
+// shared library, the first step of the paper's Figure 1 pipeline
+// (the role `objdump -T libc.so` plays in a real deployment).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/elfsim"
+)
+
+func main() {
+	lib := clib.New()
+	c := corpus.Build(lib)
+	img, err := elfsim.Parse(c.Object)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "objdump:", err)
+		os.Exit(1)
+	}
+	fmt.Print(elfsim.Objdump(img))
+	internal := 0
+	for _, s := range img.GlobalFunctions() {
+		if elfsim.IsInternalName(s.Name) {
+			internal++
+		}
+	}
+	total := len(img.GlobalFunctions())
+	fmt.Printf("\n%d global functions, %d internal (%.1f%%)\n",
+		total, internal, 100*float64(internal)/float64(total))
+}

@@ -1,0 +1,73 @@
+// Harden the string library: buffer-overflow prevention with stateful
+// checking.
+//
+// The injector discovers that strcpy's destination must be writable for
+// strlen(src)+1 bytes. Because the wrapper intercepts malloc and keeps
+// an allocation table (paper §5.1), it rejects an overflowing copy even
+// when the overflow would stay inside a mapped page and no hardware
+// fault would ever fire — the class of heap smashing attack the paper
+// built HEALERS to stop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"healers"
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+func main() {
+	sys, err := healers.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign, err := sys.Inject([]string{"strcpy", "strcat", "strlen", "strncpy", "memcpy"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("discovered robust argument types:")
+	for name, r := range campaign.Results {
+		var types []string
+		for _, a := range r.Decl.Args {
+			types = append(types, a.Robust.String())
+		}
+		fmt.Printf("  %-8s (%s)\n", name, strings.Join(types, ", "))
+	}
+
+	p := sys.NewProcess(nil)
+	w := sys.Wrap(p, campaign.Decls())
+
+	// A 16-byte heap buffer, allocated through the wrapper so the
+	// stateful table knows its exact size.
+	dst := w.Call(p, "malloc", 16)
+
+	short, _ := p.Mem.MmapRegion(16, cmem.ProtRW)
+	p.Mem.WriteCString(short, "fits")
+	long, _ := p.Mem.MmapRegion(128, cmem.ProtRW)
+	p.Mem.WriteCString(long, strings.Repeat("x", 100))
+
+	out := p.Run(func() uint64 { return w.Call(p, "strcpy", dst, uint64(short)) })
+	fmt.Printf("\nstrcpy(dst[16], \"fits\")      -> %v\n", out)
+
+	// The 100-byte copy would overflow dst but stay inside dst's page:
+	// the bare library corrupts the heap silently...
+	p2 := sys.NewProcess(nil)
+	dst2, _ := p2.Mem.Malloc(16)
+	long2, _ := p2.Mem.MmapRegion(128, cmem.ProtRW)
+	p2.Mem.WriteCString(long2, strings.Repeat("x", 100))
+	bare := p2.Run(func() uint64 { return sys.Library.Call(p2, "strcpy", uint64(dst2), uint64(long2)) })
+	fmt.Printf("unwrapped strcpy(dst[16], 100 bytes) -> %v  (silent heap smash!)\n", bare)
+
+	// ...the stateful wrapper rejects it before the library runs.
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return w.Call(p, "strcpy", dst, uint64(long)) })
+	fmt.Printf("wrapped   strcpy(dst[16], 100 bytes) -> %v, errno=%s\n",
+		out, csim.ErrnoName(p.Errno()))
+
+	for _, v := range w.Stats().Violations {
+		fmt.Printf("violation log: %s arg%d violates %s (%s)\n", v.Func, v.Arg, v.Robust, v.Reason)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: harden one function end to end.
+//
+// Builds the simulated library, extracts asctime's prototype, runs the
+// adaptive fault injector to discover its robust argument type
+// (R_ARRAY_NULL[44] — the paper's Figure 2), and attaches the generated
+// wrapper to a process: a call that would crash the bare library now
+// returns NULL with errno set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"healers"
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+func main() {
+	sys, err := healers.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: fault injection computes the robust argument types.
+	campaign, err := sys.Inject([]string{"asctime"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := campaign.Results["asctime"].Decl
+	xml, _ := d.EncodeXML()
+	fmt.Println("generated declaration (paper Figure 2):")
+	fmt.Println(string(xml))
+
+	// Phase 2: attach the robustness wrapper to a process.
+	p := sys.NewProcess(nil)
+	w := sys.Wrap(p, campaign.Decls())
+
+	// A valid call passes through to the library.
+	tm, _ := p.Mem.MmapRegion(csim.SizeofTm, cmem.ProtRW)
+	out := p.Run(func() uint64 { return w.Call(p, "asctime", uint64(tm)) })
+	s, _ := p.Mem.CString(cmem.Addr(out.Ret))
+	fmt.Printf("asctime(valid tm)   -> %q\n", s)
+
+	// The bare library crashes on a wild pointer...
+	bare := p.Run(func() uint64 { return sys.Library.Call(p, "asctime", 0xdead0000) })
+	fmt.Printf("unwrapped asctime(wild ptr) -> %v\n", bare)
+
+	// ...the wrapper turns the crash into a clean error.
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return w.Call(p, "asctime", 0xdead0000) })
+	fmt.Printf("wrapped   asctime(wild ptr) -> %v, errno=%s\n",
+		out, csim.ErrnoName(p.Errno()))
+
+	// Even a region one byte too small is rejected: the injector
+	// discovered that asctime reads exactly 44 bytes.
+	region, _ := p.Mem.MmapRegion(cmem.PageSize, cmem.ProtRead)
+	small := region + cmem.PageSize - 43
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return w.Call(p, "asctime", uint64(small)) })
+	fmt.Printf("wrapped   asctime(43 bytes) -> %v, errno=%s\n",
+		out, csim.ErrnoName(p.Errno()))
+}

@@ -1,0 +1,95 @@
+// Stateful checking and the limits of automation (paper §5.2, §6).
+//
+// POSIX has no way to validate a DIR*, and a FILE whose internal buffer
+// pointer was corrupted still carries a valid descriptor, so the fully
+// automatic wrapper's fileno+fstat check passes it. These are exactly
+// the 16 functions that still crash in the paper's Figure 6. The
+// semi-automatic declarations add two executable assertions — a
+// stateful table of DIR pointers returned by opendir, and a FILE
+// integrity check — and the crashes disappear.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"healers"
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+func main() {
+	sys, err := healers.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	campaign, err := sys.Inject([]string{
+		"opendir", "readdir", "closedir", "fopen", "fgetc", "fileno", "fstat",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullAuto := campaign.Decls()
+	semiAuto := healers.SemiAuto(fullAuto)
+
+	mkCorruptFILE := func(p *healers.Process, w *healers.Interposer) uint64 {
+		path, _ := p.Mem.MmapRegion(32, cmem.ProtRW)
+		p.Mem.WriteCString(path, "/demo/file.txt")
+		mode, _ := p.Mem.MmapRegion(8, cmem.ProtRW)
+		p.Mem.WriteCString(mode, "r+")
+		real := w.Call(p, "fopen", uint64(path), uint64(mode))
+		// Copy the FILE and smash its buffer pointer, keeping the valid
+		// descriptor: fileno+fstat validation still passes.
+		region, _ := p.Mem.MmapRegion(csim.SizeofFILE, cmem.ProtRW)
+		data, _ := p.Mem.Read(cmem.Addr(real), csim.SizeofFILE)
+		p.Mem.Write(region, data)
+		p.Mem.WriteU64(region+csim.FILEOffBufPtr, 0xdead0000)
+		p.Mem.WriteU64(region+csim.FILEOffBufPos, 4)
+		return uint64(region)
+	}
+
+	newProc := func() *healers.Process {
+		fs := csim.NewFS()
+		fs.Create("/demo/file.txt", []byte("stateful checking demo\n"))
+		return sys.NewProcess(fs)
+	}
+
+	// Full-auto: the corrupted FILE passes fileno+fstat and crashes.
+	p1 := newProc()
+	w1 := sys.Wrap(p1, fullAuto)
+	fp1 := mkCorruptFILE(p1, w1)
+	out := p1.Run(func() uint64 { return w1.Call(p1, "fgetc", fp1) })
+	fmt.Printf("full-auto fgetc(corrupted FILE) -> %v   (the paper's residual class)\n", out)
+
+	// Semi-auto: the file_integrity assertion rejects it.
+	p2 := newProc()
+	w2 := sys.Wrap(p2, semiAuto)
+	fp2 := mkCorruptFILE(p2, w2)
+	p2.ClearErrno()
+	out = p2.Run(func() uint64 { return w2.Call(p2, "fgetc", fp2) })
+	fmt.Printf("semi-auto fgetc(corrupted FILE) -> %v, errno=%s\n",
+		out, csim.ErrnoName(p2.Errno()))
+
+	// DIR tracking: a DIR obtained through the wrapper is in the table;
+	// accessible garbage is not.
+	p3 := newProc()
+	w3 := sys.Wrap(p3, semiAuto)
+	dirPath, _ := p3.Mem.MmapRegion(16, cmem.ProtRW)
+	p3.Mem.WriteCString(dirPath, "/demo")
+	dp := w3.Call(p3, "opendir", uint64(dirPath))
+	out = p3.Run(func() uint64 { return w3.Call(p3, "readdir", dp) })
+	name, _ := p3.Mem.CString(cmem.Addr(out.Ret) + csim.DirentOffName)
+	fmt.Printf("semi-auto readdir(tracked DIR)  -> entry %q\n", name)
+
+	fake, _ := p3.Mem.MmapRegion(csim.SizeofDIR, cmem.ProtRW)
+	p3.ClearErrno()
+	out = p3.Run(func() uint64 { return w3.Call(p3, "readdir", uint64(fake)) })
+	fmt.Printf("semi-auto readdir(garbage DIR)  -> %v, errno=%s\n",
+		out, csim.ErrnoName(p3.Errno()))
+
+	// Unwrapped, the same garbage DIR crashes the library.
+	p4 := newProc()
+	fake4, _ := p4.Mem.MmapRegion(csim.SizeofDIR, cmem.ProtRW)
+	out = p4.Run(func() uint64 { return sys.Library.Call(p4, "readdir", uint64(fake4)) })
+	fmt.Printf("unwrapped readdir(garbage DIR)  -> %v\n", out)
+}

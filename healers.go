@@ -1,0 +1,180 @@
+// Package healers is a reproduction of "An Automated Approach to
+// Increasing the Robustness of C Libraries" (Fetzer & Xiao, DSN 2002).
+//
+// HEALERS hardens a C library it has no source for: it extracts the
+// prototypes of the library's global functions from header files and
+// manual pages, runs adaptive fault-injection experiments to compute a
+// robust type for every argument, and generates a wrapper that checks
+// arguments against those types before each call — returning an error
+// code with errno set where the bare library would crash, hang or abort.
+//
+// Because Go cannot interpose on a real libc, the whole substrate is
+// simulated: package cmem provides paged memory with per-page
+// protection and faulting addresses, csim provides processes with
+// errno/descriptors/signals, and clib implements a deliberately
+// non-defensive C library whose fragilities match those the paper
+// measured in glibc 2.2. Everything above that layer — the extraction
+// pipeline, the type system, the fault injector, the wrapper — is the
+// paper's system.
+//
+// The typical flow:
+//
+//	sys, _ := healers.NewSystem()
+//	campaign, _ := sys.Inject(sys.CrashProne86())
+//	decls := campaign.Decls()              // Figure 2 declarations
+//	semi := healers.SemiAuto(decls)        // §6 manual edits
+//	p := sys.NewProcess(nil)
+//	w := sys.Wrap(p, semi)                 // the robustness wrapper
+//	w.Call(p, "strcpy", dst, src)          // checked call
+package healers
+
+import (
+	"healers/internal/apps"
+	"healers/internal/ballista"
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/csim"
+	"healers/internal/decl"
+	"healers/internal/extract"
+	"healers/internal/injector"
+	"healers/internal/wrapgen"
+	"healers/internal/wrapper"
+)
+
+// Re-exported types: the public names of the subsystems the examples
+// and tools build on.
+type (
+	// Library is the simulated shared C library under test.
+	Library = clib.Library
+	// Process is a simulated Unix process hosting the library.
+	Process = csim.Process
+	// Campaign is the result of a fault-injection run.
+	Campaign = injector.Campaign
+	// InjectorConfig tunes fault injection.
+	InjectorConfig = injector.Config
+	// DeclSet is a set of Figure 2 function declarations.
+	DeclSet = decl.DeclSet
+	// FuncDecl is one Figure 2 function declaration.
+	FuncDecl = decl.FuncDecl
+	// Interposer is the runtime robustness wrapper for one process.
+	Interposer = wrapper.Interposer
+	// WrapperOptions configures an Interposer.
+	WrapperOptions = wrapper.Options
+	// Suite is a Ballista-style robustness test suite.
+	Suite = ballista.Suite
+	// Figure6 is the three-configuration robustness comparison.
+	Figure6 = ballista.Figure6
+	// Report is one Ballista run's aggregation.
+	Report = ballista.Report
+	// Measurement is one Table 2 row as measured.
+	Measurement = apps.Measurement
+	// Extraction is the phase-one output: prototypes plus statistics.
+	Extraction = extract.Result
+)
+
+// System bundles the library with its extraction products.
+type System struct {
+	Library    *Library
+	Corpus     *corpus.Corpus
+	Extraction *Extraction
+}
+
+// NewSystem builds the simulated library, its header/man-page corpus,
+// and runs the extraction pipeline over it.
+func NewSystem() (*System, error) {
+	lib := clib.New()
+	c := corpus.Build(lib)
+	ext, err := extract.Run(c)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Library: lib, Corpus: c, Extraction: ext}, nil
+}
+
+// CrashProne86 returns the paper's evaluation set: the 86 POSIX
+// functions previously found to suffer crash failures.
+func (s *System) CrashProne86() []string { return s.Library.CrashProne86() }
+
+// Inject runs the adaptive fault-injection campaign over the named
+// functions (nil means every external function with a prototype) with
+// the default configuration.
+func (s *System) Inject(names []string) (*Campaign, error) {
+	return s.InjectWith(names, injector.DefaultConfig())
+}
+
+// InjectWith runs the campaign with an explicit configuration.
+func (s *System) InjectWith(names []string, cfg InjectorConfig) (*Campaign, error) {
+	return injector.New(s.Library, cfg).InjectAll(s.Extraction, names)
+}
+
+// UnmarshalDecls parses an archived <functions> declaration document
+// (the output of DeclSet.MarshalSetXML, possibly manually edited).
+func UnmarshalDecls(data []byte) (*DeclSet, error) { return decl.UnmarshalSetXML(data) }
+
+// SemiAuto applies the paper's §6 manual edits (executable assertions
+// for DIR tracking and FILE integrity) to a declaration set, returning
+// the semi-automatic set.
+func SemiAuto(decls *DeclSet) *DeclSet { return decl.ApplySemiAutoEdits(decls) }
+
+// NewProcess returns a simulated process over fs (a fresh filesystem
+// when nil).
+func (s *System) NewProcess(fs *csim.FS) *Process { return csim.NewProcess(fs) }
+
+// Wrap attaches a robustness wrapper to a process using the default
+// (deployed) policy: violations return the function's error code with
+// errno set.
+func (s *System) Wrap(p *Process, decls *DeclSet) *Interposer {
+	return wrapper.Attach(p, s.Library, decls, wrapper.DefaultOptions())
+}
+
+// WrapWith attaches a wrapper with explicit options (abort policy,
+// stateless checking).
+func (s *System) WrapWith(p *Process, decls *DeclSet, opts WrapperOptions) *Interposer {
+	return wrapper.Attach(p, s.Library, decls, opts)
+}
+
+// WrapperSource emits the generated wrapper as C source in the shape of
+// the paper's Figure 5.
+func (s *System) WrapperSource(decls *DeclSet) string {
+	return wrapgen.File(decls, wrapgen.Options{LogViolations: true})
+}
+
+// GenerateSuite builds the deterministic Ballista-style suite over the
+// 86 functions, trimmed to the paper's 11,995 tests.
+func (s *System) GenerateSuite() (*Suite, error) {
+	suite, err := ballista.Generate(s.Library, s.Extraction, 0)
+	if err != nil {
+		return nil, err
+	}
+	suite.Trim(11995)
+	return suite, nil
+}
+
+// RunFigure6 evaluates the suite under the three configurations of the
+// paper's Figure 6: unwrapped, fully automatic, semi-automatic.
+func (s *System) RunFigure6(suite *Suite, fullAuto, semiAuto *DeclSet) *Figure6 {
+	template := ballista.NewTemplate()
+	lib := s.Library
+	return &Figure6{
+		Unwrapped: suite.Run("unwrapped", template, func(p *Process) ballista.Caller {
+			return lib
+		}, 0),
+		FullAuto: suite.Run("full-auto", template, func(p *Process) ballista.Caller {
+			return wrapper.Attach(p, lib, fullAuto, wrapper.DefaultOptions())
+		}, 0),
+		SemiAuto: suite.Run("semi-auto", template, func(p *Process) ballista.Caller {
+			return wrapper.Attach(p, lib, semiAuto, wrapper.DefaultOptions())
+		}, 0),
+		Tests: len(suite.Tests),
+		Funcs: len(suite.PerFunc),
+	}
+}
+
+// MeasureTable2 runs the four utility-program workloads of Table 2
+// under the given declarations and reports the overhead rows.
+func (s *System) MeasureTable2(decls *DeclSet) []Measurement {
+	return apps.MeasureAll(s.Library, decls)
+}
+
+// FormatTable2 renders Table 2 measurements next to the paper's values.
+func FormatTable2(ms []Measurement) string { return apps.FormatTable2(ms) }

@@ -1,0 +1,154 @@
+package healers_test
+
+import (
+	"strings"
+	"testing"
+
+	"healers"
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// TestEndToEnd exercises the full public API the way the README's
+// quickstart does: build, inject, wrap, call.
+func TestEndToEnd(t *testing.T) {
+	sys, err := healers.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.CrashProne86()); got != 86 {
+		t.Fatalf("CrashProne86 = %d", got)
+	}
+	campaign, err := sys.Inject([]string{"asctime", "strcpy", "fgets"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := campaign.Decls()
+
+	p := sys.NewProcess(nil)
+	w := sys.Wrap(p, decls)
+
+	// The headline behaviour: wild pointers no longer crash.
+	p.ClearErrno()
+	out := p.Run(func() uint64 { return w.Call(p, "asctime", 0xdead0000) })
+	if out.Crashed() {
+		t.Fatalf("wrapped asctime crashed: %v", out)
+	}
+	if p.Errno() != csim.EINVAL {
+		t.Errorf("errno = %d", p.Errno())
+	}
+
+	// And valid calls still work.
+	tm, _ := p.Mem.MmapRegion(csim.SizeofTm, cmem.ProtRW)
+	out = p.Run(func() uint64 { return w.Call(p, "asctime", uint64(tm)) })
+	if out.Kind != csim.OutcomeReturn || out.Ret == 0 {
+		t.Fatalf("wrapped asctime(valid) = %v", out)
+	}
+}
+
+func TestWrapperSourceGeneration(t *testing.T) {
+	sys, err := healers.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := sys.Inject([]string{"asctime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sys.WrapperSource(campaign.Decls())
+	for _, want := range []string{"char* asctime(const struct tm* a1)", "in_flag", "check_R_ARRAY_NULL(a1, 44)"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("wrapper source missing %q", want)
+		}
+	}
+}
+
+func TestSemiAutoAddsAssertions(t *testing.T) {
+	sys, err := healers.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := sys.Inject([]string{"readdir"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi := healers.SemiAuto(campaign.Decls())
+	d, ok := semi.Get("readdir")
+	if !ok || len(d.Assertions) == 0 {
+		t.Fatal("semi-auto readdir has no assertions")
+	}
+	// The original full-auto set is untouched.
+	orig, _ := campaign.Decls().Get("readdir")
+	if len(orig.Assertions) != 0 {
+		t.Error("full-auto decls mutated")
+	}
+}
+
+// TestXMLArchivalFlow exercises the deployment path the paper
+// describes: a campaign's declarations are serialized (possibly edited
+// offline) and a wrapper is built later from the parsed document.
+func TestXMLArchivalFlow(t *testing.T) {
+	sys, err := healers.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := sys.Inject([]string{"asctime", "strlen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := campaign.Decls().MarshalSetXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh process wrapped from the parsed archive behaves like one
+	// wrapped from the live declarations.
+	parsed, err := healers.UnmarshalDecls(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.NewProcess(nil)
+	w := sys.Wrap(p, parsed)
+	p.ClearErrno()
+	out := p.Run(func() uint64 { return w.Call(p, "asctime", 0xdead0000) })
+	if out.Crashed() || p.Errno() != csim.EINVAL {
+		t.Errorf("archived wrapper failed: %v errno=%d", out, p.Errno())
+	}
+}
+
+// TestFacadeEvaluations drives the Figure 6 and Table 2 paths through
+// the public API (the long way the CLI uses).
+func TestFacadeEvaluations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	sys, err := healers.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := sys.Inject(sys.CrashProne86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := campaign.Decls()
+	suite, err := sys.GenerateSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Tests) != 11995 {
+		t.Fatalf("suite = %d", len(suite.Tests))
+	}
+	fig := sys.RunFigure6(suite, decls, healers.SemiAuto(decls))
+	if fig.Format() == "" {
+		t.Fatal("empty figure")
+	}
+	if _, _, crash := fig.SemiAuto.Rates(); crash != 0 {
+		t.Errorf("semi-auto crash = %v", crash)
+	}
+	ms := sys.MeasureTable2(healers.SemiAuto(decls))
+	if len(ms) != 4 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	if healers.FormatTable2(ms) == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,249 @@
+// Package apps implements the four utility-program workloads of the
+// paper's Table 2: tar, gzip, gcc and ps2pdf. The real binaries are
+// replaced by synthetic drivers that reproduce each program's
+// *library-call profile* — how many wrapped calls it makes per second
+// and what fraction of its execution lives inside the wrapped library —
+// because those two variables are what Table 2's overhead numbers are a
+// function of. gzip barely touches the library (compression dominates);
+// gcc hammers it with tiny string and allocation calls; tar and ps2pdf
+// sit in between.
+package apps
+
+import (
+	"fmt"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// Caller dispatches library calls (the bare library or a wrapper).
+type Caller interface {
+	Call(p *csim.Process, name string, args ...uint64) uint64
+}
+
+// Profile is one application workload.
+type Profile struct {
+	Name string
+	// Paper holds the Table 2 reference values for reports.
+	Paper PaperRow
+	// Setup populates the filesystem fixture.
+	Setup func(fs *csim.FS)
+	// Run executes the workload, making library calls through c.
+	Run func(p *csim.Process, c Caller)
+}
+
+// PaperRow is the Table 2 row as published.
+type PaperRow struct {
+	WrappedPerSec float64
+	LibShare      float64 // fraction of execution time in the library
+	CheckOverhead float64
+	ExecOverhead  float64
+}
+
+// sink defeats dead-code elimination of the compute loops.
+var sink uint64
+
+// compute burns deterministic application-side CPU (the tar checksum,
+// the gzip compressor, the compiler's own work).
+func compute(units int) {
+	acc := sink
+	for i := 0; i < units*64; i++ {
+		acc = acc*1099511628211 + uint64(i)
+	}
+	sink = acc
+}
+
+// helpers for building argument values in simulated memory
+
+func mkCString(p *csim.Process, s string) cmem.Addr {
+	a, err := p.Mem.MmapRegion(len(s)+1, cmem.ProtRW)
+	if err != nil {
+		return 0
+	}
+	p.Mem.WriteCString(a, s)
+	return a
+}
+
+func mkBuffer(p *csim.Process, c Caller, size int) uint64 {
+	return c.Call(p, "malloc", uint64(size))
+}
+
+// Tar models archiving a directory: directory walking, per-file reads,
+// header string formatting, archive writes. Library share ~1%, a few
+// thousand wrapped calls per second.
+func Tar() *Profile {
+	const files = 24
+	return &Profile{
+		Name: "tar",
+		Paper: PaperRow{
+			WrappedPerSec: 3545, LibShare: 0.0105,
+			CheckOverhead: 0.0016, ExecOverhead: 0.0314,
+		},
+		Setup: func(fs *csim.FS) {
+			payload := make([]byte, 2048)
+			for i := range payload {
+				payload[i] = byte('a' + i%26)
+			}
+			for i := 0; i < files; i++ {
+				fs.Create(fmt.Sprintf("/src/file%02d.txt", i), payload)
+			}
+		},
+		Run: func(p *csim.Process, c Caller) {
+			dir := mkCString(p, "/src")
+			archive := mkCString(p, "/out.tar")
+			mode := mkCString(p, "w")
+			rmode := mkCString(p, "r")
+			buf := mkBuffer(p, c, 512)
+			header := mkBuffer(p, c, 128)
+
+			out := c.Call(p, "fopen", uint64(archive), uint64(mode))
+			dp := c.Call(p, "opendir", uint64(dir))
+			for {
+				de := c.Call(p, "readdir", dp)
+				if de == 0 {
+					break
+				}
+				nameAddr := de + csim.DirentOffName
+				// Format a header: copy the name, measure it.
+				c.Call(p, "strcpy", header, uint64(nameAddr))
+				c.Call(p, "strlen", header)
+				c.Call(p, "fwrite", header, 1, 128, out)
+
+				path := mkCString(p, "/src/")
+				c.Call(p, "strcat", uint64(path)+0, uint64(nameAddr))
+				in := c.Call(p, "fopen", uint64(path), uint64(rmode))
+				if in == 0 {
+					continue
+				}
+				for {
+					n := c.Call(p, "fread", buf, 1, 512, in)
+					if n == 0 {
+						break
+					}
+					c.Call(p, "fwrite", buf, 1, n, out)
+					compute(40000) // checksum + blocking factor bookkeeping
+				}
+				c.Call(p, "fclose", in)
+			}
+			c.Call(p, "closedir", dp)
+			c.Call(p, "fclose", out)
+		},
+	}
+}
+
+// Gzip models compressing one file: a handful of library calls around a
+// compute-dominated compression loop. Library share ~0.01%, tens of
+// wrapped calls per second.
+func Gzip() *Profile {
+	return &Profile{
+		Name: "gzip",
+		Paper: PaperRow{
+			WrappedPerSec: 43, LibShare: 0.0001,
+			CheckOverhead: 0.000003, ExecOverhead: 0.0112,
+		},
+		Setup: func(fs *csim.FS) {
+			data := make([]byte, 8192)
+			for i := range data {
+				data[i] = byte(i * 31)
+			}
+			fs.Create("/in.dat", data)
+		},
+		Run: func(p *csim.Process, c Caller) {
+			path := mkCString(p, "/in.dat")
+			outPath := mkCString(p, "/in.dat.gz")
+			rmode := mkCString(p, "r")
+			wmode := mkCString(p, "w")
+			buf := mkBuffer(p, c, 4096)
+
+			in := c.Call(p, "fopen", uint64(path), uint64(rmode))
+			out := c.Call(p, "fopen", uint64(outPath), uint64(wmode))
+			for block := 0; block < 2; block++ {
+				n := c.Call(p, "fread", buf, 1, 4096, in)
+				if n == 0 {
+					break
+				}
+				// The compressor: LZ window scans dominate everything.
+				compute(2_000_000)
+				c.Call(p, "fwrite", buf, 1, n/2, out)
+			}
+			c.Call(p, "fclose", in)
+			c.Call(p, "fclose", out)
+		},
+	}
+}
+
+// Gcc models a compiler front end: floods of tiny identifier-string and
+// allocation calls with a little parsing compute between them. Library
+// share ~10%, hundreds of thousands of wrapped calls per second.
+func Gcc() *Profile {
+	const tokens = 4000
+	return &Profile{
+		Name: "gcc",
+		Paper: PaperRow{
+			WrappedPerSec: 388998, LibShare: 0.1020,
+			CheckOverhead: 0.0172, ExecOverhead: 0.161,
+		},
+		Setup: func(fs *csim.FS) {
+			fs.Create("/main.c", []byte("int main(void) { return 0; }\n"))
+		},
+		Run: func(p *csim.Process, c Caller) {
+			// The symbol table: identifiers are strduped, compared,
+			// hashed, and freed, as a compiler front end does.
+			ident := mkCString(p, "identifier_name")
+			keyword := mkCString(p, "register")
+			for i := 0; i < tokens; i++ {
+				dup := c.Call(p, "strdup", uint64(ident))
+				c.Call(p, "strlen", dup)
+				c.Call(p, "strcmp", dup, uint64(keyword))
+				sym := c.Call(p, "malloc", 32)
+				c.Call(p, "strncpy", sym, dup, 32)
+				compute(160) // parse actions between tokens
+				c.Call(p, "free", sym)
+				c.Call(p, "free", dup)
+			}
+		},
+	}
+}
+
+// Ps2pdf models a PostScript interpreter: character-at-a-time stream
+// I/O with interpretation compute per character. Library share ~8%.
+func Ps2pdf() *Profile {
+	return &Profile{
+		Name: "ps2pdf",
+		Paper: PaperRow{
+			WrappedPerSec: 378659, LibShare: 0.0796,
+			CheckOverhead: 0.0188, ExecOverhead: 0.0567,
+		},
+		Setup: func(fs *csim.FS) {
+			const ops = "0123456789 moveto lineto stroke showpage\n"
+			doc := make([]byte, 6000)
+			for i := range doc {
+				doc[i] = ops[i%len(ops)]
+			}
+			fs.Create("/doc.ps", doc)
+		},
+		Run: func(p *csim.Process, c Caller) {
+			path := mkCString(p, "/doc.ps")
+			outPath := mkCString(p, "/doc.pdf")
+			rmode := mkCString(p, "r")
+			wmode := mkCString(p, "w")
+			in := c.Call(p, "fopen", uint64(path), uint64(rmode))
+			out := c.Call(p, "fopen", uint64(outPath), uint64(wmode))
+			for {
+				ch := c.Call(p, "fgetc", in)
+				if int64(ch) < 0 {
+					break
+				}
+				compute(90) // interpret the token stream
+				c.Call(p, "fputc", ch, out)
+			}
+			c.Call(p, "fclose", in)
+			c.Call(p, "fclose", out)
+		},
+	}
+}
+
+// All returns the Table 2 workloads in paper order.
+func All() []*Profile {
+	return []*Profile{Tar(), Gzip(), Gcc(), Ps2pdf()}
+}

@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/csim"
+	"healers/internal/decl"
+	"healers/internal/extract"
+	"healers/internal/injector"
+	"healers/internal/wrapper"
+)
+
+var (
+	cachedLib   *clib.Library
+	cachedDecls *decl.DeclSet
+)
+
+func setup(t *testing.T) (*clib.Library, *decl.DeclSet) {
+	t.Helper()
+	if cachedLib != nil {
+		return cachedLib, cachedDecls
+	}
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := injector.New(lib, injector.DefaultConfig()).InjectAll(ext, lib.CrashProne86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedLib, cachedDecls = lib, decl.ApplySemiAutoEdits(campaign.Decls())
+	return cachedLib, cachedDecls
+}
+
+// runApp executes a profile under the given call path and returns the
+// outcome plus final filesystem.
+func runApp(t *testing.T, profile *Profile, lib *clib.Library, decls *decl.DeclSet) (*csim.Process, csim.Outcome) {
+	t.Helper()
+	fs := csim.NewFS()
+	if profile.Setup != nil {
+		profile.Setup(fs)
+	}
+	p := csim.NewProcess(fs)
+	p.SetStepBudget(1 << 31)
+	var c Caller = lib
+	if decls != nil {
+		c = wrapper.Attach(p, lib, decls, wrapper.DefaultOptions())
+	}
+	out := p.Run(func() uint64 {
+		profile.Run(p, c)
+		return 0
+	})
+	return p, out
+}
+
+func TestAppsRunCleanUnwrapped(t *testing.T) {
+	lib, _ := setup(t)
+	for _, profile := range All() {
+		t.Run(profile.Name, func(t *testing.T) {
+			p, out := runApp(t, profile, lib, nil)
+			if out.Kind != csim.OutcomeReturn {
+				t.Fatalf("%s crashed unwrapped: %v", profile.Name, out)
+			}
+			_ = p
+		})
+	}
+}
+
+func TestAppsProduceSameOutputWrapped(t *testing.T) {
+	// The wrapper must be transparent for correct programs: the files
+	// each application produces must be identical with and without it.
+	lib, decls := setup(t)
+	outputs := map[string]string{
+		"tar":    "/out.tar",
+		"gzip":   "/in.dat.gz",
+		"ps2pdf": "/doc.pdf",
+	}
+	for _, profile := range All() {
+		t.Run(profile.Name, func(t *testing.T) {
+			pPlain, outPlain := runApp(t, profile, lib, nil)
+			pWrap, outWrap := runApp(t, profile, lib, decls)
+			if outPlain.Kind != csim.OutcomeReturn || outWrap.Kind != csim.OutcomeReturn {
+				t.Fatalf("outcomes: plain=%v wrapped=%v", outPlain, outWrap)
+			}
+			path, ok := outputs[profile.Name]
+			if !ok {
+				return // gcc produces no file artifact
+			}
+			a, okA := pPlain.FS.Lookup(path)
+			b, okB := pWrap.FS.Lookup(path)
+			if !okA || !okB {
+				t.Fatalf("output %s missing: plain=%v wrapped=%v", path, okA, okB)
+			}
+			if string(a.Data) != string(b.Data) {
+				t.Errorf("%s differs between plain (%d bytes) and wrapped (%d bytes)",
+					path, len(a.Data), len(b.Data))
+			}
+			if len(a.Data) == 0 {
+				t.Errorf("%s is empty", path)
+			}
+		})
+	}
+}
+
+func TestWrapperDoesNotRejectValidAppCalls(t *testing.T) {
+	lib, decls := setup(t)
+	for _, profile := range All() {
+		t.Run(profile.Name, func(t *testing.T) {
+			fs := csim.NewFS()
+			if profile.Setup != nil {
+				profile.Setup(fs)
+			}
+			p := csim.NewProcess(fs)
+			p.SetStepBudget(1 << 31)
+			ip := wrapper.Attach(p, lib, decls, wrapper.DefaultOptions())
+			out := p.Run(func() uint64 {
+				profile.Run(p, ip)
+				return 0
+			})
+			if out.Kind != csim.OutcomeReturn {
+				t.Fatalf("wrapped %s: %v", profile.Name, out)
+			}
+			if rej := ip.Stats().Rejected; rej != 0 {
+				t.Errorf("wrapper rejected %d valid calls: %+v", rej, ip.Stats().Violations)
+			}
+		})
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	lib, decls := setup(t)
+	ms := MeasureAll(lib, decls)
+	t.Logf("\n%s", FormatTable2(ms))
+	byName := map[string]Measurement{}
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	gzip, gcc, tar, ps := byName["gzip"], byName["gcc"], byName["tar"], byName["ps2pdf"]
+
+	// Orderings the paper's Table 2 exhibits.
+	if !(gzip.WrappedPerSec < tar.WrappedPerSec) {
+		t.Errorf("gzip calls/sec (%.0f) should be lowest (tar %.0f)", gzip.WrappedPerSec, tar.WrappedPerSec)
+	}
+	if !(gcc.WrappedPerSec > tar.WrappedPerSec && ps.WrappedPerSec > tar.WrappedPerSec) {
+		t.Errorf("gcc/ps2pdf calls/sec should exceed tar: gcc=%.0f ps=%.0f tar=%.0f",
+			gcc.WrappedPerSec, ps.WrappedPerSec, tar.WrappedPerSec)
+	}
+	if !(gzip.LibShare < tar.LibShare && tar.LibShare < gcc.LibShare) {
+		t.Errorf("library share ordering wrong: gzip=%.4f tar=%.4f gcc=%.4f",
+			gzip.LibShare, tar.LibShare, gcc.LibShare)
+	}
+	if !(gzip.CheckOverhead <= tar.CheckOverhead) {
+		t.Errorf("gzip checking overhead (%.4f) should be minimal (tar %.4f)",
+			gzip.CheckOverhead, tar.CheckOverhead)
+	}
+	if !(gcc.CheckOverhead > tar.CheckOverhead) {
+		t.Errorf("gcc checking overhead (%.4f) should exceed tar (%.4f)",
+			gcc.CheckOverhead, tar.CheckOverhead)
+	}
+	if gzip.ExecOverhead > 0.05 {
+		t.Errorf("gzip execution overhead = %.2f%%, should be small", 100*gzip.ExecOverhead)
+	}
+}

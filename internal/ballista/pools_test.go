@@ -1,0 +1,179 @@
+package ballista
+
+import (
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// bareLib adapts the raw library for pool materialization in tests.
+type passCaller struct{ f *fixture }
+
+func (c passCaller) Call(p *csim.Process, name string, args ...uint64) uint64 {
+	return c.f.lib.Call(p, name, args...)
+}
+
+func TestPoolEntriesMaterialize(t *testing.T) {
+	f := setup(t)
+	template := NewTemplate()
+	pools := map[string][]*PoolEntry{
+		"string": stringPool(),
+		"buffer": bufferPool(),
+		"file":   filePool(),
+		"dir":    dirPool(),
+		"int":    intPool(),
+		"fd":     fdPool(),
+		"func":   funcPtrPool(),
+		"double": doublePool(),
+		"struct": structPool(64),
+	}
+	for kind, pool := range pools {
+		t.Run(kind, func(t *testing.T) {
+			if len(pool) < 2 {
+				t.Fatalf("pool too small: %d", len(pool))
+			}
+			exceptional := 0
+			for _, e := range pool {
+				if e.Exceptional {
+					exceptional++
+				}
+				child := template.Fork()
+				out := child.Run(func() uint64 { return e.Build(child, passCaller{f}) })
+				if out.Kind != csim.OutcomeReturn {
+					t.Errorf("%s/%s materialization crashed: %v", kind, e.Name, out)
+				}
+			}
+			if exceptional == 0 {
+				t.Errorf("%s pool has no exceptional entries", kind)
+			}
+			if exceptional == len(pool) && kind != "double" {
+				t.Errorf("%s pool has no valid entries", kind)
+			}
+		})
+	}
+}
+
+func TestFileCorruptEntryKeepsValidFd(t *testing.T) {
+	f := setup(t)
+	template := NewTemplate()
+	child := template.Fork()
+	var entry *PoolEntry
+	for _, e := range filePool() {
+		if e.Name == "file-corrupt" {
+			entry = e
+		}
+	}
+	var fp uint64
+	child.Run(func() uint64 { fp = entry.Build(child, passCaller{f}); return 0 })
+	if fp == 0 {
+		t.Fatal("corrupt entry failed to build")
+	}
+	fd := int(int32(child.LoadU32(cmem.Addr(fp) + csim.FILEOffFD)))
+	if child.FD(fd) == nil {
+		t.Error("corrupt FILE's descriptor is not live — fileno+fstat would reject it and the residual class would vanish")
+	}
+	buf := child.LoadU64(cmem.Addr(fp) + csim.FILEOffBufPtr)
+	if _, mapped := child.Mem.ProtAt(cmem.Addr(buf)); mapped {
+		t.Error("corrupt FILE's buffer pointer is mapped — it must be garbage")
+	}
+}
+
+func TestSingleFaultVectors(t *testing.T) {
+	pools := [][]*PoolEntry{intPool(), stringPool()}
+	tests := singleFault("f", pools)
+	if len(tests) == 0 {
+		t.Fatal("no single-fault vectors")
+	}
+	for _, tt := range tests {
+		exceptional := 0
+		for _, e := range tt.Entries {
+			if e.Exceptional {
+				exceptional++
+			}
+		}
+		if exceptional != 1 {
+			t.Errorf("single-fault vector has %d exceptional entries", exceptional)
+		}
+	}
+	// Count: sum of exceptional entries across pools.
+	want := 0
+	for _, pool := range pools {
+		for _, e := range pool {
+			if e.Exceptional {
+				want++
+			}
+		}
+	}
+	if len(tests) != want {
+		t.Errorf("single-fault count = %d, want %d", len(tests), want)
+	}
+}
+
+func TestCrossProductExcludesAllValid(t *testing.T) {
+	pools := [][]*PoolEntry{intPool(), intPool()}
+	valid := 0
+	for _, e := range intPool() {
+		if !e.Exceptional {
+			valid++
+		}
+	}
+	tests := crossProduct("f", pools)
+	want := len(intPool())*len(intPool()) - valid*valid
+	if len(tests) != want {
+		t.Errorf("cross product = %d, want %d", len(tests), want)
+	}
+	for _, tt := range tests {
+		any := false
+		for _, e := range tt.Entries {
+			any = any || e.Exceptional
+		}
+		if !any {
+			t.Fatal("all-valid vector in suite")
+		}
+	}
+}
+
+func TestTrimExact(t *testing.T) {
+	f := setup(t)
+	if len(f.suite.Tests) != 11995 {
+		t.Fatalf("suite = %d", len(f.suite.Tests))
+	}
+	// PerFunc bookkeeping consistent with Tests.
+	counts := map[string]int{}
+	for _, tt := range f.suite.Tests {
+		counts[tt.Func]++
+	}
+	for name, n := range f.suite.PerFunc {
+		if counts[name] != n {
+			t.Errorf("%s: PerFunc=%d actual=%d", name, n, counts[name])
+		}
+	}
+	if got := len(f.suite.SortedFuncs()); got != 86 {
+		t.Errorf("functions = %d", got)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	r := &Report{Config: "x", PerFunc: map[string]*FuncReport{
+		"a": {Name: "a", Errno: 10, Silent: 5, Crash: 2, Segfault: 2},
+		"b": {Name: "b", Errno: 3, Silent: 0, Crash: 0},
+	}}
+	e, s, c, total := r.Totals()
+	if e != 13 || s != 5 || c != 2 || total != 20 {
+		t.Errorf("totals = %d %d %d %d", e, s, c, total)
+	}
+	if got := r.CrashingFuncs(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("crashing = %v", got)
+	}
+	ep, sp, cp := r.Rates()
+	if ep != 65 || sp != 25 || cp != 10 {
+		t.Errorf("rates = %v %v %v", ep, sp, cp)
+	}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+	if (&Report{Config: "empty", PerFunc: map[string]*FuncReport{}}).String() == "" {
+		t.Error("empty report panics or empty")
+	}
+}

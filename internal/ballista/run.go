@@ -1,0 +1,173 @@
+package ballista
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"healers/internal/csim"
+)
+
+// Bucket classifies one test outcome for Figure 6.
+type Bucket uint8
+
+// Figure 6's three buckets. Crash folds together segfault, hang and
+// abort, the failure kinds the wrapper must prevent.
+const (
+	BucketErrno Bucket = iota + 1
+	BucketSilent
+	BucketCrash
+)
+
+func (b Bucket) String() string {
+	switch b {
+	case BucketErrno:
+		return "errno-set"
+	case BucketSilent:
+		return "silent"
+	case BucketCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("Bucket(%d)", uint8(b))
+}
+
+// FuncReport aggregates one function's outcomes.
+type FuncReport struct {
+	Name   string
+	Errno  int
+	Silent int
+	Crash  int
+	// Crash sub-kinds.
+	Segfault int
+	Hang     int
+	Abort    int
+}
+
+// Tests returns the total tests run for the function.
+func (r *FuncReport) Tests() int { return r.Errno + r.Silent + r.Crash }
+
+// Report aggregates one configuration's run.
+type Report struct {
+	Config  string
+	PerFunc map[string]*FuncReport
+}
+
+// Totals sums the buckets across all functions.
+func (r *Report) Totals() (errno, silent, crash, total int) {
+	for _, fr := range r.PerFunc {
+		errno += fr.Errno
+		silent += fr.Silent
+		crash += fr.Crash
+	}
+	return errno, silent, crash, errno + silent + crash
+}
+
+// CrashingFuncs returns the functions with at least one crash, sorted.
+func (r *Report) CrashingFuncs() []string {
+	var out []string
+	for name, fr := range r.PerFunc {
+		if fr.Crash > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rates returns the bucket percentages.
+func (r *Report) Rates() (errnoPct, silentPct, crashPct float64) {
+	e, s, c, t := r.Totals()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(e) / float64(t), 100 * float64(s) / float64(t), 100 * float64(c) / float64(t)
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	e, s, c, t := r.Totals()
+	ep, sp, cp := r.Rates()
+	return fmt.Sprintf("%s: %d tests — errno %d (%.2f%%), silent %d (%.2f%%), crash %d (%.2f%%), crashing funcs %d",
+		r.Config, t, e, ep, s, sp, c, cp, len(r.CrashingFuncs()))
+}
+
+// CallerFactory builds the call path for one child process: the bare
+// library for the unwrapped run, a fresh wrapper interposer otherwise.
+type CallerFactory func(p *csim.Process) Caller
+
+// Run executes the suite under one configuration.
+func (s *Suite) Run(config string, template *csim.Process, factory CallerFactory, stepBudget int) *Report {
+	if stepBudget <= 0 {
+		stepBudget = 100_000
+	}
+	report := &Report{Config: config, PerFunc: make(map[string]*FuncReport)}
+	for _, test := range s.Tests {
+		fr := report.PerFunc[test.Func]
+		if fr == nil {
+			fr = &FuncReport{Name: test.Func}
+			report.PerFunc[test.Func] = fr
+		}
+
+		child := template.Fork()
+		child.SetStepBudget(stepBudget)
+		caller := factory(child)
+
+		args := make([]uint64, len(test.Entries))
+		setup := child.Run(func() uint64 {
+			for i, e := range test.Entries {
+				args[i] = e.Build(child, caller)
+			}
+			return 0
+		})
+		if setup.Kind != csim.OutcomeReturn {
+			// Setup trouble counts as silent: the test could not be
+			// delivered (rare; kept for accounting completeness).
+			fr.Silent++
+			continue
+		}
+
+		child.ClearErrno()
+		out := child.Run(func() uint64 { return caller.Call(child, test.Func, args...) })
+		switch out.Kind {
+		case csim.OutcomeReturn:
+			if child.ErrnoSet() {
+				fr.Errno++
+			} else {
+				fr.Silent++
+			}
+		case csim.OutcomeSegfault:
+			fr.Crash++
+			fr.Segfault++
+		case csim.OutcomeHang:
+			fr.Crash++
+			fr.Hang++
+		case csim.OutcomeAbort:
+			fr.Crash++
+			fr.Abort++
+		}
+	}
+	return report
+}
+
+// Figure6 holds the paper's three-bar comparison.
+type Figure6 struct {
+	Unwrapped *Report
+	FullAuto  *Report
+	SemiAuto  *Report
+	Tests     int
+	Funcs     int
+}
+
+// Format renders the figure as the three stacked bars in text.
+func (f *Figure6) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — %d Ballista tests over %d functions\n", f.Tests, f.Funcs)
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s   %s\n", "configuration", "errno-set", "silent", "crash", "crashing funcs")
+	for _, r := range []*Report{f.Unwrapped, f.FullAuto, f.SemiAuto} {
+		e, s, c, _ := r.Totals()
+		ep, sp, cp := r.Rates()
+		fmt.Fprintf(&b, "%-18s %6d %3.2f%% %5d %3.2f%% %5d %3.2f%%   %d\n",
+			r.Config, e, ep, s, sp, c, cp, len(r.CrashingFuncs()))
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+// Package clib implements the shared C library under test.
+//
+// The functions are implemented against the simulated process (package
+// csim) with the same robustness posture the paper measured in glibc2.2:
+// they omit argument checks for efficiency, so invalid pointers crash,
+// invalid sizes hang or overflow, and error reporting via errno is
+// inconsistent across the library. The deliberate fragility is the
+// ground truth that the fault injector must discover and the generated
+// wrapper must mask.
+//
+// Functions implemented at the system-call boundary (open, read, write,
+// ...) validate user pointers like a kernel does and fail with EFAULT
+// instead of crashing — reproducing the paper's observation that a few
+// of the 86 historically crash-prone functions no longer crash.
+package clib
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// Impl is the simulated machine code of one library function. Arguments
+// and the return value use the C calling convention flattened to 64-bit
+// words: pointers are addresses, integers are sign-extended.
+type Impl func(p *csim.Process, args []uint64) uint64
+
+// Func describes one function exported (or hidden) by the library.
+type Func struct {
+	Name     string
+	Version  string // symbol version, e.g. "HLIBC_2.2"
+	Internal bool   // leading-underscore internal symbol
+	Proto    string // C prototype as written in the header
+	Header   string // primary header file declaring the function
+	NArgs    int
+	Impl     Impl
+}
+
+// Version of the simulated library; all symbols carry it.
+const Version = "HLIBC_2.2"
+
+// Library is the simulated shared object: a symbol table of functions.
+type Library struct {
+	funcs map[string]*Func
+	names []string // registration order
+}
+
+// New builds the library with every function family registered.
+func New() *Library {
+	l := &Library{funcs: make(map[string]*Func)}
+	l.registerString()
+	l.registerMem()
+	l.registerStdio()
+	l.registerTime()
+	l.registerDirent()
+	l.registerStdlib()
+	l.registerTermios()
+	l.registerUnistd()
+	l.registerCtype()
+	l.registerInternal()
+	return l
+}
+
+func (l *Library) add(f *Func) {
+	if f.Version == "" {
+		f.Version = Version
+	}
+	if _, dup := l.funcs[f.Name]; dup {
+		panic(fmt.Sprintf("clib: duplicate registration of %s", f.Name))
+	}
+	l.funcs[f.Name] = f
+	l.names = append(l.names, f.Name)
+}
+
+// Lookup finds a function by name.
+func (l *Library) Lookup(name string) (*Func, bool) {
+	f, ok := l.funcs[name]
+	return f, ok
+}
+
+// MustLookup finds a function by name and panics if absent (for tests
+// and tools where the name set is static).
+func (l *Library) MustLookup(name string) *Func {
+	f, ok := l.funcs[name]
+	if !ok {
+		panic("clib: no such function " + name)
+	}
+	return f
+}
+
+// Names returns all symbol names in registration order.
+func (l *Library) Names() []string {
+	return append([]string(nil), l.names...)
+}
+
+// External returns the non-internal functions in registration order.
+func (l *Library) External() []*Func {
+	var out []*Func
+	for _, n := range l.names {
+		if f := l.funcs[n]; !f.Internal {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Internal returns the internal functions in registration order.
+func (l *Library) Internal() []*Func {
+	var out []*Func
+	for _, n := range l.names {
+		if f := l.funcs[n]; f.Internal {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Call invokes a library function directly (no wrapper). It panics on
+// unknown names: calling an unresolved symbol is a link error, not a
+// runtime condition.
+func (l *Library) Call(p *csim.Process, name string, args ...uint64) uint64 {
+	return l.MustLookup(name).Impl(p, args)
+}
+
+// CrashProne86 returns the names of the 86 POSIX functions that the
+// paper's evaluation section re-tests with Ballista (the set previously
+// found to suffer crash failures under Linux 2.0.18).
+func (l *Library) CrashProne86() []string {
+	out := append([]string(nil), crashProne86...)
+	sort.Strings(out)
+	return out
+}
+
+// crashProne86 is the evaluation set. The class assignments that Table 1
+// reports emerge from the implementations, not from this list.
+var crashProne86 = []string{
+	// string.h (17)
+	"strcpy", "strncpy", "strcat", "strncat", "strcmp", "strncmp",
+	"strlen", "strchr", "strrchr", "strstr", "strpbrk", "strspn",
+	"strcspn", "strtok", "strcoll", "strxfrm", "strdup",
+	// memory (6)
+	"memcpy", "memmove", "memset", "memcmp", "memchr", "index",
+	// conversions (5)
+	"atoi", "atol", "atof", "strtol", "strtoul",
+	// stdio (24)
+	"fopen", "freopen", "fdopen", "fclose", "fflush", "fread", "fwrite",
+	"fgets", "fputs", "fgetc", "fputc", "ungetc", "gets", "puts",
+	"fseek", "ftell", "rewind", "feof", "ferror", "clearerr", "fileno",
+	"setbuf", "setvbuf", "perror",
+	// time.h (6)
+	"asctime", "ctime", "gmtime", "localtime", "mktime", "strftime",
+	// dirent.h (6)
+	"opendir", "readdir", "closedir", "rewinddir", "seekdir", "telldir",
+	// termios (6)
+	"cfsetispeed", "cfsetospeed", "cfgetispeed", "cfgetospeed",
+	"tcgetattr", "tcsetattr",
+	// misc libc (2)
+	"qsort", "bzero",
+	// syscall-backed (14)
+	"open", "creat", "close", "read", "write", "lseek", "access",
+	"chdir", "unlink", "getcwd", "stat", "lstat", "fstat", "mkstemp",
+}
+
+// --- argument decoding helpers shared by the implementations ---
+
+func argPtr(args []uint64, i int) cmem.Addr { return cmem.Addr(args[i]) }
+
+func argInt(args []uint64, i int) int { return int(int32(uint32(args[i]))) }
+
+func argLong(args []uint64, i int) int64 { return int64(args[i]) }
+
+// retInt sign-extends a C int return value to the 64-bit convention.
+func retInt(v int) uint64 { return uint64(int64(int32(v))) }
+
+// retLong sign-extends a C long return value.
+func retLong(v int64) uint64 { return uint64(v) }
+
+// cInt reads the i-th argument as a C size_t (unsigned 64-bit) while
+// keeping the intent visible at call sites.
+func argSize(args []uint64, i int) uint64 { return args[i] }

@@ -1,0 +1,292 @@
+package clib
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+func TestStrspnStrcspnStrpbrk(t *testing.T) {
+	lib, p := fixture(t)
+	s := cstr(t, p, "aabbcc")
+	ab := cstr(t, p, "ab")
+	xy := cstr(t, p, "xy")
+	wantReturn(t, call(lib, p, "strspn", uint64(s), uint64(ab)), 4)
+	wantReturn(t, call(lib, p, "strspn", uint64(s), uint64(xy)), 0)
+	wantReturn(t, call(lib, p, "strcspn", uint64(s), uint64(xy)), 6)
+	c := cstr(t, p, "c")
+	wantReturn(t, call(lib, p, "strcspn", uint64(s), uint64(c)), 4)
+	wantReturn(t, call(lib, p, "strpbrk", uint64(s), uint64(c)), uint64(s+4))
+	wantReturn(t, call(lib, p, "strpbrk", uint64(s), uint64(xy)), 0)
+	wantCrash(t, call(lib, p, "strspn", 0, uint64(ab)))
+	wantCrash(t, call(lib, p, "strpbrk", uint64(s), 0))
+}
+
+func TestIndexAliasesStrchr(t *testing.T) {
+	lib, p := fixture(t)
+	s := cstr(t, p, "hello")
+	wantReturn(t, call(lib, p, "index", uint64(s), 'l'), uint64(s+2))
+	wantReturn(t, call(lib, p, "index", uint64(s), 'z'), 0)
+	wantCrash(t, call(lib, p, "index", 0, 'l'))
+	if p.ErrnoSet() {
+		t.Error("index set errno")
+	}
+}
+
+func TestBcopyBzero(t *testing.T) {
+	lib, p := fixture(t)
+	a := buf(t, p, 32)
+	b := buf(t, p, 32)
+	p.Store(a, []byte{1, 2, 3, 4})
+	// bcopy argument order is (src, dest).
+	wantReturn(t, call(lib, p, "bcopy", uint64(a), uint64(b), 4), uint64(b))
+	if got := p.Load(b, 4); got[0] != 1 || got[3] != 4 {
+		t.Errorf("bcopy = %v", got)
+	}
+	call(lib, p, "bzero", uint64(a), 4)
+	for i := 0; i < 4; i++ {
+		if v := p.LoadByte(a + cmem.Addr(i)); v != 0 {
+			t.Errorf("bzero byte %d = %d", i, v)
+		}
+	}
+	wantCrash(t, call(lib, p, "bzero", 0, 4))
+}
+
+func TestSetbufSetvbuf(t *testing.T) {
+	lib, p := fixture(t)
+	fp := openFILE(t, lib, p, "r")
+	nb := buf(t, p, csim.FILEBufSize)
+	wantReturn(t, call(lib, p, "setbuf", uint64(fp), uint64(nb)), 0)
+	if got := p.LoadU64(fp + csim.FILEOffBufPtr); got != uint64(nb) {
+		t.Errorf("buffer not replaced: %#x", got)
+	}
+	// Reads still work through the new buffer.
+	o := call(lib, p, "fgetc", uint64(fp))
+	wantReturn(t, o, 'h')
+
+	o = call(lib, p, "setvbuf", uint64(fp), uint64(nb), uint64(uint32(9)), 64)
+	if o.Ret != cEOF || o.Errno != csim.EINVAL {
+		t.Errorf("setvbuf bad mode = %v", o)
+	}
+	wantReturn(t, call(lib, p, "setvbuf", uint64(fp), uint64(nb), 0, 64), 0)
+	if got := p.LoadU64(fp + csim.FILEOffBufSize); got != 64 {
+		t.Errorf("bufsize = %d", got)
+	}
+	// Bad stream pointers crash both (the stream is touched first).
+	wantCrash(t, call(lib, p, "setbuf", 0, uint64(nb)))
+	wantCrash(t, call(lib, p, "setvbuf", 0xbad, uint64(nb), 0, 64))
+}
+
+func TestFreopenEFAULTPath(t *testing.T) {
+	lib, p := fixture(t)
+	fp := openFILE(t, lib, p, "r")
+	mode := cstr(t, p, "r")
+	o := call(lib, p, "freopen", 0xdead0000, uint64(mode), uint64(fp))
+	wantReturn(t, o, 0)
+	if o.Errno != csim.EFAULT {
+		t.Errorf("errno = %d, want EFAULT", o.Errno)
+	}
+	// Bad mode pointer crashes (parsed in user space).
+	wantCrash(t, call(lib, p, "freopen", 0xdead0000, 0, uint64(fp)))
+}
+
+func TestAbsLabsGetenv(t *testing.T) {
+	lib, p := fixture(t)
+	wantReturn(t, call(lib, p, "abs", uint64(uint32(7))), 7)
+	o := call(lib, p, "abs", 0xFFFFFFFFFFFFFFF9) // -7
+	wantReturn(t, o, 7)
+	o = call(lib, p, "labs", 0xFFFFFFFFFFFFFFF9)
+	wantReturn(t, o, 7)
+	home := cstr(t, p, "HOME")
+	o = call(lib, p, "getenv", uint64(home))
+	if o.Ret == 0 {
+		t.Fatal("getenv(HOME) = NULL")
+	}
+	v, _ := p.Mem.CString(cmem.Addr(o.Ret))
+	if v != "/root" {
+		t.Errorf("HOME = %q", v)
+	}
+	missing := cstr(t, p, "MISSING")
+	wantReturn(t, call(lib, p, "getenv", uint64(missing)), 0)
+	wantCrash(t, call(lib, p, "getenv", 0))
+}
+
+func TestStrtokCrashPaths(t *testing.T) {
+	lib, p := fixture(t)
+	s := cstr(t, p, "a,b")
+	wantCrash(t, call(lib, p, "strtok", uint64(s), 0))          // bad delim
+	wantCrash(t, call(lib, p, "strtok", 0xdead0000, uint64(s))) // bad str
+	// Read-only string with a delimiter: the NUL write crashes.
+	ro, err := p.Mem.MmapRegion(16, cmem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Mem.WriteCString(ro, "x,y")
+	p.Mem.Protect(ro, 16, cmem.ProtRead)
+	delim := cstr(t, p, ",")
+	wantCrash(t, call(lib, p, "strtok", uint64(ro), uint64(delim)))
+}
+
+func TestStrxfrmTruncates(t *testing.T) {
+	lib, p := fixture(t)
+	src := cstr(t, p, "abcdef")
+	dst := buf(t, p, 16)
+	o := call(lib, p, "strxfrm", uint64(dst), uint64(src), 4)
+	wantReturn(t, o, 6) // returns the full needed length
+	s, _ := p.Mem.CString(dst)
+	if s != "abc" {
+		t.Errorf("dst = %q", s)
+	}
+	// n == 0 writes nothing.
+	o = call(lib, p, "strxfrm", 0, uint64(src), 0)
+	wantReturn(t, o, 6)
+}
+
+func TestTimeFunctionsRoundTrip(t *testing.T) {
+	lib, p := fixture(t)
+	// time -> gmtime -> mktime -> same epoch; asctime renders it.
+	tp := buf(t, p, 8)
+	o := call(lib, p, "time", uint64(tp))
+	epoch := int64(o.Ret)
+	o = call(lib, p, "gmtime", uint64(tp))
+	tmAddr := o.Ret
+	o = call(lib, p, "mktime", tmAddr)
+	if int64(o.Ret) != epoch {
+		t.Errorf("round trip %d != %d", int64(o.Ret), epoch)
+	}
+	o = call(lib, p, "asctime", tmAddr)
+	s, _ := p.Mem.CString(cmem.Addr(o.Ret))
+	if !strings.Contains(s, "2002") {
+		t.Errorf("asctime = %q", s)
+	}
+	// ctime saturates on absurd epochs instead of spinning.
+	p.StoreU64(tp, 1<<62)
+	o = call(lib, p, "ctime", uint64(tp))
+	if o.Kind != csim.OutcomeReturn {
+		t.Fatalf("ctime(huge) = %v", o)
+	}
+	if p.ErrnoSet() {
+		t.Error("ctime set errno")
+	}
+	// gmtime rejects them with EINVAL.
+	o = call(lib, p, "gmtime", uint64(tp))
+	wantReturn(t, o, 0)
+	if o.Errno != csim.EINVAL {
+		t.Errorf("gmtime(huge) errno = %d", o.Errno)
+	}
+}
+
+func TestGetsReadsSecondLineAfterFirst(t *testing.T) {
+	lib, p := fixture(t)
+	p.Stdin = []byte("one\ntwo\n")
+	s := buf(t, p, 32)
+	call(lib, p, "gets", uint64(s))
+	line, _ := p.Mem.CString(s)
+	if line != "one" {
+		t.Fatalf("first = %q", line)
+	}
+	call(lib, p, "gets", uint64(s))
+	line, _ = p.Mem.CString(s)
+	if line != "two" {
+		t.Errorf("second = %q", line)
+	}
+}
+
+func TestDirentSeekBeyondEnd(t *testing.T) {
+	lib, p := fixture(t)
+	dp := openDIR(t, lib, p, "/data")
+	call(lib, p, "seekdir", uint64(dp), 99)
+	o := call(lib, p, "readdir", uint64(dp))
+	wantReturn(t, o, 0) // past the end: NULL without errno
+	if p.ErrnoSet() {
+		t.Error("readdir(past end) set errno")
+	}
+	// Negative seek clamps to zero.
+	call(lib, p, "seekdir", uint64(dp), uint64(^uint64(0)))
+	o = call(lib, p, "readdir", uint64(dp))
+	if o.Ret == 0 {
+		t.Error("readdir after negative seek returned NULL")
+	}
+}
+
+func TestReaddirStaleVsCorrupt(t *testing.T) {
+	lib, p := fixture(t)
+	// Stale: fd closed behind the DIR's back — clean EBADF.
+	dp := openDIR(t, lib, p, "/data")
+	fd := int(int32(p.LoadU32(dp + csim.DIROffFD)))
+	p.CloseFD(fd)
+	o := call(lib, p, "readdir", uint64(dp))
+	wantReturn(t, o, 0)
+	if o.Errno != csim.EBADF {
+		t.Errorf("stale readdir errno = %d", o.Errno)
+	}
+}
+
+func TestInternalSymbolNaming(t *testing.T) {
+	lib := New()
+	for _, f := range lib.Internal() {
+		if !strings.HasPrefix(f.Name, "_") {
+			t.Errorf("internal %s lacks leading underscore", f.Name)
+		}
+	}
+	for _, f := range lib.External() {
+		if strings.HasPrefix(f.Name, "_") {
+			t.Errorf("external %s has leading underscore", f.Name)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	lib := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	lib.add(&Func{Name: "strcpy"})
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	lib := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup on unknown name did not panic")
+		}
+	}()
+	lib.MustLookup("no_such_function")
+}
+
+func TestWriteCountNegative(t *testing.T) {
+	lib, p := fixture(t)
+	fd := p.OpenFile("/data/other.txt", csim.WriteOnly, false)
+	src := cstr(t, p, "x")
+	o := call(lib, p, "write", uint64(uint32(fd)), uint64(src), ^uint64(0))
+	if o.Crashed() {
+		t.Fatal("write(count=-1) crashed")
+	}
+	if o.Ret != cEOF || o.Errno != csim.EINVAL {
+		t.Errorf("write(count=-1) = %v", o)
+	}
+}
+
+func TestBsearchNotFoundAndCrash(t *testing.T) {
+	lib, p := fixture(t)
+	arr := buf(t, p, 32)
+	for i := 0; i < 4; i++ {
+		p.StoreU32(arr+cmem.Addr(4*i), uint32(i*10))
+	}
+	cmp := p.RegisterCallback(func(pp *csim.Process, args []uint64) uint64 {
+		a := int32(pp.LoadU32(cmem.Addr(args[0])))
+		b := int32(pp.LoadU32(cmem.Addr(args[1])))
+		return uint64(int64(a - b))
+	})
+	key := buf(t, p, 4)
+	p.StoreU32(key, 20)
+	o := call(lib, p, "bsearch", uint64(key), uint64(arr), 4, 4, uint64(cmp))
+	if o.Ret != uint64(arr+8) {
+		t.Errorf("bsearch = %#x", o.Ret)
+	}
+	wantCrash(t, call(lib, p, "bsearch", uint64(key), uint64(arr), 4, 4, 0xbad))
+}

@@ -1,0 +1,66 @@
+package clib
+
+import "healers/internal/csim"
+
+// Character classification: value-only functions that cannot crash.
+// They pad the external surface of the library the way the real glibc
+// export table is padded with safe functions; the extraction pipeline
+// still has to find and type them.
+
+func ctypeFunc(name, proto string, pred func(c int) int) *Func {
+	return &Func{
+		Name: name, Header: "ctype.h", NArgs: 1, Proto: proto,
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			return retInt(pred(argInt(a, 0)))
+		},
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (l *Library) registerCtype() {
+	l.add(ctypeFunc("isalpha", "int isalpha(int c);", func(c int) int {
+		return boolInt(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z')
+	}))
+	l.add(ctypeFunc("isdigit", "int isdigit(int c);", func(c int) int {
+		return boolInt(c >= '0' && c <= '9')
+	}))
+	l.add(ctypeFunc("isalnum", "int isalnum(int c);", func(c int) int {
+		return boolInt(c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z')
+	}))
+	l.add(ctypeFunc("isspace", "int isspace(int c);", func(c int) int {
+		return boolInt(c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r')
+	}))
+	l.add(ctypeFunc("isupper", "int isupper(int c);", func(c int) int {
+		return boolInt(c >= 'A' && c <= 'Z')
+	}))
+	l.add(ctypeFunc("islower", "int islower(int c);", func(c int) int {
+		return boolInt(c >= 'a' && c <= 'z')
+	}))
+	l.add(ctypeFunc("toupper", "int toupper(int c);", func(c int) int {
+		if c >= 'a' && c <= 'z' {
+			return c - 32
+		}
+		return c
+	}))
+	l.add(ctypeFunc("tolower", "int tolower(int c);", func(c int) int {
+		if c >= 'A' && c <= 'Z' {
+			return c + 32
+		}
+		return c
+	}))
+	l.add(&Func{
+		Name: "strerror", Header: "string.h", NArgs: 1,
+		Proto: "char *strerror(int errnum);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			out := p.Static("strerror.buf", 64)
+			p.StoreCString(out, csim.ErrnoName(argInt(a, 0)))
+			return uint64(out)
+		},
+	})
+}

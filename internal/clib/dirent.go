@@ -1,0 +1,138 @@
+package clib
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// Directory streams. POSIX offers no way to validate a DIR*, and every
+// function here trusts the structure completely — including the internal
+// dirent buffer pointer it carries. These five functions are the core of
+// the struct-integrity failure class that survives the fully automatic
+// wrapper in the paper's Figure 6 and requires manually added executable
+// assertions (stateful DIR tracking) to eliminate.
+
+type dirFields struct {
+	fd  int
+	pos uint64
+	buf cmem.Addr
+}
+
+func loadDIR(p *csim.Process, dp cmem.Addr) dirFields {
+	return dirFields{
+		fd:  int(int32(p.LoadU32(dp + csim.DIROffFD))),
+		pos: p.LoadU64(dp + csim.DIROffPos),
+		buf: cmem.Addr(p.LoadU64(dp + csim.DIROffBuf)),
+	}
+}
+
+func (l *Library) registerDirent() {
+	l.add(&Func{
+		Name: "opendir", Header: "dirent.h", NArgs: 1,
+		Proto: "DIR *opendir(const char *name);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			// The path is canonicalized in user space: bad pointer crashes.
+			name := p.LoadCString(argPtr(a, 0))
+			fd := p.OpenDir(name)
+			if fd < 0 {
+				return 0 // errno set by OpenDir
+			}
+			dp := p.NewDIR(fd)
+			if dp == 0 {
+				p.CloseFD(fd)
+				return 0
+			}
+			return uint64(dp)
+		},
+	})
+	l.add(&Func{
+		Name: "readdir", Header: "dirent.h", NArgs: 1,
+		Proto: "struct dirent *readdir(DIR *dirp);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dp := argPtr(a, 0)
+			d := loadDIR(p, dp)
+			// Stamp the entry header before consulting the descriptor —
+			// glibc fills its internal buffer the same way. A corrupted
+			// buffer pointer crashes here even when the fd is valid.
+			p.StoreU64(d.buf+csim.DirentOffIno, 0)
+			of := p.FD(d.fd)
+			if of == nil || !of.IsDir {
+				p.SetErrno(csim.EBADF)
+				return 0
+			}
+			if d.pos >= uint64(len(of.Entries)) {
+				return 0 // end of directory: NULL without errno
+			}
+			name := of.Entries[d.pos]
+			p.StoreU64(d.buf+csim.DirentOffIno, d.pos+1)
+			p.StoreCString(d.buf+csim.DirentOffName, name)
+			p.StoreU64(dp+csim.DIROffPos, d.pos+1)
+			return uint64(d.buf)
+		},
+	})
+	l.add(&Func{
+		Name: "closedir", Header: "dirent.h", NArgs: 1,
+		Proto: "int closedir(DIR *dirp);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dp := argPtr(a, 0)
+			d := loadDIR(p, dp)
+			if p.FD(d.fd) == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			p.CloseFD(d.fd)
+			if d.buf != 0 && !p.Mem.Free(d.buf) {
+				p.Abort() // freeing a garbage buffer pointer
+			}
+			if !p.Mem.Free(dp) {
+				p.Abort()
+			}
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "rewinddir", Header: "dirent.h", NArgs: 1,
+		Proto: "void rewinddir(DIR *dirp);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dp := argPtr(a, 0)
+			d := loadDIR(p, dp)
+			// Invalidate the cached entry in the internal buffer.
+			p.StoreU64(d.buf+csim.DirentOffIno, 0)
+			p.StoreU64(dp+csim.DIROffPos, 0)
+			if of := p.FD(d.fd); of != nil && of.IsDir {
+				of.DirPos = 0
+			}
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "seekdir", Header: "dirent.h", NArgs: 2,
+		Proto: "void seekdir(DIR *dirp, long loc);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dp, loc := argPtr(a, 0), argLong(a, 1)
+			d := loadDIR(p, dp)
+			p.StoreU64(d.buf+csim.DirentOffIno, 0) // drop cached entry
+			if loc < 0 {
+				loc = 0
+			}
+			p.StoreU64(dp+csim.DIROffPos, uint64(loc))
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "telldir", Header: "dirent.h", NArgs: 1,
+		Proto: "long telldir(DIR *dirp);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dp := argPtr(a, 0)
+			d := loadDIR(p, dp)
+			if p.FD(d.fd) == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			// Validate the cached entry against the buffer — touching
+			// the internal buffer like glibc's telldir bookkeeping.
+			p.LoadU64(d.buf + csim.DirentOffIno)
+			return retLong(int64(d.pos))
+		},
+	})
+}

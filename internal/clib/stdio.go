@@ -1,0 +1,582 @@
+package clib
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// Stdio: buffered I/O over the simulated descriptor table. Like glibc,
+// every data byte is staged through the FILE's internal buffer, so a
+// FILE structure that is *accessible* but *corrupted* (garbage buffer
+// pointer, valid descriptor) crashes inside the library. That is the
+// struct-integrity failure class that the paper's fully automatic
+// wrapper cannot catch (its fileno+fstat check passes) and that the
+// manually added assertions of the semi-automatic wrapper eliminate.
+
+const cEOF = ^uint64(0) // C's EOF (-1) in the 64-bit return convention
+
+// fileFields reads the header of a FILE structure, faulting if the
+// memory is inaccessible.
+type fileFields struct {
+	fd      int
+	flags   uint32
+	bufPtr  cmem.Addr
+	bufSize uint64
+	bufPos  uint64
+}
+
+func loadFILE(p *csim.Process, fp cmem.Addr) fileFields {
+	return fileFields{
+		fd:      int(int32(p.LoadU32(fp + csim.FILEOffFD))),
+		flags:   p.LoadU32(fp + csim.FILEOffFlags),
+		bufPtr:  cmem.Addr(p.LoadU64(fp + csim.FILEOffBufPtr)),
+		bufSize: p.LoadU64(fp + csim.FILEOffBufSize),
+		bufPos:  p.LoadU64(fp + csim.FILEOffBufPos),
+	}
+}
+
+// stage pushes one byte through the stdio buffer, exactly as buffered
+// I/O does: it dereferences the buffer pointer stored in the FILE.
+func stage(p *csim.Process, fp cmem.Addr, ff *fileFields, b byte) {
+	sz := ff.bufSize
+	if sz == 0 {
+		sz = 1
+	}
+	cell := ff.bufPtr + cmem.Addr(ff.bufPos%sz)
+	p.StoreByte(cell, b)
+	ff.bufPos++
+	p.StoreU64(fp+csim.FILEOffBufPos, ff.bufPos)
+}
+
+// drain touches the buffered region on flush-like paths; with a corrupt
+// buffer pointer this is where the crash happens.
+func drain(p *csim.Process, ff *fileFields) {
+	if ff.bufPos == 0 {
+		return
+	}
+	sz := ff.bufSize
+	if sz == 0 {
+		sz = 1
+	}
+	n := ff.bufPos
+	if n > sz {
+		n = sz
+	}
+	for i := uint64(0); i < n; i++ {
+		p.Step()
+		p.LoadByte(ff.bufPtr + cmem.Addr(i))
+	}
+}
+
+func setFlag(p *csim.Process, fp cmem.Addr, off int, v uint32) {
+	p.StoreU32(fp+cmem.Addr(off), v)
+}
+
+func fdReadByte(of *csim.OpenFD) (byte, bool) {
+	if of == nil || !of.Mode.Readable() || of.File == nil {
+		return 0, false
+	}
+	if of.Pos >= len(of.File.Data) {
+		return 0, false
+	}
+	b := of.File.Data[of.Pos]
+	of.Pos++
+	return b, true
+}
+
+func fdWriteByte(of *csim.OpenFD, b byte) bool {
+	if of == nil || !of.Mode.Writable() || of.File == nil {
+		return false
+	}
+	if of.Append {
+		of.Pos = len(of.File.Data)
+	}
+	for len(of.File.Data) < of.Pos {
+		of.File.Data = append(of.File.Data, 0)
+	}
+	if of.Pos == len(of.File.Data) {
+		of.File.Data = append(of.File.Data, b)
+	} else {
+		of.File.Data[of.Pos] = b
+	}
+	of.Pos++
+	return true
+}
+
+func (l *Library) registerStdio() {
+	l.add(&Func{
+		Name: "fopen", Header: "stdio.h", NArgs: 2,
+		Proto: "FILE *fopen(const char *path, const char *mode);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			// The mode string is parsed in user space: a bad mode
+			// pointer crashes. The path goes to the kernel: a bad path
+			// pointer merely yields EFAULT. This is the asymmetry the
+			// paper observed ("fopen and freopen crash when the mode
+			// string is invalid but can cope with invalid file names").
+			mode := p.LoadCString(argPtr(a, 1))
+			path, ok := p.StrFromUser(argPtr(a, 0))
+			if !ok {
+				p.SetErrno(csim.EFAULT)
+				return 0
+			}
+			return uint64(p.Fopen(path, mode))
+		},
+	})
+	l.add(&Func{
+		Name: "freopen", Header: "stdio.h", NArgs: 3,
+		Proto: "FILE *freopen(const char *path, const char *mode, FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			mode := p.LoadCString(argPtr(a, 1))
+			fp := argPtr(a, 2)
+			// The old stream is abandoned wholesale (no flush): freopen
+			// re-initializes the FILE in place with fresh buffer state.
+			ff := loadFILE(p, fp)
+			if p.FD(ff.fd) != nil {
+				p.CloseFD(ff.fd)
+			} else {
+				// glibc quirk reproduced: the stale descriptor sets
+				// errno even when the reopen itself then succeeds.
+				p.SetErrno(csim.EBADF)
+			}
+			path, ok := p.StrFromUser(argPtr(a, 0))
+			if !ok {
+				p.SetErrno(csim.EFAULT)
+				return 0
+			}
+			nfp := p.Fopen(path, mode)
+			if nfp == 0 {
+				return 0
+			}
+			// Move the fresh FILE contents into the caller's stream.
+			data := p.Load(nfp, csim.SizeofFILE)
+			p.Store(fp, data)
+			p.Mem.Free(nfp)
+			return uint64(fp)
+		},
+	})
+	l.add(&Func{
+		Name: "fdopen", Header: "stdio.h", NArgs: 2,
+		Proto: "FILE *fdopen(int fd, const char *mode);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fd := argInt(a, 0)
+			mode := p.LoadCString(argPtr(a, 1))
+			if len(mode) == 0 || (mode[0] != 'r' && mode[0] != 'w' && mode[0] != 'a') {
+				p.SetErrno(csim.EINVAL)
+				return 0
+			}
+			of := p.FD(fd)
+			if of == nil {
+				p.SetErrno(csim.EBADF)
+				return 0
+			}
+			var flags uint32
+			if of.Mode.Readable() {
+				flags |= csim.FILEFlagRead
+			}
+			if of.Mode.Writable() {
+				flags |= csim.FILEFlagWrite
+			}
+			if mode[0] == 'a' {
+				// glibc quirk reproduced: the append-position probe sets
+				// errno spuriously although a valid stream is returned.
+				p.SetErrno(csim.ENOENT)
+				of.Pos = len(of.File.Data)
+			}
+			return uint64(p.NewFILE(fd, flags))
+		},
+	})
+	l.add(&Func{
+		Name: "fclose", Header: "stdio.h", NArgs: 1,
+		Proto: "int fclose(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp := argPtr(a, 0)
+			ff := loadFILE(p, fp)
+			drain(p, &ff)
+			if p.FD(ff.fd) == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			p.CloseFD(ff.fd)
+			if ff.bufPtr != 0 && !p.Mem.Free(ff.bufPtr) {
+				p.Abort() // "free(): invalid pointer"
+			}
+			if !p.Mem.Free(fp) {
+				p.Abort()
+			}
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "fflush", Header: "stdio.h", NArgs: 1,
+		Proto: "int fflush(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp := argPtr(a, 0)
+			if fp == 0 {
+				return 0 // fflush(NULL) flushes all streams: nothing pending
+			}
+			ff := loadFILE(p, fp)
+			drain(p, &ff)
+			if p.FD(ff.fd) == nil {
+				// The paper singles out fflush: it is supposed to set
+				// errno here but does not; it only sets the stream's
+				// error flag.
+				setFlag(p, fp, csim.FILEOffError, 1)
+				return cEOF
+			}
+			p.StoreU64(fp+csim.FILEOffBufPos, 0)
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "fread", Header: "stdio.h", NArgs: 4,
+		Proto: "size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			ptr, size, nmemb, fp := argPtr(a, 0), argSize(a, 1), argSize(a, 2), argPtr(a, 3)
+			ff := loadFILE(p, fp)
+			of := p.FD(ff.fd)
+			if of == nil || !of.Mode.Readable() {
+				p.SetErrno(csim.EBADF)
+				return 0
+			}
+			if size == 0 || nmemb == 0 {
+				return 0
+			}
+			total := size * nmemb
+			var got uint64
+			for ; got < total; got++ {
+				p.Step()
+				b, ok := fdReadByte(of)
+				if !ok {
+					setFlag(p, fp, csim.FILEOffEOF, 1)
+					break
+				}
+				stage(p, fp, &ff, b)
+				p.StoreByte(ptr+cmem.Addr(got), b)
+			}
+			return got / size
+		},
+	})
+	l.add(&Func{
+		Name: "fwrite", Header: "stdio.h", NArgs: 4,
+		Proto: "size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			ptr, size, nmemb, fp := argPtr(a, 0), argSize(a, 1), argSize(a, 2), argPtr(a, 3)
+			ff := loadFILE(p, fp)
+			of := p.FD(ff.fd)
+			if of == nil || !of.Mode.Writable() {
+				p.SetErrno(csim.EBADF)
+				return 0
+			}
+			if size == 0 || nmemb == 0 {
+				return 0
+			}
+			total := size * nmemb
+			for i := uint64(0); i < total; i++ {
+				p.Step()
+				b := p.LoadByte(ptr + cmem.Addr(i))
+				stage(p, fp, &ff, b)
+				fdWriteByte(of, b)
+			}
+			return nmemb
+		},
+	})
+	l.add(&Func{
+		Name: "fgets", Header: "stdio.h", NArgs: 3,
+		Proto: "char *fgets(char *s, int size, FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, size, fp := argPtr(a, 0), argInt(a, 1), argPtr(a, 2)
+			ff := loadFILE(p, fp)
+			if size <= 0 {
+				// Reproduces the classic `while (--n > 0)` wraparound
+				// bug: a non-positive size spins the read loop, which
+				// the paper's methodology observes as a hang.
+				for {
+					p.Step()
+				}
+			}
+			of := p.FD(ff.fd)
+			if of == nil || !of.Mode.Readable() {
+				setFlag(p, fp, csim.FILEOffError, 1)
+				return 0
+			}
+			var i int
+			for i = 0; i < size-1; i++ {
+				p.Step()
+				b, ok := fdReadByte(of)
+				if !ok {
+					setFlag(p, fp, csim.FILEOffEOF, 1)
+					break
+				}
+				stage(p, fp, &ff, b)
+				p.StoreByte(s+cmem.Addr(i), b)
+				if b == '\n' {
+					i++
+					break
+				}
+			}
+			if i == 0 {
+				return 0
+			}
+			p.StoreByte(s+cmem.Addr(i), 0)
+			return uint64(s)
+		},
+	})
+	l.add(&Func{
+		Name: "fputs", Header: "stdio.h", NArgs: 2,
+		Proto: "int fputs(const char *s, FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			str := p.LoadCString(argPtr(a, 0))
+			fp := argPtr(a, 1)
+			ff := loadFILE(p, fp)
+			of := p.FD(ff.fd)
+			if of == nil || !of.Mode.Writable() {
+				setFlag(p, fp, csim.FILEOffError, 1)
+				return cEOF
+			}
+			for i := 0; i < len(str); i++ {
+				p.Step()
+				stage(p, fp, &ff, str[i])
+				fdWriteByte(of, str[i])
+			}
+			return retInt(len(str))
+		},
+	})
+	l.add(&Func{
+		Name: "fgetc", Header: "stdio.h", NArgs: 1,
+		Proto: "int fgetc(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp := argPtr(a, 0)
+			ff := loadFILE(p, fp)
+			if u := int32(p.LoadU32(fp + csim.FILEOffUngetc)); u >= 0 {
+				p.StoreU32(fp+csim.FILEOffUngetc, ^uint32(0))
+				return uint64(u)
+			}
+			of := p.FD(ff.fd)
+			if of == nil || !of.Mode.Readable() {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			b, ok := fdReadByte(of)
+			if !ok {
+				setFlag(p, fp, csim.FILEOffEOF, 1)
+				return cEOF
+			}
+			stage(p, fp, &ff, b)
+			return uint64(b)
+		},
+	})
+	l.add(&Func{
+		Name: "fputc", Header: "stdio.h", NArgs: 2,
+		Proto: "int fputc(int c, FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			c, fp := byte(argInt(a, 0)), argPtr(a, 1)
+			ff := loadFILE(p, fp)
+			of := p.FD(ff.fd)
+			if of == nil || !of.Mode.Writable() {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			stage(p, fp, &ff, c)
+			fdWriteByte(of, c)
+			return uint64(c)
+		},
+	})
+	l.add(&Func{
+		Name: "ungetc", Header: "stdio.h", NArgs: 2,
+		Proto: "int ungetc(int c, FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			c, fp := argInt(a, 0), argPtr(a, 1)
+			ff := loadFILE(p, fp)
+			if c == -1 {
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			if int32(p.LoadU32(fp+csim.FILEOffUngetc)) >= 0 {
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			// The pushed-back byte is parked in the stdio buffer too.
+			stage(p, fp, &ff, byte(c))
+			p.StoreU32(fp+csim.FILEOffUngetc, uint32(c))
+			return uint64(uint32(c))
+		},
+	})
+	l.add(&Func{
+		Name: "gets", Header: "stdio.h", NArgs: 1,
+		Proto: "char *gets(char *s);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			// The canonical unbounded write: gets copies a full stdin
+			// line into s with no length limit whatsoever.
+			s := argPtr(a, 0)
+			var i cmem.Addr
+			for {
+				p.Step()
+				b, ok := p.StdinReadByte()
+				if !ok {
+					if i == 0 {
+						return 0
+					}
+					break
+				}
+				if b == '\n' {
+					break
+				}
+				p.StoreByte(s+i, b)
+				i++
+			}
+			p.StoreByte(s+i, 0)
+			return uint64(s)
+		},
+	})
+	l.add(&Func{
+		Name: "puts", Header: "stdio.h", NArgs: 1,
+		Proto: "int puts(const char *s);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			str := p.LoadCString(argPtr(a, 0))
+			p.Stdout = append(p.Stdout, str...)
+			p.Stdout = append(p.Stdout, '\n')
+			return retInt(len(str) + 1)
+		},
+	})
+	l.add(&Func{
+		Name: "fseek", Header: "stdio.h", NArgs: 3,
+		Proto: "int fseek(FILE *stream, long offset, int whence);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp, offset, whence := argPtr(a, 0), argLong(a, 1), argInt(a, 2)
+			ff := loadFILE(p, fp)
+			drain(p, &ff) // seeking flushes the buffer
+			if whence < 0 || whence > 2 {
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			of := p.FD(ff.fd)
+			if of == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			var base int64
+			switch whence {
+			case 0: // SEEK_SET
+			case 1: // SEEK_CUR
+				base = int64(of.Pos)
+			case 2: // SEEK_END
+				base = int64(len(of.File.Data))
+			}
+			np := base + offset
+			if np < 0 {
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			of.Pos = int(np)
+			p.StoreU64(fp+csim.FILEOffBufPos, 0)
+			p.StoreU32(fp+csim.FILEOffEOF, 0)
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "ftell", Header: "stdio.h", NArgs: 1,
+		Proto: "long ftell(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp := argPtr(a, 0)
+			ff := loadFILE(p, fp)
+			of := p.FD(ff.fd)
+			if of == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			return retLong(int64(of.Pos))
+		},
+	})
+	l.add(&Func{
+		Name: "rewind", Header: "stdio.h", NArgs: 1,
+		Proto: "void rewind(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			l.Call(p, "fseek", a[0], 0, 0)
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "feof", Header: "stdio.h", NArgs: 1,
+		Proto: "int feof(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			return uint64(p.LoadU32(argPtr(a, 0) + csim.FILEOffEOF))
+		},
+	})
+	l.add(&Func{
+		Name: "ferror", Header: "stdio.h", NArgs: 1,
+		Proto: "int ferror(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			return uint64(p.LoadU32(argPtr(a, 0) + csim.FILEOffError))
+		},
+	})
+	l.add(&Func{
+		Name: "clearerr", Header: "stdio.h", NArgs: 1,
+		Proto: "void clearerr(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp := argPtr(a, 0)
+			p.StoreU32(fp+csim.FILEOffError, 0)
+			p.StoreU32(fp+csim.FILEOffEOF, 0)
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "fileno", Header: "stdio.h", NArgs: 1,
+		Proto: "int fileno(FILE *stream);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp := argPtr(a, 0)
+			fd := int(int32(p.LoadU32(fp + csim.FILEOffFD)))
+			if p.FD(fd) == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			return retInt(fd)
+		},
+	})
+	l.add(&Func{
+		Name: "setbuf", Header: "stdio.h", NArgs: 2,
+		Proto: "void setbuf(FILE *stream, char *buf);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp, buf := argPtr(a, 0), argPtr(a, 1)
+			if buf != 0 {
+				p.StoreU64(fp+csim.FILEOffBufPtr, uint64(buf))
+				p.StoreU64(fp+csim.FILEOffBufSize, csim.FILEBufSize)
+			}
+			p.StoreU64(fp+csim.FILEOffBufPos, 0)
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "setvbuf", Header: "stdio.h", NArgs: 4,
+		Proto: "int setvbuf(FILE *stream, char *buf, int mode, size_t size);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fp, buf, mode, size := argPtr(a, 0), argPtr(a, 1), argInt(a, 2), argSize(a, 3)
+			// The stream is locked (dereferenced) before the mode is
+			// validated, as buffered-I/O implementations do.
+			p.LoadU32(fp + csim.FILEOffFlags)
+			if mode < 0 || mode > 2 { // _IOFBF/_IOLBF/_IONBF
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			if buf != 0 && size > 0 {
+				p.StoreU64(fp+csim.FILEOffBufPtr, uint64(buf))
+				p.StoreU64(fp+csim.FILEOffBufSize, size)
+			}
+			p.StoreU64(fp+csim.FILEOffBufPos, 0)
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "perror", Header: "stdio.h", NArgs: 1,
+		Proto: "void perror(const char *s);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s := argPtr(a, 0)
+			var prefix string
+			if s != 0 {
+				prefix = p.LoadCString(s) + ": "
+			}
+			msg := prefix + csim.ErrnoName(p.Errno()) + "\n"
+			p.Stdout = append(p.Stdout, msg...)
+			return 0
+		},
+	})
+}

@@ -1,0 +1,363 @@
+package clib
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// The string family is implemented byte-by-byte, exactly as naive libc
+// code is: no argument validation, reads and writes run until the
+// terminator regardless of what memory they touch. None of these
+// functions ever sets errno — the paper's "No Error Return Code Found"
+// class comes largely from here.
+
+func (l *Library) registerString() {
+	l.add(&Func{
+		Name: "strcpy", Header: "string.h", NArgs: 2,
+		Proto: "char *strcpy(char *dest, const char *src);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dst, src := argPtr(a, 0), argPtr(a, 1)
+			for i := cmem.Addr(0); ; i++ {
+				p.Step()
+				b := p.LoadByte(src + i)
+				p.StoreByte(dst+i, b)
+				if b == 0 {
+					return uint64(dst)
+				}
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "strncpy", Header: "string.h", NArgs: 3,
+		Proto: "char *strncpy(char *dest, const char *src, size_t n);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dst, src, n := argPtr(a, 0), argPtr(a, 1), argSize(a, 2)
+			var i uint64
+			for ; i < n; i++ {
+				p.Step()
+				b := p.LoadByte(src + cmem.Addr(i))
+				p.StoreByte(dst+cmem.Addr(i), b)
+				if b == 0 {
+					i++
+					break
+				}
+			}
+			for ; i < n; i++ {
+				p.Step()
+				p.StoreByte(dst+cmem.Addr(i), 0)
+			}
+			return uint64(dst)
+		},
+	})
+	l.add(&Func{
+		Name: "strcat", Header: "string.h", NArgs: 2,
+		Proto: "char *strcat(char *dest, const char *src);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dst, src := argPtr(a, 0), argPtr(a, 1)
+			end := dst
+			for p.LoadByte(end) != 0 {
+				p.Step()
+				end++
+			}
+			for i := cmem.Addr(0); ; i++ {
+				p.Step()
+				b := p.LoadByte(src + i)
+				p.StoreByte(end+i, b)
+				if b == 0 {
+					return uint64(dst)
+				}
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "strncat", Header: "string.h", NArgs: 3,
+		Proto: "char *strncat(char *dest, const char *src, size_t n);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dst, src, n := argPtr(a, 0), argPtr(a, 1), argSize(a, 2)
+			end := dst
+			for p.LoadByte(end) != 0 {
+				p.Step()
+				end++
+			}
+			var i uint64
+			for ; i < n; i++ {
+				p.Step()
+				b := p.LoadByte(src + cmem.Addr(i))
+				if b == 0 {
+					break
+				}
+				p.StoreByte(end+cmem.Addr(i), b)
+			}
+			p.StoreByte(end+cmem.Addr(i), 0)
+			return uint64(dst)
+		},
+	})
+	l.add(&Func{
+		Name: "strcmp", Header: "string.h", NArgs: 2,
+		Proto: "int strcmp(const char *s1, const char *s2);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s1, s2 := argPtr(a, 0), argPtr(a, 1)
+			for i := cmem.Addr(0); ; i++ {
+				p.Step()
+				b1, b2 := p.LoadByte(s1+i), p.LoadByte(s2+i)
+				if b1 != b2 {
+					return retInt(int(b1) - int(b2))
+				}
+				if b1 == 0 {
+					return 0
+				}
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "strncmp", Header: "string.h", NArgs: 3,
+		Proto: "int strncmp(const char *s1, const char *s2, size_t n);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s1, s2, n := argPtr(a, 0), argPtr(a, 1), argSize(a, 2)
+			for i := uint64(0); i < n; i++ {
+				p.Step()
+				b1, b2 := p.LoadByte(s1+cmem.Addr(i)), p.LoadByte(s2+cmem.Addr(i))
+				if b1 != b2 {
+					return retInt(int(b1) - int(b2))
+				}
+				if b1 == 0 {
+					return 0
+				}
+			}
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "strlen", Header: "string.h", NArgs: 1,
+		Proto: "size_t strlen(const char *s);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s := argPtr(a, 0)
+			var n uint64
+			for p.LoadByte(s+cmem.Addr(n)) != 0 {
+				p.Step()
+				n++
+			}
+			return n
+		},
+	})
+	l.add(&Func{
+		Name: "strchr", Header: "string.h", NArgs: 2,
+		Proto: "char *strchr(const char *s, int c);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, c := argPtr(a, 0), byte(argInt(a, 1))
+			for i := cmem.Addr(0); ; i++ {
+				p.Step()
+				b := p.LoadByte(s + i)
+				if b == c {
+					return uint64(s + i)
+				}
+				if b == 0 {
+					return 0
+				}
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "strrchr", Header: "string.h", NArgs: 2,
+		Proto: "char *strrchr(const char *s, int c);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, c := argPtr(a, 0), byte(argInt(a, 1))
+			var last uint64
+			for i := cmem.Addr(0); ; i++ {
+				p.Step()
+				b := p.LoadByte(s + i)
+				if b == c {
+					last = uint64(s + i)
+				}
+				if b == 0 {
+					if c == 0 {
+						return uint64(s + i)
+					}
+					return last
+				}
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "strstr", Header: "string.h", NArgs: 2,
+		Proto: "char *strstr(const char *haystack, const char *needle);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			hay, needle := argPtr(a, 0), argPtr(a, 1)
+			n := p.LoadCString(needle)
+			h := p.LoadCString(hay)
+			if len(n) == 0 {
+				return uint64(hay)
+			}
+			for i := 0; i+len(n) <= len(h); i++ {
+				p.Step()
+				if h[i:i+len(n)] == n {
+					return uint64(hay + cmem.Addr(i))
+				}
+			}
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "strpbrk", Header: "string.h", NArgs: 2,
+		Proto: "char *strpbrk(const char *s, const char *accept);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, accept := argPtr(a, 0), argPtr(a, 1)
+			set := p.LoadCString(accept)
+			for i := cmem.Addr(0); ; i++ {
+				p.Step()
+				b := p.LoadByte(s + i)
+				if b == 0 {
+					return 0
+				}
+				for j := 0; j < len(set); j++ {
+					if set[j] == b {
+						return uint64(s + i)
+					}
+				}
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "strspn", Header: "string.h", NArgs: 2,
+		Proto: "size_t strspn(const char *s, const char *accept);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, accept := argPtr(a, 0), argPtr(a, 1)
+			set := p.LoadCString(accept)
+			var n uint64
+		loop:
+			for {
+				p.Step()
+				b := p.LoadByte(s + cmem.Addr(n))
+				if b == 0 {
+					break
+				}
+				for j := 0; j < len(set); j++ {
+					if set[j] == b {
+						n++
+						continue loop
+					}
+				}
+				break
+			}
+			return n
+		},
+	})
+	l.add(&Func{
+		Name: "strcspn", Header: "string.h", NArgs: 2,
+		Proto: "size_t strcspn(const char *s, const char *reject);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, reject := argPtr(a, 0), argPtr(a, 1)
+			set := p.LoadCString(reject)
+			var n uint64
+			for {
+				p.Step()
+				b := p.LoadByte(s + cmem.Addr(n))
+				if b == 0 {
+					return n
+				}
+				for j := 0; j < len(set); j++ {
+					if set[j] == b {
+						return n
+					}
+				}
+				n++
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "strtok", Header: "string.h", NArgs: 2,
+		Proto: "char *strtok(char *str, const char *delim);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, delim := argPtr(a, 0), argPtr(a, 1)
+			// strtok keeps its scan position in library static state.
+			state := p.Static("strtok.state", 8)
+			if s == 0 {
+				s = cmem.Addr(p.LoadU64(state))
+				if s == 0 {
+					return 0
+				}
+			}
+			set := p.LoadCString(delim)
+			inSet := func(b byte) bool {
+				for j := 0; j < len(set); j++ {
+					if set[j] == b {
+						return true
+					}
+				}
+				return false
+			}
+			for p.LoadByte(s) != 0 && inSet(p.LoadByte(s)) {
+				p.Step()
+				s++
+			}
+			if p.LoadByte(s) == 0 {
+				p.StoreU64(state, 0)
+				return 0
+			}
+			tok := s
+			for {
+				p.Step()
+				b := p.LoadByte(s)
+				if b == 0 {
+					p.StoreU64(state, 0)
+					return uint64(tok)
+				}
+				if inSet(b) {
+					p.StoreByte(s, 0)
+					p.StoreU64(state, uint64(s+1))
+					return uint64(tok)
+				}
+				s++
+			}
+		},
+	})
+	l.add(&Func{
+		Name: "index", Header: "strings.h", NArgs: 2,
+		Proto: "char *index(const char *s, int c);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			// BSD alias of strchr.
+			return l.Call(p, "strchr", a[0], a[1])
+		},
+	})
+	l.add(&Func{
+		Name: "strcoll", Header: "string.h", NArgs: 2,
+		Proto: "int strcoll(const char *s1, const char *s2);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			// In the C locale strcoll is strcmp.
+			return l.Call(p, "strcmp", a[0], a[1])
+		},
+	})
+	l.add(&Func{
+		Name: "strxfrm", Header: "string.h", NArgs: 3,
+		Proto: "size_t strxfrm(char *dest, const char *src, size_t n);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			dst, src, n := argPtr(a, 0), argPtr(a, 1), argSize(a, 2)
+			s := p.LoadCString(src)
+			if n > 0 {
+				limit := int(n) - 1
+				if limit > len(s) {
+					limit = len(s)
+				}
+				for i := 0; i < limit; i++ {
+					p.Step()
+					p.StoreByte(dst+cmem.Addr(i), s[i])
+				}
+				p.StoreByte(dst+cmem.Addr(limit), 0)
+			}
+			return uint64(len(s))
+		},
+	})
+	l.add(&Func{
+		Name: "strdup", Header: "string.h", NArgs: 1,
+		Proto: "char *strdup(const char *s);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s := p.LoadCString(argPtr(a, 0))
+			dup := p.Malloc(len(s) + 1)
+			if dup == 0 {
+				return 0 // errno already ENOMEM
+			}
+			p.StoreCString(dup, s)
+			return uint64(dup)
+		},
+	})
+}

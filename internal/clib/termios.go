@@ -1,0 +1,108 @@
+package clib
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// Terminal attribute functions. The paper highlights an asymmetry its
+// fault injector discovered automatically: cfsetispeed only *writes* its
+// termios argument, while cfsetospeed both reads and writes it (it masks
+// the speed into c_cflag). The implementations below preserve exactly
+// that access pattern.
+
+// validBaud reports whether speed is one of the Bxxxx constants
+// (represented here by their conventional small encodings 0..15).
+func validBaud(speed int64) bool { return speed >= 0 && speed <= 15 }
+
+func (l *Library) registerTermios() {
+	l.add(&Func{
+		Name: "cfsetispeed", Header: "termios.h", NArgs: 2,
+		Proto: "int cfsetispeed(struct termios *termios_p, speed_t speed);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			tp, speed := argPtr(a, 0), argLong(a, 1)
+			if !validBaud(speed) {
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			// Write-only access: the input speed cell is simply stored.
+			p.StoreU32(tp+csim.TermiosOffIspeed, uint32(speed))
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "cfsetospeed", Header: "termios.h", NArgs: 2,
+		Proto: "int cfsetospeed(struct termios *termios_p, speed_t speed);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			tp, speed := argPtr(a, 0), argLong(a, 1)
+			if !validBaud(speed) {
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			// Read-modify-write: the output speed is also folded into
+			// the CBAUD bits of c_cflag, so the struct must be readable
+			// AND writable — the asymmetry the injector discovers.
+			cflag := p.LoadU32(tp + csim.TermiosOffCflag)
+			cflag = (cflag &^ 0xF) | uint32(speed)
+			p.StoreU32(tp+csim.TermiosOffCflag, cflag)
+			p.StoreU32(tp+csim.TermiosOffOspeed, uint32(speed))
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "cfgetispeed", Header: "termios.h", NArgs: 1,
+		Proto: "speed_t cfgetispeed(const struct termios *termios_p);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			return uint64(p.LoadU32(argPtr(a, 0) + csim.TermiosOffIspeed))
+		},
+	})
+	l.add(&Func{
+		Name: "cfgetospeed", Header: "termios.h", NArgs: 1,
+		Proto: "speed_t cfgetospeed(const struct termios *termios_p);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			return uint64(p.LoadU32(argPtr(a, 0) + csim.TermiosOffOspeed))
+		},
+	})
+	l.add(&Func{
+		Name: "tcgetattr", Header: "termios.h", NArgs: 2,
+		Proto: "int tcgetattr(int fd, struct termios *termios_p);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fd, tp := argInt(a, 0), argPtr(a, 1)
+			if p.FD(fd) == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			// Fill a default attribute set; the write crashes on a bad
+			// pointer because the copy happens in user space.
+			p.StoreU32(tp+csim.TermiosOffIflag, 0x0500)
+			p.StoreU32(tp+csim.TermiosOffOflag, 0x0005)
+			p.StoreU32(tp+csim.TermiosOffCflag, 0x00BF)
+			p.StoreU32(tp+csim.TermiosOffLflag, 0x8A3B)
+			for i := 0; i < 32; i++ {
+				p.StoreByte(tp+csim.TermiosOffCC+cmem.Addr(i), 0)
+			}
+			p.StoreU32(tp+csim.TermiosOffIspeed, 13) // B9600
+			p.StoreU32(tp+csim.TermiosOffOspeed, 13)
+			return 0
+		},
+	})
+	l.add(&Func{
+		Name: "tcsetattr", Header: "termios.h", NArgs: 3,
+		Proto: "int tcsetattr(int fd, int optional_actions, const struct termios *termios_p);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			fd, actions, tp := argInt(a, 0), argInt(a, 1), argPtr(a, 2)
+			// The structure is copied in user space before anything is
+			// validated — the ioctl argument is marshalled first.
+			p.Load(tp, csim.SizeofTermios)
+			if actions < 0 || actions > 2 { // TCSANOW/TCSADRAIN/TCSAFLUSH
+				p.SetErrno(csim.EINVAL)
+				return cEOF
+			}
+			if p.FD(fd) == nil {
+				p.SetErrno(csim.EBADF)
+				return cEOF
+			}
+			return 0
+		},
+	})
+}

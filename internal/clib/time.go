@@ -1,0 +1,311 @@
+package clib
+
+import (
+	"fmt"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// Time functions. asctime is the paper's running example: its prototype
+// says `const struct tm *` but it actually requires 44 readable bytes
+// (or NULL, which it rejects with EINVAL) — the fault injector must
+// discover the robust type R_ARRAY_NULL[44].
+
+type tmValue struct {
+	sec, minute, hour, mday, mon, year, wday, yday, isdst int32
+	gmtoff                                                int64
+}
+
+// loadTm reads a full struct tm (all 44 bytes) from simulated memory.
+func loadTm(p *csim.Process, at cmem.Addr) tmValue {
+	return tmValue{
+		sec:    int32(p.LoadU32(at + csim.TmOffSec)),
+		minute: int32(p.LoadU32(at + csim.TmOffMin)),
+		hour:   int32(p.LoadU32(at + csim.TmOffHour)),
+		mday:   int32(p.LoadU32(at + csim.TmOffMday)),
+		mon:    int32(p.LoadU32(at + csim.TmOffMon)),
+		year:   int32(p.LoadU32(at + csim.TmOffYear)),
+		wday:   int32(p.LoadU32(at + csim.TmOffWday)),
+		yday:   int32(p.LoadU32(at + csim.TmOffYday)),
+		isdst:  int32(p.LoadU32(at + csim.TmOffIsdst)),
+		gmtoff: int64(p.LoadU64(at + csim.TmOffGmtOff)),
+	}
+}
+
+func storeTm(p *csim.Process, at cmem.Addr, tm tmValue) {
+	p.StoreU32(at+csim.TmOffSec, uint32(tm.sec))
+	p.StoreU32(at+csim.TmOffMin, uint32(tm.minute))
+	p.StoreU32(at+csim.TmOffHour, uint32(tm.hour))
+	p.StoreU32(at+csim.TmOffMday, uint32(tm.mday))
+	p.StoreU32(at+csim.TmOffMon, uint32(tm.mon))
+	p.StoreU32(at+csim.TmOffYear, uint32(tm.year))
+	p.StoreU32(at+csim.TmOffWday, uint32(tm.wday))
+	p.StoreU32(at+csim.TmOffYday, uint32(tm.yday))
+	p.StoreU32(at+csim.TmOffIsdst, uint32(tm.isdst))
+	p.StoreU64(at+csim.TmOffGmtOff, uint64(tm.gmtoff))
+}
+
+var weekdays = [7]string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+var months = [12]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+func formatTm(tm tmValue) string {
+	wd := "???"
+	if tm.wday >= 0 && tm.wday < 7 {
+		wd = weekdays[tm.wday]
+	}
+	mo := "???"
+	if tm.mon >= 0 && tm.mon < 12 {
+		mo = months[tm.mon]
+	}
+	return fmt.Sprintf("%s %s %2d %02d:%02d:%02d %d\n",
+		wd, mo, tm.mday, tm.hour, tm.minute, tm.sec, 1900+tm.year)
+}
+
+// clampEpoch bounds an epoch value so the year walk below stays cheap;
+// functions without a range check (ctime) silently saturate, exactly
+// the kind of quiet wrong answer the Silent bucket of Figure 6 counts.
+func clampEpoch(t int64) int64 {
+	const limit = int64(1) << 40 // ~35k years
+	if t > limit {
+		return limit
+	}
+	if t < -limit {
+		return -limit
+	}
+	return t
+}
+
+// epochToTm converts seconds since the epoch to a broken-down time.
+// A simplified proleptic calculation is sufficient: the library only
+// has to be internally consistent.
+func epochToTm(t int64) tmValue {
+	days := t / 86400
+	rem := t % 86400
+	if rem < 0 {
+		rem += 86400
+		days--
+	}
+	var tm tmValue
+	tm.sec = int32(rem % 60)
+	tm.minute = int32((rem / 60) % 60)
+	tm.hour = int32(rem / 3600)
+	tm.wday = int32(((days % 7) + 11) % 7) // epoch was a Thursday (wday 4)
+	year := int64(1970)
+	for {
+		yd := int64(365)
+		if isLeap(year) {
+			yd = 366
+		}
+		if days >= yd {
+			days -= yd
+			year++
+		} else if days < 0 {
+			year--
+			yd = 365
+			if isLeap(year) {
+				yd = 366
+			}
+			days += yd
+		} else {
+			break
+		}
+	}
+	tm.year = int32(year - 1900)
+	tm.yday = int32(days)
+	mdays := monthDays(year)
+	for m := 0; m < 12; m++ {
+		if days < int64(mdays[m]) {
+			tm.mon = int32(m)
+			tm.mday = int32(days + 1)
+			break
+		}
+		days -= int64(mdays[m])
+	}
+	return tm
+}
+
+func isLeap(y int64) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
+
+func monthDays(y int64) [12]int {
+	d := [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	if isLeap(y) {
+		d[1] = 29
+	}
+	return d
+}
+
+func tmToEpoch(tm tmValue) int64 {
+	year := int64(tm.year) + 1900
+	var days int64
+	if year >= 1970 {
+		for y := int64(1970); y < year; y++ {
+			days += 365
+			if isLeap(y) {
+				days++
+			}
+		}
+	} else {
+		for y := year; y < 1970; y++ {
+			days -= 365
+			if isLeap(y) {
+				days--
+			}
+		}
+	}
+	mdays := monthDays(year)
+	for m := 0; m < int(tm.mon) && m < 12; m++ {
+		days += int64(mdays[m])
+	}
+	days += int64(tm.mday) - 1
+	return days*86400 + int64(tm.hour)*3600 + int64(tm.minute)*60 + int64(tm.sec)
+}
+
+func (l *Library) registerTime() {
+	l.add(&Func{
+		Name: "asctime", Header: "time.h", NArgs: 1,
+		Proto: "char *asctime(const struct tm *tm);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			at := argPtr(a, 0)
+			if at == 0 {
+				// The NULL pointer is tolerated with an error — which is
+				// why the robust type includes NULL: R_ARRAY_NULL[44].
+				p.SetErrno(csim.EINVAL)
+				return 0
+			}
+			tm := loadTm(p, at) // reads all 44 bytes; bad pointers crash
+			out := p.Static("asctime.buf", 64)
+			p.StoreCString(out, formatTm(tm))
+			return uint64(out)
+		},
+	})
+	l.add(&Func{
+		Name: "ctime", Header: "time.h", NArgs: 1,
+		Proto: "char *ctime(const time_t *timep);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			t := int64(p.LoadU64(argPtr(a, 0))) // crashes on a bad pointer
+			out := p.Static("asctime.buf", 64)
+			p.StoreCString(out, formatTm(epochToTm(clampEpoch(t))))
+			return uint64(out)
+		},
+	})
+	l.add(&Func{
+		Name: "gmtime", Header: "time.h", NArgs: 1,
+		Proto: "struct tm *gmtime(const time_t *timep);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			t := int64(p.LoadU64(argPtr(a, 0)))
+			if t > 67768036191676799 || t < -67768040609740800 {
+				// Beyond the representable year range.
+				p.SetErrno(csim.EINVAL)
+				return 0
+			}
+			out := p.Static("gmtime.buf", csim.SizeofTm)
+			storeTm(p, out, epochToTm(t))
+			return uint64(out)
+		},
+	})
+	l.add(&Func{
+		Name: "localtime", Header: "time.h", NArgs: 1,
+		Proto: "struct tm *localtime(const time_t *timep);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			t := int64(p.LoadU64(argPtr(a, 0)))
+			if t > 67768036191676799 || t < -67768040609740800 {
+				p.SetErrno(csim.EINVAL)
+				return 0
+			}
+			out := p.Static("localtime.buf", csim.SizeofTm)
+			storeTm(p, out, epochToTm(t)) // simulated TZ is UTC
+			return uint64(out)
+		},
+	})
+	l.add(&Func{
+		Name: "mktime", Header: "time.h", NArgs: 1,
+		Proto: "time_t mktime(struct tm *tm);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			at := argPtr(a, 0)
+			tm := loadTm(p, at)
+			if tm.mon < 0 || tm.mon > 11 || tm.year < -2000 || tm.year > 10000 {
+				// Out of range: -1 without errno (as glibc behaves).
+				return cEOF
+			}
+			t := tmToEpoch(tm)
+			// mktime normalizes the caller's struct in place — it needs
+			// write access, which the injector will discover.
+			storeTm(p, at, epochToTm(t))
+			return uint64(t)
+		},
+	})
+	l.add(&Func{
+		Name: "strftime", Header: "time.h", NArgs: 4,
+		Proto: "size_t strftime(char *s, size_t max, const char *format, const struct tm *tm);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			s, maxLen, format, at := argPtr(a, 0), argSize(a, 1), argPtr(a, 2), argPtr(a, 3)
+			if maxLen == 0 {
+				p.SetErrno(csim.EINVAL)
+				return 0
+			}
+			f := p.LoadCString(format)
+			tm := loadTm(p, at)
+			var out []byte
+			for i := 0; i < len(f); i++ {
+				p.Step()
+				if f[i] != '%' || i+1 >= len(f) {
+					out = append(out, f[i])
+					continue
+				}
+				i++
+				switch f[i] {
+				case 'Y':
+					out = append(out, fmt.Sprintf("%d", 1900+tm.year)...)
+				case 'm':
+					out = append(out, fmt.Sprintf("%02d", tm.mon+1)...)
+				case 'd':
+					out = append(out, fmt.Sprintf("%02d", tm.mday)...)
+				case 'H':
+					out = append(out, fmt.Sprintf("%02d", tm.hour)...)
+				case 'M':
+					out = append(out, fmt.Sprintf("%02d", tm.minute)...)
+				case 'S':
+					out = append(out, fmt.Sprintf("%02d", tm.sec)...)
+				case '%':
+					out = append(out, '%')
+				default:
+					out = append(out, '%', f[i])
+				}
+			}
+			if uint64(len(out)+1) > maxLen {
+				// Does not fit: return 0 with the array contents
+				// undefined — like glibc, the partial output has
+				// already been stored up to max bytes.
+				for i := 0; i < int(maxLen); i++ {
+					p.StoreByte(s+cmem.Addr(i), out[i])
+				}
+				return 0
+			}
+			for i, b := range out {
+				p.StoreByte(s+cmem.Addr(i), b)
+			}
+			p.StoreByte(s+cmem.Addr(len(out)), 0)
+			return uint64(len(out))
+		},
+	})
+	l.add(&Func{
+		Name: "difftime", Header: "time.h", NArgs: 2,
+		Proto: "double difftime(time_t time1, time_t time0);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			// Pure arithmetic on values: inherently safe.
+			return uint64(argLong(a, 0) - argLong(a, 1))
+		},
+	})
+	l.add(&Func{
+		Name: "time", Header: "time.h", NArgs: 1,
+		Proto: "time_t time(time_t *tloc);",
+		Impl: func(p *csim.Process, a []uint64) uint64 {
+			const now = 1025740800 // a fixed simulated clock (July 2002)
+			if t := argPtr(a, 0); t != 0 {
+				p.StoreU64(t, now)
+			}
+			return now
+		},
+	})
+}

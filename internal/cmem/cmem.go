@@ -1,0 +1,449 @@
+// Package cmem simulates the paged, protected memory of a C process.
+//
+// The HEALERS fault injector depends on two hardware facilities: per-page
+// memory protection (so that an access one byte past an allocation traps)
+// and faulting addresses (so the injector can attribute a segmentation
+// fault to the test-case generator that owns the region). Package cmem
+// provides both for a simulated 64-bit address space: pages can be mapped
+// with independent read/write protection, every access is checked, and a
+// failed access reports the exact faulting address and access kind.
+//
+// All methods return a *Fault on bad accesses instead of panicking; the
+// process layer (package csim) converts faults into simulated signals.
+package cmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size in bytes of a simulated memory page.
+const PageSize = 4096
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// PageBase returns the address of the start of the page containing a.
+func (a Addr) PageBase() Addr { return a &^ (PageSize - 1) }
+
+// Prot is a page protection bitmask.
+type Prot uint8
+
+// Page protections. A page may be mapped with no access at all
+// (a guard page), read-only, write-only, or read-write.
+const (
+	ProtNone Prot = 0
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtRW = ProtRead | ProtWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtWrite:
+		return "-w-"
+	case ProtRW:
+		return "rw-"
+	}
+	return fmt.Sprintf("Prot(%d)", uint8(p))
+}
+
+// Access is the kind of memory access that caused a fault.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota + 1
+	AccessWrite
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	}
+	return fmt.Sprintf("Access(%d)", uint8(a))
+}
+
+// Fault describes a memory access violation: a simulated SIGSEGV.
+// It records the exact faulting address, which the adaptive fault
+// injector uses to find the test-case generator owning the region.
+type Fault struct {
+	Addr   Addr   // faulting address
+	Access Access // attempted access kind
+	Mapped bool   // true if the page was mapped but protection denied access
+}
+
+var _ error = (*Fault)(nil)
+
+func (f *Fault) Error() string {
+	state := "unmapped"
+	if f.Mapped {
+		state = "protected"
+	}
+	return fmt.Sprintf("segmentation fault: %v of %s address %#x", f.Access, state, uint64(f.Addr))
+}
+
+// ErrNoMemory is returned when the simulated address space is exhausted.
+var ErrNoMemory = errors.New("cmem: out of simulated memory")
+
+type page struct {
+	prot Prot
+	data [PageSize]byte
+}
+
+// Memory is a simulated address space. The zero value is not usable;
+// call New. Memory is not safe for concurrent use; a simulated process
+// owns its memory exclusively.
+type Memory struct {
+	pages map[Addr]*page // keyed by page base address
+
+	// Region cursors for the distinct address-space areas. Keeping the
+	// areas far apart mirrors a real process layout and guarantees that
+	// heap, mmap and stack allocations never collide.
+	heapCursor Addr
+	mmapCursor Addr
+
+	heap *heapState
+
+	stack *Stack
+
+	// Single-entry page cache for the byte accessors: simulated C code
+	// is dominated by byte-at-a-time loops over one region, and the
+	// map lookup per byte would dominate the whole injection campaign.
+	cacheBase Addr
+	cachePage *page
+}
+
+// Address-space layout constants. The null page (and everything below
+// heapBase) is never mapped, so small integers used as pointers fault.
+const (
+	heapBase Addr = 0x0000_1000_0000
+	mmapBase Addr = 0x2000_0000_0000
+	stackTop Addr = 0x7fff_ffff_f000
+	// stackSize is deliberately small: the fault injector forks a child
+	// per test case and Clone copies every mapped page, so a lean stack
+	// keeps millions of forks affordable.
+	stackSize = 32 << 10
+)
+
+// New returns an empty simulated address space with a mapped stack.
+func New() *Memory {
+	m := &Memory{
+		pages:      make(map[Addr]*page),
+		heapCursor: heapBase,
+		mmapCursor: mmapBase,
+	}
+	m.heap = newHeapState()
+	m.stack = newStack(m)
+	return m
+}
+
+// Clone returns a deep copy of the address space. The fault injector
+// forks a fresh child for every call of the function under test; Clone
+// is the memory half of that fork.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		pages:      make(map[Addr]*page, len(m.pages)),
+		heapCursor: m.heapCursor,
+		mmapCursor: m.mmapCursor,
+	}
+	for base, pg := range m.pages {
+		cp := *pg
+		c.pages[base] = &cp
+	}
+	c.heap = m.heap.clone()
+	c.stack = m.stack.clone(c)
+	return c
+}
+
+// Map maps n bytes starting at the page containing addr with protection
+// prot. It rounds the region outward to page boundaries. Mapping an
+// already-mapped page resets its protection but preserves its contents.
+func (m *Memory) Map(addr Addr, n int, prot Prot) {
+	if n <= 0 {
+		return
+	}
+	m.cachePage = nil
+	first := addr.PageBase()
+	last := (addr + Addr(n) - 1).PageBase()
+	for base := first; ; base += PageSize {
+		if pg, ok := m.pages[base]; ok {
+			pg.prot = prot
+		} else {
+			m.pages[base] = &page{prot: prot}
+		}
+		if base == last {
+			break
+		}
+	}
+}
+
+// Unmap removes every page overlapping [addr, addr+n). Subsequent
+// accesses to the region fault as unmapped.
+func (m *Memory) Unmap(addr Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	m.cachePage = nil
+	first := addr.PageBase()
+	last := (addr + Addr(n) - 1).PageBase()
+	for base := first; ; base += PageSize {
+		delete(m.pages, base)
+		if base == last {
+			break
+		}
+	}
+}
+
+// Protect changes the protection of every page overlapping [addr, addr+n).
+// Unmapped pages in the range are left unmapped.
+func (m *Memory) Protect(addr Addr, n int, prot Prot) {
+	if n <= 0 {
+		return
+	}
+	m.cachePage = nil
+	first := addr.PageBase()
+	last := (addr + Addr(n) - 1).PageBase()
+	for base := first; ; base += PageSize {
+		if pg, ok := m.pages[base]; ok {
+			pg.prot = prot
+		}
+		if base == last {
+			break
+		}
+	}
+}
+
+// ProtAt reports the protection of the page containing addr and whether
+// the page is mapped at all.
+func (m *Memory) ProtAt(addr Addr) (Prot, bool) {
+	pg, ok := m.pages[addr.PageBase()]
+	if !ok {
+		return ProtNone, false
+	}
+	return pg.prot, true
+}
+
+// MmapRegion reserves and maps a fresh region of n bytes (page rounded)
+// in the mmap area and returns its base address. The region is preceded
+// and followed by permanently unmapped guard gaps so that out-of-bounds
+// accesses fault with an address attributable to this region.
+func (m *Memory) MmapRegion(n int, prot Prot) (Addr, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("cmem: negative mmap size %d", n)
+	}
+	pages := (n + PageSize - 1) / PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	if m.mmapCursor+Addr((pages+2)*PageSize) < m.mmapCursor {
+		return 0, ErrNoMemory
+	}
+	base := m.mmapCursor + PageSize // leading guard gap
+	m.Map(base, pages*PageSize, prot)
+	m.mmapCursor = base + Addr(pages*PageSize) + PageSize // trailing guard gap
+	return base, nil
+}
+
+func (m *Memory) check(addr Addr, n int, access Access) *Fault {
+	if n <= 0 {
+		return nil
+	}
+	first := addr.PageBase()
+	last := (addr + Addr(n) - 1).PageBase()
+	for base := first; ; base += PageSize {
+		pg, ok := m.pages[base]
+		at := base
+		if at < addr {
+			at = addr
+		}
+		if !ok {
+			return &Fault{Addr: at, Access: access}
+		}
+		switch access {
+		case AccessRead:
+			if pg.prot&ProtRead == 0 {
+				return &Fault{Addr: at, Access: access, Mapped: true}
+			}
+		case AccessWrite:
+			if pg.prot&ProtWrite == 0 {
+				return &Fault{Addr: at, Access: access, Mapped: true}
+			}
+		}
+		if base == last {
+			break
+		}
+	}
+	return nil
+}
+
+// Read copies n bytes starting at addr into a fresh slice.
+func (m *Memory) Read(addr Addr, n int) ([]byte, *Fault) {
+	if f := m.check(addr, n, AccessRead); f != nil {
+		return nil, f
+	}
+	out := make([]byte, n)
+	m.copyOut(addr, out)
+	return out, nil
+}
+
+// Write copies data into memory at addr.
+func (m *Memory) Write(addr Addr, data []byte) *Fault {
+	if f := m.check(addr, len(data), AccessWrite); f != nil {
+		return f
+	}
+	m.copyIn(addr, data)
+	return nil
+}
+
+// copyOut copies from memory into out; all pages must be mapped.
+func (m *Memory) copyOut(addr Addr, out []byte) {
+	for len(out) > 0 {
+		pg := m.pages[addr.PageBase()]
+		off := int(addr - addr.PageBase())
+		n := copy(out, pg.data[off:])
+		out = out[n:]
+		addr += Addr(n)
+	}
+}
+
+// copyIn copies data into memory; all pages must be mapped.
+func (m *Memory) copyIn(addr Addr, data []byte) {
+	for len(data) > 0 {
+		pg := m.pages[addr.PageBase()]
+		off := int(addr - addr.PageBase())
+		n := copy(pg.data[off:], data)
+		data = data[n:]
+		addr += Addr(n)
+	}
+}
+
+// pageFor resolves the page containing addr through the single-entry
+// cache.
+func (m *Memory) pageFor(addr Addr) *page {
+	base := addr.PageBase()
+	if m.cachePage != nil && m.cacheBase == base {
+		return m.cachePage
+	}
+	pg := m.pages[base]
+	if pg != nil {
+		m.cacheBase, m.cachePage = base, pg
+	}
+	return pg
+}
+
+// LoadByte reads a single byte.
+func (m *Memory) LoadByte(addr Addr) (byte, *Fault) {
+	pg := m.pageFor(addr)
+	if pg == nil {
+		return 0, &Fault{Addr: addr, Access: AccessRead}
+	}
+	if pg.prot&ProtRead == 0 {
+		return 0, &Fault{Addr: addr, Access: AccessRead, Mapped: true}
+	}
+	return pg.data[addr&(PageSize-1)], nil
+}
+
+// StoreByte writes a single byte.
+func (m *Memory) StoreByte(addr Addr, b byte) *Fault {
+	pg := m.pageFor(addr)
+	if pg == nil {
+		return &Fault{Addr: addr, Access: AccessWrite}
+	}
+	if pg.prot&ProtWrite == 0 {
+		return &Fault{Addr: addr, Access: AccessWrite, Mapped: true}
+	}
+	pg.data[addr&(PageSize-1)] = b
+	return nil
+}
+
+// ReadU16 reads a little-endian 16-bit value.
+func (m *Memory) ReadU16(addr Addr) (uint16, *Fault) {
+	b, f := m.Read(addr, 2)
+	if f != nil {
+		return 0, f
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+// ReadU32 reads a little-endian 32-bit value.
+func (m *Memory) ReadU32(addr Addr) (uint32, *Fault) {
+	b, f := m.Read(addr, 4)
+	if f != nil {
+		return 0, f
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// ReadU64 reads a little-endian 64-bit value.
+func (m *Memory) ReadU64(addr Addr) (uint64, *Fault) {
+	b, f := m.Read(addr, 8)
+	if f != nil {
+		return 0, f
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteU16 writes a little-endian 16-bit value.
+func (m *Memory) WriteU16(addr Addr, v uint16) *Fault {
+	return m.Write(addr, []byte{byte(v), byte(v >> 8)})
+}
+
+// WriteU32 writes a little-endian 32-bit value.
+func (m *Memory) WriteU32(addr Addr, v uint32) *Fault {
+	return m.Write(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// WriteU64 writes a little-endian 64-bit value.
+func (m *Memory) WriteU64(addr Addr, v uint64) *Fault {
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return m.Write(addr, b)
+}
+
+// CString reads a NUL-terminated string starting at addr. Reading
+// proceeds byte by byte so that an unterminated string in a bounded
+// region faults at exactly the first inaccessible byte, the behaviour
+// real C string functions exhibit.
+func (m *Memory) CString(addr Addr) (string, *Fault) {
+	var buf []byte
+	for a := addr; ; a++ {
+		b, f := m.LoadByte(a)
+		if f != nil {
+			return "", f
+		}
+		if b == 0 {
+			return string(buf), nil
+		}
+		buf = append(buf, b)
+		if len(buf) > 1<<20 {
+			// A terminator must appear within the mapped region; a
+			// megabyte without one means the simulation set up a
+			// pathological string. Treat as a fault at the cursor.
+			return "", &Fault{Addr: a, Access: AccessRead, Mapped: true}
+		}
+	}
+}
+
+// WriteCString writes s followed by a NUL terminator at addr.
+func (m *Memory) WriteCString(addr Addr, s string) *Fault {
+	b := make([]byte, len(s)+1)
+	copy(b, s)
+	return m.Write(addr, b)
+}
+
+// Stack returns the simulated stack of this address space.
+func (m *Memory) Stack() *Stack { return m.stack }

@@ -1,0 +1,539 @@
+package cmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(100, ProtRW)
+	if err != nil {
+		t.Fatalf("MmapRegion: %v", err)
+	}
+	if f := m.Write(base, []byte("hello")); f != nil {
+		t.Fatalf("Write: %v", f)
+	}
+	got, f := m.Read(base, 5)
+	if f != nil {
+		t.Fatalf("Read: %v", f)
+	}
+	if string(got) != "hello" {
+		t.Errorf("Read = %q, want %q", got, "hello")
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	m := New()
+	tests := []struct {
+		name string
+		addr Addr
+	}{
+		{"null pointer", 0},
+		{"small integer", 42},
+		{"wild pointer", 0xdeadbeef},
+		{"minus one", ^Addr(0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, f := m.LoadByte(tt.addr); f == nil {
+				t.Errorf("read of %#x did not fault", uint64(tt.addr))
+			} else if f.Addr != tt.addr {
+				t.Errorf("fault addr = %#x, want %#x", uint64(f.Addr), uint64(tt.addr))
+			}
+			if f := m.StoreByte(tt.addr, 1); f == nil {
+				t.Errorf("write of %#x did not fault", uint64(tt.addr))
+			}
+		})
+	}
+}
+
+func TestProtectionEnforced(t *testing.T) {
+	m := New()
+	ro, err := m.MmapRegion(10, ProtRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, f := m.LoadByte(ro); f != nil {
+		t.Errorf("read of read-only page faulted: %v", f)
+	}
+	f := m.StoreByte(ro, 1)
+	if f == nil {
+		t.Fatal("write to read-only page did not fault")
+	}
+	if !f.Mapped {
+		t.Error("fault on protected page should report Mapped=true")
+	}
+	if f.Access != AccessWrite {
+		t.Errorf("fault access = %v, want write", f.Access)
+	}
+
+	wo, err := m.MmapRegion(10, ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(wo, 1); f != nil {
+		t.Errorf("write to write-only page faulted: %v", f)
+	}
+	if _, f := m.LoadByte(wo); f == nil {
+		t.Error("read of write-only page did not fault")
+	}
+
+	guard, err := m.MmapRegion(10, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, f := m.LoadByte(guard); f == nil {
+		t.Error("read of PROT_NONE page did not fault")
+	}
+	if f := m.StoreByte(guard, 1); f == nil {
+		t.Error("write of PROT_NONE page did not fault")
+	}
+}
+
+func TestFaultAddressIsExact(t *testing.T) {
+	// The adaptive injector relies on the faulting address pointing at
+	// the first inaccessible byte, so it can attribute the fault to the
+	// region that ends just before it.
+	m := New()
+	base, err := m.MmapRegion(PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A read spanning the end of the region must fault at the first
+	// byte of the (unmapped) following guard page.
+	_, f := m.Read(base+PageSize-4, 8)
+	if f == nil {
+		t.Fatal("read past region did not fault")
+	}
+	want := base + PageSize
+	if f.Addr != want {
+		t.Errorf("fault addr = %#x, want %#x", uint64(f.Addr), uint64(want))
+	}
+}
+
+func TestCrossPageReadWrite(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(3*PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	at := base + PageSize/2
+	if f := m.Write(at, data); f != nil {
+		t.Fatalf("cross-page write faulted: %v", f)
+	}
+	got, f := m.Read(at, len(data))
+	if f != nil {
+		t.Fatalf("cross-page read faulted: %v", f)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestProtectChangesAccess(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(base, 7); f != nil {
+		t.Fatal(f)
+	}
+	m.Protect(base, PageSize, ProtRead)
+	if f := m.StoreByte(base, 8); f == nil {
+		t.Error("write after Protect(ProtRead) did not fault")
+	}
+	b, f := m.LoadByte(base)
+	if f != nil || b != 7 {
+		t.Errorf("LoadByte = %d, %v; want 7, nil", b, f)
+	}
+	m.Protect(base, PageSize, ProtRW)
+	if f := m.StoreByte(base, 8); f != nil {
+		t.Errorf("write after re-protect faulted: %v", f)
+	}
+}
+
+func TestUnmapFaults(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(2*PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unmap(base, PageSize)
+	if _, f := m.LoadByte(base); f == nil {
+		t.Error("read of unmapped page did not fault")
+	}
+	if _, f := m.LoadByte(base + PageSize); f != nil {
+		t.Errorf("read of still-mapped page faulted: %v", f)
+	}
+}
+
+func TestScalarRoundTrips(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(64, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.WriteU16(base, 0xbeef); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := m.ReadU16(base); v != 0xbeef {
+		t.Errorf("U16 = %#x", v)
+	}
+	if f := m.WriteU32(base+8, 0xdeadbeef); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := m.ReadU32(base + 8); v != 0xdeadbeef {
+		t.Errorf("U32 = %#x", v)
+	}
+	if f := m.WriteU64(base+16, 0x0123456789abcdef); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := m.ReadU64(base + 16); v != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", v)
+	}
+}
+
+func TestCString(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(64, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.WriteCString(base, "robust"); f != nil {
+		t.Fatal(f)
+	}
+	s, f := m.CString(base)
+	if f != nil || s != "robust" {
+		t.Errorf("CString = %q, %v", s, f)
+	}
+}
+
+func TestCStringUnterminatedFaults(t *testing.T) {
+	// An unterminated string filling its region to the last byte must
+	// fault exactly at the guard page, like real strlen would.
+	m := New()
+	base, err := m.MmapRegion(PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := make([]byte, PageSize)
+	for i := range fill {
+		fill[i] = 'x'
+	}
+	if f := m.Write(base, fill); f != nil {
+		t.Fatal(f)
+	}
+	_, f := m.CString(base)
+	if f == nil {
+		t.Fatal("unterminated CString did not fault")
+	}
+	if f.Addr != base+PageSize {
+		t.Errorf("fault addr = %#x, want %#x", uint64(f.Addr), uint64(base+PageSize))
+	}
+}
+
+func TestMallocGuardPage(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(p+23, 1); f != nil {
+		t.Errorf("in-bounds write faulted: %v", f)
+	}
+	// Within the final page but out of bounds: must NOT fault (this is
+	// the hole stateful checking exists to close).
+	if f := m.StoreByte(p+24, 1); f != nil {
+		t.Errorf("intra-page overflow faulted (should be silent at hardware level): %v", f)
+	}
+	// Past the final mapped page: must fault.
+	if f := m.StoreByte(p+PageSize, 1); f == nil {
+		t.Error("write past guard page did not fault")
+	}
+}
+
+func TestMallocZero(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 0 {
+		t.Fatal("Malloc(0) returned null")
+	}
+	info, ok := m.AllocAt(p)
+	if !ok || info.Base != p || info.Size != 0 {
+		t.Errorf("AllocAt = %+v, %v", info, ok)
+	}
+}
+
+func TestFree(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Free(p) {
+		t.Fatal("Free of valid base returned false")
+	}
+	if m.Free(p) {
+		t.Error("double Free returned true")
+	}
+	if _, f := m.LoadByte(p); f == nil {
+		t.Error("use-after-free did not fault")
+	}
+	if m.Free(0xdead0000) {
+		t.Error("Free of wild pointer returned true")
+	}
+}
+
+func TestRealloc(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.Write(p, []byte("12345678")); f != nil {
+		t.Fatal(f)
+	}
+	q, err := m.Realloc(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, f := m.Read(q, 8)
+	if f != nil || string(got) != "12345678" {
+		t.Errorf("Realloc lost data: %q %v", got, f)
+	}
+	if _, ok := m.AllocAt(p); ok {
+		t.Error("old block still live after Realloc")
+	}
+	if _, err := m.Realloc(0xbad0000, 10); err == nil {
+		t.Error("Realloc of wild pointer succeeded")
+	}
+	r, err := m.Realloc(0, 16)
+	if err != nil || r == 0 {
+		t.Errorf("Realloc(0, 16) = %#x, %v", uint64(r), err)
+	}
+}
+
+func TestAllocAtInterior(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := m.AllocAt(p + 50)
+	if !ok || info.Base != p || info.Size != 100 {
+		t.Errorf("AllocAt(interior) = %+v, %v", info, ok)
+	}
+	if _, ok := m.AllocAt(p + 100); ok {
+		t.Error("AllocAt(end) reported containment")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(p, 1); f != nil {
+		t.Fatal(f)
+	}
+	c := m.Clone()
+	if f := c.StoreByte(p, 2); f != nil {
+		t.Fatal(f)
+	}
+	b, _ := m.LoadByte(p)
+	if b != 1 {
+		t.Errorf("parent byte = %d after child write, want 1", b)
+	}
+	cb, _ := c.LoadByte(p)
+	if cb != 2 {
+		t.Errorf("child byte = %d, want 2", cb)
+	}
+	// Allocations in the clone must not disturb the parent.
+	if _, err := c.Malloc(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveAllocs() != 1 {
+		t.Errorf("parent LiveAllocs = %d, want 1", m.LiveAllocs())
+	}
+	if c.LiveAllocs() != 2 {
+		t.Errorf("clone LiveAllocs = %d, want 2", c.LiveAllocs())
+	}
+}
+
+func TestStackFrames(t *testing.T) {
+	m := New()
+	s := m.Stack()
+	f1 := s.PushFrame(64)
+	buf := s.Alloca(32)
+	if !s.Contains(buf) {
+		t.Fatal("alloca result not on stack")
+	}
+	limit, ok := s.FrameLimit(buf)
+	if !ok {
+		t.Fatal("FrameLimit did not find frame")
+	}
+	if want := int(f1.Base - buf); limit != want {
+		t.Errorf("FrameLimit = %d, want %d", limit, want)
+	}
+	if f := m.StoreByte(buf, 1); f != nil {
+		t.Errorf("stack write faulted: %v", f)
+	}
+	s.PopFrame()
+	if s.Depth() != 0 {
+		t.Errorf("Depth after pop = %d", s.Depth())
+	}
+}
+
+func TestStackFrameLimitNested(t *testing.T) {
+	m := New()
+	s := m.Stack()
+	s.PushFrame(128)
+	outer := s.Alloca(16)
+	s.PushFrame(128)
+	inner := s.Alloca(16)
+	il, ok := s.FrameLimit(inner)
+	if !ok || il <= 0 {
+		t.Fatalf("inner FrameLimit = %d, %v", il, ok)
+	}
+	ol, ok := s.FrameLimit(outer)
+	if !ok || ol <= 0 {
+		t.Fatalf("outer FrameLimit = %d, %v", ol, ok)
+	}
+	if Addr(ol)+outer == Addr(il)+inner {
+		t.Error("outer and inner frame limits should reference different frame bases")
+	}
+}
+
+func TestStackNotHeap(t *testing.T) {
+	m := New()
+	s := m.Stack()
+	s.PushFrame(64)
+	buf := s.Alloca(16)
+	if _, ok := m.AllocAt(buf); ok {
+		t.Error("stack address reported as heap allocation")
+	}
+	p, _ := m.Malloc(16)
+	if s.Contains(p) {
+		t.Error("heap address reported as on stack")
+	}
+}
+
+func TestPropertyMallocWritableReadable(t *testing.T) {
+	// Property: every byte of any allocation is readable and writable,
+	// and the byte one past the last mapped page always faults.
+	f := func(sz uint16) bool {
+		m := New()
+		size := int(sz%8192) + 1
+		p, err := m.Malloc(size)
+		if err != nil {
+			return false
+		}
+		for _, off := range []int{0, size / 2, size - 1} {
+			if f := m.StoreByte(p+Addr(off), 0xAA); f != nil {
+				return false
+			}
+			if b, f := m.LoadByte(p + Addr(off)); f != nil || b != 0xAA {
+				return false
+			}
+		}
+		pages := (size + PageSize - 1) / PageSize
+		if _, f := m.LoadByte(p + Addr(pages*PageSize)); f == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReadWriteRoundTrip(t *testing.T) {
+	f := func(data []byte, off uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		m := New()
+		base, err := m.MmapRegion(len(data)+int(off), ProtRW)
+		if err != nil {
+			return false
+		}
+		at := base + Addr(off)
+		// The region is page-rounded, so writing at off still fits.
+		if f := m.Write(at, data); f != nil {
+			return false
+		}
+		got, f := m.Read(at, len(data))
+		if f != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFaultAddrInRange(t *testing.T) {
+	// Property: a faulting access of [addr, addr+n) reports a fault
+	// address within that range.
+	f := func(a uint32, n uint8) bool {
+		m := New()
+		addr := Addr(a)
+		size := int(n) + 1
+		_, fault := m.Read(addr, size)
+		if fault == nil {
+			return false // nothing below heapBase is mapped... except stack; skip
+		}
+		return fault.Addr >= addr && fault.Addr < addr+Addr(size)
+	}
+	// Restrict to low addresses that are never mapped.
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtString(t *testing.T) {
+	tests := []struct {
+		p    Prot
+		want string
+	}{
+		{ProtNone, "---"},
+		{ProtRead, "r--"},
+		{ProtWrite, "-w-"},
+		{ProtRW, "rw-"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", uint8(tt.p), got, tt.want)
+		}
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Addr: 0x1000, Access: AccessWrite, Mapped: true}
+	msg := f.Error()
+	if msg == "" {
+		t.Fatal("empty fault message")
+	}
+	var err error = f
+	if err.Error() != msg {
+		t.Error("Fault does not implement error consistently")
+	}
+}

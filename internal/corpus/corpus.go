@@ -1,0 +1,284 @@
+// Package corpus builds the synthetic /usr/include tree, the online
+// manual, and the shared-object image for the simulated C library.
+//
+// The corpus is engineered to reproduce the defect statistics the paper
+// measured on SUSE Linux 7.2 (§3.2): only about half of the library's
+// functions have a manual page, a small number of pages list no header
+// files, some list wrong headers, and a few symbols are declared in no
+// header at all. The extraction pipeline (package extract) must cope
+// with all of it, exactly as HEALERS had to.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"healers/internal/clib"
+	"healers/internal/elfsim"
+)
+
+// Corpus is the complete extraction input: header tree, manual, and
+// shared object.
+type Corpus struct {
+	// Headers maps header path (as included, e.g. "stdio.h" or
+	// "bits/libio.h") to source text.
+	Headers map[string]string
+	// Man maps function name to manual page text. Absence means the
+	// function has no manual page.
+	Man map[string]string
+	// Object is the serialized shared-object image.
+	Object []byte
+}
+
+// Soname of the simulated library.
+const Soname = "libhealers.so.2.2"
+
+// noManPage lists the external functions that have no manual page
+// (23 of the 106 externals, tuned so that total coverage lands at the
+// paper's ~51% of all global functions).
+var noManPage = map[string]bool{
+	"isalpha": true, "isdigit": true, "isalnum": true, "isspace": true,
+	"isupper": true, "islower": true, "toupper": true, "tolower": true,
+	"strerror": true,
+	"bcopy":    true, "bzero": true,
+	"difftime": true, "time": true,
+	"abs": true, "labs": true, "getenv": true, "bsearch": true,
+	"dup": true, "calloc": true, "realloc": true,
+	"setbuf": true, "perror": true, "gets": true,
+}
+
+// wrongManHeaders lists manual pages whose SYNOPSIS names headers that
+// do not declare the function (the paper's 7.7%).
+var wrongManHeaders = map[string][]string{
+	"telldir":     {"sys/dir.h"},     // does not exist
+	"seekdir":     {"sys/dir.h"},     // does not exist
+	"cfgetispeed": {"sys/termios.h"}, // does not exist
+	"mkstemp":     {"unistd.h"},      // exists but declares no mkstemp
+	"strcoll":     {"locale.h"},      // exists but declares no strcoll
+	"fdopen":      {"sys/stdio.h"},   // does not exist
+}
+
+// noHeaderManPages lists manual pages whose SYNOPSIS cites no headers
+// at all (the paper's 1.2%).
+var noHeaderManPages = map[string]bool{
+	"fflush": true,
+}
+
+// extraHeaderDecls duplicates some prototypes in a second header, the
+// "defined multiple times in different header files" phenomenon.
+var extraHeaderDecls = map[string]string{
+	"open":   "bits/fcntl2.h",
+	"creat":  "bits/fcntl2.h",
+	"memcpy": "bits/string2.h",
+	"memset": "bits/string2.h",
+	"strcpy": "bits/string2.h",
+}
+
+// Build assembles the corpus for the given library.
+func Build(lib *clib.Library) *Corpus {
+	c := &Corpus{
+		Headers: make(map[string]string),
+		Man:     make(map[string]string),
+	}
+	c.buildBaseHeaders()
+	c.placePrototypes(lib)
+	c.buildManPages(lib)
+	c.buildObject(lib)
+	return c
+}
+
+// buildBaseHeaders writes the type-definition headers every public
+// header depends on.
+func (c *Corpus) buildBaseHeaders() {
+	c.Headers["features.h"] = "#define _FEATURES_H 1\n"
+	c.Headers["bits/types.h"] = `#ifndef _BITS_TYPES_H
+#define _BITS_TYPES_H 1
+typedef unsigned long size_t;
+typedef long ssize_t;
+typedef long time_t;
+typedef long off_t;
+typedef unsigned int mode_t;
+typedef unsigned long dev_t;
+typedef unsigned long ino_t;
+typedef unsigned int speed_t;
+typedef unsigned int tcflag_t;
+typedef unsigned char cc_t;
+#endif
+`
+	c.Headers["bits/libio.h"] = `#include "bits/types.h"
+struct _IO_FILE {
+	int _magic;
+	int _fileno;
+	unsigned int _flags;
+	int _ungetc;
+	char *_buf;
+	unsigned long _bufsize;
+	unsigned long _bufpos;
+	unsigned int _error;
+	unsigned int _eof;
+	char _reserved[104];
+};
+typedef struct _IO_FILE FILE;
+`
+	c.Headers["bits/dirstream.h"] = `#include "bits/types.h"
+struct __dirstream {
+	int _magic;
+	int _fd;
+	unsigned long _pos;
+	char *_buf;
+	char _reserved[40];
+};
+typedef struct __dirstream DIR;
+struct dirent {
+	unsigned long d_ino;
+	char d_name[256];
+};
+`
+	c.Headers["bits/tm.h"] = `struct tm {
+	int tm_sec;
+	int tm_min;
+	int tm_hour;
+	int tm_mday;
+	int tm_mon;
+	int tm_year;
+	int tm_wday;
+	int tm_yday;
+	int tm_isdst;
+	long tm_gmtoff;
+};
+`
+	c.Headers["bits/stat.h"] = `#include "bits/types.h"
+struct stat {
+	dev_t st_dev;
+	ino_t st_ino;
+	mode_t st_mode;
+	unsigned int __pad0;
+	off_t st_size;
+	char __reserved[32];
+};
+`
+	c.Headers["bits/termios.h"] = `#include "bits/types.h"
+struct termios {
+	tcflag_t c_iflag;
+	tcflag_t c_oflag;
+	tcflag_t c_cflag;
+	tcflag_t c_lflag;
+	cc_t c_cc[32];
+	speed_t c_ispeed;
+	speed_t c_ospeed;
+};
+`
+	// locale.h exists but declares nothing relevant — one of the
+	// wrong-header man page targets.
+	c.Headers["locale.h"] = `#include <features.h>
+struct lconv {
+	char *decimal_point;
+	char grouping;
+};
+char *setlocale(int category, const char *locale);
+`
+}
+
+// headerPrelude maps each public header to the include lines it needs.
+var headerPrelude = map[string][]string{
+	"string.h":             {"features.h", "bits/types.h"},
+	"strings.h":            {"features.h", "bits/types.h"},
+	"stdio.h":              {"features.h", "bits/types.h", "bits/libio.h"},
+	"stdlib.h":             {"features.h", "bits/types.h"},
+	"time.h":               {"features.h", "bits/types.h", "bits/tm.h"},
+	"dirent.h":             {"features.h", "bits/types.h", "bits/dirstream.h"},
+	"termios.h":            {"features.h", "bits/types.h", "bits/termios.h"},
+	"unistd.h":             {"features.h", "bits/types.h"},
+	"fcntl.h":              {"features.h", "bits/types.h"},
+	"sys/stat.h":           {"features.h", "bits/types.h", "bits/stat.h"},
+	"ctype.h":              {"features.h"},
+	"bits/libc-internal.h": {"bits/types.h", "bits/libio.h", "bits/dirstream.h", "bits/tm.h", "bits/stat.h"},
+	"bits/errno.h":         {"bits/types.h"},
+	"bits/assert.h":        {"bits/types.h"},
+	"bits/fcntl2.h":        {"bits/types.h"},
+	"bits/string2.h":       {"bits/types.h"},
+}
+
+// placePrototypes writes every declared function's prototype into its
+// primary header (per clib metadata) and the engineered duplicates.
+func (c *Corpus) placePrototypes(lib *clib.Library) {
+	byHeader := make(map[string][]string)
+	for _, name := range lib.Names() {
+		f, _ := lib.Lookup(name)
+		if f.Header == "" || f.Proto == "" {
+			continue // deliberately undeclared symbols
+		}
+		byHeader[f.Header] = append(byHeader[f.Header], f.Proto)
+		if extra, ok := extraHeaderDecls[f.Name]; ok {
+			byHeader[extra] = append(byHeader[extra], f.Proto)
+		}
+	}
+	paths := make([]string, 0, len(byHeader))
+	for h := range byHeader {
+		paths = append(paths, h)
+	}
+	sort.Strings(paths)
+	for _, h := range paths {
+		var b strings.Builder
+		guard := strings.ToUpper(strings.NewReplacer("/", "_", ".", "_").Replace(h))
+		fmt.Fprintf(&b, "#ifndef _%s\n#define _%s 1\n", guard, guard)
+		for _, inc := range headerPrelude[h] {
+			fmt.Fprintf(&b, "#include <%s>\n", inc)
+		}
+		b.WriteString("\n")
+		for _, proto := range byHeader[h] {
+			b.WriteString(proto)
+			b.WriteString("\n")
+		}
+		b.WriteString("#endif\n")
+		c.Headers[h] = b.String()
+	}
+}
+
+// buildManPages writes the simulated online manual.
+func (c *Corpus) buildManPages(lib *clib.Library) {
+	for _, f := range lib.External() {
+		if noManPage[f.Name] {
+			continue
+		}
+		headers := []string{f.Header}
+		if wrong, ok := wrongManHeaders[f.Name]; ok {
+			headers = wrong
+		}
+		if noHeaderManPages[f.Name] {
+			headers = nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s(3)                 Library Functions Manual                 %s(3)\n\n",
+			strings.ToUpper(f.Name), strings.ToUpper(f.Name))
+		fmt.Fprintf(&b, "NAME\n       %s - simulated C library function\n\n", f.Name)
+		b.WriteString("SYNOPSIS\n")
+		for _, h := range headers {
+			fmt.Fprintf(&b, "       #include <%s>\n", h)
+		}
+		if len(headers) > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "       %s\n\n", f.Proto)
+		b.WriteString("DESCRIPTION\n       See the HEALERS reproduction notes.\n")
+		c.Man[f.Name] = b.String()
+	}
+}
+
+// buildObject serializes the dynamic symbol table.
+func (c *Corpus) buildObject(lib *clib.Library) {
+	var syms []elfsim.Symbol
+	value := uint64(0x1000)
+	for _, name := range lib.Names() {
+		f, _ := lib.Lookup(name)
+		syms = append(syms, elfsim.Symbol{
+			Name:    f.Name,
+			Version: f.Version,
+			Binding: elfsim.BindGlobal,
+			Value:   value,
+		})
+		value += 0x40
+	}
+	c.Object = elfsim.Build(Soname, syms)
+}

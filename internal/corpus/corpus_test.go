@@ -1,0 +1,135 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/elfsim"
+)
+
+func build(t *testing.T) (*clib.Library, *Corpus) {
+	t.Helper()
+	lib := clib.New()
+	return lib, Build(lib)
+}
+
+func TestObjectParses(t *testing.T) {
+	lib, c := build(t)
+	img, err := elfsim.Parse(c.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Soname != Soname {
+		t.Errorf("soname = %q", img.Soname)
+	}
+	if len(img.Symbols) != len(lib.Names()) {
+		t.Errorf("symbols = %d, want %d", len(img.Symbols), len(lib.Names()))
+	}
+	for _, s := range img.Symbols {
+		if s.Version != clib.Version {
+			t.Errorf("%s version = %q", s.Name, s.Version)
+		}
+	}
+}
+
+func TestEveryDeclaredFunctionInSomeHeader(t *testing.T) {
+	lib, c := build(t)
+	for _, name := range lib.Names() {
+		f, _ := lib.Lookup(name)
+		if f.Proto == "" || f.Header == "" {
+			continue // deliberately undeclared
+		}
+		src, ok := c.Headers[f.Header]
+		if !ok {
+			t.Errorf("%s: header %s missing", name, f.Header)
+			continue
+		}
+		if !strings.Contains(src, f.Proto) {
+			t.Errorf("%s: prototype not in %s", name, f.Header)
+		}
+	}
+}
+
+func TestManPageDefectRates(t *testing.T) {
+	lib, c := build(t)
+	total := len(lib.Names())
+	man := len(c.Man)
+	cov := float64(man) / float64(total)
+	if cov < 0.48 || cov > 0.55 {
+		t.Errorf("man coverage = %.3f, want ~0.511", cov)
+	}
+	noHdr, wrongHdr := 0, 0
+	for name := range c.Man {
+		if noHeaderManPages[name] {
+			noHdr++
+		}
+		if _, ok := wrongManHeaders[name]; ok {
+			wrongHdr++
+		}
+	}
+	if noHdr != len(noHeaderManPages) {
+		t.Errorf("no-header pages = %d", noHdr)
+	}
+	if wrongHdr != len(wrongManHeaders) {
+		t.Errorf("wrong-header pages = %d", wrongHdr)
+	}
+	// Internal functions never have man pages.
+	for _, f := range lib.Internal() {
+		if _, ok := c.Man[f.Name]; ok {
+			t.Errorf("internal %s has a man page", f.Name)
+		}
+	}
+}
+
+func TestManPagesQuoteTheProto(t *testing.T) {
+	lib, c := build(t)
+	for name, page := range c.Man {
+		f, ok := lib.Lookup(name)
+		if !ok {
+			t.Errorf("man page for unknown function %s", name)
+			continue
+		}
+		if !strings.Contains(page, f.Proto) {
+			t.Errorf("%s man page missing prototype", name)
+		}
+		if !strings.Contains(page, "SYNOPSIS") {
+			t.Errorf("%s man page missing SYNOPSIS", name)
+		}
+	}
+}
+
+func TestDuplicateDeclarations(t *testing.T) {
+	// The engineered multiple-definition phenomenon: some prototypes
+	// appear in a second header too.
+	_, c := build(t)
+	for fn, extra := range extraHeaderDecls {
+		src, ok := c.Headers[extra]
+		if !ok {
+			t.Errorf("extra header %s missing", extra)
+			continue
+		}
+		if !strings.Contains(src, fn+"(") {
+			t.Errorf("%s not duplicated into %s", fn, extra)
+		}
+	}
+}
+
+func TestHeaderGuardsAndIncludes(t *testing.T) {
+	_, c := build(t)
+	for _, h := range []string{"string.h", "stdio.h", "time.h", "dirent.h", "termios.h"} {
+		src, ok := c.Headers[h]
+		if !ok {
+			t.Fatalf("%s missing", h)
+		}
+		if !strings.Contains(src, "#ifndef") {
+			t.Errorf("%s has no include guard", h)
+		}
+		if !strings.Contains(src, "#include") {
+			t.Errorf("%s includes nothing", h)
+		}
+	}
+	if _, ok := c.Headers["sys/dir.h"]; ok {
+		t.Error("sys/dir.h exists — it is supposed to be a wrong-man-page target")
+	}
+}

@@ -1,0 +1,346 @@
+package cparse
+
+import (
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*Parser, *HeaderDecls) {
+	t.Helper()
+	p := NewParser(NewTypeTable())
+	d, err := p.Parse("test.h", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p, d
+}
+
+func TestParseSimplePrototype(t *testing.T) {
+	_, d := parseOne(t, `char *strcpy(char *dest, const char *src);`)
+	if len(d.Prototypes) != 1 {
+		t.Fatalf("prototypes = %d", len(d.Prototypes))
+	}
+	pr := d.Prototypes[0]
+	if pr.Name != "strcpy" {
+		t.Errorf("name = %q", pr.Name)
+	}
+	if pr.Ret.Kind != KindPointer || pr.Ret.Elem.Name != "char" {
+		t.Errorf("ret = %v", pr.Ret)
+	}
+	if len(pr.Params) != 2 {
+		t.Fatalf("params = %d", len(pr.Params))
+	}
+	if pr.Params[0].Name != "dest" || !pr.Params[0].Type.IsPointer() {
+		t.Errorf("param0 = %+v", pr.Params[0])
+	}
+	if !pr.Params[1].Type.Const && !pr.Params[1].Type.Elem.Const {
+		t.Errorf("param1 not const: %+v", pr.Params[1].Type)
+	}
+}
+
+func TestParseTypedefAndSizeof(t *testing.T) {
+	p, _ := parseOne(t, `
+typedef unsigned long size_t;
+typedef long time_t;
+size_t strlen(const char *s);
+`)
+	st, ok := p.Table().LookupTypedef("size_t")
+	if !ok {
+		t.Fatal("size_t not defined")
+	}
+	if st.Size != 8 || !st.Unsigned {
+		t.Errorf("size_t = %+v", st)
+	}
+	tt, _ := p.Table().LookupTypedef("time_t")
+	if p.Table().Sizeof(tt) != 8 {
+		t.Errorf("sizeof(time_t) = %d", p.Table().Sizeof(tt))
+	}
+}
+
+func TestParseStructTm(t *testing.T) {
+	p, _ := parseOne(t, `
+struct tm {
+	int tm_sec;
+	int tm_min;
+	int tm_hour;
+	int tm_mday;
+	int tm_mon;
+	int tm_year;
+	int tm_wday;
+	int tm_yday;
+	int tm_isdst;
+	long tm_gmtoff;
+};
+char *asctime(const struct tm *tm);
+`)
+	sz := p.Table().Sizeof(&CType{Kind: KindStruct, Struct: "tm"})
+	if sz != 44 {
+		t.Errorf("sizeof(struct tm) = %d, want 44 (the paper's R_ARRAY_NULL[44])", sz)
+	}
+}
+
+func TestParseStructWithArrayAndPointers(t *testing.T) {
+	p, _ := parseOne(t, `
+struct _IO_FILE {
+	int _magic;
+	int _fileno;
+	unsigned int _flags;
+	int _ungetc;
+	char *_buf;
+	unsigned long _bufsize;
+	unsigned long _bufpos;
+	unsigned int _error;
+	unsigned int _eof;
+	char _reserved[104];
+};
+typedef struct _IO_FILE FILE;
+int fclose(FILE *stream);
+`)
+	sz := p.Table().Sizeof(&CType{Kind: KindStruct, Struct: "_IO_FILE"})
+	if sz != 152 {
+		t.Errorf("sizeof(struct _IO_FILE) = %d, want 152", sz)
+	}
+	f, ok := p.Table().LookupTypedef("FILE")
+	if !ok || f.Kind != KindStruct {
+		t.Fatalf("FILE typedef = %+v, %v", f, ok)
+	}
+}
+
+func TestParseIncludes(t *testing.T) {
+	_, d := parseOne(t, `
+#include <features.h>
+#include "bits/types.h"
+#define _STDIO_H 1
+#ifndef FOO
+#endif
+int ferror(struct _IO_FILE *stream);
+`[1:])
+	if len(d.Includes) != 2 || d.Includes[0] != "features.h" || d.Includes[1] != "bits/types.h" {
+		t.Errorf("includes = %v", d.Includes)
+	}
+	if len(d.Prototypes) != 1 {
+		t.Errorf("prototypes = %d", len(d.Prototypes))
+	}
+}
+
+func TestParseFunctionPointerParam(t *testing.T) {
+	p := NewParser(NewTypeTable())
+	p.Table().DefineTypedef("size_t", &CType{Kind: KindInt, Name: "size_t", Size: 8, Unsigned: true})
+	d, err := p.Parse("stdlib.h",
+		`void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := d.Prototypes[0]
+	if len(pr.Params) != 4 {
+		t.Fatalf("params = %d", len(pr.Params))
+	}
+	if pr.Params[3].Type.Kind != KindFuncPtr {
+		t.Errorf("param3 = %+v", pr.Params[3].Type)
+	}
+	if pr.Params[3].Name != "compar" {
+		t.Errorf("param3 name = %q", pr.Params[3].Name)
+	}
+	if pr.Ret.Kind != KindVoid {
+		t.Errorf("ret = %v", pr.Ret)
+	}
+}
+
+func TestParseVariadic(t *testing.T) {
+	p := NewParser(NewTypeTable())
+	p.Table().DefineTypedef("FILE", &CType{Kind: KindStruct, Struct: "_IO_FILE"})
+	d, err := p.Parse("stdio.h", `int fprintf(FILE *stream, const char *format, ...);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Prototypes[0].Variadic {
+		t.Error("variadic not detected")
+	}
+}
+
+func TestParseVoidParams(t *testing.T) {
+	_, d := parseOne(t, `int rand(void);`)
+	if len(d.Prototypes[0].Params) != 0 {
+		t.Errorf("params = %+v", d.Prototypes[0].Params)
+	}
+}
+
+func TestParseArrayParamDecays(t *testing.T) {
+	_, d := parseOne(t, `int process(char buf[64]);`)
+	if !d.Prototypes[0].Params[0].Type.IsPointer() {
+		t.Errorf("array param did not decay: %+v", d.Prototypes[0].Params[0].Type)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	_, d := parseOne(t, `
+/* block comment
+   spanning lines */
+int abs(int j); // trailing comment
+/* another */ long labs(long j);
+`)
+	if len(d.Prototypes) != 2 {
+		t.Errorf("prototypes = %d", len(d.Prototypes))
+	}
+}
+
+func TestParseMultiDeclaratorStructFields(t *testing.T) {
+	p, _ := parseOne(t, `
+struct point {
+	int x, y;
+	char *label, tag;
+};
+`)
+	fields, ok := p.Table().StructFields("point")
+	if !ok || len(fields) != 4 {
+		t.Fatalf("fields = %+v", fields)
+	}
+	if fields[2].Type.Kind != KindPointer || fields[3].Type.Kind != KindInt {
+		t.Errorf("mixed declarators wrong: %+v %+v", fields[2].Type, fields[3].Type)
+	}
+	sz := p.Table().Sizeof(&CType{Kind: KindStruct, Struct: "point"})
+	if sz != 4+4+8+1 {
+		t.Errorf("sizeof = %d", sz)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unknown type", `frobnicate_t f(int x);`},
+		{"missing semicolon", `int f(int x)`},
+		{"unterminated comment", `/* int f(void);`},
+		{"garbage", `@@@`},
+		{"bad include", `#include foo`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := NewParser(NewTypeTable())
+			if _, err := p.Parse("bad.h", tt.src); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+}
+
+func TestTypedefsAccumulateAcrossHeaders(t *testing.T) {
+	p := NewParser(NewTypeTable())
+	if _, err := p.Parse("types.h", `typedef unsigned long size_t;`); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Parse("string.h", `size_t strlen(const char *s);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Prototypes[0].Ret.Size != 8 {
+		t.Errorf("ret = %+v", d.Prototypes[0].Ret)
+	}
+}
+
+func TestUnsignedVariants(t *testing.T) {
+	p, d := parseOne(t, `
+typedef unsigned int mode_t;
+unsigned long strtoul(const char *nptr, char **endptr, int base);
+unsigned char next(unsigned char c);
+`)
+	if m, ok := p.Table().LookupTypedef("mode_t"); !ok || m.Size != 4 || !m.Unsigned {
+		t.Errorf("mode_t = %+v", m)
+	}
+	if d.Prototypes[0].Ret.Size != 8 || !d.Prototypes[0].Ret.Unsigned {
+		t.Errorf("strtoul ret = %+v", d.Prototypes[0].Ret)
+	}
+	// char **endptr is a pointer to pointer.
+	endptr := d.Prototypes[0].Params[1].Type
+	if endptr.Kind != KindPointer || endptr.Elem.Kind != KindPointer {
+		t.Errorf("endptr = %v", endptr)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		t    *CType
+		want string
+	}{
+		{&CType{Kind: KindInt, Name: "int"}, "int"},
+		{&CType{Kind: KindPointer, Elem: &CType{Kind: KindInt, Name: "char", Const: true}}, "const char*"},
+		{&CType{Kind: KindStruct, Struct: "tm"}, "struct tm"},
+		{&CType{Kind: KindVoid}, "void"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPrototypeString(t *testing.T) {
+	_, d := parseOne(t, `char *strcpy(char *dest, const char *src);`)
+	s := d.Prototypes[0].String()
+	if s == "" || s[len(s)-1] != ';' {
+		t.Errorf("Prototype.String = %q", s)
+	}
+}
+
+func TestLongLongAndSignedVariants(t *testing.T) {
+	p, d := parseOne(t, `
+long long bigmul(long long a, signed int b);
+unsigned long long ubig(unsigned short s);
+signed char sc(signed char c);
+`)
+	_ = p
+	if d.Prototypes[0].Ret.Size != 8 {
+		t.Errorf("long long size = %d", d.Prototypes[0].Ret.Size)
+	}
+	if d.Prototypes[1].Ret.Size != 8 || !d.Prototypes[1].Ret.Unsigned {
+		t.Errorf("unsigned long long = %+v", d.Prototypes[1].Ret)
+	}
+	if d.Prototypes[1].Params[0].Type.Size != 2 {
+		t.Errorf("unsigned short = %+v", d.Prototypes[1].Params[0].Type)
+	}
+	if d.Prototypes[2].Params[0].Type.Size != 1 {
+		t.Errorf("signed char = %+v", d.Prototypes[2].Params[0].Type)
+	}
+}
+
+func TestPointerToConstAndConstPointer(t *testing.T) {
+	_, d := parseOne(t, `
+char * const cp(char const *s);
+`)
+	pr := d.Prototypes[0]
+	if !pr.Ret.Const {
+		t.Error("const pointer lost its const")
+	}
+	if !pr.Params[0].Type.Elem.Const {
+		t.Error("pointer-to-const lost its const")
+	}
+}
+
+func TestScanIncludesIgnoresBody(t *testing.T) {
+	incs, err := ScanIncludes(`#include <a.h>
+int f(unknown_type x); /* body need not parse for include scanning */
+#include "b/c.h"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 2 || incs[0] != "a.h" || incs[1] != "b/c.h" {
+		t.Errorf("includes = %v", incs)
+	}
+	if _, err := ScanIncludes("/* unterminated"); err == nil {
+		t.Error("lex error not propagated")
+	}
+}
+
+func TestSizeofUnknownStructIsZero(t *testing.T) {
+	tt := NewTypeTable()
+	if sz := tt.Sizeof(&CType{Kind: KindStruct, Struct: "mystery"}); sz != 0 {
+		t.Errorf("sizeof(unknown) = %d", sz)
+	}
+	if sz := tt.Sizeof(&CType{Kind: KindVoid}); sz != 0 {
+		t.Errorf("sizeof(void) = %d", sz)
+	}
+	if sz := tt.Sizeof(&CType{Kind: KindFuncPtr}); sz != PointerSize {
+		t.Errorf("sizeof(funcptr) = %d", sz)
+	}
+}

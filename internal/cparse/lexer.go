@@ -1,0 +1,186 @@
+// Package cparse parses the C declaration subset that appears in the
+// simulated header corpus: preprocessor includes, typedefs, struct
+// definitions, and function prototypes. The paper extracts function
+// types by feeding headers to the CINT interpreter (§3.2); cparse plays
+// that role, additionally computing sizeof over the simulated ABI so
+// the type-driven test-case generators know how big a struct tm is.
+package cparse
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokPunct   // one of ( ) { } [ ] * , ; ...
+	tokInclude // the path of an #include directive
+	tokString
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer tokenizes header text, stripping comments and non-include
+// preprocessor lines.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) next() (token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line}, nil
+		}
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated comment")
+			}
+			l.pos += 2
+		case c == '#':
+			tok, consumed, err := l.preprocessor()
+			if err != nil {
+				return token{}, err
+			}
+			if consumed {
+				continue
+			}
+			return tok, nil
+		default:
+			return l.lexToken()
+		}
+	}
+}
+
+// preprocessor handles a # line. Include directives become tokens; all
+// other directives (guards, defines) are skipped. Returns consumed=true
+// when the directive produced no token.
+func (l *lexer) preprocessor() (token, bool, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+	lineText := l.src[start:l.pos]
+	// Strip "#" and spaces.
+	i := 1
+	for i < len(lineText) && (lineText[i] == ' ' || lineText[i] == '\t') {
+		i++
+	}
+	rest := lineText[i:]
+	const inc = "include"
+	if len(rest) < len(inc) || rest[:len(inc)] != inc {
+		return token{}, true, nil
+	}
+	rest = rest[len(inc):]
+	for len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t') {
+		rest = rest[1:]
+	}
+	if len(rest) < 2 {
+		return token{}, false, l.errf("malformed #include")
+	}
+	var close byte
+	switch rest[0] {
+	case '<':
+		close = '>'
+	case '"':
+		close = '"'
+	default:
+		return token{}, false, l.errf("malformed #include")
+	}
+	for j := 1; j < len(rest); j++ {
+		if rest[j] == close {
+			return token{kind: tokInclude, text: rest[1:j], line: l.line}, false, nil
+		}
+	}
+	return token{}, false, l.errf("unterminated #include path")
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentCont(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '(' || c == ')' || c == '{' || c == '}' || c == '[' || c == ']' ||
+		c == '*' || c == ',' || c == ';':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+	case c == '.':
+		// "..." variadic marker
+		if l.pos+2 < len(l.src) && l.src[l.pos+1] == '.' && l.src[l.pos+2] == '.' {
+			l.pos += 3
+			return token{kind: tokPunct, text: "...", line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected '.'")
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

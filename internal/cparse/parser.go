@@ -1,0 +1,387 @@
+package cparse
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// HeaderDecls is everything extracted from one header file.
+type HeaderDecls struct {
+	Includes   []string
+	Prototypes []*Prototype
+}
+
+// ScanIncludes returns the #include paths of a header without parsing
+// its declarations. Callers use it to parse dependency headers first so
+// typedefs are defined before use.
+func ScanIncludes(src string) ([]string, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var incs []string
+	for _, t := range toks {
+		if t.kind == tokInclude {
+			incs = append(incs, t.text)
+		}
+	}
+	return incs, nil
+}
+
+// Parser parses header sources against a shared type table. Parse is
+// called once per header; typedefs and struct definitions accumulate so
+// later headers can use earlier types, like a preprocessor would give.
+type Parser struct {
+	table *TypeTable
+}
+
+// NewParser returns a parser over the given (usually fresh) type table.
+func NewParser(table *TypeTable) *Parser { return &Parser{table: table} }
+
+// Table exposes the accumulated type information.
+func (p *Parser) Table() *TypeTable { return p.table }
+
+// Parse processes one header source.
+func (p *Parser) Parse(name, src string) (*HeaderDecls, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("cparse: %s: %w", name, err)
+	}
+	st := &state{p: p, toks: toks}
+	decls := &HeaderDecls{}
+	for {
+		t := st.peek()
+		switch {
+		case t.kind == tokEOF:
+			return decls, nil
+		case t.kind == tokInclude:
+			st.advance()
+			decls.Includes = append(decls.Includes, t.text)
+		case t.kind == tokIdent && t.text == "typedef":
+			if err := st.parseTypedef(); err != nil {
+				return nil, fmt.Errorf("cparse: %s: %w", name, err)
+			}
+		case t.kind == tokIdent && t.text == "struct" && st.peekIsStructDef():
+			if err := st.parseStructDef(); err != nil {
+				return nil, fmt.Errorf("cparse: %s: %w", name, err)
+			}
+		case t.kind == tokIdent:
+			proto, err := st.parsePrototype()
+			if err != nil {
+				return nil, fmt.Errorf("cparse: %s: %w", name, err)
+			}
+			decls.Prototypes = append(decls.Prototypes, proto)
+		default:
+			return nil, fmt.Errorf("cparse: %s: line %d: unexpected token %q", name, t.line, t.text)
+		}
+	}
+}
+
+type state struct {
+	p    *Parser
+	toks []token
+	pos  int
+}
+
+func (s *state) peek() token { return s.toks[s.pos] }
+
+func (s *state) peekAt(n int) token {
+	if s.pos+n >= len(s.toks) {
+		return s.toks[len(s.toks)-1]
+	}
+	return s.toks[s.pos+n]
+}
+
+func (s *state) advance() token {
+	t := s.toks[s.pos]
+	if t.kind != tokEOF {
+		s.pos++
+	}
+	return t
+}
+
+func (s *state) expect(text string) error {
+	t := s.advance()
+	if t.text != text {
+		return fmt.Errorf("line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+// peekIsStructDef distinguishes `struct tag { ... };` (a definition)
+// from `struct tag func(...)` (a prototype with struct return type).
+func (s *state) peekIsStructDef() bool {
+	// struct <ident> {
+	return s.peekAt(1).kind == tokIdent && s.peekAt(2).text == "{"
+}
+
+// parseBaseType parses a type up to (but not including) pointer stars:
+// [const] (builtin-multiword | struct tag | typedef-name).
+func (s *state) parseBaseType() (*CType, error) {
+	t := s.peek()
+	isConst := false
+	for t.kind == tokIdent && (t.text == "const" || t.text == "extern" || t.text == "volatile" || t.text == "restrict") {
+		if t.text == "const" {
+			isConst = true
+		}
+		s.advance()
+		t = s.peek()
+	}
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected type, got %q", t.line, t.text)
+	}
+	var base *CType
+	switch t.text {
+	case "struct":
+		s.advance()
+		tag := s.advance()
+		if tag.kind != tokIdent {
+			return nil, fmt.Errorf("line %d: expected struct tag", tag.line)
+		}
+		base = &CType{Kind: KindStruct, Name: "struct " + tag.text, Struct: tag.text}
+	case "unsigned", "signed":
+		sign := t.text
+		s.advance()
+		u := sign == "unsigned"
+		nt := s.peek()
+		base = &CType{Kind: KindInt, Name: "int", Size: 4, Unsigned: u}
+		if nt.kind == tokIdent {
+			if b := builtinType(nt.text); b != nil && b.Kind == KindInt {
+				s.advance()
+				b2 := *b
+				b2.Unsigned = u
+				b2.Name = sign + " " + b2.Name
+				if nt.text == "long" {
+					s.skipExtraLong(&b2)
+				}
+				base = &b2
+			} else {
+				base.Name = sign + " int"
+			}
+		} else {
+			base.Name = sign + " int"
+		}
+	case "long":
+		s.advance()
+		b := *builtinType("long")
+		s.skipExtraLong(&b)
+		base = &b
+	default:
+		if b := builtinType(t.text); b != nil {
+			s.advance()
+			bb := *b
+			base = &bb
+		} else if td, ok := s.p.table.LookupTypedef(t.text); ok {
+			s.advance()
+			bb := *td
+			bb.Name = t.text
+			base = &bb
+		} else {
+			return nil, fmt.Errorf("line %d: unknown type %q", t.line, t.text)
+		}
+	}
+	// Trailing `const` (e.g. `char const`).
+	for s.peek().kind == tokIdent && s.peek().text == "const" {
+		isConst = true
+		s.advance()
+	}
+	base.Const = base.Const || isConst
+	return base, nil
+}
+
+func (s *state) skipExtraLong(b *CType) {
+	// "long long" and "long int" collapse to the 8-byte long.
+	for s.peek().kind == tokIdent && (s.peek().text == "long" || s.peek().text == "int") {
+		if s.peek().text == "long" {
+			b.Name = b.Name + " long"
+		}
+		s.advance()
+	}
+	b.Size = 8
+}
+
+// parseStars wraps base in pointers for each '*'.
+func (s *state) parseStars(base *CType) *CType {
+	for s.peek().text == "*" {
+		s.advance()
+		base = &CType{Kind: KindPointer, Name: base.Name + "*", Elem: base}
+		// `* const` pointers.
+		for s.peek().kind == tokIdent && s.peek().text == "const" {
+			s.advance()
+			base.Const = true
+		}
+	}
+	return base
+}
+
+// parseTypedef handles `typedef <type> name;` including
+// `typedef struct tag name;` forward declarations.
+func (s *state) parseTypedef() error {
+	s.advance() // typedef
+	base, err := s.parseBaseType()
+	if err != nil {
+		return err
+	}
+	base = s.parseStars(base)
+	nameTok := s.advance()
+	if nameTok.kind != tokIdent {
+		return fmt.Errorf("line %d: expected typedef name, got %q", nameTok.line, nameTok.text)
+	}
+	if err := s.expect(";"); err != nil {
+		return err
+	}
+	s.p.table.DefineTypedef(nameTok.text, base)
+	return nil
+}
+
+// parseStructDef handles `struct tag { fields };`.
+func (s *state) parseStructDef() error {
+	s.advance() // struct
+	tag := s.advance()
+	if err := s.expect("{"); err != nil {
+		return err
+	}
+	var fields []CField
+	for s.peek().text != "}" {
+		ft, err := s.parseBaseType()
+		if err != nil {
+			return err
+		}
+		// One or more declarators: `int a, *b, c[4];`
+		for {
+			dt := s.parseStars(ft)
+			nameTok := s.advance()
+			if nameTok.kind != tokIdent {
+				return fmt.Errorf("line %d: expected field name, got %q", nameTok.line, nameTok.text)
+			}
+			if s.peek().text == "[" {
+				s.advance()
+				numTok := s.advance()
+				n, err := strconv.Atoi(numTok.text)
+				if err != nil {
+					return fmt.Errorf("line %d: bad array length %q", numTok.line, numTok.text)
+				}
+				if err := s.expect("]"); err != nil {
+					return err
+				}
+				dt = &CType{Kind: KindArray, Name: dt.Name, Elem: dt, Len: n}
+			}
+			fields = append(fields, CField{Name: nameTok.text, Type: dt})
+			if s.peek().text != "," {
+				break
+			}
+			s.advance()
+		}
+		if err := s.expect(";"); err != nil {
+			return err
+		}
+	}
+	s.advance() // }
+	if err := s.expect(";"); err != nil {
+		return err
+	}
+	s.p.table.DefineStruct(tag.text, fields)
+	return nil
+}
+
+// parsePrototype handles `<type> name(params);`.
+func (s *state) parsePrototype() (*Prototype, error) {
+	ret, err := s.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	ret = s.parseStars(ret)
+	nameTok := s.advance()
+	if nameTok.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected function name, got %q", nameTok.line, nameTok.text)
+	}
+	if err := s.expect("("); err != nil {
+		return nil, err
+	}
+	proto := &Prototype{Name: nameTok.text, Ret: ret}
+	if s.peek().text == ")" {
+		s.advance()
+	} else {
+		for {
+			if s.peek().text == "..." {
+				s.advance()
+				proto.Variadic = true
+				break
+			}
+			param, err := s.parseParam()
+			if err != nil {
+				return nil, err
+			}
+			// `(void)` means no parameters.
+			if !(param.Type.Kind == KindVoid && param.Name == "" && len(proto.Params) == 0 && s.peek().text == ")") {
+				proto.Params = append(proto.Params, param)
+			}
+			if s.peek().text != "," {
+				break
+			}
+			s.advance()
+		}
+		if err := s.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.expect(";"); err != nil {
+		return nil, err
+	}
+	return proto, nil
+}
+
+// parseParam handles one parameter, including function pointers like
+// `int (*compar)(const void *, const void *)`.
+func (s *state) parseParam() (Param, error) {
+	base, err := s.parseBaseType()
+	if err != nil {
+		return Param{}, err
+	}
+	t := s.parseStars(base)
+	// Function pointer declarator: ( * name? ) ( params )
+	if s.peek().text == "(" && s.peekAt(1).text == "*" {
+		s.advance() // (
+		s.advance() // *
+		var name string
+		if s.peek().kind == tokIdent {
+			name = s.advance().text
+		}
+		if err := s.expect(")"); err != nil {
+			return Param{}, err
+		}
+		if err := s.expect("("); err != nil {
+			return Param{}, err
+		}
+		depth := 1
+		for depth > 0 {
+			tk := s.advance()
+			switch tk.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+			if tk.kind == tokEOF {
+				return Param{}, fmt.Errorf("unterminated function pointer parameter")
+			}
+		}
+		return Param{Name: name, Type: &CType{Kind: KindFuncPtr, Name: "(*)()"}}, nil
+	}
+	var name string
+	if s.peek().kind == tokIdent {
+		name = s.advance().text
+	}
+	// Array parameter decays to pointer: `char buf[64]`.
+	if s.peek().text == "[" {
+		s.advance()
+		if s.peek().kind == tokNumber {
+			s.advance()
+		}
+		if err := s.expect("]"); err != nil {
+			return Param{}, err
+		}
+		t = &CType{Kind: KindPointer, Name: t.Name + "*", Elem: t}
+	}
+	return Param{Name: name, Type: t}, nil
+}

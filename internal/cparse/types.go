@@ -1,0 +1,201 @@
+package cparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a C type.
+type Kind uint8
+
+// Type kinds.
+const (
+	KindVoid Kind = iota + 1
+	KindInt       // any integer type (size + signedness in the fields)
+	KindFloat
+	KindDouble
+	KindPointer
+	KindStruct
+	KindFuncPtr
+	KindArray
+)
+
+// CType is a parsed C type. Types are trees: a pointer has an Elem, a
+// struct has Fields, an array has Elem and Len.
+type CType struct {
+	Kind     Kind
+	Name     string // spelled name: "int", "size_t", "struct tm", ...
+	Const    bool
+	Size     int // sizeof for scalar kinds (integers)
+	Unsigned bool
+	Elem     *CType   // pointer/array element
+	Len      int      // array length
+	Struct   string   // struct tag for KindStruct
+	Fields   []CField // resolved struct fields (set after resolution)
+}
+
+// CField is one member of a struct definition.
+type CField struct {
+	Name string
+	Type *CType
+}
+
+// PointerSize is the simulated ABI pointer width.
+const PointerSize = 8
+
+// String renders the type approximately as C source.
+func (t *CType) String() string {
+	if t == nil {
+		return "?"
+	}
+	var b strings.Builder
+	if t.Const {
+		b.WriteString("const ")
+	}
+	switch t.Kind {
+	case KindVoid:
+		b.WriteString("void")
+	case KindInt, KindFloat, KindDouble:
+		b.WriteString(t.Name)
+	case KindStruct:
+		fmt.Fprintf(&b, "struct %s", t.Struct)
+	case KindPointer:
+		b.WriteString(t.Elem.String())
+		b.WriteString("*")
+	case KindArray:
+		fmt.Fprintf(&b, "%s[%d]", t.Elem.String(), t.Len)
+	case KindFuncPtr:
+		b.WriteString("int (*)()")
+	}
+	return b.String()
+}
+
+// IsPointer reports whether the type is any pointer (including function
+// pointers).
+func (t *CType) IsPointer() bool {
+	return t != nil && (t.Kind == KindPointer || t.Kind == KindFuncPtr)
+}
+
+// Prototype is a parsed function declaration.
+type Prototype struct {
+	Name     string
+	Ret      *CType
+	Params   []Param
+	Variadic bool
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Name string
+	Type *CType
+}
+
+func (p *Prototype) String() string {
+	var b strings.Builder
+	b.WriteString(p.Ret.String())
+	b.WriteString(" ")
+	b.WriteString(p.Name)
+	b.WriteString("(")
+	for i, pa := range p.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(pa.Type.String())
+		if pa.Name != "" {
+			b.WriteString(" " + pa.Name)
+		}
+	}
+	if p.Variadic {
+		if len(p.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+// TypeTable accumulates typedefs and struct definitions across parsed
+// headers, so that sizeof can be computed after all headers are seen.
+type TypeTable struct {
+	typedefs map[string]*CType
+	structs  map[string][]CField
+}
+
+// NewTypeTable returns a table preloaded with the builtin scalar types
+// of the simulated ABI (packed layout, 8-byte pointers and longs).
+func NewTypeTable() *TypeTable {
+	tt := &TypeTable{
+		typedefs: make(map[string]*CType),
+		structs:  make(map[string][]CField),
+	}
+	return tt
+}
+
+func builtinType(name string) *CType {
+	switch name {
+	case "void":
+		return &CType{Kind: KindVoid, Name: "void"}
+	case "char":
+		return &CType{Kind: KindInt, Name: "char", Size: 1}
+	case "short":
+		return &CType{Kind: KindInt, Name: "short", Size: 2}
+	case "int":
+		return &CType{Kind: KindInt, Name: "int", Size: 4}
+	case "long":
+		return &CType{Kind: KindInt, Name: "long", Size: 8}
+	case "float":
+		return &CType{Kind: KindFloat, Name: "float", Size: 4}
+	case "double":
+		return &CType{Kind: KindDouble, Name: "double", Size: 8}
+	}
+	return nil
+}
+
+// DefineTypedef records name as an alias for t.
+func (tt *TypeTable) DefineTypedef(name string, t *CType) {
+	tt.typedefs[name] = t
+}
+
+// DefineStruct records the fields of struct tag.
+func (tt *TypeTable) DefineStruct(tag string, fields []CField) {
+	tt.structs[tag] = fields
+}
+
+// LookupTypedef resolves a typedef name.
+func (tt *TypeTable) LookupTypedef(name string) (*CType, bool) {
+	t, ok := tt.typedefs[name]
+	return t, ok
+}
+
+// StructFields returns the field list of struct tag.
+func (tt *TypeTable) StructFields(tag string) ([]CField, bool) {
+	f, ok := tt.structs[tag]
+	return f, ok
+}
+
+// Sizeof computes the size of t under the simulated ABI: packed struct
+// layout (no padding), 8-byte pointers. Unknown structs have size 0.
+func (tt *TypeTable) Sizeof(t *CType) int {
+	switch t.Kind {
+	case KindVoid:
+		return 0
+	case KindInt, KindFloat, KindDouble:
+		return t.Size
+	case KindPointer, KindFuncPtr:
+		return PointerSize
+	case KindArray:
+		return t.Len * tt.Sizeof(t.Elem)
+	case KindStruct:
+		fields, ok := tt.structs[t.Struct]
+		if !ok {
+			return 0
+		}
+		var total int
+		for _, f := range fields {
+			total += tt.Sizeof(f.Type)
+		}
+		return total
+	}
+	return 0
+}

@@ -1,0 +1,45 @@
+package csim
+
+import "healers/internal/cmem"
+
+// Callback support: simulated function pointers. Code addresses live in
+// a dedicated text-segment range; calling an unregistered address raises
+// SIGSEGV at that address, which is how a C program dies when it jumps
+// through a garbage function pointer (qsort with a bad comparator).
+
+const (
+	textBase cmem.Addr = 0x0000_0040_0000 // classic ELF text base
+	textStep cmem.Addr = 16               // one "function" every 16 bytes
+	textSize cmem.Addr = 1 << 20
+)
+
+// Callback is a simulated C function value.
+type Callback func(p *Process, args []uint64) uint64
+
+// RegisterCallback installs fn at a fresh simulated code address and
+// returns that address. The address can be passed to library functions
+// expecting a function pointer.
+func (p *Process) RegisterCallback(fn Callback) cmem.Addr {
+	if p.callbacks == nil {
+		p.callbacks = make(map[cmem.Addr]Callback)
+	}
+	addr := textBase + textStep*cmem.Addr(len(p.callbacks)+1)
+	p.callbacks[addr] = fn
+	return addr
+}
+
+// CallPtr invokes the function at code address addr. Jumping to an
+// address that holds no function raises SIGSEGV at that address.
+func (p *Process) CallPtr(addr cmem.Addr, args []uint64) uint64 {
+	fn, ok := p.callbacks[addr]
+	if !ok {
+		p.RaiseSegv(&cmem.Fault{Addr: addr, Access: cmem.AccessRead})
+	}
+	p.Step()
+	return fn(p, args)
+}
+
+// IsCode reports whether addr is inside the simulated text segment.
+func (p *Process) IsCode(addr cmem.Addr) bool {
+	return addr >= textBase && addr < textBase+textSize
+}

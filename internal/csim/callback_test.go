@@ -1,0 +1,119 @@
+package csim
+
+import (
+	"testing"
+
+	"healers/internal/cmem"
+)
+
+func TestCallbackRegistrationAndCall(t *testing.T) {
+	p := NewProcess(nil)
+	addr := p.RegisterCallback(func(pp *Process, args []uint64) uint64 {
+		return args[0] + args[1]
+	})
+	if !p.IsCode(addr) {
+		t.Error("callback address not in text segment")
+	}
+	if got := p.CallPtr(addr, []uint64{2, 3}); got != 5 {
+		t.Errorf("CallPtr = %d", got)
+	}
+}
+
+func TestCallPtrGarbageRaisesSegv(t *testing.T) {
+	p := NewProcess(nil)
+	out := p.Run(func() uint64 {
+		return p.CallPtr(0xdeadbeef, nil)
+	})
+	if out.Kind != OutcomeSegfault {
+		t.Fatalf("CallPtr(garbage) = %v", out)
+	}
+	if out.Fault.Addr != 0xdeadbeef {
+		t.Errorf("fault at %#x", uint64(out.Fault.Addr))
+	}
+}
+
+func TestCallbacksSurviveFork(t *testing.T) {
+	p := NewProcess(nil)
+	addr := p.RegisterCallback(func(pp *Process, args []uint64) uint64 { return 7 })
+	c := p.Fork()
+	if got := c.CallPtr(addr, nil); got != 7 {
+		t.Errorf("forked CallPtr = %d", got)
+	}
+}
+
+func TestStaticAreasArePerOwnerAndStable(t *testing.T) {
+	p := NewProcess(nil)
+	a1 := p.Static("x", 64)
+	a2 := p.Static("x", 64)
+	b1 := p.Static("y", 64)
+	if a1 != a2 {
+		t.Error("same owner returned different statics")
+	}
+	if a1 == b1 {
+		t.Error("different owners share a static")
+	}
+	p.StoreU64(a1, 42)
+	c := p.Fork()
+	if c.Static("x", 64) != a1 {
+		t.Error("fork lost the static address")
+	}
+	if v := c.LoadU64(a1); v != 42 {
+		t.Errorf("fork lost static contents: %d", v)
+	}
+}
+
+func TestStdinConsumption(t *testing.T) {
+	p := NewProcess(nil)
+	p.Stdin = []byte("ab")
+	if b, ok := p.StdinReadByte(); !ok || b != 'a' {
+		t.Errorf("first = %c %v", b, ok)
+	}
+	c := p.Fork() // child inherits the read position
+	if b, ok := c.StdinReadByte(); !ok || b != 'b' {
+		t.Errorf("forked second = %c %v", b, ok)
+	}
+	// Parent position unaffected by the child.
+	if b, ok := p.StdinReadByte(); !ok || b != 'b' {
+		t.Errorf("parent second = %c %v", b, ok)
+	}
+	if _, ok := p.StdinReadByte(); ok {
+		t.Error("EOF not reported")
+	}
+}
+
+func TestCopyFromUserFailsOnBadMemory(t *testing.T) {
+	p := NewProcess(nil)
+	if _, ok := p.CopyFromUser(0xdead0000, 4); ok {
+		t.Error("bad read succeeded")
+	}
+	if p.CopyToUser(0xdead0000, []byte{1}) {
+		t.Error("bad write succeeded")
+	}
+	if _, ok := p.StrFromUser(0); ok {
+		t.Error("null string read succeeded")
+	}
+	buf, err := p.Mem.MmapRegion(16, cmem.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Mem.WriteCString(buf, "hi")
+	if s, ok := p.StrFromUser(buf); !ok || s != "hi" {
+		t.Errorf("StrFromUser = %q %v", s, ok)
+	}
+}
+
+func TestFSCloneIsolation(t *testing.T) {
+	fs := NewFS()
+	fs.Create("/f", []byte("original"))
+	c := fs.Clone()
+	cf, _ := c.Lookup("/f")
+	cf.Data[0] = 'X'
+	c.Remove("/f")
+	of, ok := fs.Lookup("/f")
+	if !ok {
+		t.Fatal("original lost the file")
+	}
+	if string(of.Data) != "original" {
+		t.Errorf("original mutated: %q", of.Data)
+	}
+}

@@ -1,0 +1,426 @@
+// Package csim simulates a Unix process hosting the C library under test.
+//
+// A Process owns a simulated address space (package cmem), an errno cell,
+// a file-descriptor table over an in-memory filesystem, and a step budget
+// used to detect hangs. Simulated C functions access memory through the
+// Load*/Store* helpers, which raise a simulated SIGSEGV (an internal
+// panic) on a bad access; Run recovers the signal and reports a structured
+// Outcome, exactly as the paper's child process converts signals into
+// observations for the fault injector.
+package csim
+
+import (
+	"fmt"
+
+	"healers/internal/cmem"
+)
+
+// Errno values used by the simulated library. The numeric values match
+// Linux so that generated declarations read naturally.
+const (
+	EPERM   = 1
+	ENOENT  = 2
+	EINTR   = 4
+	EIO     = 5
+	EBADF   = 9
+	ENOMEM  = 12
+	EACCES  = 13
+	EFAULT  = 14
+	EEXIST  = 17
+	ENOTDIR = 20
+	EISDIR  = 21
+	EINVAL  = 22
+	EMFILE  = 24
+	ERANGE  = 34
+)
+
+// ErrnoName returns the symbolic name for an errno value, for use in
+// generated declarations and reports.
+func ErrnoName(e int) string {
+	switch e {
+	case 0:
+		return "0"
+	case EPERM:
+		return "EPERM"
+	case ENOENT:
+		return "ENOENT"
+	case EINTR:
+		return "EINTR"
+	case EIO:
+		return "EIO"
+	case EBADF:
+		return "EBADF"
+	case ENOMEM:
+		return "ENOMEM"
+	case EACCES:
+		return "EACCES"
+	case EFAULT:
+		return "EFAULT"
+	case EEXIST:
+		return "EEXIST"
+	case ENOTDIR:
+		return "ENOTDIR"
+	case EISDIR:
+		return "EISDIR"
+	case EINVAL:
+		return "EINVAL"
+	case EMFILE:
+		return "EMFILE"
+	case ERANGE:
+		return "ERANGE"
+	}
+	return fmt.Sprintf("E#%d", e)
+}
+
+// OutcomeKind classifies what a sandboxed call did.
+type OutcomeKind uint8
+
+// Outcome kinds. A call either returns normally, dies on a simulated
+// SIGSEGV, exceeds its step budget (a hang), or aborts.
+const (
+	OutcomeReturn OutcomeKind = iota + 1
+	OutcomeSegfault
+	OutcomeHang
+	OutcomeAbort
+)
+
+func (k OutcomeKind) String() string {
+	switch k {
+	case OutcomeReturn:
+		return "return"
+	case OutcomeSegfault:
+		return "segfault"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeAbort:
+		return "abort"
+	}
+	return fmt.Sprintf("OutcomeKind(%d)", uint8(k))
+}
+
+// Outcome is the observable result of one sandboxed call.
+type Outcome struct {
+	Kind  OutcomeKind
+	Ret   uint64      // return value, valid when Kind == OutcomeReturn
+	Errno int         // errno after the call (0 if untouched)
+	Fault *cmem.Fault // faulting access, valid when Kind == OutcomeSegfault
+}
+
+// Crashed reports whether the outcome is any of the failure kinds the
+// paper counts as a robustness violation (crash, hang, or abort).
+func (o Outcome) Crashed() bool {
+	return o.Kind == OutcomeSegfault || o.Kind == OutcomeHang || o.Kind == OutcomeAbort
+}
+
+func (o Outcome) String() string {
+	switch o.Kind {
+	case OutcomeReturn:
+		return fmt.Sprintf("return %#x (errno %s)", o.Ret, ErrnoName(o.Errno))
+	case OutcomeSegfault:
+		return fmt.Sprintf("SIGSEGV at %#x", uint64(o.Fault.Addr))
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Internal panic payloads raised by the access helpers and recovered by
+// Run. They never escape this package's sandbox.
+type (
+	segvSignal struct{ fault *cmem.Fault }
+	hangSignal struct{}
+	abrtSignal struct{}
+)
+
+// DefaultStepBudget bounds the simulated work per sandboxed call; a call
+// that exceeds it is classified as a hang, standing in for the paper's
+// timeout on the child process.
+const DefaultStepBudget = 1 << 20
+
+// Process is a simulated process. It is not safe for concurrent use.
+type Process struct {
+	Mem *cmem.Memory
+	FS  *FS
+
+	errno      int
+	errnoSet   bool // errno written since last ClearErrno
+	fds        map[int]*OpenFD
+	nextFD     int
+	steps      int
+	stepBudget int
+	callbacks  map[cmem.Addr]Callback
+
+	// Stdin is the byte stream consumed by gets/fgetc-style reads from
+	// the simulated standard input; stdinPos tracks consumption.
+	Stdin    []byte
+	stdinPos int
+	// Stdout accumulates bytes written by puts/perror for inspection.
+	Stdout []byte
+
+	// statics holds lazily allocated static data areas (e.g. the struct
+	// tm returned by gmtime), keyed by an owner name.
+	statics map[string]cmem.Addr
+
+	// Cwd is the simulated current working directory.
+	Cwd string
+}
+
+// NewProcess returns a fresh process over fs with stdin/stdout/stderr
+// style descriptors left unallocated (fds start at 3, like a shell child).
+func NewProcess(fs *FS) *Process {
+	if fs == nil {
+		fs = NewFS()
+	}
+	return &Process{
+		Mem:        cmem.New(),
+		FS:         fs,
+		fds:        make(map[int]*OpenFD),
+		nextFD:     3,
+		stepBudget: DefaultStepBudget,
+		Cwd:        "/",
+	}
+}
+
+// Fork returns a copy of the process: cloned memory, copied descriptor
+// table (descriptors share open-file state like a real fork), same
+// filesystem. The fault injector forks a child per test call so a crash
+// cannot corrupt the parent.
+func (p *Process) Fork() *Process {
+	c := &Process{
+		Mem:        p.Mem.Clone(),
+		FS:         p.FS.Clone(),
+		errno:      p.errno,
+		errnoSet:   p.errnoSet,
+		fds:        make(map[int]*OpenFD, len(p.fds)),
+		nextFD:     p.nextFD,
+		stepBudget: p.stepBudget,
+		Stdin:      p.Stdin,
+		stdinPos:   p.stdinPos,
+		Stdout:     append([]byte(nil), p.Stdout...),
+		Cwd:        p.Cwd,
+	}
+	for fd, of := range p.fds {
+		c.fds[fd] = of
+	}
+	if p.statics != nil {
+		c.statics = make(map[string]cmem.Addr, len(p.statics))
+		for k, v := range p.statics {
+			c.statics[k] = v
+		}
+	}
+	if p.callbacks != nil {
+		c.callbacks = make(map[cmem.Addr]Callback, len(p.callbacks))
+		for a, fn := range p.callbacks {
+			c.callbacks[a] = fn
+		}
+	}
+	return c
+}
+
+// SetStepBudget overrides the hang-detection budget for this process.
+func (p *Process) SetStepBudget(n int) { p.stepBudget = n }
+
+// Errno returns the current simulated errno value.
+func (p *Process) Errno() int { return p.errno }
+
+// ErrnoSet reports whether errno was written since the last ClearErrno.
+// The injector uses this to classify error-return-code behaviour: a
+// function that returns an error value without touching errno belongs
+// to the paper's "No Error Return Code Found" class.
+func (p *Process) ErrnoSet() bool { return p.errnoSet }
+
+// SetErrno sets the simulated errno.
+func (p *Process) SetErrno(e int) {
+	p.errno = e
+	p.errnoSet = true
+}
+
+// ClearErrno resets errno observation before a call, mirroring the
+// injector clearing errno to 0 ahead of each experiment.
+func (p *Process) ClearErrno() {
+	p.errno = 0
+	p.errnoSet = false
+}
+
+// Step consumes one unit of the step budget. Simulated functions call it
+// inside loops; exceeding the budget raises a hang signal.
+func (p *Process) Step() {
+	p.steps++
+	if p.steps > p.stepBudget {
+		panic(hangSignal{})
+	}
+}
+
+// Abort raises a simulated SIGABRT (an assertion failure in the library).
+func (p *Process) Abort() { panic(abrtSignal{}) }
+
+// RaiseSegv raises a simulated SIGSEGV for the given fault. Simulated
+// library code uses it for faults detected outside the Load/Store
+// helpers (e.g. a jump through a corrupted function pointer).
+func (p *Process) RaiseSegv(f *cmem.Fault) { panic(segvSignal{fault: f}) }
+
+// Run executes fn in the fault sandbox and reports its outcome. The step
+// counter is reset; errno observation is NOT reset (callers decide).
+func (p *Process) Run(fn func() uint64) (out Outcome) {
+	p.steps = 0
+	defer func() {
+		r := recover()
+		switch sig := r.(type) {
+		case nil:
+		case segvSignal:
+			out = Outcome{Kind: OutcomeSegfault, Errno: p.errno, Fault: sig.fault}
+		case hangSignal:
+			out = Outcome{Kind: OutcomeHang, Errno: p.errno}
+		case abrtSignal:
+			out = Outcome{Kind: OutcomeAbort, Errno: p.errno}
+		default:
+			panic(r) // a real bug in the simulator; do not swallow it
+		}
+	}()
+	ret := fn()
+	return Outcome{Kind: OutcomeReturn, Ret: ret, Errno: p.errno}
+}
+
+// --- Faulting memory accessors used by simulated C code ---
+
+// Load reads n bytes at addr or raises SIGSEGV.
+func (p *Process) Load(addr cmem.Addr, n int) []byte {
+	b, f := p.Mem.Read(addr, n)
+	if f != nil {
+		panic(segvSignal{fault: f})
+	}
+	return b
+}
+
+// Store writes data at addr or raises SIGSEGV.
+func (p *Process) Store(addr cmem.Addr, data []byte) {
+	if f := p.Mem.Write(addr, data); f != nil {
+		panic(segvSignal{fault: f})
+	}
+}
+
+// LoadByte reads one byte or raises SIGSEGV.
+func (p *Process) LoadByte(addr cmem.Addr) byte {
+	b, f := p.Mem.LoadByte(addr)
+	if f != nil {
+		panic(segvSignal{fault: f})
+	}
+	return b
+}
+
+// StoreByte writes one byte or raises SIGSEGV.
+func (p *Process) StoreByte(addr cmem.Addr, b byte) {
+	if f := p.Mem.StoreByte(addr, b); f != nil {
+		panic(segvSignal{fault: f})
+	}
+}
+
+// LoadU32 reads a 32-bit value or raises SIGSEGV.
+func (p *Process) LoadU32(addr cmem.Addr) uint32 {
+	v, f := p.Mem.ReadU32(addr)
+	if f != nil {
+		panic(segvSignal{fault: f})
+	}
+	return v
+}
+
+// StoreU32 writes a 32-bit value or raises SIGSEGV.
+func (p *Process) StoreU32(addr cmem.Addr, v uint32) {
+	if f := p.Mem.WriteU32(addr, v); f != nil {
+		panic(segvSignal{fault: f})
+	}
+}
+
+// LoadU64 reads a 64-bit value or raises SIGSEGV.
+func (p *Process) LoadU64(addr cmem.Addr) uint64 {
+	v, f := p.Mem.ReadU64(addr)
+	if f != nil {
+		panic(segvSignal{fault: f})
+	}
+	return v
+}
+
+// StoreU64 writes a 64-bit value or raises SIGSEGV.
+func (p *Process) StoreU64(addr cmem.Addr, v uint64) {
+	if f := p.Mem.WriteU64(addr, v); f != nil {
+		panic(segvSignal{fault: f})
+	}
+}
+
+// LoadCString reads a NUL-terminated string or raises SIGSEGV.
+func (p *Process) LoadCString(addr cmem.Addr) string {
+	s, f := p.Mem.CString(addr)
+	if f != nil {
+		panic(segvSignal{fault: f})
+	}
+	return s
+}
+
+// StoreCString writes s plus a terminator or raises SIGSEGV.
+func (p *Process) StoreCString(addr cmem.Addr, s string) {
+	if f := p.Mem.WriteCString(addr, s); f != nil {
+		panic(segvSignal{fault: f})
+	}
+}
+
+// Static returns (allocating on first use) a static data area of the
+// given size owned by name — the simulated equivalent of a library's
+// .bss buffer, such as the struct tm that gmtime returns.
+func (p *Process) Static(name string, size int) cmem.Addr {
+	if a, ok := p.statics[name]; ok {
+		return a
+	}
+	a, err := p.Mem.MmapRegion(size, cmem.ProtRW)
+	if err != nil {
+		p.SetErrno(ENOMEM)
+		return 0
+	}
+	if p.statics == nil {
+		p.statics = make(map[string]cmem.Addr)
+	}
+	p.statics[name] = a
+	return a
+}
+
+// StdinReadByte consumes one byte of standard input; ok is false at EOF.
+func (p *Process) StdinReadByte() (byte, bool) {
+	if p.stdinPos >= len(p.Stdin) {
+		return 0, false
+	}
+	b := p.Stdin[p.stdinPos]
+	p.stdinPos++
+	return b, true
+}
+
+// --- EFAULT-style user-pointer probing (syscall boundary) ---
+//
+// Kernel-backed functions do not crash on bad user pointers; the kernel
+// copy routines fail and the syscall returns EFAULT. These helpers give
+// the simulated syscall layer the same behaviour.
+
+// CopyFromUser reads n bytes without faulting; ok is false if any byte
+// is unreadable.
+func (p *Process) CopyFromUser(addr cmem.Addr, n int) ([]byte, bool) {
+	b, f := p.Mem.Read(addr, n)
+	return b, f == nil
+}
+
+// CopyToUser writes data without faulting; ok is false on bad memory.
+func (p *Process) CopyToUser(addr cmem.Addr, data []byte) bool {
+	return p.Mem.Write(addr, data) == nil
+}
+
+// StrFromUser reads a NUL-terminated string without faulting.
+func (p *Process) StrFromUser(addr cmem.Addr) (string, bool) {
+	s, f := p.Mem.CString(addr)
+	return s, f == nil
+}
+
+// Malloc allocates simulated heap memory, setting errno on exhaustion.
+func (p *Process) Malloc(size int) cmem.Addr {
+	a, err := p.Mem.Malloc(size)
+	if err != nil {
+		p.SetErrno(ENOMEM)
+		return 0
+	}
+	return a
+}

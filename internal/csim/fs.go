@@ -1,0 +1,210 @@
+package csim
+
+import (
+	"path"
+	"sort"
+)
+
+// VFile is an in-memory file. Files are shared between processes like
+// inodes on a real system.
+type VFile struct {
+	Data  []byte
+	Mode  uint32 // permission bits, 0644-style
+	IsDir bool
+	Ino   uint64
+}
+
+// FS is an in-memory filesystem shared by simulated processes.
+type FS struct {
+	files   map[string]*VFile
+	nextIno uint64
+}
+
+// NewFS returns a filesystem containing only the root directory.
+func NewFS() *FS {
+	fs := &FS{files: make(map[string]*VFile), nextIno: 2}
+	fs.files["/"] = &VFile{IsDir: true, Mode: 0o755, Ino: 1}
+	return fs
+}
+
+// Create adds (or truncates) a regular file with the given contents.
+func (fs *FS) Create(name string, data []byte) *VFile {
+	name = path.Clean(name)
+	fs.mkParents(name)
+	f := &VFile{Data: append([]byte(nil), data...), Mode: 0o644, Ino: fs.nextIno}
+	fs.nextIno++
+	fs.files[name] = f
+	return f
+}
+
+// Mkdir adds a directory (and any missing parents).
+func (fs *FS) Mkdir(name string) *VFile {
+	name = path.Clean(name)
+	if f, ok := fs.files[name]; ok && f.IsDir {
+		return f
+	}
+	fs.mkParents(name)
+	f := &VFile{IsDir: true, Mode: 0o755, Ino: fs.nextIno}
+	fs.nextIno++
+	fs.files[name] = f
+	return f
+}
+
+func (fs *FS) mkParents(name string) {
+	dir := path.Dir(name)
+	if dir == name || dir == "." {
+		return
+	}
+	if f, ok := fs.files[dir]; ok && f.IsDir {
+		return
+	}
+	fs.Mkdir(dir)
+}
+
+// Clone deep-copies the filesystem. Fork gives each child its own
+// clone so a test that truncates or unlinks a fixture cannot pollute
+// sibling tests — the moral equivalent of each Ballista test program
+// recreating its fixtures. Note that already-open descriptors keep
+// referencing the pre-clone inodes (like POSIX shared open-file
+// descriptions); templates fork with no descriptors open.
+func (fs *FS) Clone() *FS {
+	c := &FS{files: make(map[string]*VFile, len(fs.files)), nextIno: fs.nextIno}
+	for name, f := range fs.files {
+		cf := *f
+		cf.Data = append([]byte(nil), f.Data...)
+		c.files[name] = &cf
+	}
+	return c
+}
+
+// Lookup finds a file by name.
+func (fs *FS) Lookup(name string) (*VFile, bool) {
+	f, ok := fs.files[path.Clean(name)]
+	return f, ok
+}
+
+// Remove deletes a file by name.
+func (fs *FS) Remove(name string) bool {
+	name = path.Clean(name)
+	if _, ok := fs.files[name]; !ok {
+		return false
+	}
+	delete(fs.files, name)
+	return true
+}
+
+// List returns the sorted child names of a directory.
+func (fs *FS) List(dir string) []string {
+	dir = path.Clean(dir)
+	var out []string
+	for name := range fs.files {
+		if name == dir {
+			continue
+		}
+		if path.Dir(name) == dir {
+			out = append(out, path.Base(name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open-file access modes.
+type AccessMode uint8
+
+// Access modes for open descriptors.
+const (
+	ReadOnly AccessMode = iota + 1
+	WriteOnly
+	ReadWrite
+)
+
+// Readable reports whether the mode permits reading.
+func (m AccessMode) Readable() bool { return m == ReadOnly || m == ReadWrite }
+
+// Writable reports whether the mode permits writing.
+func (m AccessMode) Writable() bool { return m == WriteOnly || m == ReadWrite }
+
+// OpenFD is an open-file description, shared across forked descriptor
+// tables like a real kernel's file table entry.
+type OpenFD struct {
+	File   *VFile
+	Name   string
+	Mode   AccessMode
+	Pos    int
+	Append bool
+
+	// Directory streams.
+	IsDir   bool
+	Entries []string
+	DirPos  int
+}
+
+// OpenFile opens name with the given mode, allocating a descriptor.
+// It returns -1 and sets errno on failure.
+func (p *Process) OpenFile(name string, mode AccessMode, create bool) int {
+	f, ok := p.FS.Lookup(name)
+	if !ok {
+		if !create {
+			p.SetErrno(ENOENT)
+			return -1
+		}
+		f = p.FS.Create(name, nil)
+	}
+	if f.IsDir && mode.Writable() {
+		p.SetErrno(EISDIR)
+		return -1
+	}
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = &OpenFD{File: f, Name: name, Mode: mode}
+	return fd
+}
+
+// OpenDir opens a directory stream descriptor.
+func (p *Process) OpenDir(name string) int {
+	f, ok := p.FS.Lookup(name)
+	if !ok {
+		p.SetErrno(ENOENT)
+		return -1
+	}
+	if !f.IsDir {
+		p.SetErrno(ENOTDIR)
+		return -1
+	}
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = &OpenFD{File: f, Name: name, Mode: ReadOnly, IsDir: true, Entries: p.FS.List(name)}
+	return fd
+}
+
+// FD resolves a descriptor, returning nil if it is not open.
+func (p *Process) FD(fd int) *OpenFD {
+	if fd < 0 {
+		return nil
+	}
+	return p.fds[fd]
+}
+
+// CloseFD closes a descriptor. Returns false (EBADF) if not open.
+func (p *Process) CloseFD(fd int) bool {
+	if _, ok := p.fds[fd]; !ok {
+		p.SetErrno(EBADF)
+		return false
+	}
+	delete(p.fds, fd)
+	return true
+}
+
+// OpenFDCount returns the number of open descriptors (tests use this to
+// detect descriptor leaks in wrappers).
+func (p *Process) OpenFDCount() int { return len(p.fds) }
+
+// DupFD installs an additional descriptor sharing the open-file
+// description of and returns its number.
+func (p *Process) DupFD(of *OpenFD) int {
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = of
+	return fd
+}

@@ -1,0 +1,305 @@
+package decl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeExprStringRoundTrip(t *testing.T) {
+	exprs := []SizeExpr{
+		Fixed(44),
+		Fixed(0),
+		{Kind: SizeStrlenPlus1, A: 1},
+		{Kind: SizeArgValue, A: 2},
+		{Kind: SizeArgProduct, A: 1, B: 2},
+		{Kind: SizeStrlenSumPlus1, A: 0, B: 1},
+		{Kind: SizeMinStrlenP1N, A: 2, B: 1},
+		{Kind: SizeMinStrlenNP1, A: 1, B: 2},
+	}
+	for _, e := range exprs {
+		s := e.String()
+		got, err := parseSizeExpr(s)
+		if err != nil {
+			t.Errorf("parse(%q): %v", s, err)
+			continue
+		}
+		if got != e {
+			t.Errorf("round trip %q: got %+v, want %+v", s, got, e)
+		}
+	}
+}
+
+type fakeArgs struct {
+	strlens map[int]int
+	vals    map[int]int64
+}
+
+func (f fakeArgs) Strlen(i int) (int, bool) {
+	l, ok := f.strlens[i]
+	return l, ok
+}
+func (f fakeArgs) Value(i int) int64 { return f.vals[i] }
+
+func TestSizeExprEval(t *testing.T) {
+	args := fakeArgs{
+		strlens: map[int]int{1: 5, 2: 10},
+		vals:    map[int]int64{0: 8, 3: 4},
+	}
+	tests := []struct {
+		expr   SizeExpr
+		want   int
+		wantOK bool
+	}{
+		{Fixed(44), 44, true},
+		{SizeExpr{Kind: SizeStrlenPlus1, A: 1}, 6, true},
+		{SizeExpr{Kind: SizeStrlenPlus1, A: 0}, 0, false}, // not a string
+		{SizeExpr{Kind: SizeArgValue, A: 0}, 8, true},
+		{SizeExpr{Kind: SizeArgProduct, A: 0, B: 3}, 32, true},
+		{SizeExpr{Kind: SizeStrlenSumPlus1, A: 1, B: 2}, 16, true},
+		{SizeExpr{Kind: SizeMinStrlenP1N, A: 1, B: 0}, 6, true}, // min(6, 8)
+		{SizeExpr{Kind: SizeMinStrlenP1N, A: 2, B: 3}, 4, true}, // min(11, 4)
+		{SizeExpr{Kind: SizeMinStrlenNP1, A: 1, B: 3}, 5, true}, // min(5,4)+1
+		{SizeExpr{Kind: SizeMinStrlenNP1, A: 1, B: 0}, 6, true}, // min(5,8)+1
+	}
+	for _, tt := range tests {
+		got, ok := tt.expr.Eval(args)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("%s.Eval = %d, %v; want %d, %v", tt.expr, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestSizeExprEvalRejectsNegativeAndOverflow(t *testing.T) {
+	args := fakeArgs{vals: map[int]int64{0: -1, 1: 1 << 50, 2: 1 << 50}}
+	if _, ok := (SizeExpr{Kind: SizeArgValue, A: 0}).Eval(args); ok {
+		t.Error("negative value accepted")
+	}
+	if _, ok := (SizeExpr{Kind: SizeArgProduct, A: 1, B: 2}).Eval(args); ok {
+		t.Error("overflowing product accepted")
+	}
+}
+
+func TestRobustTypeParseAndString(t *testing.T) {
+	tests := []string{
+		"R_ARRAY_NULL[44]",
+		"W_ARRAY[strlen(arg1)+1]",
+		"RW_ARRAY[arg1*arg2]",
+		"R_BOUNDED[arg2]",
+		"W_ARRAY[min(strlen(arg1),arg2)+1]",
+		"OPEN_FILE",
+		"CSTR",
+		"UNCONSTRAINED",
+	}
+	for _, s := range tests {
+		rt, err := ParseRobustType(s)
+		if err != nil {
+			t.Errorf("ParseRobustType(%q): %v", s, err)
+			continue
+		}
+		if got := rt.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, err := ParseRobustType("R_ARRAY[bogus]"); err == nil {
+		t.Error("bogus size accepted")
+	}
+	if _, err := ParseRobustType("R_ARRAY[44"); err == nil {
+		t.Error("unterminated bracket accepted")
+	}
+}
+
+func TestPropertyFixedRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		rt := RobustType{Base: "R_ARRAY", Size: Fixed(int(n))}
+		back, err := ParseRobustType(rt.String())
+		return err == nil && back == rt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sampleDecl() *FuncDecl {
+	return &FuncDecl{
+		Name:    "strcpy",
+		Version: "HLIBC_2.2",
+		Ret:     "char*",
+		Args: []ArgDecl{
+			{CType: "char*", Robust: RobustType{Base: "W_ARRAY", Size: SizeExpr{Kind: SizeStrlenPlus1, A: 1}}},
+			{CType: "const char*", Robust: RobustType{Base: "CSTR"}},
+		},
+		HasErrorValue: true,
+		ErrorValue:    0,
+		Errnos:        []string{"EINVAL"},
+		ErrnoOnReject: 22,
+		Attribute:     AttrUnsafe,
+		ErrClass:      ErrClassNotFound,
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	d := sampleDecl()
+	data, err := d.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Version != d.Version || back.Ret != d.Ret {
+		t.Errorf("header mismatch: %+v", back)
+	}
+	if len(back.Args) != 2 {
+		t.Fatalf("args = %d", len(back.Args))
+	}
+	if back.Args[0].Robust.String() != "W_ARRAY[strlen(arg1)+1]" {
+		t.Errorf("arg0 robust = %s", back.Args[0].Robust)
+	}
+	if !back.HasErrorValue || back.ErrorValue != 0 {
+		t.Errorf("error value lost: %v %d", back.HasErrorValue, back.ErrorValue)
+	}
+	if back.Attribute != AttrUnsafe {
+		t.Errorf("attribute = %s", back.Attribute)
+	}
+}
+
+func TestXMLNegativeErrorValue(t *testing.T) {
+	d := sampleDecl()
+	d.Ret = "int"
+	d.ErrorValue = ^uint64(0)
+	data, _ := d.EncodeXML()
+	if !strings.Contains(string(data), "<error_value>-1</error_value>") {
+		t.Errorf("missing -1: %s", data)
+	}
+	back, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ErrorValue != ^uint64(0) {
+		t.Errorf("error value = %d", int64(back.ErrorValue))
+	}
+}
+
+func TestMarshalSetXML(t *testing.T) {
+	set := NewDeclSet()
+	set.Add(sampleDecl())
+	a := sampleDecl()
+	a.Name = "asctime"
+	set.Add(a)
+	data, err := set.MarshalSetXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "<functions>") || !strings.HasSuffix(strings.TrimSpace(s), "</functions>") {
+		t.Errorf("missing wrapper element:\n%s", s)
+	}
+	// Sorted: asctime before strcpy.
+	if strings.Index(s, "asctime") > strings.Index(s, "strcpy") {
+		t.Error("set not sorted")
+	}
+}
+
+func TestDeclSetClone(t *testing.T) {
+	set := NewDeclSet()
+	set.Add(sampleDecl())
+	clone := set.Clone()
+	d, _ := clone.Get("strcpy")
+	d.Assertions = append(d.Assertions, AssertValidDir)
+	d.Args[0].Robust.Base = "UNCONSTRAINED"
+	orig, _ := set.Get("strcpy")
+	if len(orig.Assertions) != 0 {
+		t.Error("clone shares assertions")
+	}
+	if orig.Args[0].Robust.Base != "W_ARRAY" {
+		t.Error("clone shares args")
+	}
+}
+
+func TestApplySemiAutoEdits(t *testing.T) {
+	set := NewDeclSet()
+	set.Add(&FuncDecl{
+		Name:      "readdir",
+		Ret:       "struct dirent*",
+		Args:      []ArgDecl{{CType: "struct __dirstream*", Robust: RobustType{Base: "OPEN_DIR"}}},
+		Attribute: AttrUnsafe,
+	})
+	set.Add(&FuncDecl{
+		Name:      "fgetc",
+		Ret:       "int",
+		Args:      []ArgDecl{{CType: "struct _IO_FILE*", Robust: RobustType{Base: "OPEN_FILE"}}},
+		Attribute: AttrUnsafe,
+	})
+	set.Add(&FuncDecl{
+		Name:      "read",
+		Ret:       "ssize_t",
+		Args:      []ArgDecl{{CType: "int"}, {CType: "void*"}, {CType: "size_t"}},
+		Attribute: AttrSafe,
+	})
+	semi := ApplySemiAutoEdits(set)
+
+	rd, _ := semi.Get("readdir")
+	if len(rd.Assertions) != 1 || rd.Assertions[0] != AssertValidDir {
+		t.Errorf("readdir assertions = %v", rd.Assertions)
+	}
+	fg, _ := semi.Get("fgetc")
+	if len(fg.Assertions) != 1 || fg.Assertions[0] != AssertFileIntegrity {
+		t.Errorf("fgetc assertions = %v", fg.Assertions)
+	}
+	r, _ := semi.Get("read")
+	if len(r.Assertions) != 0 {
+		t.Errorf("safe function got assertions: %v", r.Assertions)
+	}
+	// Original untouched.
+	orig, _ := set.Get("readdir")
+	if len(orig.Assertions) != 0 {
+		t.Error("original set mutated")
+	}
+	// Idempotent.
+	again := ApplySemiAutoEdits(semi)
+	rd2, _ := again.Get("readdir")
+	if len(rd2.Assertions) != 1 {
+		t.Errorf("assertions duplicated: %v", rd2.Assertions)
+	}
+}
+
+func TestSetXMLRoundTrip(t *testing.T) {
+	set := NewDeclSet()
+	set.Add(sampleDecl())
+	a := sampleDecl()
+	a.Name = "asctime"
+	a.Assertions = []Assertion{AssertFileIntegrity}
+	set.Add(a)
+	data, err := set.MarshalSetXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSetXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ByName) != 2 {
+		t.Fatalf("functions = %d", len(back.ByName))
+	}
+	d, ok := back.Get("asctime")
+	if !ok || len(d.Assertions) != 1 || d.Assertions[0] != AssertFileIntegrity {
+		t.Errorf("assertions lost: %+v", d)
+	}
+	s, _ := back.Get("strcpy")
+	if s.Args[0].Robust.String() != "W_ARRAY[strlen(arg1)+1]" {
+		t.Errorf("robust type lost: %s", s.Args[0].Robust)
+	}
+	if _, err := UnmarshalSetXML([]byte("not xml")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestErrClassStrings(t *testing.T) {
+	for _, c := range []ErrClass{ErrClassNoReturn, ErrClassConsistent, ErrClassInconsistent, ErrClassNotFound} {
+		if c.String() == "" || strings.Contains(c.String(), "ErrClass(") {
+			t.Errorf("bad string for %d: %s", c, c)
+		}
+	}
+}

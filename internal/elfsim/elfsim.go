@@ -1,0 +1,190 @@
+// Package elfsim implements the simulated shared-object format and the
+// symbol-table dump the extraction pipeline starts from.
+//
+// A real HEALERS deployment runs objdump over libc.so to enumerate the
+// global functions and their symbol versions (paper §3.1). Here the
+// shared object is a compact binary image with a versioned dynamic
+// symbol table; Objdump parses it back. The round trip keeps the
+// pipeline honest: the extractor works from bytes, not from Go values.
+package elfsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Magic identifies a simulated shared object image.
+var Magic = [4]byte{'H', 'S', 'O', 1}
+
+// Binding of a symbol in the dynamic table.
+type Binding uint8
+
+// Symbol bindings. Weak symbols exist in real libraries; the extractor
+// treats them like globals.
+const (
+	BindGlobal Binding = iota + 1
+	BindWeak
+	BindLocal
+)
+
+func (b Binding) String() string {
+	switch b {
+	case BindGlobal:
+		return "GLOBAL"
+	case BindWeak:
+		return "WEAK"
+	case BindLocal:
+		return "LOCAL"
+	}
+	return fmt.Sprintf("Binding(%d)", uint8(b))
+}
+
+// Symbol is one entry of the dynamic symbol table.
+type Symbol struct {
+	Name    string
+	Version string
+	Binding Binding
+	Value   uint64 // simulated code address
+}
+
+// Image is a parsed shared object.
+type Image struct {
+	Soname  string
+	Symbols []Symbol
+}
+
+// Build serializes a shared object image.
+func Build(soname string, syms []Symbol) []byte {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	writeString(&buf, soname)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(syms)))
+	buf.Write(n[:])
+	for _, s := range syms {
+		writeString(&buf, s.Name)
+		writeString(&buf, s.Version)
+		buf.WriteByte(byte(s.Binding))
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], s.Value)
+		buf.Write(v[:])
+	}
+	return buf.Bytes()
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	buf.Write(n[:])
+	buf.WriteString(s)
+}
+
+// Errors returned by Parse.
+var (
+	ErrBadMagic  = errors.New("elfsim: bad magic")
+	ErrTruncated = errors.New("elfsim: truncated image")
+)
+
+// Parse reads a shared object image.
+func Parse(data []byte) (*Image, error) {
+	r := &reader{data: data}
+	var magic [4]byte
+	if !r.read(magic[:]) {
+		return nil, ErrTruncated
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	soname, ok := r.readString()
+	if !ok {
+		return nil, ErrTruncated
+	}
+	var nb [4]byte
+	if !r.read(nb[:]) {
+		return nil, ErrTruncated
+	}
+	count := binary.LittleEndian.Uint32(nb[:])
+	img := &Image{Soname: soname}
+	for i := uint32(0); i < count; i++ {
+		name, ok := r.readString()
+		if !ok {
+			return nil, ErrTruncated
+		}
+		version, ok := r.readString()
+		if !ok {
+			return nil, ErrTruncated
+		}
+		var meta [9]byte
+		if !r.read(meta[:]) {
+			return nil, ErrTruncated
+		}
+		img.Symbols = append(img.Symbols, Symbol{
+			Name:    name,
+			Version: version,
+			Binding: Binding(meta[0]),
+			Value:   binary.LittleEndian.Uint64(meta[1:]),
+		})
+	}
+	return img, nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) read(dst []byte) bool {
+	if r.off+len(dst) > len(r.data) {
+		return false
+	}
+	copy(dst, r.data[r.off:])
+	r.off += len(dst)
+	return true
+}
+
+func (r *reader) readString() (string, bool) {
+	var nb [2]byte
+	if !r.read(nb[:]) {
+		return "", false
+	}
+	n := int(binary.LittleEndian.Uint16(nb[:]))
+	if r.off+n > len(r.data) {
+		return "", false
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s, true
+}
+
+// GlobalFunctions returns the names of all dynamically visible (global
+// or weak) symbols, sorted.
+func (img *Image) GlobalFunctions() []Symbol {
+	var out []Symbol
+	for _, s := range img.Symbols {
+		if s.Binding == BindGlobal || s.Binding == BindWeak {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// IsInternalName reports whether the symbol name follows the C library
+// convention for internal functions: a leading underscore (paper §3.1).
+func IsInternalName(name string) bool {
+	return len(name) > 0 && name[0] == '_'
+}
+
+// Objdump renders the dynamic symbol table as text, one symbol per
+// line, in the spirit of `objdump -T`.
+func Objdump(img *Image) string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "DYNAMIC SYMBOL TABLE for %s:\n", img.Soname)
+	for _, s := range img.GlobalFunctions() {
+		fmt.Fprintf(&buf, "%016x g    DF .text  %s   %s\n", s.Value, s.Version, s.Name)
+	}
+	return buf.String()
+}

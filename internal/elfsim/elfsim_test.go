@@ -1,0 +1,134 @@
+package elfsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSyms() []Symbol {
+	return []Symbol{
+		{Name: "strcpy", Version: "HLIBC_2.2", Binding: BindGlobal, Value: 0x1000},
+		{Name: "_IO_fflush", Version: "HLIBC_2.2", Binding: BindGlobal, Value: 0x1040},
+		{Name: "weak_fn", Version: "HLIBC_2.2", Binding: BindWeak, Value: 0x1080},
+		{Name: "local_fn", Version: "HLIBC_2.2", Binding: BindLocal, Value: 0x10c0},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	img0 := Build("libtest.so.1", sampleSyms())
+	img, err := Parse(img0)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if img.Soname != "libtest.so.1" {
+		t.Errorf("soname = %q", img.Soname)
+	}
+	if len(img.Symbols) != 4 {
+		t.Fatalf("symbols = %d", len(img.Symbols))
+	}
+	if img.Symbols[0].Name != "strcpy" || img.Symbols[0].Value != 0x1000 {
+		t.Errorf("symbol 0 = %+v", img.Symbols[0])
+	}
+}
+
+func TestGlobalFunctionsExcludesLocal(t *testing.T) {
+	img, err := Parse(Build("x.so", sampleSyms()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	globals := img.GlobalFunctions()
+	if len(globals) != 3 {
+		t.Fatalf("globals = %d, want 3 (local excluded)", len(globals))
+	}
+	// Sorted by name.
+	for i := 1; i < len(globals); i++ {
+		if globals[i-1].Name > globals[i].Name {
+			t.Error("globals not sorted")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Error("nil image parsed")
+	}
+	if _, err := Parse([]byte("ELF!")); err != ErrBadMagic {
+		t.Errorf("bad magic err = %v", err)
+	}
+	good := Build("x.so", sampleSyms())
+	for _, cut := range []int{5, 10, len(good) - 1} {
+		if _, err := Parse(good[:cut]); err == nil {
+			t.Errorf("truncated image at %d parsed", cut)
+		}
+	}
+}
+
+func TestIsInternalName(t *testing.T) {
+	tests := []struct {
+		name string
+		want bool
+	}{
+		{"strcpy", false},
+		{"_IO_fflush", true},
+		{"__errno_location", true},
+		{"", false},
+	}
+	for _, tt := range tests {
+		if got := IsInternalName(tt.name); got != tt.want {
+			t.Errorf("IsInternalName(%q) = %v", tt.name, got)
+		}
+	}
+}
+
+func TestObjdumpOutput(t *testing.T) {
+	img, _ := Parse(Build("libhealers.so.2.2", sampleSyms()))
+	out := Objdump(img)
+	if !strings.Contains(out, "libhealers.so.2.2") {
+		t.Error("soname missing from objdump")
+	}
+	if !strings.Contains(out, "strcpy") || !strings.Contains(out, "HLIBC_2.2") {
+		t.Errorf("objdump output:\n%s", out)
+	}
+	if strings.Contains(out, "local_fn") {
+		t.Error("local symbol in objdump of globals")
+	}
+}
+
+func TestPropertyRoundTripAnySymbols(t *testing.T) {
+	f := func(names []string, values []uint64) bool {
+		var syms []Symbol
+		for i, n := range names {
+			if len(n) > 60000 {
+				n = n[:60000]
+			}
+			var v uint64
+			if i < len(values) {
+				v = values[i]
+			}
+			syms = append(syms, Symbol{Name: n, Version: "V1", Binding: BindGlobal, Value: v})
+		}
+		img, err := Parse(Build("so", syms))
+		if err != nil {
+			return false
+		}
+		if len(img.Symbols) != len(syms) {
+			return false
+		}
+		for i := range syms {
+			if img.Symbols[i].Name != syms[i].Name || img.Symbols[i].Value != syms[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBindingString(t *testing.T) {
+	if BindGlobal.String() != "GLOBAL" || BindWeak.String() != "WEAK" || BindLocal.String() != "LOCAL" {
+		t.Error("binding strings wrong")
+	}
+}

@@ -1,0 +1,257 @@
+// Package extract implements phase one of the wrapper generation
+// process (paper Fig. 1 and §3): it enumerates the global functions of
+// the shared library, locates each function's prototype via manual
+// pages with a fallback to a full header search, and parses the headers
+// into C type information.
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/corpus"
+	"healers/internal/cparse"
+	"healers/internal/elfsim"
+	"healers/internal/manpage"
+)
+
+// Source records how a function's prototype was located.
+type Source uint8
+
+// Prototype sources.
+const (
+	SourceNone Source = iota // not found anywhere
+	SourceManPage
+	SourceHeaderSearch
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceManPage:
+		return "man-page"
+	case SourceHeaderSearch:
+		return "header-search"
+	}
+	return "not-found"
+}
+
+// FuncInfo is the extraction result for one symbol.
+type FuncInfo struct {
+	Symbol   elfsim.Symbol
+	Internal bool // leading-underscore internal function
+	Proto    *cparse.Prototype
+	Source   Source
+
+	HasManPage      bool
+	ManNoHeaders    bool // page exists but lists no headers
+	ManWrongHeaders bool // page lists headers that lack the prototype
+}
+
+// Stats are the extraction statistics the paper quotes in §3.
+type Stats struct {
+	Total           int
+	Internal        int
+	External        int
+	WithManPage     int
+	ManNoHeaders    int
+	ManWrongHeaders int
+	FoundViaMan     int
+	FoundViaSearch  int
+	NotFound        int
+}
+
+// InternalFraction returns internal/total.
+func (s Stats) InternalFraction() float64 {
+	return ratio(s.Internal, s.Total)
+}
+
+// ManCoverage returns the fraction of all global functions that have a
+// manual page.
+func (s Stats) ManCoverage() float64 { return ratio(s.WithManPage, s.Total) }
+
+// ManNoHeaderRate returns the fraction of man pages listing no headers.
+func (s Stats) ManNoHeaderRate() float64 { return ratio(s.ManNoHeaders, s.WithManPage) }
+
+// ManWrongHeaderRate returns the fraction of man pages listing wrong
+// headers.
+func (s Stats) ManWrongHeaderRate() float64 { return ratio(s.ManWrongHeaders, s.WithManPage) }
+
+// FoundRate returns the fraction of functions whose prototype was found.
+func (s Stats) FoundRate() float64 {
+	return ratio(s.FoundViaMan+s.FoundViaSearch, s.Total)
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Result is the full extraction output.
+type Result struct {
+	Soname string
+	Funcs  []*FuncInfo
+	Table  *cparse.TypeTable
+	Stats  Stats
+}
+
+// Lookup finds the extraction record for a function name.
+func (r *Result) Lookup(name string) (*FuncInfo, bool) {
+	for _, f := range r.Funcs {
+		if f.Symbol.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the extraction pipeline over a corpus.
+func Run(c *corpus.Corpus) (*Result, error) {
+	img, err := elfsim.Parse(c.Object)
+	if err != nil {
+		return nil, fmt.Errorf("extract: parsing shared object: %w", err)
+	}
+
+	// Parse every header once, resolving includes recursively so that
+	// typedefs defined in bits/ headers are visible to their users.
+	parser := cparse.NewParser(cparse.NewTypeTable())
+	protosByHeader := make(map[string][]*cparse.Prototype)
+	includesOf := make(map[string][]string)
+	visited := make(map[string]bool)
+
+	var parseHeader func(path string) error
+	parseHeader = func(path string) error {
+		if visited[path] {
+			return nil
+		}
+		visited[path] = true
+		src, ok := c.Headers[path]
+		if !ok {
+			return nil // nonexistent header: nothing to parse
+		}
+		// Dependencies first, so typedefs are defined before use.
+		incs, err := cparse.ScanIncludes(src)
+		if err != nil {
+			return fmt.Errorf("extract: %s: %w", path, err)
+		}
+		includesOf[path] = incs
+		for _, inc := range incs {
+			if err := parseHeader(inc); err != nil {
+				return err
+			}
+		}
+		decls, err := parser.Parse(path, src)
+		if err != nil {
+			return err
+		}
+		protosByHeader[path] = decls.Prototypes
+		return nil
+	}
+
+	paths := make([]string, 0, len(c.Headers))
+	for p := range c.Headers {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	// Parse base type headers first so typedefs are available; the
+	// recursive include walk handles any order, but being explicit
+	// keeps error messages stable.
+	for _, base := range []string{"features.h", "bits/types.h"} {
+		if err := parseHeader(base); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range paths {
+		if err := parseHeader(p); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Soname: img.Soname, Table: parser.Table()}
+
+	// findIn locates a prototype for name in the given headers or any
+	// header they transitively include.
+	findIn := func(name string, headers []string) *cparse.Prototype {
+		seen := make(map[string]bool)
+		var walk func(h string) *cparse.Prototype
+		walk = func(h string) *cparse.Prototype {
+			if seen[h] {
+				return nil
+			}
+			seen[h] = true
+			for _, proto := range protosByHeader[h] {
+				if proto.Name == name {
+					return proto
+				}
+			}
+			for _, inc := range includesOf[h] {
+				if p := walk(inc); p != nil {
+					return p
+				}
+			}
+			return nil
+		}
+		for _, h := range headers {
+			if p := walk(h); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+
+	// searchAll scans every header below the include root.
+	searchAll := func(name string) *cparse.Prototype {
+		for _, h := range paths {
+			for _, proto := range protosByHeader[h] {
+				if proto.Name == name {
+					return proto
+				}
+			}
+		}
+		return nil
+	}
+
+	for _, sym := range img.GlobalFunctions() {
+		fi := &FuncInfo{
+			Symbol:   sym,
+			Internal: elfsim.IsInternalName(sym.Name),
+		}
+		res.Stats.Total++
+		if fi.Internal {
+			res.Stats.Internal++
+		} else {
+			res.Stats.External++
+		}
+
+		if text, ok := c.Man[sym.Name]; ok {
+			fi.HasManPage = true
+			res.Stats.WithManPage++
+			syn := manpage.Parse(text)
+			if len(syn.Headers) == 0 {
+				fi.ManNoHeaders = true
+				res.Stats.ManNoHeaders++
+			} else {
+				if p := findIn(sym.Name, syn.Headers); p != nil {
+					fi.Proto = p
+					fi.Source = SourceManPage
+					res.Stats.FoundViaMan++
+				} else {
+					fi.ManWrongHeaders = true
+					res.Stats.ManWrongHeaders++
+				}
+			}
+		}
+		if fi.Proto == nil {
+			if p := searchAll(sym.Name); p != nil {
+				fi.Proto = p
+				fi.Source = SourceHeaderSearch
+				res.Stats.FoundViaSearch++
+			} else {
+				res.Stats.NotFound++
+			}
+		}
+		res.Funcs = append(res.Funcs, fi)
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package extract
+
+import (
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/cparse"
+)
+
+func runExtraction(t *testing.T) *Result {
+	t.Helper()
+	lib := clib.New()
+	c := corpus.Build(lib)
+	res, err := Run(c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestExtractionStatsMatchPaper(t *testing.T) {
+	res := runExtraction(t)
+	s := res.Stats
+	t.Logf("total=%d internal=%d man=%.1f%% noHdr=%.1f%% wrongHdr=%.1f%% found=%.1f%%",
+		s.Total, s.Internal, 100*s.ManCoverage(), 100*s.ManNoHeaderRate(),
+		100*s.ManWrongHeaderRate(), 100*s.FoundRate())
+
+	if f := s.InternalFraction(); f <= 0.34 || f > 0.40 {
+		t.Errorf("internal fraction = %.3f, want (0.34, 0.40] (paper: >34%%)", f)
+	}
+	if c := s.ManCoverage(); c < 0.48 || c > 0.55 {
+		t.Errorf("man coverage = %.3f, want ~0.511", c)
+	}
+	if r := s.ManNoHeaderRate(); r < 0.005 || r > 0.03 {
+		t.Errorf("man no-header rate = %.3f, want ~0.012", r)
+	}
+	if r := s.ManWrongHeaderRate(); r < 0.05 || r > 0.10 {
+		t.Errorf("man wrong-header rate = %.3f, want ~0.077", r)
+	}
+	if r := s.FoundRate(); r < 0.94 || r > 0.98 {
+		t.Errorf("prototype found rate = %.3f, want ~0.960", r)
+	}
+}
+
+func TestEveryCrashProneFunctionHasPrototype(t *testing.T) {
+	lib := clib.New()
+	res := runExtraction(t)
+	for _, name := range lib.CrashProne86() {
+		fi, ok := res.Lookup(name)
+		if !ok {
+			t.Errorf("%s: no extraction record", name)
+			continue
+		}
+		if fi.Proto == nil {
+			t.Errorf("%s: no prototype found (source %v)", name, fi.Source)
+			continue
+		}
+		if fi.Proto.Name != name {
+			t.Errorf("%s: prototype name %q", name, fi.Proto.Name)
+		}
+		want := lib.MustLookup(name).NArgs
+		if got := len(fi.Proto.Params); got != want {
+			t.Errorf("%s: %d params extracted, clib says %d", name, got, want)
+		}
+	}
+}
+
+func TestAsctimeExtraction(t *testing.T) {
+	res := runExtraction(t)
+	fi, ok := res.Lookup("asctime")
+	if !ok || fi.Proto == nil {
+		t.Fatal("asctime not extracted")
+	}
+	if len(fi.Proto.Params) != 1 {
+		t.Fatalf("params = %d", len(fi.Proto.Params))
+	}
+	pt := fi.Proto.Params[0].Type
+	if pt.Kind != cparse.KindPointer || pt.Elem.Kind != cparse.KindStruct || pt.Elem.Struct != "tm" {
+		t.Errorf("asctime param type = %v", pt)
+	}
+	if sz := res.Table.Sizeof(pt.Elem); sz != 44 {
+		t.Errorf("sizeof(struct tm) = %d, want 44", sz)
+	}
+	if fi.Source != SourceManPage {
+		t.Errorf("asctime found via %v, want man page", fi.Source)
+	}
+}
+
+func TestWrongManHeadersFallBackToSearch(t *testing.T) {
+	res := runExtraction(t)
+	for _, name := range []string{"telldir", "seekdir", "cfgetispeed", "mkstemp", "strcoll", "fdopen"} {
+		fi, ok := res.Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if !fi.ManWrongHeaders {
+			t.Errorf("%s: expected wrong-header man page", name)
+		}
+		if fi.Proto == nil || fi.Source != SourceHeaderSearch {
+			t.Errorf("%s: proto=%v source=%v, want header-search fallback", name, fi.Proto != nil, fi.Source)
+		}
+	}
+}
+
+func TestNoHeaderManPage(t *testing.T) {
+	res := runExtraction(t)
+	fi, ok := res.Lookup("fflush")
+	if !ok {
+		t.Fatal("fflush missing")
+	}
+	if !fi.ManNoHeaders {
+		t.Error("fflush man page should list no headers")
+	}
+	if fi.Proto == nil || fi.Source != SourceHeaderSearch {
+		t.Errorf("fflush: source %v, want header search", fi.Source)
+	}
+}
+
+func TestUndeclaredInternalsNotFound(t *testing.T) {
+	res := runExtraction(t)
+	for _, name := range []string{"__libc_start_main_internal", "_dl_runtime_resolve_priv"} {
+		fi, ok := res.Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing from symbol table", name)
+		}
+		if fi.Proto != nil {
+			t.Errorf("%s: unexpectedly found a prototype", name)
+		}
+		if !fi.Internal {
+			t.Errorf("%s: not marked internal", name)
+		}
+	}
+}
+
+func TestFILEAndDIRSizes(t *testing.T) {
+	res := runExtraction(t)
+	fileT, ok := res.Table.LookupTypedef("FILE")
+	if !ok {
+		t.Fatal("FILE typedef missing")
+	}
+	if sz := res.Table.Sizeof(fileT); sz != 152 {
+		t.Errorf("sizeof(FILE) = %d, want 152", sz)
+	}
+	dirT, ok := res.Table.LookupTypedef("DIR")
+	if !ok {
+		t.Fatal("DIR typedef missing")
+	}
+	if sz := res.Table.Sizeof(dirT); sz != 64 {
+		t.Errorf("sizeof(DIR) = %d, want 64", sz)
+	}
+	if sz := res.Table.Sizeof(&cparse.CType{Kind: cparse.KindStruct, Struct: "termios"}); sz != 56 {
+		t.Errorf("sizeof(struct termios) = %d, want 56", sz)
+	}
+	if sz := res.Table.Sizeof(&cparse.CType{Kind: cparse.KindStruct, Struct: "stat"}); sz != 64 {
+		t.Errorf("sizeof(struct stat) = %d, want 64", sz)
+	}
+	if sz := res.Table.Sizeof(&cparse.CType{Kind: cparse.KindStruct, Struct: "dirent"}); sz != 264 {
+		t.Errorf("sizeof(struct dirent) = %d, want 264", sz)
+	}
+}
+
+func TestInternalNaming(t *testing.T) {
+	res := runExtraction(t)
+	for _, fi := range res.Funcs {
+		wantInternal := fi.Symbol.Name[0] == '_'
+		if fi.Internal != wantInternal {
+			t.Errorf("%s: internal = %v", fi.Symbol.Name, fi.Internal)
+		}
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceManPage.String() != "man-page" || SourceNone.String() != "not-found" {
+		t.Error("Source.String wrong")
+	}
+}

@@ -1,0 +1,155 @@
+package gens
+
+import (
+	"strings"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+	"healers/internal/typesys"
+)
+
+// CStringGen generates NUL-terminated string test cases: valid strings
+// in writable and read-only memory, unterminated regions that fault at
+// their guard page, NULL, and invalid pointers.
+type CStringGen struct {
+	// Contents are the valid string payloads to try. Defaults cover the
+	// paper's interesting cases: empty, mode-like, delimiter-ish, long.
+	Contents []string
+	// DefaultContent is the benign payload used while other arguments
+	// are explored; it must drive the function's success path (an "r"
+	// for a mode string, an existing path for a file name).
+	DefaultContent string
+
+	untermSizes []int
+	queue       []*Probe
+	started     bool
+}
+
+var _ Generator = (*CStringGen)(nil)
+
+// DefaultStringContents exercises short, empty, mode-like, path-like
+// and long payloads; the long one drives destination-buffer overflows,
+// and the XXXXXX path is the generic payload that lets the injector
+// find a success case for template-consuming functions like mkstemp.
+func DefaultStringContents() []string {
+	return []string{
+		"hello",
+		"",
+		"r",
+		"a,b,c",
+		"/healers-fixtures/tmpXXXXXX",
+		"/healers-fixtures/file.txt",
+		strings.Repeat("A", 300),
+	}
+}
+
+// NewCStringGen returns a string generator with the given payloads
+// (DefaultStringContents if nil).
+func NewCStringGen(contents []string) *CStringGen {
+	if contents == nil {
+		contents = DefaultStringContents()
+	}
+	return &CStringGen{Contents: contents, DefaultContent: "hello", untermSizes: []int{16}}
+}
+
+// Name implements Generator.
+func (g *CStringGen) Name() string { return "cstring" }
+
+// StringProbe builds a probe holding the given string with the given
+// protection, labelled with the matching fundamental type.
+func StringProbe(s string, prot cmem.Prot) *Probe {
+	fund := typesys.NameCStringRW(len(s))
+	if prot == cmem.ProtRead {
+		fund = typesys.NameCStringRO(len(s))
+	}
+	pr := &Probe{Fund: fund, Size: len(s) + 1}
+	pr.Build = func(p *csim.Process) uint64 {
+		pr.Region = mountFlushData(p, append([]byte(s), 0), prot)
+		return uint64(pr.Region.Base)
+	}
+	return pr
+}
+
+// UntermProbe maps a readable region of the given size containing no
+// NUL terminator, flush against its guard page (shared with the
+// Ballista pools).
+func UntermProbe(size int) *Probe {
+	pr := &Probe{Fund: typesys.NameUnterminated(size), Size: size}
+	pr.Build = func(p *csim.Process) uint64 {
+		pr.Region = mountFlush(p, size, cmem.ProtRW)
+		if pr.Region.Base == 0 {
+			return 0
+		}
+		// The fill is derived from the region address so two unterminated
+		// regions in one call differ: comparison functions then return a
+		// mismatch instead of racing both pointers off their guard pages.
+		fill := byte('B') + byte((pr.Region.Base>>12)%7)
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = fill
+		}
+		if f := p.Mem.Write(pr.Region.Base, data); f != nil {
+			return 0
+		}
+		p.Mem.Protect(pr.Region.Base.PageBase(), size+int(pr.Region.Base-pr.Region.Base.PageBase()), cmem.ProtRead)
+		return uint64(pr.Region.Base)
+	}
+	return pr
+}
+
+func (g *CStringGen) start() {
+	g.started = true
+	for _, s := range g.Contents {
+		g.queue = append(g.queue, StringProbe(s, cmem.ProtRW))
+		// Read-only variants: functions that secretly write their
+		// "const char *" argument crash on these.
+		g.queue = append(g.queue, StringProbe(s, cmem.ProtRead))
+	}
+	for _, s := range g.untermSizes {
+		g.queue = append(g.queue, UntermProbe(s))
+	}
+	g.queue = append(g.queue, nullProbe())
+	g.queue = append(g.queue, invalidProbes()...)
+}
+
+// Next implements Generator.
+func (g *CStringGen) Next() *Probe {
+	if !g.started {
+		g.start()
+	}
+	if len(g.queue) == 0 {
+		return nil
+	}
+	pr := g.queue[0]
+	g.queue = g.queue[1:]
+	return pr
+}
+
+// Adjust implements Generator: strings are not adaptive.
+func (g *CStringGen) Adjust(pr *Probe, faultAddr cmem.Addr) *Probe { return nil }
+
+// Default implements Generator.
+func (g *CStringGen) Default() *Probe { return StringProbe(g.DefaultContent, cmem.ProtRW) }
+
+// VariantWithLen returns a valid-string probe of exactly n content
+// bytes, used by the injector's dependent-size inference.
+func (g *CStringGen) VariantWithLen(n int) *Probe {
+	return StringProbe(strings.Repeat("B", n), cmem.ProtRW)
+}
+
+// Hierarchy implements Generator.
+func (g *CStringGen) Hierarchy() *typesys.Hierarchy {
+	h := typesys.NewHierarchy()
+	lens := make([]int, 0, len(g.Contents))
+	sizes := append([]int{}, g.untermSizes...)
+	for _, s := range g.Contents {
+		lens = append(lens, len(s))
+		sizes = append(sizes, len(s)+1)
+	}
+	typesys.AddArrayTypes(h, sizes)
+	typesys.AddCStringTypes(h, g.untermSizes, lens)
+	if err := h.Finalize(); err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,284 @@
+package gens
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+	"healers/internal/typesys"
+)
+
+// FileGen is the specific test case generator for FILE* arguments the
+// paper describes in §4.2. Beyond genuinely open streams in the three
+// access modes, it produces the cases that separate robust from safe:
+// accessible-but-garbage FILE memory, a *corrupted* FILE (valid
+// descriptor, smashed buffer pointer — the case that defeats fileno+
+// fstat checking), and a stale FILE whose descriptor was closed.
+type FileGen struct {
+	// FixturePath is the file opened for the genuine stream cases; the
+	// generator (re)creates it in the child before opening.
+	FixturePath string
+
+	queue   []*Probe
+	started bool
+}
+
+var _ Generator = (*FileGen)(nil)
+
+// DefaultFixturePath is where generators keep their scratch files.
+const DefaultFixturePath = "/healers-fixtures/file.txt"
+
+// NewFileGen returns a FILE* generator over the given fixture path.
+func NewFileGen(path string) *FileGen {
+	if path == "" {
+		path = DefaultFixturePath
+	}
+	return &FileGen{FixturePath: path}
+}
+
+// Name implements Generator.
+func (g *FileGen) Name() string { return "file" }
+
+// openProbe opens the fixture in the given mode.
+func (g *FileGen) openProbe(fund, mode string) *Probe {
+	return &Probe{
+		Fund: fund,
+		Build: func(p *csim.Process) uint64 {
+			p.FS.Create(g.FixturePath, FixtureFileContents())
+			return uint64(p.Fopen(g.FixturePath, mode))
+		},
+	}
+}
+
+// garbageProbe materializes SizeofFILE bytes of accessible zeroed
+// memory that is not a FILE.
+func garbageProbe() *Probe {
+	pr := &Probe{Fund: typesys.NameRWFixed(csim.SizeofFILE), Size: csim.SizeofFILE}
+	pr.Build = func(p *csim.Process) uint64 {
+		pr.Region = mountFlush(p, csim.SizeofFILE, cmem.ProtRW)
+		return uint64(pr.Region.Base)
+	}
+	return pr
+}
+
+// corruptedProbe clones a real open FILE and smashes its buffer
+// pointer while keeping the valid descriptor: the struct-integrity
+// failure class.
+func (g *FileGen) corruptedProbe() *Probe {
+	pr := &Probe{Fund: typesys.NameRWFixed(csim.SizeofFILE), Size: csim.SizeofFILE}
+	pr.Build = func(p *csim.Process) uint64 {
+		p.FS.Create(g.FixturePath, FixtureFileContents())
+		real := p.Fopen(g.FixturePath, "r+")
+		if real == 0 {
+			return 0
+		}
+		pr.Region = mountFlush(p, csim.SizeofFILE, cmem.ProtRW)
+		data, f := p.Mem.Read(real, csim.SizeofFILE)
+		if f != nil {
+			return 0
+		}
+		if f := p.Mem.Write(pr.Region.Base, data); f != nil {
+			return 0
+		}
+		fp := pr.Region.Base
+		if f := p.Mem.WriteU64(fp+csim.FILEOffBufPtr, 0xdead0000); f != nil {
+			return 0
+		}
+		if f := p.Mem.WriteU64(fp+csim.FILEOffBufPos, 4); f != nil {
+			return 0
+		}
+		return uint64(fp)
+	}
+	return pr
+}
+
+// staleProbe opens a FILE and closes its descriptor behind its back.
+func (g *FileGen) staleProbe() *Probe {
+	return &Probe{
+		Fund: typesys.NameRWFixed(csim.SizeofFILE),
+		Build: func(p *csim.Process) uint64 {
+			p.FS.Create(g.FixturePath, FixtureFileContents())
+			fp := p.Fopen(g.FixturePath, "r")
+			if fp == 0 {
+				return 0
+			}
+			p.CloseFD(p.FILEFd(fp))
+			return uint64(fp)
+		},
+	}
+}
+
+// Next implements Generator.
+func (g *FileGen) Next() *Probe {
+	if !g.started {
+		g.started = true
+		g.queue = append(g.queue,
+			g.openProbe(typesys.TypeROnlyFile, "r"),
+			g.openProbe(typesys.TypeRWFile, "r+"),
+			g.openProbe(typesys.TypeWOnlyFile, "w"),
+			garbageProbe(),
+			g.corruptedProbe(),
+			g.staleProbe(),
+			nullProbe(),
+		)
+		g.queue = append(g.queue, invalidProbes()...)
+	}
+	if len(g.queue) == 0 {
+		return nil
+	}
+	pr := g.queue[0]
+	g.queue = g.queue[1:]
+	return pr
+}
+
+// Adjust implements Generator.
+func (g *FileGen) Adjust(pr *Probe, faultAddr cmem.Addr) *Probe { return nil }
+
+// Default implements Generator: an open read-write stream.
+func (g *FileGen) Default() *Probe { return g.openProbe(typesys.TypeRWFile, "r+") }
+
+// Hierarchy implements Generator: the Figure 4 hierarchy over the
+// Figure 3 array types at the FILE size.
+func (g *FileGen) Hierarchy() *typesys.Hierarchy {
+	h := typesys.NewHierarchy()
+	typesys.AddArrayTypes(h, []int{csim.SizeofFILE})
+	typesys.AddFileTypes(h, csim.SizeofFILE)
+	if err := h.Finalize(); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// DirGen generates DIR* cases analogously to FileGen. POSIX offers no
+// validity check for DIR*, which is why these robust types cannot be
+// checked automatically and the paper needed manual state tracking.
+type DirGen struct {
+	// FixtureDir is the directory opened for the genuine cases.
+	FixtureDir string
+
+	queue   []*Probe
+	started bool
+}
+
+var _ Generator = (*DirGen)(nil)
+
+// DefaultFixtureDir is the directory DirGen materializes and opens.
+const DefaultFixtureDir = "/healers-fixtures"
+
+// NewDirGen returns a DIR* generator over the given fixture directory.
+func NewDirGen(dir string) *DirGen {
+	if dir == "" {
+		dir = DefaultFixtureDir
+	}
+	return &DirGen{FixtureDir: dir}
+}
+
+// Name implements Generator.
+func (g *DirGen) Name() string { return "dir" }
+
+func (g *DirGen) openProbe() *Probe {
+	return &Probe{
+		Fund: typesys.TypeOpenDir,
+		Build: func(p *csim.Process) uint64 {
+			p.FS.Create(g.FixtureDir+"/a.txt", []byte("x"))
+			p.FS.Create(g.FixtureDir+"/b.txt", []byte("y"))
+			fd := p.OpenDir(g.FixtureDir)
+			if fd < 0 {
+				return 0
+			}
+			return uint64(p.NewDIR(fd))
+		},
+	}
+}
+
+func (g *DirGen) garbageProbe() *Probe {
+	pr := &Probe{Fund: typesys.NameRWFixed(csim.SizeofDIR), Size: csim.SizeofDIR}
+	pr.Build = func(p *csim.Process) uint64 {
+		pr.Region = mountFlush(p, csim.SizeofDIR, cmem.ProtRW)
+		return uint64(pr.Region.Base)
+	}
+	return pr
+}
+
+func (g *DirGen) corruptedProbe() *Probe {
+	pr := &Probe{Fund: typesys.NameRWFixed(csim.SizeofDIR), Size: csim.SizeofDIR}
+	pr.Build = func(p *csim.Process) uint64 {
+		p.FS.Create(g.FixtureDir+"/a.txt", []byte("x"))
+		fd := p.OpenDir(g.FixtureDir)
+		if fd < 0 {
+			return 0
+		}
+		real := p.NewDIR(fd)
+		if real == 0 {
+			return 0
+		}
+		pr.Region = mountFlush(p, csim.SizeofDIR, cmem.ProtRW)
+		data, f := p.Mem.Read(real, csim.SizeofDIR)
+		if f != nil {
+			return 0
+		}
+		if f := p.Mem.Write(pr.Region.Base, data); f != nil {
+			return 0
+		}
+		if f := p.Mem.WriteU64(pr.Region.Base+csim.DIROffBuf, 0xdead0000); f != nil {
+			return 0
+		}
+		return uint64(pr.Region.Base)
+	}
+	return pr
+}
+
+// staleProbe opens a DIR and closes its descriptor behind its back:
+// the structure (and its buffer) stay intact, so functions reach their
+// EBADF path without crashing.
+func (g *DirGen) staleProbe() *Probe {
+	return &Probe{
+		Fund: typesys.NameRWFixed(csim.SizeofDIR),
+		Build: func(p *csim.Process) uint64 {
+			p.FS.Create(g.FixtureDir+"/a.txt", []byte("x"))
+			fd := p.OpenDir(g.FixtureDir)
+			if fd < 0 {
+				return 0
+			}
+			dp := p.NewDIR(fd)
+			p.CloseFD(fd)
+			return uint64(dp)
+		},
+	}
+}
+
+// Next implements Generator.
+func (g *DirGen) Next() *Probe {
+	if !g.started {
+		g.started = true
+		g.queue = append(g.queue,
+			g.openProbe(),
+			g.garbageProbe(),
+			g.corruptedProbe(),
+			g.staleProbe(),
+			nullProbe(),
+		)
+		g.queue = append(g.queue, invalidProbes()...)
+	}
+	if len(g.queue) == 0 {
+		return nil
+	}
+	pr := g.queue[0]
+	g.queue = g.queue[1:]
+	return pr
+}
+
+// Adjust implements Generator.
+func (g *DirGen) Adjust(pr *Probe, faultAddr cmem.Addr) *Probe { return nil }
+
+// Default implements Generator.
+func (g *DirGen) Default() *Probe { return g.openProbe() }
+
+// Hierarchy implements Generator.
+func (g *DirGen) Hierarchy() *typesys.Hierarchy {
+	h := typesys.NewHierarchy()
+	typesys.AddArrayTypes(h, []int{csim.SizeofDIR})
+	typesys.AddDirTypes(h, csim.SizeofDIR)
+	if err := h.Finalize(); err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,150 @@
+// Package gens implements the test-case generators of paper §4.1/4.2.
+//
+// A generator produces a finite sequence of probes for one argument of
+// the function under test. Each probe carries the name of the
+// fundamental type its value belongs to and a Build function that
+// materializes the value inside a fresh child process. Array-like
+// generators are adaptive: when the function crashes at an address the
+// probe owns, Adjust enlarges the region (the paper's "iteratively
+// enlarged until no more segmentation faults occur") — regions are
+// mounted flush against a guard page so the faulting address reveals
+// exactly how many more bytes the function needed.
+package gens
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+	"healers/internal/typesys"
+)
+
+// Region is the memory a probe materialized, plus its guard window.
+// A fault at addr is attributed to the probe iff Base ≤ addr < GuardEnd.
+type Region struct {
+	Base     cmem.Addr
+	Size     int
+	GuardEnd cmem.Addr
+}
+
+// Owns reports whether addr falls inside the region or its guard.
+func (r Region) Owns(addr cmem.Addr) bool {
+	return r.Base != 0 && addr >= r.Base && addr < r.GuardEnd
+}
+
+// Probe is one test-case recipe. Build runs inside the child process
+// and returns the argument value; it records the owned region (if any)
+// so the injector can attribute faults.
+type Probe struct {
+	// Fund is the fundamental type name of the value.
+	Fund string
+	// Size is the region size for array probes (0 otherwise).
+	Size int
+	// Build materializes the value in p.
+	Build func(p *csim.Process) uint64
+	// Region is the memory owned by the most recent Build.
+	Region Region
+}
+
+// Generator produces probes for one argument.
+type Generator interface {
+	// Name identifies the generator in logs.
+	Name() string
+	// Next returns the next probe in the sequence, or nil when done.
+	Next() *Probe
+	// Adjust reacts to a crash at faultAddr owned by pr: it returns a
+	// replacement probe (e.g. a larger region) or nil if it cannot
+	// adapt further.
+	Adjust(pr *Probe, faultAddr cmem.Addr) *Probe
+	// Default returns a benign probe used for this argument while the
+	// injector explores the other arguments.
+	Default() *Probe
+	// Hierarchy instantiates the type hierarchy over everything the
+	// generator observed (array sizes probed, etc.). Call it after the
+	// enumeration is complete.
+	Hierarchy() *typesys.Hierarchy
+}
+
+// mountFlush maps a region of the given size and protection with its
+// last byte flush against an unmapped guard page, so the first access
+// past the region faults at exactly Base+Size.
+func mountFlush(p *csim.Process, size int, prot cmem.Prot) Region {
+	pages := (size + cmem.PageSize - 1) / cmem.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	mapped, err := p.Mem.MmapRegion(pages*cmem.PageSize, prot)
+	if err != nil {
+		return Region{}
+	}
+	end := mapped + cmem.Addr(pages*cmem.PageSize)
+	return Region{
+		Base:     end - cmem.Addr(size),
+		Size:     size,
+		GuardEnd: end + cmem.PageSize,
+	}
+}
+
+// mountFlushData maps a region holding data with the given protection
+// (written before protection is applied).
+func mountFlushData(p *csim.Process, data []byte, prot cmem.Prot) Region {
+	r := mountFlush(p, len(data), cmem.ProtRW)
+	if r.Base == 0 {
+		return r
+	}
+	if len(data) > 0 {
+		if f := p.Mem.Write(r.Base, data); f != nil {
+			return Region{}
+		}
+	}
+	if prot != cmem.ProtRW {
+		p.Mem.Protect(r.Base.PageBase(), int(r.GuardEnd-cmem.PageSize-r.Base.PageBase()), prot)
+	}
+	return r
+}
+
+// FixtureFileContents is the standard content of the scratch file the
+// generators open: a long first line (so fgets-style sizing inference
+// has room to grow) followed by filler up to a few KiB (so fread-style
+// product inference never runs out of file).
+func FixtureFileContents() []byte {
+	line := make([]byte, 0, 8192)
+	for i := 0; i < 120; i++ {
+		line = append(line, byte('a'+i%26))
+	}
+	line = append(line, '\n')
+	for len(line) < 8192 {
+		line = append(line, byte('0'+len(line)%10))
+	}
+	return line
+}
+
+// FixtureStdinLine is the first line of the simulated standard input
+// (shared by the injector and the Ballista harness so gets-style fixed
+// sizing matches between them).
+func FixtureStdinLine() string { return "healers standard input!" }
+
+// Common non-region probes shared by pointer-like generators.
+
+func nullProbe() *Probe {
+	return &Probe{
+		Fund:  typesys.TypeNull,
+		Build: func(p *csim.Process) uint64 { return 0 },
+	}
+}
+
+var invalidPointers = []uint64{
+	0xdead0000,         // unmapped low-ish address
+	^uint64(0),         // (void*)-1, the paper's example
+	0x0000000000000001, // near-null
+}
+
+func invalidProbes() []*Probe {
+	out := make([]*Probe, len(invalidPointers))
+	for i, v := range invalidPointers {
+		val := v
+		out[i] = &Probe{
+			Fund:  typesys.TypeInvalid,
+			Build: func(p *csim.Process) uint64 { return val },
+		}
+	}
+	return out
+}

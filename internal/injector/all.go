@@ -1,0 +1,106 @@
+package injector
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/decl"
+	"healers/internal/extract"
+)
+
+// Campaign is the result of injecting a set of functions.
+type Campaign struct {
+	Results map[string]*Result
+	// Order is the sorted function name list.
+	Order []string
+}
+
+// InjectAll runs the campaign over the named functions (or every
+// external function with a prototype if names is nil).
+func (inj *Injector) InjectAll(ext *extract.Result, names []string) (*Campaign, error) {
+	if names == nil {
+		for _, fi := range ext.Funcs {
+			if !fi.Internal && fi.Proto != nil {
+				names = append(names, fi.Symbol.Name)
+			}
+		}
+	}
+	c := &Campaign{Results: make(map[string]*Result, len(names))}
+	for _, name := range names {
+		fi, ok := ext.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("injector: %s not extracted", name)
+		}
+		res, err := inj.InjectFunction(fi, ext.Table)
+		if err != nil {
+			return nil, err
+		}
+		c.Results[name] = res
+		c.Order = append(c.Order, name)
+	}
+	sort.Strings(c.Order)
+	return c, nil
+}
+
+// Decls collects the generated (fully automatic) declarations.
+func (c *Campaign) Decls() *decl.DeclSet {
+	s := decl.NewDeclSet()
+	for _, r := range c.Results {
+		s.Add(r.Decl)
+	}
+	return s
+}
+
+// Table1 is the error-return-code classification counts of the paper's
+// Table 1.
+type Table1 struct {
+	NoReturn     int
+	Consistent   int
+	Inconsistent int
+	NotFound     int
+}
+
+// Total returns the number of classified functions.
+func (t Table1) Total() int { return t.NoReturn + t.Consistent + t.Inconsistent + t.NotFound }
+
+// Table1 aggregates the campaign's error-return classes.
+func (c *Campaign) Table1() Table1 {
+	var t Table1
+	for _, r := range c.Results {
+		switch r.ErrClass {
+		case decl.ErrClassNoReturn:
+			t.NoReturn++
+		case decl.ErrClassConsistent:
+			t.Consistent++
+		case decl.ErrClassInconsistent:
+			t.Inconsistent++
+		case decl.ErrClassNotFound:
+			t.NotFound++
+		}
+	}
+	return t
+}
+
+// UnsafeCount returns how many injected functions are unsafe.
+func (c *Campaign) UnsafeCount() int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Unsafe() {
+			n++
+		}
+	}
+	return n
+}
+
+// InconsistentNames returns the functions in the inconsistent class
+// (the paper found exactly fdopen and freopen).
+func (c *Campaign) InconsistentNames() []string {
+	var out []string
+	for name, r := range c.Results {
+		if r.ErrClass == decl.ErrClassInconsistent {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,165 @@
+package injector
+
+import (
+	"testing"
+
+	"healers/internal/decl"
+)
+
+// TestGoldenRobustTypes pins the discovered robust types of a
+// representative selection of the 86 functions. These encode the
+// paper's qualitative findings; a change here means the injector's
+// behaviour changed, not just an implementation detail.
+func TestGoldenRobustTypes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	_, campaign := runFullCampaign(t)
+
+	want := map[string][]string{
+		// The running example and its write-access sibling.
+		"asctime": {"R_ARRAY_NULL[44]"},
+		"mktime":  {"RW_ARRAY[44]"},
+		// The termios asymmetry of §6.
+		"cfsetispeed": {"W_ARRAY[52]", "INT_ANY"},
+		"cfsetospeed": {"RW_ARRAY[56]", "INT_ANY"},
+		// Dependent sizes.
+		"strcpy":  {"W_ARRAY[strlen(arg1)+1]", "CSTR"},
+		"strncpy": {"W_ARRAY[arg2]", "R_BOUNDED[arg2]", "INT_NONNEG"},
+		"memcpy":  {"W_ARRAY[arg2]", "R_ARRAY[arg2]", "INT_NONNEG"},
+		"fread":   {"W_ARRAY[arg1*arg2]", "INT_ANY", "INT_ANY", "R_FILE"},
+		"fgets":   {"W_ARRAY[arg1]", "INT_POSITIVE", "RW_ARRAY[152]"},
+		// fopen's asymmetry: path unconstrained, mode a real string.
+		"fopen": {"UNCONSTRAINED", "CSTR"},
+		// Scalar pointers.
+		"gmtime": {"R_ARRAY[8]"},
+		"ctime":  {"R_ARRAY[8]"},
+		// Structures needing validation the checker can only
+		// approximate. fgetc's zeroed-garbage probe "succeeds" (its
+		// zeroed ungetc cell reads as a pushed-back NUL), widening the
+		// robust type to plain accessible memory; fputc and fclose have
+		// no such quiet path and get the full OPEN_FILE requirement.
+		"fgetc":    {"RW_ARRAY[152]"},
+		"fputc":    {"INT_ANY", "OPEN_FILE"},
+		"fclose":   {"OPEN_FILE"},
+		"readdir":  {"OPEN_DIR"},
+		"closedir": {"OPEN_DIR"},
+		// Function pointers.
+		"qsort": {"RW_ARRAY[arg1*arg2]", "INT_ANY", "INT_ANY", "VALID_FUNC"},
+	}
+	for name, wantTypes := range want {
+		r, ok := campaign.Results[name]
+		if !ok {
+			t.Errorf("%s not injected", name)
+			continue
+		}
+		if len(r.Decl.Args) != len(wantTypes) {
+			t.Errorf("%s: %d args, want %d", name, len(r.Decl.Args), len(wantTypes))
+			continue
+		}
+		for i, wantType := range wantTypes {
+			if got := r.Decl.Args[i].Robust.String(); got != wantType {
+				t.Errorf("%s arg%d = %s, want %s", name, i, got, wantType)
+			}
+		}
+	}
+}
+
+// TestRobustTypesAreCheckable asserts every generated robust type has a
+// wrapper checker (no declaration the wrapper would silently ignore),
+// and that unsafe pointer-consuming functions got a real constraint on
+// at least one argument.
+func TestRobustTypesAreCheckable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	_, campaign := runFullCampaign(t)
+	known := map[string]bool{
+		"UNCONSTRAINED": true, "INT_ANY": true, "FD_ANY": true, "DBL_ANY": true,
+		"R_ARRAY": true, "RW_ARRAY": true, "W_ARRAY": true,
+		"R_ARRAY_NULL": true, "RW_ARRAY_NULL": true, "W_ARRAY_NULL": true,
+		"R_BOUNDED": true,
+		"CSTR":      true, "W_CSTR": true, "CSTR_NULL": true, "W_CSTR_NULL": true,
+		"OPEN_FILE": true, "R_FILE": true, "W_FILE": true, "OPEN_FILE_NULL": true,
+		"OPEN_DIR": true, "OPEN_DIR_NULL": true,
+		"INT_POSITIVE": true, "INT_NONNEG": true, "INT_NONPOS": true, "INT_NEGATIVE": true,
+		"FD_VALID": true, "VALID_FUNC": true,
+	}
+	for _, name := range campaign.Order {
+		r := campaign.Results[name]
+		constrained := false
+		for i, a := range r.Decl.Args {
+			if !known[a.Robust.Base] {
+				t.Errorf("%s arg%d: unknown robust base %q", name, i, a.Robust.Base)
+			}
+			switch a.Robust.Base {
+			case "UNCONSTRAINED", "INT_ANY", "FD_ANY", "DBL_ANY":
+			default:
+				constrained = true
+			}
+		}
+		if r.Unsafe() && !constrained {
+			t.Errorf("%s is unsafe but has no constrained argument", name)
+		}
+	}
+}
+
+// TestDeclsRoundTripThroughXML serializes every generated declaration
+// and parses it back — the wrapper generator must be able to consume
+// archived declarations.
+func TestDeclsRoundTripThroughXML(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	_, campaign := runFullCampaign(t)
+	for _, name := range campaign.Order {
+		d := campaign.Results[name].Decl
+		data, err := d.EncodeXML()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := decl.UnmarshalXML(data)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, data)
+		}
+		if back.Name != d.Name || len(back.Args) != len(d.Args) {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+		for i := range d.Args {
+			if back.Args[i].Robust.String() != d.Args[i].Robust.String() {
+				t.Errorf("%s arg%d: %s != %s", name, i,
+					back.Args[i].Robust, d.Args[i].Robust)
+			}
+		}
+	}
+}
+
+// TestCampaignDeterminism runs the campaign twice and requires
+// identical declarations: the injector must not depend on map ordering
+// or other nondeterminism (the adaptive sequence is replayed in tools,
+// logs, and the paper's "a posteriori we know the sequence").
+func TestCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full campaigns")
+	}
+	lib, c1 := runFullCampaign(t)
+	_ = lib
+	lib2, ext2 := freshExtraction(t)
+	c2, err := New(lib2, DefaultConfig()).InjectAll(ext2, lib2.CrashProne86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range c1.Order {
+		d1 := c1.Results[name].Decl
+		d2 := c2.Results[name].Decl
+		for i := range d1.Args {
+			a, b := d1.Args[i].Robust.String(), d2.Args[i].Robust.String()
+			if a != b {
+				t.Errorf("%s arg%d differs across runs: %s vs %s", name, i, a, b)
+			}
+		}
+		if d1.ErrClass != d2.ErrClass {
+			t.Errorf("%s class differs: %v vs %v", name, d1.ErrClass, d2.ErrClass)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package injector
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+	"healers/internal/decl"
+	"healers/internal/gens"
+)
+
+// Dependent-size inference. Fault injection with the other arguments
+// fixed yields a *fixed* minimal size (e.g. 6 bytes for strcpy's dest
+// under a 5-byte default source). By re-running the adaptive growth
+// chain under perturbed sibling arguments, the injector discovers how
+// the minimal size *depends* on them — strlen(src)+1 for strcpy, n for
+// strncpy, size*nmemb for fread — and records a size expression the
+// wrapper evaluates per call. This automates what the paper otherwise
+// leaves to manual declaration editing.
+
+// chainArrayGen extracts the adaptive array generator backing argument
+// i, if any.
+func chainArrayGen(g gens.Generator) *gens.ArrayGen {
+	switch t := g.(type) {
+	case *gens.ArrayGen:
+		return t
+	case *gens.CharBufGen:
+		return t.Array()
+	}
+	return nil
+}
+
+// measureMinimal runs a fresh growth chain for argument target with the
+// given probe overrides on the other arguments and returns the minimal
+// region size that lets the function return, or ok=false if the chain
+// never succeeds.
+func (c *campaign) measureMinimal(target int, prot cmem.Prot, overrides map[int]*gens.Probe) (int, bool) {
+	ag := chainArrayGen(c.gens[target])
+	if ag == nil {
+		return 0, false
+	}
+	pr := ag.ChainProbe(prot)
+	for steps := 0; steps < 600; steps++ {
+		probes := make([]*gens.Probe, len(c.defaults))
+		copy(probes, c.defaults)
+		for j, o := range overrides {
+			probes[j] = o
+		}
+		probes[target] = pr
+
+		child := c.template.Fork()
+		child.SetStepBudget(c.inj.cfg.StepBudget)
+		args := make([]uint64, len(probes))
+		mat := child.Run(func() uint64 {
+			for i, p := range probes {
+				args[i] = p.Build(child)
+			}
+			return 0
+		})
+		if mat.Kind != csim.OutcomeReturn {
+			return 0, false
+		}
+		child.ClearErrno()
+		out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
+		if out.Kind == csim.OutcomeReturn {
+			if child.ErrnoSet() {
+				return 0, false // error path, not a sizing success
+			}
+			return pr.Size, true
+		}
+		if out.Kind != csim.OutcomeSegfault || out.Fault == nil || !pr.Region.Owns(out.Fault.Addr) {
+			return 0, false
+		}
+		np := ag.Adjust(pr, out.Fault.Addr)
+		if np == nil {
+			return 0, false
+		}
+		pr = np
+	}
+	return 0, false
+}
+
+// inferBoundedRead upgrades a weak R_ARRAY robust type on a string
+// argument to R_BOUNDED[argN] when a targeted adaptive experiment
+// confirms the bounded-read contract: an unterminated region larger
+// than the sibling count succeeds, while one smaller than it crashes.
+// This is the strncpy-source shape, undetectable by per-argument type
+// selection alone because it couples two arguments.
+func (c *campaign) inferBoundedRead(target int, rt decl.RobustType) (decl.RobustType, bool) {
+	if _, isStr := c.gens[target].(*gens.CStringGen); !isStr {
+		return rt, false
+	}
+	run := func(pr *gens.Probe, intArg int, n int64) (csim.OutcomeKind, bool) {
+		ig, ok := c.gens[intArg].(*gens.IntGen)
+		if !ok {
+			return 0, false
+		}
+		probes := make([]*gens.Probe, len(c.defaults))
+		copy(probes, c.defaults)
+		probes[target] = pr
+		probes[intArg] = ig.ValueProbe(n)
+		child := c.template.Fork()
+		child.SetStepBudget(c.inj.cfg.StepBudget)
+		args := make([]uint64, len(probes))
+		mat := child.Run(func() uint64 {
+			for i, p := range probes {
+				args[i] = p.Build(child)
+			}
+			return 0
+		})
+		if mat.Kind != csim.OutcomeReturn {
+			return 0, false
+		}
+		child.ClearErrno()
+		out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
+		return out.Kind, true
+	}
+	for j, g := range c.gens {
+		if j == target {
+			continue
+		}
+		if _, isInt := g.(*gens.IntGen); !isInt {
+			continue
+		}
+		// Unterminated 16-byte region: success when the count stays
+		// within it, crash when the count exceeds it.
+		small, ok1 := run(gens.UntermProbe(16), j, 8)
+		big, ok2 := run(gens.UntermProbe(16), j, 64)
+		if ok1 && ok2 && small == csim.OutcomeReturn && big == csim.OutcomeSegfault {
+			return decl.RobustType{
+				Base: "R_BOUNDED",
+				Size: decl.SizeExpr{Kind: decl.SizeArgValue, A: j},
+			}, true
+		}
+	}
+	return rt, false
+}
+
+// inferCtx supplies Strlen/Value to SizeExpr.Eval from the injector's
+// knowledge of the probes in play.
+type inferCtx struct {
+	strlens map[int]int
+	vals    map[int]int64
+}
+
+func (c inferCtx) Strlen(i int) (int, bool) {
+	l, ok := c.strlens[i]
+	return l, ok
+}
+
+func (c inferCtx) Value(i int) int64 { return c.vals[i] }
+
+// inferSize upgrades a fixed array size to a dependent expression when
+// perturbing sibling arguments confirms the dependency.
+func (c *campaign) inferSize(target int, rt decl.RobustType) decl.SizeExpr {
+	fixed := rt.Size
+	prot := protOfBase(rt.Base)
+
+	baseline, ok := c.measureMinimal(target, prot, nil)
+	if !ok || baseline == 0 {
+		return fixed
+	}
+	fixed = decl.Fixed(baseline)
+
+	// Sibling metadata under defaults.
+	baseCtx := inferCtx{strlens: map[int]int{}, vals: map[int]int64{}}
+	var strArgs, intArgs []int
+	for j, g := range c.gens {
+		if j == target {
+			continue
+		}
+		switch t := g.(type) {
+		case *gens.CStringGen:
+			baseCtx.strlens[j] = len("hello") // Default() payload
+			strArgs = append(strArgs, j)
+		case *gens.IntGen:
+			baseCtx.vals[j] = t.DefaultValue
+			intArgs = append(intArgs, j)
+		}
+	}
+
+	// Candidate expressions, most specific first.
+	var candidates []decl.SizeExpr
+	for i := 0; i < len(intArgs); i++ {
+		for k := 0; k < len(intArgs); k++ {
+			if i < k {
+				candidates = append(candidates, decl.SizeExpr{Kind: decl.SizeArgProduct, A: intArgs[i], B: intArgs[k]})
+			}
+		}
+	}
+	for _, sj := range strArgs {
+		for _, ij := range intArgs {
+			candidates = append(candidates,
+				decl.SizeExpr{Kind: decl.SizeMinStrlenP1N, A: sj, B: ij},
+				decl.SizeExpr{Kind: decl.SizeMinStrlenNP1, A: sj, B: ij},
+			)
+		}
+	}
+	for _, sj := range strArgs {
+		candidates = append(candidates, decl.SizeExpr{Kind: decl.SizeStrlenPlus1, A: sj})
+	}
+	for _, ij := range intArgs {
+		candidates = append(candidates, decl.SizeExpr{Kind: decl.SizeArgValue, A: ij})
+	}
+
+	// perturb returns a probe + updated context for argument j moved
+	// either up (roughly doubled) or down (to a small value). Min-shaped
+	// expressions saturate in one direction, so both are needed.
+	perturb := func(j int, up bool, ctx inferCtx) (*gens.Probe, inferCtx) {
+		out := inferCtx{strlens: map[int]int{}, vals: map[int]int64{}}
+		for k, v := range ctx.strlens {
+			out.strlens[k] = v
+		}
+		for k, v := range ctx.vals {
+			out.vals[k] = v
+		}
+		switch t := c.gens[j].(type) {
+		case *gens.CStringGen:
+			l := 2
+			if up {
+				l = ctx.strlens[j]*2 + 7
+			}
+			out.strlens[j] = l
+			return t.VariantWithLen(l), out
+		case *gens.IntGen:
+			v := int64(2)
+			if up {
+				v = ctx.vals[j]*2 + 3
+			}
+			out.vals[j] = v
+			return t.ValueProbe(v), out
+		}
+		return nil, out
+	}
+
+	refs := func(e decl.SizeExpr) []int {
+		switch e.Kind {
+		case decl.SizeStrlenPlus1, decl.SizeArgValue:
+			return []int{e.A}
+		default:
+			return []int{e.A, e.B}
+		}
+	}
+
+next:
+	for _, cand := range candidates {
+		want, ok := cand.Eval(baseCtx)
+		if !ok || want != baseline {
+			continue
+		}
+		// Confirm by perturbing each referenced argument in both
+		// directions: every measured minimum must match the expression,
+		// and at least one perturbation must actually move it.
+		anyChanged := false
+		for _, j := range refs(cand) {
+			for _, up := range []bool{true, false} {
+				pr, ctx2 := perturb(j, up, baseCtx)
+				if pr == nil {
+					continue next
+				}
+				want2, ok := cand.Eval(ctx2)
+				if !ok {
+					continue next
+				}
+				m2, ok := c.measureMinimal(target, prot, map[int]*gens.Probe{j: pr})
+				if !ok || m2 != want2 {
+					continue next
+				}
+				if m2 != baseline {
+					anyChanged = true
+				}
+			}
+		}
+		if !anyChanged {
+			continue
+		}
+		return cand
+	}
+	return fixed
+}

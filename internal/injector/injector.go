@@ -1,0 +1,546 @@
+// Package injector implements the fault-injector generator and driver
+// of paper §3.3–§4: for each library function it runs adaptive
+// fault-injection experiments in forked child processes, attributes
+// segmentation faults to the test-case generator owning the faulting
+// address, grows array regions until the faults disappear, classifies
+// the function's error-return behaviour (Table 1), computes the robust
+// argument type vector (§4.3), and emits a function declaration
+// (Figure 2) for the wrapper generator.
+package injector
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/cparse"
+	"healers/internal/csim"
+	"healers/internal/decl"
+	"healers/internal/extract"
+	"healers/internal/gens"
+	"healers/internal/typesys"
+)
+
+// Config tunes an injection campaign.
+type Config struct {
+	// StepBudget is the per-call simulated work limit; exceeding it is
+	// a hang (the paper's child-process timeout).
+	StepBudget int
+	// ProductCap bounds the cross-product phase per function.
+	ProductCap int
+	// Conservative selects the stricter robust-type variant of §4.3.
+	Conservative bool
+	// Trace, when non-nil, receives one line per experiment — probe
+	// labels, outcome, and adaptive adjustments (cmd/faultinject -v).
+	Trace func(format string, args ...any)
+}
+
+// DefaultConfig returns the standard campaign configuration.
+func DefaultConfig() Config {
+	return Config{StepBudget: 200_000, ProductCap: 400}
+}
+
+// Result is the outcome of injecting one function.
+type Result struct {
+	Name  string
+	Proto *cparse.Prototype
+	Decl  *decl.FuncDecl
+
+	// RobustNames are the instantiated robust type names per argument.
+	RobustNames []string
+
+	Calls   int
+	Crashes int
+	Hangs   int
+	Aborts  int
+
+	ErrClass decl.ErrClass
+}
+
+// Unsafe reports whether the function crashed or hung at least once.
+func (r *Result) Unsafe() bool { return r.Crashes+r.Hangs+r.Aborts > 0 }
+
+// Injector drives fault injection against one library.
+type Injector struct {
+	lib *clib.Library
+	cfg Config
+}
+
+// New returns an injector for lib.
+func New(lib *clib.Library, cfg Config) *Injector {
+	if cfg.StepBudget == 0 {
+		cfg.StepBudget = DefaultConfig().StepBudget
+	}
+	if cfg.ProductCap == 0 {
+		cfg.ProductCap = DefaultConfig().ProductCap
+	}
+	return &Injector{lib: lib, cfg: cfg}
+}
+
+// NewTemplateProcess builds the process every injection child is forked
+// from: a filesystem with the standard fixtures and a line of standard
+// input (so gets has something to copy).
+func NewTemplateProcess() *csim.Process {
+	fs := csim.NewFS()
+	fs.Create(gens.DefaultFixturePath, gens.FixtureFileContents())
+	fs.Create(gens.DefaultFixtureDir+"/a.txt", []byte("x"))
+	fs.Create(gens.DefaultFixtureDir+"/b.txt", []byte("y"))
+	p := csim.NewProcess(fs)
+	p.Stdin = []byte(gens.FixtureStdinLine() + "\nsecond line\n")
+	return p
+}
+
+// vectorRun is one recorded experiment. explored is the index of the
+// argument under exploration when the run happened (-1 for the
+// cross-product phase): success coverage for an argument is taken from
+// its own exploration runs, where the sibling arguments hold benign
+// defaults. A success conjured by a degenerate sibling (memcpy with
+// n == 0 "succeeds" for any destination) must not weaken the robust
+// type — the wrapper rejecting such calls with an error code is exactly
+// the atomicity trade the paper endorses for the asctime(-1) example.
+type vectorRun struct {
+	funds    []string
+	outcome  typesys.CaseOutcome
+	explored int
+}
+
+// campaign is the per-function working state.
+type campaign struct {
+	inj      *Injector
+	fn       *clib.Func
+	proto    *cparse.Prototype
+	template *csim.Process
+	gens     []gens.Generator
+	defaults []*gens.Probe
+
+	runs    []vectorRun
+	tried   [][]*gens.Probe // probes seen per argument (for the product phase)
+	result  *Result
+	errVals map[uint64]int // return values observed when errno was set
+	errnos  map[int]int    // errno values observed
+}
+
+// InjectFunction runs the full campaign for one extracted function.
+func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTable) (*Result, error) {
+	if fi.Proto == nil {
+		return nil, fmt.Errorf("injector: %s has no prototype", fi.Symbol.Name)
+	}
+	fn, ok := inj.lib.Lookup(fi.Symbol.Name)
+	if !ok {
+		return nil, fmt.Errorf("injector: %s not in library", fi.Symbol.Name)
+	}
+	c := &campaign{
+		inj:      inj,
+		fn:       fn,
+		proto:    fi.Proto,
+		template: NewTemplateProcess(),
+		errVals:  make(map[uint64]int),
+		errnos:   make(map[int]int),
+		result:   &Result{Name: fn.Name, Proto: fi.Proto},
+	}
+	for _, param := range fi.Proto.Params {
+		g := gens.ForParam(param, table)
+		c.gens = append(c.gens, g)
+		c.defaults = append(c.defaults, g.Default())
+		c.tried = append(c.tried, nil)
+	}
+	c.exploreArguments()
+	c.productPhase()
+	robust, err := c.computeRobustVector()
+	if err != nil {
+		return nil, fmt.Errorf("injector: %s: %w", fn.Name, err)
+	}
+	c.buildDecl(robust)
+	return c.result, nil
+}
+
+// exploreArguments runs the one-argument-at-a-time phase with the
+// adaptive ownership/adjustment loop of §4.1.
+func (c *campaign) exploreArguments() {
+	if len(c.gens) == 0 {
+		// Zero-argument function: a single call decides everything.
+		c.runOnce(nil, -1)
+		return
+	}
+	for i, g := range c.gens {
+		for pr := g.Next(); pr != nil; pr = g.Next() {
+			c.tried[i] = append(c.tried[i], pr)
+			probes := make([]*gens.Probe, len(c.defaults))
+			copy(probes, c.defaults)
+			probes[i] = pr
+			for {
+				out, fault := c.runOnce(probes, i)
+				if out == typesys.Success {
+					// Confirmation probes: a successful region size gets
+					// re-probed under the other protections so access-mode
+					// requirements leave crash evidence.
+					for j, p := range probes {
+						if noter, ok := c.gens[j].(interface{ NoteSuccess(*gens.Probe) }); ok {
+							noter.NoteSuccess(p)
+						}
+					}
+				}
+				if out != typesys.Crash || fault == nil {
+					break
+				}
+				// Attribute the fault to the generator owning the
+				// address and let it adjust (grow) its test case.
+				owner := -1
+				for j, p := range probes {
+					if p.Region.Owns(fault.Addr) {
+						owner = j
+						break
+					}
+				}
+				if owner < 0 {
+					break
+				}
+				np := c.gens[owner].Adjust(probes[owner], fault.Addr)
+				if np == nil {
+					break
+				}
+				if c.inj.cfg.Trace != nil {
+					c.inj.cfg.Trace("  adjust arg%d: %s -> %s (fault at %#x)",
+						owner, probes[owner].Fund, np.Fund, uint64(fault.Addr))
+				}
+				probes[owner] = np
+				if owner == i {
+					c.tried[i] = append(c.tried[i], np)
+				}
+			}
+		}
+	}
+}
+
+// productPhase exercises cross products of a few representative probes
+// per argument (capped), approximating the paper's full cross product.
+func (c *campaign) productPhase() {
+	if len(c.gens) < 2 {
+		return
+	}
+	sel := make([][]*gens.Probe, len(c.tried))
+	for i, list := range c.tried {
+		sel[i] = selectRepresentatives(list, 5)
+	}
+	total := 1
+	for _, l := range sel {
+		total *= len(l)
+	}
+	if total > c.inj.cfg.ProductCap {
+		total = c.inj.cfg.ProductCap
+	}
+	idx := make([]int, len(sel))
+	for n := 0; n < total; n++ {
+		probes := make([]*gens.Probe, len(sel))
+		for i := range sel {
+			probes[i] = sel[i][idx[i]]
+		}
+		c.runOnce(probes, -1)
+		// Odometer increment.
+		for i := 0; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(sel[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+}
+
+// selectRepresentatives keeps up to max probes with distinct
+// fundamental types, biased to both ends of the sequence (the specials
+// come first, the grown chain results last).
+func selectRepresentatives(list []*gens.Probe, max int) []*gens.Probe {
+	seen := make(map[string]bool)
+	var out []*gens.Probe
+	add := func(pr *gens.Probe) {
+		if pr != nil && !seen[pr.Fund] && len(out) < max {
+			seen[pr.Fund] = true
+			out = append(out, pr)
+		}
+	}
+	for _, pr := range list { // specials first (NULL, INVALID, size 0)
+		if len(out) >= (max+1)/2 {
+			break
+		}
+		add(pr)
+	}
+	for i := len(list) - 1; i >= 0; i-- { // final grown sizes
+		add(list[i])
+	}
+	if len(out) == 0 {
+		out = append(out, nil)
+	}
+	return out
+}
+
+// runOnce forks a child, materializes the probes, calls the function
+// under test, and records the experiment. It returns the typesys
+// outcome and the fault (if the call crashed with one).
+func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutcome, *cmem.Fault) {
+	child := c.template.Fork()
+	child.SetStepBudget(c.inj.cfg.StepBudget)
+
+	args := make([]uint64, len(probes))
+	mat := child.Run(func() uint64 {
+		for i, pr := range probes {
+			if pr == nil {
+				pr = c.defaults[i]
+				probes[i] = pr
+			}
+			args[i] = pr.Build(child)
+		}
+		return 0
+	})
+	if mat.Kind != csim.OutcomeReturn {
+		// Materialization failure is a harness problem, not an
+		// experiment; skip silently.
+		return typesys.ErrorReturn, nil
+	}
+
+	child.ClearErrno()
+	out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
+
+	c.result.Calls++
+	funds := make([]string, len(probes))
+	for i, pr := range probes {
+		funds[i] = pr.Fund
+	}
+
+	var caseOut typesys.CaseOutcome
+	var fault *cmem.Fault
+	switch out.Kind {
+	case csim.OutcomeReturn:
+		if child.ErrnoSet() {
+			caseOut = typesys.ErrorReturn
+			c.errVals[out.Ret]++
+			c.errnos[child.Errno()]++
+		} else {
+			caseOut = typesys.Success
+		}
+	case csim.OutcomeSegfault:
+		caseOut = typesys.Crash
+		fault = out.Fault
+		c.result.Crashes++
+	case csim.OutcomeHang:
+		caseOut = typesys.Crash
+		c.result.Hangs++
+	case csim.OutcomeAbort:
+		caseOut = typesys.Crash
+		c.result.Aborts++
+	}
+	c.runs = append(c.runs, vectorRun{funds: funds, outcome: caseOut, explored: explored})
+	if c.inj.cfg.Trace != nil {
+		c.inj.cfg.Trace("%s(%s) -> %v", c.fn.Name, strings.Join(funds, ", "), out)
+	}
+	return caseOut, fault
+}
+
+// computeRobustVector builds the per-argument hierarchies and runs the
+// §4.3 selection per coordinate, iterating to a fixpoint: crash
+// evidence for one coordinate only counts when the sibling coordinates
+// lie inside the current robust vector (the supertype-vector condition),
+// and success coverage comes from the coordinate's own exploration runs.
+func (c *campaign) computeRobustVector() ([]string, error) {
+	if len(c.gens) == 0 {
+		return nil, nil
+	}
+	n := len(c.gens)
+	hier := make([]*typesys.Hierarchy, n)
+	for i, g := range c.gens {
+		hier[i] = g.Hierarchy()
+	}
+	type resolved struct {
+		funds    []*typesys.Type
+		outcome  typesys.CaseOutcome
+		explored int
+	}
+	cases := make([]resolved, 0, len(c.runs))
+	for _, run := range c.runs {
+		rc := resolved{outcome: run.outcome, explored: run.explored}
+		for i, fund := range run.funds {
+			t, found := hier[i].Lookup(fund)
+			if !found {
+				return nil, fmt.Errorf("fund %q of arg %d not in hierarchy", fund, i)
+			}
+			rc.funds = append(rc.funds, t)
+		}
+		cases = append(cases, rc)
+	}
+	opts := typesys.RobustOptions{Conservative: c.inj.cfg.Conservative}
+
+	result := make([]*typesys.Type, n)
+	compute := func(i int, filterCrash bool) (*typesys.Type, error) {
+		proj := make([]typesys.Case, 0, len(cases))
+		for _, rc := range cases {
+			switch rc.outcome {
+			case typesys.Crash:
+				if filterCrash {
+					inVector := true
+					for j := 0; j < n; j++ {
+						if j != i && !hier[j].Contains(result[j], rc.funds[j]) {
+							inVector = false
+							break
+						}
+					}
+					if !inVector {
+						continue
+					}
+				}
+			default:
+				// Success/error coverage only from this coordinate's
+				// own exploration runs.
+				if rc.explored != i {
+					continue
+				}
+			}
+			proj = append(proj, typesys.Case{Fund: rc.funds[i], Outcome: rc.outcome})
+		}
+		return hier[i].RobustType(proj, opts)
+	}
+
+	for i := 0; i < n; i++ {
+		t, err := compute(i, false)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i, err)
+		}
+		result[i] = t
+	}
+	for iter := 0; iter < 5; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			t, err := compute(i, true)
+			if err != nil {
+				return nil, fmt.Errorf("argument %d: %w", i, err)
+			}
+			if t != result[i] {
+				result[i] = t
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	names := make([]string, n)
+	for i, t := range result {
+		names[i] = t.Name()
+	}
+	c.result.RobustNames = names
+	return names, nil
+}
+
+// buildDecl assembles the Figure 2 declaration, including the error
+// return classification of §3.3 and the dependent-size inference.
+func (c *campaign) buildDecl(robust []string) {
+	d := &decl.FuncDecl{
+		Name:    c.fn.Name,
+		Version: c.fn.Version,
+		Ret:     c.proto.Ret.String(),
+	}
+
+	// Error return classification (Table 1).
+	switch {
+	case c.proto.Ret.Kind == cparse.KindVoid:
+		d.ErrClass = decl.ErrClassNoReturn
+	case len(c.errVals) == 0:
+		d.ErrClass = decl.ErrClassNotFound
+	case len(c.errVals) == 1:
+		d.ErrClass = decl.ErrClassConsistent
+		for v := range c.errVals {
+			d.HasErrorValue = true
+			d.ErrorValue = v
+		}
+	default:
+		d.ErrClass = decl.ErrClassInconsistent
+		d.HasErrorValue = true
+		d.ErrorValue = pickErrorValue(c.errVals)
+	}
+	c.result.ErrClass = d.ErrClass
+
+	// Fallback error value for rejection when none was observed: NULL
+	// for pointer returns, -1 otherwise (except void).
+	if !d.HasErrorValue && d.ErrClass != decl.ErrClassNoReturn {
+		d.HasErrorValue = true
+		if c.proto.Ret.IsPointer() {
+			d.ErrorValue = 0
+		} else {
+			d.ErrorValue = ^uint64(0)
+		}
+	}
+
+	// Errno names, most common first; EINVAL is the rejection default.
+	type en struct {
+		e, n int
+	}
+	var ens []en
+	for e, n := range c.errnos {
+		ens = append(ens, en{e, n})
+	}
+	sort.Slice(ens, func(i, j int) bool {
+		if ens[i].n != ens[j].n {
+			return ens[i].n > ens[j].n
+		}
+		return ens[i].e < ens[j].e
+	})
+	for _, x := range ens {
+		d.Errnos = append(d.Errnos, csim.ErrnoName(x.e))
+	}
+	d.ErrnoOnReject = csim.EINVAL
+
+	if c.result.Unsafe() {
+		d.Attribute = decl.AttrUnsafe
+	} else {
+		d.Attribute = decl.AttrSafe
+	}
+
+	for i, param := range c.proto.Params {
+		rt := decl.RobustType{Base: typesys.TypeUnconstrained}
+		if i < len(robust) {
+			parsed, err := decl.ParseRobustType(robust[i])
+			if err == nil {
+				rt = parsed
+			}
+		}
+		if rt.Parameterized() && rt.Size.Kind == decl.SizeFixed && rt.Size.N > 0 {
+			rt.Size = c.inferSize(i, rt)
+		}
+		if strings.HasPrefix(rt.Base, "R_ARRAY") && rt.Size.Kind == decl.SizeFixed {
+			if upgraded, ok := c.inferBoundedRead(i, rt); ok {
+				rt = upgraded
+			}
+		}
+		d.Args = append(d.Args, decl.ArgDecl{CType: param.Type.String(), Robust: rt})
+	}
+	c.result.Decl = d
+}
+
+func pickErrorValue(vals map[uint64]int) uint64 {
+	if _, ok := vals[0]; ok {
+		return 0
+	}
+	if _, ok := vals[^uint64(0)]; ok {
+		return ^uint64(0)
+	}
+	var best uint64
+	bestN := -1
+	for v, n := range vals {
+		if n > bestN {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// protOfBase maps a robust array base to the protection used when
+// re-measuring minimal sizes (writes are measured with RW regions so
+// read-modify-write functions still succeed).
+func protOfBase(base string) cmem.Prot {
+	if strings.HasPrefix(base, "R_ARRAY") {
+		return cmem.ProtRead
+	}
+	return cmem.ProtRW
+}

@@ -1,0 +1,254 @@
+package injector
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/decl"
+	"healers/internal/extract"
+)
+
+// testCampaign runs extraction once and injects the named function.
+func testCampaign(t *testing.T, name string) *Result {
+	t.Helper()
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, ok := ext.Lookup(name)
+	if !ok {
+		t.Fatalf("%s not extracted", name)
+	}
+	inj := New(lib, DefaultConfig())
+	res, err := inj.InjectFunction(fi, ext.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAsctimeDeclaration(t *testing.T) {
+	// The paper's running example (Figure 2): asctime's robust type is
+	// R_ARRAY_NULL[44], it returns NULL with EINVAL, and it is unsafe.
+	res := testCampaign(t, "asctime")
+	if !res.Unsafe() {
+		t.Error("asctime should be unsafe")
+	}
+	d := res.Decl
+	if len(d.Args) != 1 {
+		t.Fatalf("args = %d", len(d.Args))
+	}
+	got := d.Args[0].Robust.String()
+	if got != "R_ARRAY_NULL[44]" && got != "R_ARRAY[44]" {
+		t.Errorf("robust type = %s, want R_ARRAY_NULL[44]", got)
+	}
+	if d.ErrClass != decl.ErrClassConsistent {
+		t.Errorf("err class = %v, want consistent", d.ErrClass)
+	}
+	if !d.HasErrorValue || d.ErrorValue != 0 {
+		t.Errorf("error value = %v %d, want NULL", d.HasErrorValue, int64(d.ErrorValue))
+	}
+	if len(d.Errnos) == 0 || d.Errnos[0] != "EINVAL" {
+		t.Errorf("errnos = %v, want [EINVAL]", d.Errnos)
+	}
+	xml, err := d.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<name>asctime</name>", "R_ARRAY", "<attribute>unsafe</attribute>"} {
+		if !strings.Contains(string(xml), want) {
+			t.Errorf("XML missing %q:\n%s", want, xml)
+		}
+	}
+}
+
+func TestAsctimeConservativeIncludesNull(t *testing.T) {
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := ext.Lookup("asctime")
+	cfg := DefaultConfig()
+	cfg.Conservative = true
+	res, err := New(lib, cfg).InjectFunction(fi, ext.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Decl.Args[0].Robust.String(); got != "R_ARRAY_NULL[44]" {
+		t.Errorf("conservative robust type = %s, want R_ARRAY_NULL[44]", got)
+	}
+}
+
+func TestStrcpyDependentSize(t *testing.T) {
+	res := testCampaign(t, "strcpy")
+	if !res.Unsafe() {
+		t.Error("strcpy should be unsafe")
+	}
+	d := res.Decl
+	if len(d.Args) != 2 {
+		t.Fatalf("args = %d", len(d.Args))
+	}
+	dst := d.Args[0].Robust
+	if dst.Base != "W_ARRAY" && dst.Base != "RW_ARRAY" {
+		t.Errorf("dst base = %s, want W_ARRAY", dst.Base)
+	}
+	if dst.Size.Kind != decl.SizeStrlenPlus1 || dst.Size.A != 1 {
+		t.Errorf("dst size = %s, want strlen(arg1)+1", dst.Size)
+	}
+	src := d.Args[1].Robust
+	if src.Base != "CSTR" && src.Base != "R_ARRAY" {
+		t.Errorf("src base = %s, want CSTR", src.Base)
+	}
+	if d.ErrClass != decl.ErrClassNotFound {
+		t.Errorf("err class = %v, want not-found (string functions never set errno)", d.ErrClass)
+	}
+}
+
+func TestStrncpyArgValueSize(t *testing.T) {
+	res := testCampaign(t, "strncpy")
+	dst := res.Decl.Args[0].Robust
+	if dst.Size.Kind != decl.SizeArgValue || dst.Size.A != 2 {
+		t.Errorf("strncpy dst size = %s, want arg2", dst.Size)
+	}
+}
+
+func TestMemcpyArgValueSize(t *testing.T) {
+	res := testCampaign(t, "memcpy")
+	dst := res.Decl.Args[0].Robust
+	if dst.Size.Kind != decl.SizeArgValue || dst.Size.A != 2 {
+		t.Errorf("memcpy dst size = %s, want arg2", dst.Size)
+	}
+	src := res.Decl.Args[1].Robust
+	if src.Base != "R_ARRAY" {
+		t.Errorf("memcpy src base = %s, want R_ARRAY", src.Base)
+	}
+	if src.Size.Kind != decl.SizeArgValue || src.Size.A != 2 {
+		t.Errorf("memcpy src size = %s, want arg2", src.Size)
+	}
+}
+
+func TestFreadProductSize(t *testing.T) {
+	res := testCampaign(t, "fread")
+	d := res.Decl
+	ptr := d.Args[0].Robust
+	if ptr.Size.Kind != decl.SizeArgProduct {
+		t.Errorf("fread ptr size = %s, want arg1*arg2", ptr.Size)
+	}
+	stream := d.Args[3].Robust
+	if stream.Base != "OPEN_FILE" && stream.Base != "R_FILE" && stream.Base != "RW_ARRAY" {
+		t.Errorf("fread stream base = %s", stream.Base)
+	}
+}
+
+func TestFgetsHangMakesSizePositive(t *testing.T) {
+	res := testCampaign(t, "fgets")
+	if res.Hangs == 0 {
+		t.Error("fgets injection should observe hangs")
+	}
+	d := res.Decl
+	size := d.Args[1].Robust
+	if size.Base != "INT_POSITIVE" {
+		t.Errorf("fgets size robust type = %s, want INT_POSITIVE", size.Base)
+	}
+	s := d.Args[0].Robust
+	if s.Size.Kind != decl.SizeArgValue || s.Size.A != 1 {
+		t.Errorf("fgets s size = %s, want arg1", s.Size)
+	}
+}
+
+func TestCfSpeedAsymmetry(t *testing.T) {
+	// The paper's §6 observation: cfsetispeed only needs write access,
+	// cfsetospeed needs read AND write access.
+	ires := testCampaign(t, "cfsetispeed")
+	ib := ires.Decl.Args[0].Robust.Base
+	if ib != "W_ARRAY" {
+		t.Errorf("cfsetispeed termios base = %s, want W_ARRAY", ib)
+	}
+	ores := testCampaign(t, "cfsetospeed")
+	ob := ores.Decl.Args[0].Robust.Base
+	if ob != "RW_ARRAY" {
+		t.Errorf("cfsetospeed termios base = %s, want RW_ARRAY", ob)
+	}
+}
+
+func TestFopenModeCrashPathOnly(t *testing.T) {
+	// fopen copes with bad path pointers (EFAULT) but crashes on bad
+	// mode pointers: the path must come out unconstrained, the mode
+	// constrained to valid strings.
+	res := testCampaign(t, "fopen")
+	d := res.Decl
+	path := d.Args[0].Robust.Base
+	if path != "UNCONSTRAINED" && path != "CSTR_NULL" {
+		t.Errorf("fopen path base = %s, want UNCONSTRAINED", path)
+	}
+	mode := d.Args[1].Robust.Base
+	if mode != "CSTR" && mode != "W_CSTR" {
+		t.Errorf("fopen mode base = %s, want CSTR", mode)
+	}
+	if d.ErrClass != decl.ErrClassConsistent {
+		t.Errorf("fopen err class = %v", d.ErrClass)
+	}
+}
+
+func TestSyscallFunctionsAreSafe(t *testing.T) {
+	for _, name := range []string{"open", "close", "read", "write", "lseek", "access", "chdir", "unlink", "creat"} {
+		t.Run(name, func(t *testing.T) {
+			res := testCampaign(t, name)
+			if res.Unsafe() {
+				t.Errorf("%s should be safe (kernel EFAULT handling): %d crashes %d hangs %d aborts",
+					name, res.Crashes, res.Hangs, res.Aborts)
+			}
+			if res.Decl.Attribute != decl.AttrSafe {
+				t.Errorf("attribute = %s", res.Decl.Attribute)
+			}
+		})
+	}
+}
+
+func TestFdopenInconsistent(t *testing.T) {
+	res := testCampaign(t, "fdopen")
+	if res.ErrClass != decl.ErrClassInconsistent {
+		t.Errorf("fdopen err class = %v, want inconsistent", res.ErrClass)
+	}
+}
+
+func TestQsortComparatorConstrained(t *testing.T) {
+	res := testCampaign(t, "qsort")
+	d := res.Decl
+	if d.ErrClass != decl.ErrClassNoReturn {
+		t.Errorf("qsort err class = %v, want no-return-code", d.ErrClass)
+	}
+	cmp := d.Args[3].Robust.Base
+	if cmp != "VALID_FUNC" {
+		t.Errorf("qsort comparator base = %s, want VALID_FUNC", cmp)
+	}
+}
+
+func TestReaddirRobustType(t *testing.T) {
+	res := testCampaign(t, "readdir")
+	base := res.Decl.Args[0].Robust.Base
+	if base != "OPEN_DIR" && base != "RW_ARRAY" {
+		t.Errorf("readdir dirp base = %s, want OPEN_DIR", base)
+	}
+	if !res.Unsafe() {
+		t.Error("readdir should be unsafe")
+	}
+}
+
+func TestFflushNotFoundClass(t *testing.T) {
+	res := testCampaign(t, "fflush")
+	if res.ErrClass != decl.ErrClassNotFound {
+		t.Errorf("fflush err class = %v, want not-found (the paper's example)", res.ErrClass)
+	}
+}
+
+func TestRewindNoReturnClass(t *testing.T) {
+	res := testCampaign(t, "rewind")
+	if res.ErrClass != decl.ErrClassNoReturn {
+		t.Errorf("rewind err class = %v, want no-return-code", res.ErrClass)
+	}
+}

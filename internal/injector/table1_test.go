@@ -1,0 +1,125 @@
+package injector
+
+import (
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/decl"
+	"healers/internal/extract"
+)
+
+// freshExtraction builds a new library + extraction (for determinism
+// comparisons that must not share state).
+func freshExtraction(t *testing.T) (*clib.Library, *extract.Result) {
+	t.Helper()
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, ext
+}
+
+// runFullCampaign injects all 86 crash-prone functions once per test
+// binary run.
+var (
+	cachedCampLib *clib.Library
+	cachedCamp    *Campaign
+)
+
+func runFullCampaign(t *testing.T) (*clib.Library, *Campaign) {
+	t.Helper()
+	if cachedCamp != nil {
+		return cachedCampLib, cachedCamp
+	}
+	lib, ext := freshExtraction(t)
+	campaign, err := New(lib, DefaultConfig()).InjectAll(ext, lib.CrashProne86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedCampLib, cachedCamp = lib, campaign
+	return lib, campaign
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	_, campaign := runFullCampaign(t)
+	tab := campaign.Table1()
+	t.Logf("Table 1: no-return=%d consistent=%d inconsistent=%d not-found=%d (paper: 8/39/2/37)",
+		tab.NoReturn, tab.Consistent, tab.Inconsistent, tab.NotFound)
+	if tab.Total() != 86 {
+		t.Fatalf("classified %d functions, want 86", tab.Total())
+	}
+	if tab.NoReturn != 8 {
+		t.Errorf("no-return-code = %d, want 8", tab.NoReturn)
+	}
+	if tab.Consistent != 39 {
+		t.Errorf("consistent = %d, want 39", tab.Consistent)
+	}
+	if tab.Inconsistent != 2 {
+		t.Errorf("inconsistent = %d, want 2", tab.Inconsistent)
+	}
+	if tab.NotFound != 37 {
+		t.Errorf("not-found = %d, want 37", tab.NotFound)
+	}
+	// The paper identifies the two inconsistent functions by name.
+	inc := campaign.InconsistentNames()
+	if len(inc) != 2 || inc[0] != "fdopen" || inc[1] != "freopen" {
+		t.Errorf("inconsistent functions = %v, want [fdopen freopen]", inc)
+	}
+	// List misclassified functions for diagnosis.
+	if t.Failed() {
+		for _, name := range campaign.Order {
+			t.Logf("  %-14s %v", name, campaign.Results[name].ErrClass)
+		}
+	}
+}
+
+func TestNineFunctionsNeverCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	_, campaign := runFullCampaign(t)
+	var safe []string
+	for _, name := range campaign.Order {
+		if !campaign.Results[name].Unsafe() {
+			safe = append(safe, name)
+		}
+	}
+	t.Logf("safe functions (%d): %v", len(safe), safe)
+	if len(safe) != 9 {
+		t.Errorf("safe functions = %d, want 9 (the paper's never-crash count)", len(safe))
+	}
+	want := map[string]bool{
+		"open": true, "creat": true, "close": true, "read": true,
+		"write": true, "lseek": true, "access": true, "chdir": true,
+		"unlink": true,
+	}
+	for _, name := range safe {
+		if !want[name] {
+			t.Errorf("unexpected safe function %s", name)
+		}
+	}
+}
+
+func TestAllUnsafeDeclsHaveErrorPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	_, campaign := runFullCampaign(t)
+	for _, name := range campaign.Order {
+		d := campaign.Results[name].Decl
+		if !d.Unsafe() {
+			continue
+		}
+		if d.ErrClass != decl.ErrClassNoReturn && !d.HasErrorValue {
+			t.Errorf("%s: unsafe without an error return value", name)
+		}
+		if d.ErrnoOnReject == 0 {
+			t.Errorf("%s: no rejection errno", name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package manpage parses the SYNOPSIS section of manual pages to find
+// the header files a function's prototype lives in (paper §3.2: "By
+// convention, manual pages contain a list of all header files that need
+// to be included by a program that wants to use the function").
+package manpage
+
+import "strings"
+
+// Synopsis is the extracted interface information of one manual page.
+type Synopsis struct {
+	Headers []string // include paths listed in SYNOPSIS
+	Protos  []string // raw prototype lines (informational)
+}
+
+// Parse extracts the SYNOPSIS of a manual page. Pages without a
+// SYNOPSIS section, or with an empty one, yield an empty Synopsis.
+func Parse(text string) Synopsis {
+	var syn Synopsis
+	inSynopsis := false
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		// Section headings are unindented all-caps words.
+		if line == trimmed && isHeading(trimmed) {
+			inSynopsis = trimmed == "SYNOPSIS"
+			continue
+		}
+		if !inSynopsis {
+			continue
+		}
+		if h, ok := parseInclude(trimmed); ok {
+			syn.Headers = append(syn.Headers, h)
+		} else if strings.HasSuffix(trimmed, ";") {
+			syn.Protos = append(syn.Protos, trimmed)
+		}
+	}
+	return syn
+}
+
+func isHeading(s string) bool {
+	for _, r := range s {
+		if !(r >= 'A' && r <= 'Z' || r == ' ') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func parseInclude(line string) (string, bool) {
+	const prefix = "#include"
+	if !strings.HasPrefix(line, prefix) {
+		return "", false
+	}
+	rest := strings.TrimSpace(line[len(prefix):])
+	if len(rest) < 2 {
+		return "", false
+	}
+	var closer byte
+	switch rest[0] {
+	case '<':
+		closer = '>'
+	case '"':
+		closer = '"'
+	default:
+		return "", false
+	}
+	if i := strings.IndexByte(rest[1:], closer); i > 0 {
+		return rest[1 : 1+i], true
+	}
+	return "", false
+}

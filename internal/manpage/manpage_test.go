@@ -1,0 +1,60 @@
+package manpage
+
+import "testing"
+
+const samplePage = `ASCTIME(3)                 Library Functions Manual                 ASCTIME(3)
+
+NAME
+       asctime - convert broken-down time to string
+
+SYNOPSIS
+       #include <time.h>
+       #include "bits/tm.h"
+
+       char *asctime(const struct tm *tm);
+
+DESCRIPTION
+       The asctime() function converts the broken-down time.
+       #include <not-a-real-include.h> appears here but outside SYNOPSIS.
+`
+
+func TestParseSynopsis(t *testing.T) {
+	syn := Parse(samplePage)
+	if len(syn.Headers) != 2 {
+		t.Fatalf("headers = %v", syn.Headers)
+	}
+	if syn.Headers[0] != "time.h" || syn.Headers[1] != "bits/tm.h" {
+		t.Errorf("headers = %v", syn.Headers)
+	}
+	if len(syn.Protos) != 1 || syn.Protos[0] != "char *asctime(const struct tm *tm);" {
+		t.Errorf("protos = %v", syn.Protos)
+	}
+}
+
+func TestParseNoSynopsis(t *testing.T) {
+	syn := Parse("NAME\n       foo - bar\n\nDESCRIPTION\n       #include <x.h>\n")
+	if len(syn.Headers) != 0 {
+		t.Errorf("headers = %v (DESCRIPTION includes must be ignored)", syn.Headers)
+	}
+}
+
+func TestParseEmptySynopsis(t *testing.T) {
+	syn := Parse("SYNOPSIS\n\nDESCRIPTION\n       text\n")
+	if len(syn.Headers) != 0 || len(syn.Protos) != 0 {
+		t.Errorf("syn = %+v", syn)
+	}
+}
+
+func TestParseMalformedIncludes(t *testing.T) {
+	syn := Parse("SYNOPSIS\n       #include time.h\n       #include <unclosed\n       #include <>\n")
+	if len(syn.Headers) != 0 {
+		t.Errorf("headers = %v", syn.Headers)
+	}
+}
+
+func TestParseEmptyPage(t *testing.T) {
+	syn := Parse("")
+	if len(syn.Headers) != 0 {
+		t.Error("empty page produced headers")
+	}
+}

@@ -1,0 +1,65 @@
+// Package report renders the paper's tables and statistics as text for
+// the command-line tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"healers/internal/extract"
+	"healers/internal/injector"
+)
+
+// Extraction renders the §3 statistics next to the paper's values.
+func Extraction(s extract.Stats) string {
+	var b strings.Builder
+	b.WriteString("Extraction statistics (measured | paper §3)\n")
+	fmt.Fprintf(&b, "  global functions            %6d |    —\n", s.Total)
+	fmt.Fprintf(&b, "  internal (leading _)        %5.1f%% | >34%%\n", 100*s.InternalFraction())
+	fmt.Fprintf(&b, "  with manual page            %5.1f%% | 51.1%%\n", 100*s.ManCoverage())
+	fmt.Fprintf(&b, "  man pages without headers   %5.1f%% |  1.2%%\n", 100*s.ManNoHeaderRate())
+	fmt.Fprintf(&b, "  man pages with wrong headers%5.1f%% |  7.7%%\n", 100*s.ManWrongHeaderRate())
+	fmt.Fprintf(&b, "  prototypes found            %5.1f%% | 96.0%%\n", 100*s.FoundRate())
+	fmt.Fprintf(&b, "  found via man page          %6d |    —\n", s.FoundViaMan)
+	fmt.Fprintf(&b, "  found via header search     %6d |    —\n", s.FoundViaSearch)
+	return b.String()
+}
+
+// Table1 renders the error-return-code classification next to the
+// paper's Table 1.
+func Table1(c *injector.Campaign) string {
+	t := c.Table1()
+	pct := func(n int) float64 {
+		if t.Total() == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(t.Total())
+	}
+	var b strings.Builder
+	b.WriteString("Table 1 — error return code determination (measured | paper)\n")
+	fmt.Fprintf(&b, "  %-30s %4d %5.1f%% |  8  9.3%%\n", "No Return Code", t.NoReturn, pct(t.NoReturn))
+	fmt.Fprintf(&b, "  %-30s %4d %5.1f%% | 39 45.3%%\n", "Consistent Error Return Code", t.Consistent, pct(t.Consistent))
+	fmt.Fprintf(&b, "  %-30s %4d %5.1f%% |  2  2.3%%\n", "Inconsistent Error Return Code", t.Inconsistent, pct(t.Inconsistent))
+	fmt.Fprintf(&b, "  %-30s %4d %5.1f%% | 37 43.0%%\n", "No Error Return Code Found", t.NotFound, pct(t.NotFound))
+	fmt.Fprintf(&b, "  inconsistent functions: %s (paper: fdopen, freopen)\n",
+		strings.Join(c.InconsistentNames(), ", "))
+	fmt.Fprintf(&b, "  unsafe functions: %d of %d\n", c.UnsafeCount(), t.Total())
+	return b.String()
+}
+
+// Declarations renders every unsafe declaration's robust types on one
+// line each, sorted.
+func Declarations(c *injector.Campaign) string {
+	var b strings.Builder
+	for _, name := range c.Order {
+		r := c.Results[name]
+		d := r.Decl
+		var args []string
+		for _, a := range d.Args {
+			args = append(args, a.Robust.String())
+		}
+		fmt.Fprintf(&b, "%-14s %-6s (%s) errno-class=%s\n",
+			name, d.Attribute, strings.Join(args, ", "), d.ErrClass)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/extract"
+	"healers/internal/injector"
+)
+
+func campaign(t *testing.T) (*extract.Result, *injector.Campaign) {
+	t.Helper()
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small set keeps the test fast; the renderers only need shape.
+	c, err := injector.New(lib, injector.DefaultConfig()).InjectAll(ext,
+		[]string{"asctime", "strcpy", "fdopen", "rewind", "close"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ext, c
+}
+
+func TestExtractionReport(t *testing.T) {
+	ext, _ := campaign(t)
+	out := Extraction(ext.Stats)
+	for _, want := range []string{"51.1%", "96.0%", "internal", "prototypes found"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extraction report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	_, c := campaign(t)
+	out := Table1(c)
+	for _, want := range []string{"No Return Code", "Consistent", "Inconsistent", "fdopen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeclarationsReport(t *testing.T) {
+	_, c := campaign(t)
+	out := Declarations(c)
+	if !strings.Contains(out, "asctime") || !strings.Contains(out, "R_ARRAY") {
+		t.Errorf("declarations report:\n%s", out)
+	}
+	if !strings.Contains(out, "close") || !strings.Contains(out, "safe") {
+		t.Errorf("safe function missing:\n%s", out)
+	}
+}

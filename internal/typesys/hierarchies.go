@@ -1,0 +1,349 @@
+package typesys
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Concrete hierarchy builders. The fixed-size array hierarchy is the
+// paper's Figure 3; the file pointer hierarchy is Figure 4. Both are
+// parameterized by the concrete sizes observed during fault injection —
+// the hierarchy is instantiated a posteriori over the sizes the
+// adaptive generator actually probed.
+
+// Well-known type names shared by generators, the injector, the
+// declaration format, and the wrapper's checking functions.
+const (
+	TypeNull          = "NULL"
+	TypeInvalid       = "INVALID"
+	TypeUnconstrained = "UNCONSTRAINED"
+
+	TypeCString      = "CSTR"
+	TypeCStringW     = "W_CSTR"
+	TypeCStringNull  = "CSTR_NULL"
+	TypeCStringWNull = "W_CSTR_NULL"
+	TypeROnlyFile    = "RONLY_FILE"
+	TypeRWFile       = "RW_FILE"
+	TypeWOnlyFile    = "WONLY_FILE"
+	TypeRFile        = "R_FILE"
+	TypeWFile        = "W_FILE"
+	TypeOpenFile     = "OPEN_FILE"
+	TypeOpenFileNull = "OPEN_FILE_NULL"
+	TypeOpenDir      = "OPEN_DIR_F"
+	TypeOpenDirU     = "OPEN_DIR"
+	TypeOpenDirNull  = "OPEN_DIR_NULL"
+	TypeIntNeg       = "INT_NEG"
+	TypeIntZero      = "INT_ZERO"
+	TypeIntPos       = "INT_POS"
+	TypeIntNegative  = "INT_NEGATIVE"
+	TypeIntPositive  = "INT_POSITIVE"
+	TypeIntNonNeg    = "INT_NONNEG"
+	TypeIntNonPos    = "INT_NONPOS"
+	TypeIntAny       = "INT_ANY"
+	TypeFuncPtr      = "FUNC_PTR"
+	TypeFuncPtrU     = "VALID_FUNC"
+)
+
+// Parameterized type name constructors.
+func NameROnlyFixed(s int) string { return fmt.Sprintf("RONLY_FIXED[%d]", s) }
+
+// NameRWFixed names the read-write fixed-size fundamental type.
+func NameRWFixed(s int) string { return fmt.Sprintf("RW_FIXED[%d]", s) }
+
+// NameWOnlyFixed names the write-only fixed-size fundamental type.
+func NameWOnlyFixed(s int) string { return fmt.Sprintf("WONLY_FIXED[%d]", s) }
+
+// NameRArray names the readable-array unified type of minimum size s.
+func NameRArray(s int) string { return fmt.Sprintf("R_ARRAY[%d]", s) }
+
+// NameRWArray names the read-write-array unified type.
+func NameRWArray(s int) string { return fmt.Sprintf("RW_ARRAY[%d]", s) }
+
+// NameWArray names the writable-array unified type.
+func NameWArray(s int) string { return fmt.Sprintf("W_ARRAY[%d]", s) }
+
+// NameRArrayNull, NameRWArrayNull, NameWArrayNull name the unions with
+// the NULL type.
+func NameRArrayNull(s int) string { return fmt.Sprintf("R_ARRAY_NULL[%d]", s) }
+
+// NameRWArrayNull names RW_ARRAY[s] ∪ {NULL}.
+func NameRWArrayNull(s int) string { return fmt.Sprintf("RW_ARRAY_NULL[%d]", s) }
+
+// NameWArrayNull names W_ARRAY[s] ∪ {NULL}.
+func NameWArrayNull(s int) string { return fmt.Sprintf("W_ARRAY_NULL[%d]", s) }
+
+// NameUnterminated names the fundamental type of readable regions of s
+// bytes that contain no string terminator.
+func NameUnterminated(s int) string { return fmt.Sprintf("UNTERM[%d]", s) }
+
+// NameCStringRW names the fundamental type of valid NUL-terminated
+// strings of content length l in writable memory.
+func NameCStringRW(l int) string { return fmt.Sprintf("CSTR_RW[%d]", l) }
+
+// NameCStringRO names valid strings of content length l in read-only
+// memory.
+func NameCStringRO(l int) string { return fmt.Sprintf("CSTR_RONLY[%d]", l) }
+
+// normSizes sorts, dedups, and ensures 0 is present.
+func normSizes(sizes []int) []int {
+	seen := map[int]bool{0: true}
+	out := []int{0}
+	for _, s := range sizes {
+		if s >= 0 && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BuildArrayHierarchy instantiates the Figure 3 hierarchy over the
+// given sizes (0 is always included). The returned hierarchy is
+// finalized.
+func BuildArrayHierarchy(sizes []int) *Hierarchy {
+	h := NewHierarchy()
+	AddArrayTypes(h, sizes)
+	if err := h.Finalize(); err != nil {
+		panic(err) // construction is deterministic; failure is a bug
+	}
+	return h
+}
+
+// AddArrayTypes adds the Figure 3 nodes and edges to an existing
+// hierarchy (callers combine them with file/dir/string nodes).
+func AddArrayTypes(h *Hierarchy, sizes []int) {
+	ss := normSizes(sizes)
+	null := h.Fundamental(TypeNull)
+	invalid := h.Fundamental(TypeInvalid)
+	top := h.Unified(TypeUnconstrained)
+	h.Edge(invalid, top)
+
+	type row struct {
+		ro, rw, wo           *Type // fundamentals at exactly this size
+		r, rwU, w            *Type // unified arrays of at least this size
+		rNull, rwNull, wNull *Type
+	}
+	rows := make([]row, len(ss))
+	for i, s := range ss {
+		rows[i] = row{
+			ro:     h.Fundamental(NameROnlyFixed(s)),
+			rw:     h.Fundamental(NameRWFixed(s)),
+			wo:     h.Fundamental(NameWOnlyFixed(s)),
+			r:      h.Unified(NameRArray(s)),
+			rwU:    h.Unified(NameRWArray(s)),
+			w:      h.Unified(NameWArray(s)),
+			rNull:  h.Unified(NameRArrayNull(s)),
+			rwNull: h.Unified(NameRWArrayNull(s)),
+			wNull:  h.Unified(NameWArrayNull(s)),
+		}
+	}
+	for i, rw := range rows {
+		// Fundamentals of exactly size s sit under the arrays of at
+		// least size s.
+		h.Edge(rw.ro, rw.r)
+		h.Edge(rw.rw, rw.rwU)
+		h.Edge(rw.wo, rw.w)
+		// Read-write arrays are both readable and writable arrays.
+		h.Edge(rw.rwU, rw.r)
+		h.Edge(rw.rwU, rw.w)
+		// NULL unions.
+		h.Edge(rw.r, rw.rNull)
+		h.Edge(rw.rwU, rw.rwNull)
+		h.Edge(rw.w, rw.wNull)
+		h.Edge(rw.rwNull, rw.rNull)
+		h.Edge(rw.rwNull, rw.wNull)
+		// Size chains: an array of at least s_{i} is also an array of
+		// at least s_{i-1}.
+		if i > 0 {
+			h.Edge(rw.r, rows[i-1].r)
+			h.Edge(rw.rwU, rows[i-1].rwU)
+			h.Edge(rw.w, rows[i-1].w)
+			h.Edge(rw.rNull, rows[i-1].rNull)
+			h.Edge(rw.rwNull, rows[i-1].rwNull)
+			h.Edge(rw.wNull, rows[i-1].wNull)
+		}
+	}
+	// NULL belongs to every *_NULL type; the chain edges propagate it
+	// downward from the largest size.
+	last := rows[len(rows)-1]
+	h.Edge(null, last.rNull)
+	h.Edge(null, last.rwNull)
+	h.Edge(null, last.wNull)
+	// The weakest array types flow into UNCONSTRAINED.
+	h.Edge(rows[0].rNull, top)
+	h.Edge(rows[0].wNull, top)
+}
+
+// AddFileTypes adds the Figure 4 file-pointer hierarchy on top of the
+// array types (which must already include sizeofFILE among the sizes).
+// Per the paper, the value set of RW_FIXED[sizeofFILE] is restricted to
+// exclude open FILE structures so the fundamental value sets stay
+// disjoint.
+func AddFileTypes(h *Hierarchy, sizeofFILE int) {
+	ro := h.Fundamental(TypeROnlyFile)
+	rw := h.Fundamental(TypeRWFile)
+	wo := h.Fundamental(TypeWOnlyFile)
+	rFile := h.Unified(TypeRFile)
+	wFile := h.Unified(TypeWFile)
+	open := h.Unified(TypeOpenFile)
+	openNull := h.Unified(TypeOpenFileNull)
+
+	h.Edge(ro, rFile)
+	h.Edge(rw, rFile)
+	h.Edge(rw, wFile)
+	h.Edge(wo, wFile)
+	h.Edge(rFile, open)
+	h.Edge(wFile, open)
+	h.Edge(open, openNull)
+	null := h.Fundamental(TypeNull)
+	h.Edge(null, openNull)
+
+	if rwArr, ok := h.Lookup(NameRWArray(sizeofFILE)); ok {
+		h.Edge(open, rwArr)
+	}
+	if rwArrNull, ok := h.Lookup(NameRWArrayNull(sizeofFILE)); ok {
+		h.Edge(openNull, rwArrNull)
+	}
+}
+
+// AddDirTypes adds the directory-stream types, shaped like the file
+// hierarchy but with a single access mode (POSIX offers no checker for
+// DIR*, which is exactly why the wrapper needs manual state tracking).
+func AddDirTypes(h *Hierarchy, sizeofDIR int) {
+	f := h.Fundamental(TypeOpenDir)
+	u := h.Unified(TypeOpenDirU)
+	un := h.Unified(TypeOpenDirNull)
+	h.Edge(f, u)
+	h.Edge(u, un)
+	null := h.Fundamental(TypeNull)
+	h.Edge(null, un)
+	if rwArr, ok := h.Lookup(NameRWArray(sizeofDIR)); ok {
+		h.Edge(u, rwArr)
+	}
+	if rwArrNull, ok := h.Lookup(NameRWArrayNull(sizeofDIR)); ok {
+		h.Edge(un, rwArrNull)
+	}
+}
+
+// AddCStringTypes adds NUL-terminated string types on top of the array
+// types. Fundamentals: CSTR_RONLY[l] / CSTR_RW[l] (valid strings of
+// content length l in read-only / writable memory) and UNTERM[s]
+// (readable region of s bytes without a terminator). Unified: CSTR
+// (any valid string), W_CSTR (writable string — what strtok really
+// needs), and their NULL unions. A string of length l occupies l+1
+// readable (and, for CSTR_RW, writable) bytes, so each length
+// fundamental also flows into the largest array type it fills; the
+// semantic order then makes W_CSTR a subtype of the writable arrays
+// automatically.
+func AddCStringTypes(h *Hierarchy, untermSizes, strLens []int) {
+	cstr := h.Unified(TypeCString)
+	wstr := h.Unified(TypeCStringW)
+	cn := h.Unified(TypeCStringNull)
+	wn := h.Unified(TypeCStringWNull)
+	null := h.Fundamental(TypeNull)
+
+	h.Edge(wstr, cstr)
+	h.Edge(cstr, cn)
+	h.Edge(wstr, wn)
+	h.Edge(wn, cn)
+	h.Edge(null, cn)
+	h.Edge(null, wn)
+	if rn, ok := h.Lookup(NameRArrayNull(0)); ok {
+		h.Edge(cn, rn)
+	}
+
+	// arrayFloor finds the largest array-size row s with s <= n.
+	arraySizes := h.arraySizes()
+	arrayFloor := func(n int) (int, bool) {
+		best, found := 0, false
+		for _, s := range arraySizes {
+			if s <= n && (!found || s > best) {
+				best, found = s, true
+			}
+		}
+		return best, found
+	}
+
+	lens := map[int]bool{}
+	for _, l := range strLens {
+		if l < 0 || lens[l] {
+			continue
+		}
+		lens[l] = true
+		ro := h.Fundamental(NameCStringRO(l))
+		rw := h.Fundamental(NameCStringRW(l))
+		h.Edge(ro, cstr)
+		h.Edge(rw, wstr)
+		if s, ok := arrayFloor(l + 1); ok {
+			if r, ok := h.Lookup(NameRArray(s)); ok {
+				h.Edge(ro, r)
+			}
+			if rwArr, ok := h.Lookup(NameRWArray(s)); ok {
+				h.Edge(rw, rwArr)
+			}
+		}
+	}
+	for _, s := range normSizes(untermSizes) {
+		ut := h.Fundamental(NameUnterminated(s))
+		if r, ok := h.Lookup(NameRArray(s)); ok {
+			h.Edge(ut, r)
+		}
+	}
+}
+
+// arraySizes lists the sizes s for which R_ARRAY[s] exists.
+func (h *Hierarchy) arraySizes() []int {
+	var out []int
+	for _, t := range h.types {
+		var s int
+		if n, err := fmt.Sscanf(t.name, "R_ARRAY[%d]", &s); n == 1 && err == nil && !t.fundamental {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BuildIntHierarchy builds the integer hierarchy of the paper's
+// §4.2 example: disjoint fundamentals NEG/ZERO/POS under the
+// overlapping unified types NONNEG and NONPOS.
+func BuildIntHierarchy() *Hierarchy {
+	h := NewHierarchy()
+	AddIntTypes(h)
+	if err := h.Finalize(); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AddIntTypes adds the integer nodes to a hierarchy.
+func AddIntTypes(h *Hierarchy) {
+	neg := h.Fundamental(TypeIntNeg)
+	zero := h.Fundamental(TypeIntZero)
+	pos := h.Fundamental(TypeIntPos)
+	negU := h.Unified(TypeIntNegative)
+	posU := h.Unified(TypeIntPositive)
+	nonneg := h.Unified(TypeIntNonNeg)
+	nonpos := h.Unified(TypeIntNonPos)
+	any := h.Unified(TypeIntAny)
+	h.Edge(neg, negU)
+	h.Edge(pos, posU)
+	h.Edge(negU, nonpos)
+	h.Edge(zero, nonpos)
+	h.Edge(zero, nonneg)
+	h.Edge(posU, nonneg)
+	h.Edge(nonpos, any)
+	h.Edge(nonneg, any)
+}
+
+// AddFuncPtrTypes adds function pointer types: a registered code
+// address versus everything else.
+func AddFuncPtrTypes(h *Hierarchy) {
+	f := h.Fundamental(TypeFuncPtr)
+	u := h.Unified(TypeFuncPtrU)
+	h.Edge(f, u)
+	if top, ok := h.Lookup(TypeUnconstrained); ok {
+		h.Edge(u, top)
+	}
+}

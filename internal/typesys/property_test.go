@@ -1,0 +1,172 @@
+package typesys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over randomly labelled experiments in the array
+// hierarchy: the §4.3 guarantees must hold for ANY outcome labelling,
+// not just the curated scenarios.
+
+// randomCases labels every fundamental with a pseudo-random outcome.
+func randomCases(h *Hierarchy, seed int64) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	var cases []Case
+	for _, t := range h.Types() {
+		if !t.Fundamental() {
+			continue
+		}
+		outcome := CaseOutcome(rng.Intn(3) + 1)
+		cases = append(cases, Case{Fund: t, Outcome: outcome})
+	}
+	return cases
+}
+
+func TestPropertyRobustCoversSuccesses(t *testing.T) {
+	h := BuildArrayHierarchy([]int{4, 16, 44})
+	f := func(seed int64) bool {
+		cases := randomCases(h, seed)
+		rt, err := h.RobustType(cases, RobustOptions{})
+		if err != nil {
+			return false
+		}
+		// Guarantee 1: every success case is in V(robust).
+		for _, c := range cases {
+			if c.Outcome == Success && !h.Contains(rt, c.Fund) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRobustSupertypesContainCrash(t *testing.T) {
+	h := BuildArrayHierarchy([]int{8, 44})
+	f := func(seed int64) bool {
+		cases := randomCases(h, seed)
+		rt, err := h.RobustType(cases, RobustOptions{})
+		if err != nil {
+			return false
+		}
+		crashIn := func(tp *Type) bool {
+			for _, c := range cases {
+				if c.Outcome == Crash && h.Contains(tp, c.Fund) {
+					return true
+				}
+			}
+			return false
+		}
+		// Guarantee 2: every strict supertype of the robust type
+		// contains at least one crash case.
+		for _, st := range h.StrictSupertypes(rt) {
+			if !crashIn(st) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySafeImpliesRobustIsSafe(t *testing.T) {
+	// Guarantee 3 ("whenever there exists a safe argument type, the
+	// robust argument type computed by our system is safe"): if any
+	// unified type is safe for the labelling, the computed robust type
+	// must itself be safe.
+	h := BuildArrayHierarchy([]int{8, 44})
+	f := func(seed int64) bool {
+		cases := randomCases(h, seed)
+		var safeExists bool
+		for _, tp := range h.Types() {
+			if !tp.Fundamental() && h.IsSafe(tp, cases) {
+				safeExists = true
+				break
+			}
+		}
+		if !safeExists {
+			return true
+		}
+		rt, err := h.RobustType(cases, RobustOptions{})
+		if err != nil {
+			return false
+		}
+		// The computed type must at least contain no crash cases (the
+		// "no crash in V(T)" half of safety; full safety additionally
+		// requires covering error returns, which the non-conservative
+		// variant deliberately relaxes).
+		for _, c := range cases {
+			if c.Outcome == Crash && h.Contains(rt, c.Fund) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLEMatchesFundamentalSets(t *testing.T) {
+	// LE must be exactly fundamental-set inclusion.
+	h := NewHierarchy()
+	AddArrayTypes(h, []int{8, 44, 152})
+	AddFileTypes(h, 152)
+	AddCStringTypes(h, []int{16}, []int{0, 5})
+	if err := h.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	types := h.Types()
+	fundSet := func(tp *Type) map[*Type]bool {
+		set := map[*Type]bool{}
+		for _, f := range h.Fundamentals(tp) {
+			set[f] = true
+		}
+		return set
+	}
+	for _, a := range types {
+		sa := fundSet(a)
+		for _, b := range types {
+			sb := fundSet(b)
+			subset := true
+			for f := range sa {
+				if !sb[f] {
+					subset = false
+					break
+				}
+			}
+			if a.Fundamental() && len(sa) == 0 {
+				continue // degenerate
+			}
+			if got := h.LE(a, b); got != subset {
+				t.Fatalf("LE(%s,%s)=%v but subset=%v", a, b, got, subset)
+			}
+		}
+	}
+}
+
+func TestConservativeCoversErrorReturns(t *testing.T) {
+	h := BuildArrayHierarchy([]int{44})
+	f := func(seed int64) bool {
+		cases := randomCases(h, seed)
+		rt, err := h.RobustType(cases, RobustOptions{Conservative: true})
+		if err != nil {
+			return false
+		}
+		for _, c := range cases {
+			if (c.Outcome == Success || c.Outcome == ErrorReturn) && !h.Contains(rt, c.Fund) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,457 @@
+// Package typesys implements the extensible type system of paper §4.2
+// and the robust argument type selection of §4.3.
+//
+// A Hierarchy is a partially ordered set (T, ≤) of types. Fundamental
+// types have pairwise-disjoint value sets and are produced by test-case
+// generators; unified types union the value sets of their subtypes and
+// are what robustness wrappers can check. A type T1 is a subtype of T2
+// (T1 ≤ T2) iff V(T1) ⊆ V(T2). Because fundamentals are disjoint and
+// never supertypes, the value set of any type is identified by the set
+// of fundamental types below it — which is how membership of a test
+// case (labelled with its fundamental type) in V(T) is decided.
+package typesys
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a node of a hierarchy. Types are interned per hierarchy:
+// pointer identity is meaningful within one Hierarchy.
+type Type struct {
+	name        string
+	fundamental bool
+	index       int
+}
+
+// Name returns the type's name, e.g. "R_ARRAY_NULL[44]".
+func (t *Type) Name() string { return t.name }
+
+// Fundamental reports whether the type is fundamental (a generator
+// output type) rather than unified (a checkable union).
+func (t *Type) Fundamental() bool { return t.fundamental }
+
+func (t *Type) String() string { return t.name }
+
+// Hierarchy is a mutable poset of types. Build it with Fundamental,
+// Unified and Edge, then call Finalize before queries.
+type Hierarchy struct {
+	types  []*Type
+	byName map[string]*Type
+	// direct edges: sub -> supers
+	supers map[*Type][]*Type
+
+	// computed by Finalize
+	le        [][]bool // le[a][b] == a ≤ b (reflexive, transitive)
+	finalized bool
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		byName: make(map[string]*Type),
+		supers: make(map[*Type][]*Type),
+	}
+}
+
+func (h *Hierarchy) intern(name string, fundamental bool) *Type {
+	if t, ok := h.byName[name]; ok {
+		if t.fundamental != fundamental {
+			panic(fmt.Sprintf("typesys: %s redeclared with different kind", name))
+		}
+		return t
+	}
+	t := &Type{name: name, fundamental: fundamental, index: len(h.types)}
+	h.types = append(h.types, t)
+	h.byName[name] = t
+	h.finalized = false
+	return t
+}
+
+// Fundamental declares (or returns) a fundamental type.
+func (h *Hierarchy) Fundamental(name string) *Type { return h.intern(name, true) }
+
+// Unified declares (or returns) a unified type.
+func (h *Hierarchy) Unified(name string) *Type { return h.intern(name, false) }
+
+// Edge records sub ≤ super.
+func (h *Hierarchy) Edge(sub, super *Type) {
+	h.supers[sub] = append(h.supers[sub], super)
+	h.finalized = false
+}
+
+// Lookup finds a type by name.
+func (h *Hierarchy) Lookup(name string) (*Type, bool) {
+	t, ok := h.byName[name]
+	return t, ok
+}
+
+// Types returns all types in declaration order.
+func (h *Hierarchy) Types() []*Type { return append([]*Type(nil), h.types...) }
+
+// Errors from Finalize.
+var (
+	ErrCycle            = errors.New("typesys: hierarchy contains a cycle")
+	ErrFundamentalSuper = errors.New("typesys: a fundamental type is a supertype")
+)
+
+// Finalize checks the §4.2 structural invariants and computes the
+// subtype relation. Edges declare which types a fundamental's values
+// belong to (transitively); the order itself is semantic: T1 ≤ T2 iff
+// the set of fundamentals composing V(T1) is a subset of those
+// composing V(T2). This captures relations the edges only imply — a
+// writable string is a writable array even if no edge says so, as long
+// as each writable-string fundamental reaches the array types.
+func (h *Hierarchy) Finalize() error {
+	n := len(h.types)
+	// A fundamental type is never a supertype.
+	for _, supers := range h.supers {
+		for _, s := range supers {
+			if s.fundamental {
+				return fmt.Errorf("%w: %s", ErrFundamentalSuper, s.name)
+			}
+		}
+	}
+	// Cycle detection over the edge graph (DFS coloring).
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	var dfs func(t *Type) error
+	dfs = func(t *Type) error {
+		color[t.index] = grey
+		for _, s := range h.supers[t] {
+			switch color[s.index] {
+			case grey:
+				return fmt.Errorf("%w: through %s", ErrCycle, s.name)
+			case white:
+				if err := dfs(s); err != nil {
+					return err
+				}
+			}
+		}
+		color[t.index] = black
+		return nil
+	}
+	for _, t := range h.types {
+		if color[t.index] == white {
+			if err := dfs(t); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Membership: fund ∈ V(t) iff an edge path leads from fund to t
+	// (or t is the fundamental itself).
+	member := make([][]bool, n) // member[fund][t]
+	for i := range member {
+		member[i] = make([]bool, n)
+	}
+	for _, f := range h.types {
+		if !f.fundamental {
+			continue
+		}
+		var mark func(t *Type)
+		mark = func(t *Type) {
+			if member[f.index][t.index] {
+				return
+			}
+			member[f.index][t.index] = true
+			for _, s := range h.supers[t] {
+				mark(s)
+			}
+		}
+		mark(f)
+	}
+
+	// LE is fundamental-set inclusion.
+	h.le = make([][]bool, n)
+	for i := range h.le {
+		h.le[i] = make([]bool, n)
+	}
+	for _, a := range h.types {
+		for _, b := range h.types {
+			le := true
+			for _, f := range h.types {
+				if f.fundamental && member[f.index][a.index] && !member[f.index][b.index] {
+					le = false
+					break
+				}
+			}
+			// A fundamental is only below types it is a member of;
+			// the empty-set rule would make it below everything.
+			if a.fundamental {
+				le = le && member[a.index][b.index]
+			}
+			h.le[a.index][b.index] = le
+		}
+	}
+	h.finalized = true
+	return nil
+}
+
+func (h *Hierarchy) mustFinal() {
+	if !h.finalized {
+		if err := h.Finalize(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// LE reports a ≤ b.
+func (h *Hierarchy) LE(a, b *Type) bool {
+	h.mustFinal()
+	return h.le[a.index][b.index]
+}
+
+// StrictSupertypes returns all types whose value set strictly contains
+// t's.
+func (h *Hierarchy) StrictSupertypes(t *Type) []*Type {
+	h.mustFinal()
+	var out []*Type
+	for _, u := range h.types {
+		if u != t && h.le[t.index][u.index] && !h.le[u.index][t.index] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Fundamentals returns the fundamental types whose value sets compose
+// V(t) — t itself if fundamental.
+func (h *Hierarchy) Fundamentals(t *Type) []*Type {
+	h.mustFinal()
+	var out []*Type
+	for _, u := range h.types {
+		if u.fundamental && h.le[u.index][t.index] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Contains reports whether a test case labelled with fundamental type
+// fund belongs to V(t).
+func (h *Hierarchy) Contains(t, fund *Type) bool { return h.LE(fund, t) }
+
+// CaseOutcome classifies one fault-injection experiment for the robust
+// type computation.
+type CaseOutcome uint8
+
+// Case outcomes. Success means the function returned without an error
+// indication; ErrorReturn means it returned its error code; Crash means
+// segfault, hang or abort.
+const (
+	Success CaseOutcome = iota + 1
+	ErrorReturn
+	Crash
+)
+
+// Case is one labelled experiment for a single argument position.
+type Case struct {
+	Fund    *Type
+	Outcome CaseOutcome
+}
+
+// strongerFirst orders types strongest-first: a stronger type has a
+// smaller value set (fewer fundamentals); ties break by name for
+// determinism.
+func (h *Hierarchy) strongerFirst(ts []*Type) {
+	counts := make(map[*Type]int, len(ts))
+	for _, t := range ts {
+		counts[t] = len(h.Fundamentals(t))
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if counts[ts[i]] != counts[ts[j]] {
+			return counts[ts[i]] < counts[ts[j]]
+		}
+		return ts[i].name < ts[j].name
+	})
+}
+
+// RobustOptions tunes the selection algorithm.
+type RobustOptions struct {
+	// Conservative makes error returns count as successes: the robust
+	// type must then cover every test case for which the function
+	// *returned* at all (paper §4.3's stricter variant for functions
+	// that may not be atomic).
+	Conservative bool
+}
+
+// RobustType computes the robust argument type for the labelled cases
+// per §4.3: a type T such that every success case is in V(T) and every
+// strict supertype of T contains at least one crash case. The second
+// condition justifies the wrapper rejecting everything outside V(T):
+// any weakening admits a known crash. When no crash evidence justifies
+// a strong type (e.g. a function that merely returns errors), the
+// condition forces weakening — in the limit to UNCONSTRAINED, which
+// qualifies vacuously, so a result always exists. Among qualified
+// types, the strongest is returned; when a safe type exists, that is
+// the safe type.
+func (h *Hierarchy) RobustType(cases []Case, opts RobustOptions) (*Type, error) {
+	h.mustFinal()
+	mustCover := func(c Case) bool {
+		if c.Outcome == Success {
+			return true
+		}
+		return opts.Conservative && c.Outcome == ErrorReturn
+	}
+
+	// Candidates: types covering all required cases.
+	var candidates []*Type
+	for _, t := range h.types {
+		if t.fundamental {
+			continue // robust types are checkable unified types
+		}
+		ok := true
+		for _, c := range cases {
+			if mustCover(c) && !h.Contains(t, c.Fund) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("typesys: no unified type covers the success cases (missing UNCONSTRAINED?)")
+	}
+
+	crashIn := func(t *Type) bool {
+		for _, c := range cases {
+			if c.Outcome == Crash && h.Contains(t, c.Fund) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Among candidates, qualified types are those whose every strict
+	// supertype contains a crash. Following the paper's guarantee that
+	// the computed robust type is safe whenever a safe type exists, a
+	// qualified candidate whose own value set contains no crash case is
+	// preferred; only if none exists does the strongest qualified
+	// candidate win regardless of admitted crashes (robust, not safe).
+	h.strongerFirst(candidates)
+	var fallback *Type
+	for _, t := range candidates {
+		qualified := true
+		for _, st := range h.StrictSupertypes(t) {
+			if !crashIn(st) {
+				qualified = false
+				break
+			}
+		}
+		if !qualified {
+			continue
+		}
+		if !crashIn(t) {
+			return t, nil
+		}
+		if fallback == nil {
+			fallback = t
+		}
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	// Unreachable with a proper top element, but fail loudly.
+	return nil, errors.New("typesys: no robust type found")
+}
+
+// IsSafe reports whether t is a *safe* argument type for the cases:
+// every non-crash case is in V(T) and no crash case is.
+func (h *Hierarchy) IsSafe(t *Type, cases []Case) bool {
+	for _, c := range cases {
+		in := h.Contains(t, c.Fund)
+		if c.Outcome == Crash && in {
+			return false
+		}
+		if c.Outcome != Crash && !in {
+			return false
+		}
+	}
+	return true
+}
+
+// VectorCase is one experiment of an n-ary function: the fundamental
+// type of each argument plus the joint outcome.
+type VectorCase struct {
+	Funds   []*Type
+	Outcome CaseOutcome
+}
+
+// RobustVector computes the robust type vector for an n-ary function
+// (paper §4.3, "Multiple Arguments"). hier[i] is argument i's
+// hierarchy. The computation iterates per-coordinate robust selection
+// to a fixpoint: the crash evidence admitted for coordinate i is
+// restricted to crash vectors whose other coordinates lie inside the
+// current robust types, which is exactly the supertype-vector condition.
+func RobustVector(hier []*Hierarchy, cases []VectorCase, opts RobustOptions) ([]*Type, error) {
+	n := len(hier)
+	result := make([]*Type, n)
+
+	// Initial pass: per-argument robust types using all evidence.
+	for i := 0; i < n; i++ {
+		proj := make([]Case, 0, len(cases))
+		for _, vc := range cases {
+			proj = append(proj, Case{Fund: vc.Funds[i], Outcome: vc.Outcome})
+		}
+		t, err := hier[i].RobustType(proj, opts)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i, err)
+		}
+		result[i] = t
+	}
+
+	// Refine: crash evidence for coordinate i only counts if the other
+	// coordinates are within the current robust vector.
+	for iter := 0; iter < 5; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			proj := make([]Case, 0, len(cases))
+			for _, vc := range cases {
+				c := Case{Fund: vc.Funds[i], Outcome: vc.Outcome}
+				if vc.Outcome == Crash {
+					inVector := true
+					for j := 0; j < n; j++ {
+						if j != i && !hier[j].Contains(result[j], vc.Funds[j]) {
+							inVector = false
+							break
+						}
+					}
+					if !inVector {
+						continue // not evidence against weakening coord i
+					}
+				}
+				proj = append(proj, c)
+			}
+			t, err := hier[i].RobustType(proj, opts)
+			if err != nil {
+				return nil, fmt.Errorf("argument %d: %w", i, err)
+			}
+			if t != result[i] {
+				result[i] = t
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return result, nil
+}
+
+// FormatVector renders a type vector for logs and declarations.
+func FormatVector(ts []*Type) string {
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name()
+	}
+	return "(" + strings.Join(names, ", ") + ")"
+}

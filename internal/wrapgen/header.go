@@ -1,0 +1,72 @@
+package wrapgen
+
+// ChecksHeader returns healers_checks.h — the declarations of the
+// checking functions the generated wrapper calls. A real deployment
+// implements them exactly as internal/wrapper does: a stateful
+// allocation table fed by intercepted allocators, stack-frame bounds,
+// page probing, and fileno+fstat FILE validation.
+func ChecksHeader() string {
+	return `/* healers_checks.h — checking functions for generated wrappers.
+ *
+ * The check_* functions return non-zero when the argument belongs to
+ * the robust type's value set. Implementations follow the three-tier
+ * strategy of the HEALERS runtime:
+ *   1. the allocation table (exact bounds, updated by intercepted
+ *      malloc/calloc/realloc/free),
+ *   2. stack frame bounds (the Libsafe check),
+ *   3. per-page accessibility probing.
+ */
+#ifndef HEALERS_CHECKS_H
+#define HEALERS_CHECKS_H
+
+#include <stddef.h>
+#include <stdio.h>
+#include <dirent.h>
+
+/* Memory regions of at least n bytes with the given access. */
+int check_R_ARRAY(const void *p, size_t n);
+int check_W_ARRAY(void *p, size_t n);
+int check_RW_ARRAY(void *p, size_t n);
+int check_R_ARRAY_NULL(const void *p, size_t n);
+int check_W_ARRAY_NULL(void *p, size_t n);
+int check_RW_ARRAY_NULL(void *p, size_t n);
+
+/* Readable until a NUL terminator or n bytes, whichever comes first
+ * (the strncpy-source contract). */
+int check_R_BOUNDED(const void *p, size_t n);
+
+/* NUL-terminated strings (W variants also require write access). */
+int check_CSTR(const char *s);
+int check_W_CSTR(char *s);
+int check_CSTR_NULL(const char *s);
+int check_W_CSTR_NULL(char *s);
+
+/* Open streams, validated through fileno(3) + fstat(2). */
+int check_OPEN_FILE(FILE *f);
+int check_OPEN_FILE_NULL(FILE *f);
+int check_R_FILE(FILE *f);
+int check_W_FILE(FILE *f);
+
+/* Directory streams: only the memory is checkable automatically; the
+ * stateful table behind healers_valid_dir closes the gap. */
+int check_OPEN_DIR(DIR *d);
+int check_OPEN_DIR_NULL(DIR *d);
+
+/* Scalar checks used inline by the generator. */
+int check_FD_VALID(int fd);
+int check_VALID_FUNC(const void *p);
+
+/* Executable assertions added by semi-automatic declarations. */
+int healers_valid_dir(DIR *d);
+int healers_file_integrity(FILE *f);
+
+/* Helpers used in size expressions. */
+size_t healers_strlen(const char *s);
+static inline size_t healers_min(size_t a, size_t b) { return a < b ? a : b; }
+
+/* Violation logging for the deployed wrapper. */
+void healers_log_violation(const char *func);
+
+#endif /* HEALERS_CHECKS_H */
+`
+}

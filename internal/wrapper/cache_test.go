@@ -1,0 +1,100 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+func TestCheckCacheCorrectness(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	opts := DefaultOptions()
+	opts.CacheChecks = true
+	ip := Attach(p, lib, decls, opts)
+
+	dst := ip.Call(p, "malloc", 16)
+	src := cstrAt(t, p, "ok")
+	// Repeated checked calls hit the cache.
+	for i := 0; i < 5; i++ {
+		out := p.Run(func() uint64 { return ip.Call(p, "strcpy", dst, uint64(src)) })
+		if out.Kind != csim.OutcomeReturn || out.Ret != dst {
+			t.Fatalf("iteration %d: %v", i, out)
+		}
+	}
+	// Overflows must STILL be rejected despite the cache (the cached
+	// extent is 3 bytes, the new requirement is 21).
+	long := cstrAt(t, p, strings.Repeat("q", 20))
+	p.ClearErrno()
+	out := p.Run(func() uint64 { return ip.Call(p, "strcpy", dst, uint64(long)) })
+	if out.Crashed() || p.Errno() != csim.EINVAL {
+		t.Fatalf("cached wrapper passed an overflow: %v errno=%d", out, p.Errno())
+	}
+	// free invalidates: a use-after-free must not be blessed by stale
+	// cache entries.
+	ip.Call(p, "free", dst)
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return ip.Call(p, "strcpy", dst, uint64(src)) })
+	if out.Crashed() {
+		t.Fatal("use-after-free crashed")
+	}
+	if p.Errno() != csim.EINVAL {
+		t.Errorf("use-after-free passed via stale cache: errno=%d", p.Errno())
+	}
+}
+
+func TestCheckCacheWritePromotion(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	opts := DefaultOptions()
+	opts.CacheChecks = true
+	ip := Attach(p, lib, decls, opts)
+	// A read-only region validated for reading must not satisfy a later
+	// write requirement from the cache.
+	roStr := func() uint64 {
+		a := region(t, p, 16, cmem.ProtRW)
+		p.Mem.WriteCString(a, "abcdefgh")
+		p.Mem.Protect(a, 16, cmem.ProtRead)
+		return uint64(a)
+	}()
+	// strlen validates readability (cached).
+	out := p.Run(func() uint64 { return ip.Call(p, "strlen", roStr) })
+	if out.Kind != csim.OutcomeReturn || out.Ret != 8 {
+		t.Fatalf("strlen = %v", out)
+	}
+	// strcpy INTO the read-only region must be rejected.
+	src := cstrAt(t, p, "x")
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return ip.Call(p, "strcpy", roStr, uint64(src)) })
+	if out.Crashed() || p.Errno() != csim.EINVAL {
+		t.Errorf("write into read-only region not rejected: %v errno=%d", out, p.Errno())
+	}
+}
+
+func TestFileCacheInvalidatedByClose(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	opts := DefaultOptions()
+	opts.CacheChecks = true
+	ip := Attach(p, lib, decls, opts)
+	fp := p.Fopen("/data/file.txt", "r+")
+
+	// Warm the FILE cache.
+	out := p.Run(func() uint64 { return ip.Call(p, "fputc", 'x', uint64(fp)) })
+	if out.Kind != csim.OutcomeReturn || out.Ret != 'x' {
+		t.Fatalf("fputc = %v", out)
+	}
+	// Closing through the wrapper flushes the cache; the now-stale
+	// stream must be rejected or error, not blessed by the cache.
+	ip.Call(p, "fclose", uint64(fp))
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return ip.Call(p, "fputc", 'y', uint64(fp)) })
+	if out.Crashed() {
+		t.Fatal("stale stream crashed")
+	}
+	if p.Errno() == 0 {
+		t.Error("stale stream accepted silently after close")
+	}
+}

@@ -1,0 +1,262 @@
+package wrapper
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+// Memory checking functions (§5.1). The wrapper never *touches* memory
+// it validates — the stateful tiers consult tables, the stateless tier
+// inspects page protection, the moral equivalent of touching one byte
+// per page under a signal handler without the side effects.
+
+// cacheEntry records a previously validated extent at a base address.
+type cacheEntry struct {
+	size  int
+	write bool
+}
+
+// checkMemory validates that [addr, addr+size) is accessible with the
+// required permissions. size 0 still requires the first byte's page to
+// be mapped, so wild pointers are rejected even for empty ranges.
+func (ip *Interposer) checkMemory(addr cmem.Addr, size int, needRead, needWrite bool) bool {
+	if size < 0 {
+		return false
+	}
+	if size == 0 {
+		size = 1
+	}
+
+	if ip.checkCache != nil {
+		if e, ok := ip.checkCache[addr]; ok && e.size >= size && (e.write || !needWrite) {
+			return true
+		}
+	}
+	ok := ip.checkMemorySlow(addr, size, needRead, needWrite)
+	if ok && ip.checkCache != nil {
+		if e, exists := ip.checkCache[addr]; !exists || size > e.size {
+			ip.checkCache[addr] = cacheEntry{size: size, write: needWrite || (exists && e.write)}
+		}
+	}
+	return ok
+}
+
+func (ip *Interposer) checkMemorySlow(addr cmem.Addr, size int, needRead, needWrite bool) bool {
+
+	if !ip.opts.Stateless {
+		// Tier 1: the allocation table. Exact bounds — this is the
+		// tier that catches overflows staying inside a mapped page.
+		if base, allocSize, ok := ip.heapLookup(addr); ok {
+			return addr+cmem.Addr(size) <= base+cmem.Addr(allocSize)
+		}
+		// Tier 2: stack frames (the Libsafe stack-smashing bound): a
+		// write may not extend past the owning frame's saved link.
+		if ip.p.Mem.Stack().Contains(addr) {
+			if needWrite {
+				limit, ok := ip.p.Mem.Stack().FrameLimit(addr)
+				if ok {
+					return size <= limit
+				}
+			}
+			return true // readable stack memory
+		}
+	}
+
+	// Tier 3: stateless page probing.
+	return ip.probePages(addr, size, needRead, needWrite)
+}
+
+// heapLookup finds the tracked allocation containing addr.
+func (ip *Interposer) heapLookup(addr cmem.Addr) (cmem.Addr, int, bool) {
+	// The table is small for typical workloads; a linear containment
+	// scan keeps the structure simple. The direct-hit case is first.
+	if size, ok := ip.heap[addr]; ok {
+		return addr, size, true
+	}
+	for base, size := range ip.heap {
+		if addr > base && addr < base+cmem.Addr(size) {
+			return base, size, true
+		}
+	}
+	return 0, 0, false
+}
+
+// probePages checks protection of one byte per page across the range
+// (§5.1: "For large buffers that spread across multiple memory pages,
+// only one byte per page needs to be tested").
+func (ip *Interposer) probePages(addr cmem.Addr, size int, needRead, needWrite bool) bool {
+	if addr+cmem.Addr(size)-1 < addr {
+		return false // the range wraps the address space
+	}
+	first := addr.PageBase()
+	last := (addr + cmem.Addr(size) - 1).PageBase()
+	for base := first; ; base += cmem.PageSize {
+		prot, mapped := ip.p.Mem.ProtAt(base)
+		if !mapped {
+			return false
+		}
+		if needRead && prot&cmem.ProtRead == 0 {
+			return false
+		}
+		if needWrite && prot&cmem.ProtWrite == 0 {
+			return false
+		}
+		if base == last {
+			break
+		}
+	}
+	return true
+}
+
+// checkCString validates a NUL-terminated string: every byte up to the
+// terminator must be readable (and writable for W_CSTR). When the
+// string lives in a tracked heap allocation, the terminator must fall
+// inside the allocation — an unterminated heap string is detected even
+// though the bytes after it are in the same mapped page.
+func (ip *Interposer) checkCString(addr cmem.Addr, writable bool) bool {
+	limit := ip.opts.MaxStrlen
+	if !ip.opts.Stateless {
+		if base, size, ok := ip.heapLookup(addr); ok {
+			limit = int(base + cmem.Addr(size) - addr)
+		}
+	}
+	for i := 0; i < limit; i++ {
+		a := addr + cmem.Addr(i)
+		if a.PageBase() == a || i == 0 {
+			// Page boundary (or first byte): re-validate protection.
+			prot, mapped := ip.p.Mem.ProtAt(a)
+			if !mapped || prot&cmem.ProtRead == 0 {
+				return false
+			}
+			if writable && prot&cmem.ProtWrite == 0 {
+				return false
+			}
+		}
+		b, f := ip.p.Mem.LoadByte(a)
+		if f != nil {
+			return false
+		}
+		if b == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBoundedString validates the strncpy-source contract: every byte
+// up to a NUL terminator or the bound (whichever comes first) must be
+// readable.
+func (ip *Interposer) checkBoundedString(addr cmem.Addr, bound int) bool {
+	if bound < 0 {
+		return false
+	}
+	if bound > ip.opts.MaxStrlen {
+		bound = ip.opts.MaxStrlen
+	}
+	for i := 0; i < bound; i++ {
+		b, f := ip.p.Mem.LoadByte(addr + cmem.Addr(i))
+		if f != nil {
+			return false
+		}
+		if b == 0 {
+			return true
+		}
+	}
+	return true // bound bytes all readable
+}
+
+// strlen measures a string for size expressions; ok is false when the
+// string is unreadable or unterminated within the limit.
+func (ip *Interposer) strlen(addr cmem.Addr) (int, bool) {
+	if addr == 0 {
+		return 0, false
+	}
+	for i := 0; i < ip.opts.MaxStrlen; i++ {
+		b, f := ip.p.Mem.LoadByte(addr + cmem.Addr(i))
+		if f != nil {
+			return 0, false
+		}
+		if b == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// checkFILE validates a FILE pointer per §5.2: the memory must hold a
+// readable and writable region of the FILE's size, and the descriptor
+// inside must be live — verified by calling fileno and fstat through
+// the library itself (the recursion flag is already set). The check is
+// deliberately incomplete: a corrupted FILE that retains a valid
+// descriptor passes, which is exactly the residual failure class of the
+// paper's fully automatic wrapper.
+func (ip *Interposer) checkFILE(addr cmem.Addr, base string) bool {
+	if ip.fileCache != nil {
+		if ok, seen := ip.fileCache[fileCacheKey{addr, base}]; seen {
+			return ok
+		}
+	}
+	ok := ip.checkFILESlow(addr, base)
+	if ip.fileCache != nil {
+		ip.fileCache[fileCacheKey{addr, base}] = ok
+	}
+	return ok
+}
+
+func (ip *Interposer) checkFILESlow(addr cmem.Addr, base string) bool {
+	if !ip.checkMemory(addr, csim.SizeofFILE, true, true) {
+		return false
+	}
+	fd := int64(ip.lib.Call(ip.p, "fileno", uint64(addr)))
+	if fd < 0 {
+		return false
+	}
+	if ip.statBuf == 0 {
+		buf, err := ip.p.Mem.MmapRegion(csim.SizeofStat, cmem.ProtRW)
+		if err != nil {
+			return false
+		}
+		ip.statBuf = buf
+	}
+	if int64(ip.lib.Call(ip.p, "fstat", uint64(fd), uint64(ip.statBuf))) != 0 {
+		return false
+	}
+	// Access-mode refinement for R_FILE / W_FILE from the flag word.
+	flags, f := ip.p.Mem.ReadU32(addr + csim.FILEOffFlags)
+	if f != nil {
+		return false
+	}
+	switch base {
+	case "R_FILE":
+		return flags&csim.FILEFlagRead != 0
+	case "W_FILE":
+		return flags&csim.FILEFlagWrite != 0
+	}
+	return true
+}
+
+// checkFILEIntegrity is the manually added executable assertion of the
+// semi-automatic wrapper: beyond fileno+fstat, the structure's magic
+// and internal buffer must be coherent. This closes the corrupted-FILE
+// hole that survives the fully automatic wrapper.
+func (ip *Interposer) checkFILEIntegrity(addr cmem.Addr) bool {
+	if !ip.checkFILE(addr, "OPEN_FILE") {
+		return false
+	}
+	magic, f := ip.p.Mem.ReadU32(addr + csim.FILEOffMagic)
+	if f != nil || magic != csim.FILEMagic {
+		return false
+	}
+	bufPtr, f := ip.p.Mem.ReadU64(addr + csim.FILEOffBufPtr)
+	if f != nil {
+		return false
+	}
+	bufSize, f := ip.p.Mem.ReadU64(addr + csim.FILEOffBufSize)
+	if f != nil {
+		return false
+	}
+	if bufPtr == 0 || bufSize == 0 || bufSize > 1<<20 {
+		return false
+	}
+	return ip.checkMemory(cmem.Addr(bufPtr), int(bufSize), true, true)
+}

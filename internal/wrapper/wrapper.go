@@ -1,0 +1,445 @@
+// Package wrapper implements the robustness wrapper of paper §5: a
+// layer that interposes between an application and the C library,
+// checks every argument of an unsafe function against its declared
+// robust type before the call, and returns the function's error code
+// with errno set instead of letting the library crash.
+//
+// Memory validation follows §5.1's three-tier strategy: a stateful
+// allocation table (maintained by intercepting malloc/free and friends)
+// gives exact bounds — including overflows that stay inside a mapped
+// page; stack buffers are bounded by their frame (the Libsafe check);
+// anything else falls back to stateless page probing. FILE pointers are
+// validated through fileno+fstat (§5.2); DIR pointers can only be
+// validated with the stateful table enabled by the semi-automatic
+// declarations' executable assertions.
+package wrapper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/csim"
+	"healers/internal/decl"
+)
+
+// Policy selects what a wrapper does when it detects a violation.
+type Policy uint8
+
+// Violation policies (paper §2: a debugging wrapper may abort, a
+// deployed wrapper returns an error and logs).
+const (
+	PolicyReturnError Policy = iota + 1
+	PolicyAbort
+)
+
+// Options configure an interposer.
+type Options struct {
+	Policy Policy
+	// Stateless disables the allocation/DIR tables, leaving only page
+	// probing and stack bounds (the ablation the paper discusses
+	// against [2]'s signal-handler approach).
+	Stateless bool
+	// Only restricts checking to the named functions when non-nil —
+	// §2's "a system developer could decide which functions should be
+	// wrapped". Everything else passes through (state interception for
+	// malloc/opendir still runs).
+	Only map[string]bool
+	// MaxStrlen bounds string walks during checking.
+	MaxStrlen int
+	// Log, when non-nil, receives the deployed wrapper's violation log
+	// ("log invalid inputs" in §2's life-cycle discussion).
+	Log io.Writer
+	// CacheChecks enables the pointer-validity cache of DeVale &
+	// Koopman [3] that §7 cites as the route to lower overhead: a
+	// region validated once stays trusted until the allocation state
+	// changes (free/realloc/fclose/closedir invalidate it).
+	CacheChecks bool
+}
+
+// DefaultOptions returns the deployed-wrapper configuration.
+func DefaultOptions() Options {
+	return Options{Policy: PolicyReturnError, MaxStrlen: 1 << 20}
+}
+
+// Stats counts wrapper activity.
+type Stats struct {
+	Calls      int // calls that entered the wrapper
+	Checked    int // calls that went through argument checking
+	Rejected   int // calls rejected by a check or assertion
+	Passthru   int // calls forwarded without checks (safe or undeclared)
+	Reentrant  int // calls short-circuited by the recursion flag
+	ChecksRun  int // individual argument checks performed
+	Violations []Violation
+}
+
+// Violation records one rejected call for later failure diagnosis
+// (§5's "log this error").
+type Violation struct {
+	Func   string
+	Arg    int
+	Robust string
+	Reason string
+}
+
+// Interposer wraps library calls for one simulated process. It is the
+// in-memory equivalent of the generated wrapper shared object after
+// the dynamic linker resolved the application's symbols against it.
+type Interposer struct {
+	p     *csim.Process
+	lib   *clib.Library
+	decls *decl.DeclSet
+	opts  Options
+
+	inFlag bool // Figure 5's recursion detection flag
+
+	// Stateful tables (§5.1, §5.2).
+	heap map[cmem.Addr]int // base -> size, from intercepted allocators
+	dirs map[cmem.Addr]bool
+
+	// statBuf is the scratch struct stat the FILE validation hands to
+	// fstat, allocated once per interposer.
+	statBuf cmem.Addr
+
+	// checkCache memoizes successful memory validations (CacheChecks);
+	// keyed by base address, holding the largest validated extent.
+	checkCache map[cmem.Addr]cacheEntry
+	// fileCache memoizes FILE validations (fileno+fstat round trips).
+	fileCache map[fileCacheKey]bool
+
+	stats Stats
+}
+
+// Attach builds an interposer for process p.
+func Attach(p *csim.Process, lib *clib.Library, decls *decl.DeclSet, opts Options) *Interposer {
+	if opts.MaxStrlen == 0 {
+		opts.MaxStrlen = DefaultOptions().MaxStrlen
+	}
+	if opts.Policy == 0 {
+		opts.Policy = PolicyReturnError
+	}
+	ip := &Interposer{
+		p:     p,
+		lib:   lib,
+		decls: decls,
+		opts:  opts,
+		heap:  make(map[cmem.Addr]int),
+		dirs:  make(map[cmem.Addr]bool),
+	}
+	if opts.CacheChecks {
+		ip.checkCache = make(map[cmem.Addr]cacheEntry)
+		ip.fileCache = make(map[fileCacheKey]bool)
+	}
+	return ip
+}
+
+// fileCacheKey identifies one FILE validation (the access-mode variant
+// matters: R_FILE and W_FILE check different flag bits).
+type fileCacheKey struct {
+	addr cmem.Addr
+	base string
+}
+
+// Stats returns a snapshot of the wrapper counters.
+func (ip *Interposer) Stats() Stats { return ip.stats }
+
+// HeapTableSize returns the number of tracked live allocations.
+func (ip *Interposer) HeapTableSize() int { return len(ip.heap) }
+
+// Call invokes name through the wrapper: prefix checks, original call,
+// postfix state upkeep (the structure of Figure 5).
+func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 {
+	ip.stats.Calls++
+	fn := ip.lib.MustLookup(name)
+
+	// Recursion guard: when the wrapper itself calls the library
+	// (fileno during FILE validation), the inner call must bypass
+	// checking or the resolution could recurse forever.
+	if ip.inFlag {
+		ip.stats.Reentrant++
+		return fn.Impl(p, args)
+	}
+	ip.inFlag = true
+	defer func() { ip.inFlag = false }()
+
+	d, declared := ip.decls.Get(name)
+	if ip.opts.Only != nil && !ip.opts.Only[name] {
+		declared = false
+	}
+	if !declared || !d.Unsafe() {
+		ip.stats.Passthru++
+		ret := fn.Impl(p, args)
+		ip.postfix(name, args, ret)
+		return ret
+	}
+
+	ip.stats.Checked++
+	for i, arg := range d.Args {
+		if i >= len(args) {
+			break
+		}
+		if ok, reason := ip.checkArg(arg, args, i); !ok {
+			return ip.reject(d, i, arg, reason)
+		}
+	}
+	for _, assertion := range d.Assertions {
+		if ok, i, reason := ip.checkAssertion(assertion, d, args); !ok {
+			return ip.reject(d, i, d.Args[i], reason)
+		}
+	}
+
+	ret := fn.Impl(p, args)
+	ip.postfix(name, args, ret)
+	return ret
+}
+
+// reject implements the violation policy.
+func (ip *Interposer) reject(d *decl.FuncDecl, argIdx int, arg decl.ArgDecl, reason string) uint64 {
+	ip.stats.Rejected++
+	v := Violation{
+		Func:   d.Name,
+		Arg:    argIdx,
+		Robust: arg.Robust.String(),
+		Reason: reason,
+	}
+	ip.stats.Violations = append(ip.stats.Violations, v)
+	if ip.opts.Log != nil {
+		fmt.Fprintf(ip.opts.Log, "healers: %s arg%d violates %s: %s\n",
+			v.Func, v.Arg, v.Robust, v.Reason)
+	}
+	if ip.opts.Policy == PolicyAbort {
+		ip.p.Abort()
+	}
+	ip.p.SetErrno(d.ErrnoOnReject)
+	if d.HasErrorValue {
+		return d.ErrorValue
+	}
+	return 0
+}
+
+// postfix maintains the stateful tables after successful calls (§5.1:
+// "the wrapper intercepts the call and records the address and size of
+// the allocated block in an internal table"; §5.2 for DIR tracking).
+func (ip *Interposer) postfix(name string, args []uint64, ret uint64) {
+	if ip.opts.Stateless {
+		return
+	}
+	switch name {
+	case "free", "realloc", "fclose", "closedir", "freopen", "close":
+		// Allocation or descriptor state changed: the caches are stale.
+		if ip.checkCache != nil {
+			clear(ip.checkCache)
+			clear(ip.fileCache)
+		}
+	}
+	switch name {
+	case "malloc":
+		if ret != 0 {
+			ip.heap[cmem.Addr(ret)] = int(int64(args[0]))
+		}
+	case "calloc":
+		if ret != 0 {
+			ip.heap[cmem.Addr(ret)] = int(int64(args[0]) * int64(args[1]))
+		}
+	case "realloc":
+		if ret != 0 {
+			delete(ip.heap, cmem.Addr(args[0]))
+			ip.heap[cmem.Addr(ret)] = int(int64(args[1]))
+		}
+	case "free":
+		delete(ip.heap, cmem.Addr(args[0]))
+	case "strdup", "getcwd":
+		// Functions that hand out heap memory: track conservatively.
+		if ret != 0 && ip.p.Mem.IsAllocBase(cmem.Addr(ret)) {
+			if info, ok := ip.p.Mem.AllocAt(cmem.Addr(ret)); ok {
+				ip.heap[info.Base] = info.Size
+			}
+		}
+	case "opendir":
+		if ret != 0 {
+			ip.dirs[cmem.Addr(ret)] = true
+		}
+	case "closedir":
+		delete(ip.dirs, cmem.Addr(args[0]))
+	case "fopen", "fdopen", "freopen":
+		// FILE validation is stateless (fileno+fstat); nothing to track.
+	}
+}
+
+// argsView adapts live call arguments to decl.SizeExpr evaluation.
+type argsView struct {
+	ip   *Interposer
+	args []uint64
+}
+
+func (v argsView) Strlen(i int) (int, bool) {
+	if i >= len(v.args) {
+		return 0, false
+	}
+	return v.ip.strlen(cmem.Addr(v.args[i]))
+}
+
+func (v argsView) Value(i int) int64 {
+	if i >= len(v.args) {
+		return 0
+	}
+	return int64(v.args[i])
+}
+
+// checkArg validates one argument against its robust type.
+func (ip *Interposer) checkArg(arg decl.ArgDecl, args []uint64, i int) (bool, string) {
+	ip.stats.ChecksRun++
+	rt := arg.Robust
+	val := args[i]
+	addr := cmem.Addr(val)
+
+	switch rt.Base {
+	case "UNCONSTRAINED", "INT_ANY", "FD_ANY", "DBL_ANY", "CSTR_W_NULL":
+		return true, ""
+
+	case "R_ARRAY", "RW_ARRAY", "W_ARRAY", "R_ARRAY_NULL", "RW_ARRAY_NULL", "W_ARRAY_NULL":
+		nullOK := strings.HasSuffix(rt.Base, "_NULL")
+		if addr == 0 {
+			if nullOK {
+				return true, ""
+			}
+			return false, "null pointer"
+		}
+		size, ok := rt.Size.Eval(argsView{ip: ip, args: args})
+		if !ok {
+			return false, "size expression unsatisfiable"
+		}
+		needRead := strings.HasPrefix(rt.Base, "R") || strings.HasPrefix(rt.Base, "RW")
+		needWrite := strings.Contains(rt.Base, "W_ARRAY") || strings.HasPrefix(rt.Base, "RW")
+		if !ip.checkMemory(addr, size, needRead, needWrite) {
+			return false, "memory not accessible for " + rt.String()
+		}
+		return true, ""
+
+	case "R_BOUNDED":
+		if addr == 0 {
+			return false, "null pointer"
+		}
+		size, ok := rt.Size.Eval(argsView{ip: ip, args: args})
+		if !ok {
+			return false, "size expression unsatisfiable"
+		}
+		if !ip.checkBoundedString(addr, size) {
+			return false, "region neither terminated nor " + rt.Size.String() + " bytes readable"
+		}
+		return true, ""
+
+	case "CSTR", "W_CSTR", "CSTR_NULL", "W_CSTR_NULL":
+		nullOK := strings.HasSuffix(rt.Base, "_NULL")
+		if addr == 0 {
+			if nullOK {
+				return true, ""
+			}
+			return false, "null string"
+		}
+		writable := strings.HasPrefix(rt.Base, "W_")
+		if !ip.checkCString(addr, writable) {
+			return false, "invalid C string"
+		}
+		return true, ""
+
+	case "OPEN_FILE", "R_FILE", "W_FILE", "OPEN_FILE_NULL":
+		if addr == 0 {
+			if rt.Base == "OPEN_FILE_NULL" {
+				return true, ""
+			}
+			return false, "null FILE pointer"
+		}
+		if !ip.checkFILE(addr, rt.Base) {
+			return false, "invalid FILE pointer"
+		}
+		return true, ""
+
+	case "OPEN_DIR", "OPEN_DIR_NULL":
+		if addr == 0 {
+			if rt.Base == "OPEN_DIR_NULL" {
+				return true, ""
+			}
+			return false, "null DIR pointer"
+		}
+		// §5.2: POSIX defines no checker for DIR*; without the manual
+		// executable assertion all the wrapper can verify is that the
+		// memory is accessible.
+		if !ip.checkMemory(addr, csim.SizeofDIR, true, true) {
+			return false, "DIR memory not accessible"
+		}
+		return true, ""
+
+	case "INT_POSITIVE":
+		if int64(val) <= 0 {
+			return false, "non-positive value"
+		}
+		return true, ""
+	case "INT_NONNEG":
+		if int64(val) < 0 {
+			return false, "negative value"
+		}
+		return true, ""
+	case "INT_NONPOS":
+		if int64(val) > 0 {
+			return false, "positive value"
+		}
+		return true, ""
+	case "INT_NEGATIVE":
+		if int64(val) >= 0 {
+			return false, "non-negative value"
+		}
+		return true, ""
+	case "FD_VALID":
+		if ip.p.FD(int(int32(uint32(val)))) == nil {
+			return false, "bad file descriptor"
+		}
+		return true, ""
+	case "VALID_FUNC":
+		if !ip.p.IsCode(addr) {
+			return false, "not a function address"
+		}
+		return true, ""
+	}
+	// Unknown robust type: fail open (the wrapper must never make a
+	// function less available than the paper's safe-by-default stance).
+	return true, ""
+}
+
+// checkAssertion runs the executable assertions manual editing added
+// (§6), returning the argument index it applies to.
+func (ip *Interposer) checkAssertion(a decl.Assertion, d *decl.FuncDecl, args []uint64) (bool, int, string) {
+	switch a {
+	case decl.AssertValidDir:
+		for i, arg := range d.Args {
+			if !strings.Contains(arg.CType, "__dirstream") || i >= len(args) {
+				continue
+			}
+			addr := cmem.Addr(args[i])
+			if ip.opts.Stateless {
+				return true, i, "" // needs the stateful table
+			}
+			if !ip.dirs[addr] {
+				return false, i, "DIR pointer not returned by opendir"
+			}
+		}
+		return true, 0, ""
+	case decl.AssertFileIntegrity:
+		for i, arg := range d.Args {
+			if !strings.Contains(arg.CType, "_IO_FILE") || i >= len(args) {
+				continue
+			}
+			addr := cmem.Addr(args[i])
+			if addr == 0 {
+				continue // the robust type check already ruled on NULL
+			}
+			if !ip.checkFILEIntegrity(addr) {
+				return false, i, "corrupted FILE structure"
+			}
+		}
+		return true, 0, ""
+	}
+	return true, 0, ""
+}

@@ -1,0 +1,375 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/corpus"
+	"healers/internal/csim"
+	"healers/internal/decl"
+	"healers/internal/extract"
+	"healers/internal/injector"
+)
+
+// campaignDecls runs the full injection campaign once per test binary.
+var cachedDecls *decl.DeclSet
+var cachedLib *clib.Library
+
+func fullAutoDecls(t *testing.T) (*clib.Library, *decl.DeclSet) {
+	t.Helper()
+	if cachedDecls != nil {
+		return cachedLib, cachedDecls
+	}
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := injector.New(lib, injector.DefaultConfig()).InjectAll(ext, lib.CrashProne86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedLib, cachedDecls = lib, campaign.Decls()
+	return lib, cachedDecls
+}
+
+func newProc() *csim.Process {
+	fs := csim.NewFS()
+	fs.Create("/data/file.txt", []byte("file contents here\nsecond line\n"))
+	fs.Create("/data/d/x", []byte("x"))
+	return csim.NewProcess(fs)
+}
+
+func region(t *testing.T, p *csim.Process, size int, prot cmem.Prot) cmem.Addr {
+	t.Helper()
+	a, err := p.Mem.MmapRegion(size, prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func cstrAt(t *testing.T, p *csim.Process, s string) cmem.Addr {
+	t.Helper()
+	a := region(t, p, len(s)+1, cmem.ProtRW)
+	if f := p.Mem.WriteCString(a, s); f != nil {
+		t.Fatal(f)
+	}
+	return a
+}
+
+func TestWrapperRejectsAsctimeGarbage(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, DefaultOptions())
+
+	// Valid call passes through.
+	tm := region(t, p, csim.SizeofTm, cmem.ProtRW)
+	out := p.Run(func() uint64 { return ip.Call(p, "asctime", uint64(tm)) })
+	if out.Kind != csim.OutcomeReturn || out.Ret == 0 {
+		t.Fatalf("wrapped asctime(valid) = %v", out)
+	}
+
+	// Invalid pointers are rejected with EINVAL instead of crashing.
+	for _, bad := range []uint64{0xdead0000, ^uint64(0)} {
+		p.ClearErrno()
+		out = p.Run(func() uint64 { return ip.Call(p, "asctime", bad) })
+		if out.Kind != csim.OutcomeReturn {
+			t.Fatalf("wrapped asctime(%#x) = %v, want clean return", bad, out)
+		}
+		if out.Ret != 0 {
+			t.Errorf("ret = %#x, want NULL", out.Ret)
+		}
+		if p.Errno() != csim.EINVAL {
+			t.Errorf("errno = %d, want EINVAL", p.Errno())
+		}
+	}
+
+	// A 43-byte region is rejected; the library needs 44.
+	small, err := p.Mem.MmapRegion(cmem.PageSize, cmem.ProtRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := small + cmem.PageSize - 43
+	out = p.Run(func() uint64 { return ip.Call(p, "asctime", uint64(at)) })
+	if out.Crashed() {
+		t.Fatal("wrapped asctime(43 bytes) crashed")
+	}
+	if out.Ret != 0 {
+		t.Error("43-byte region accepted")
+	}
+
+	if ip.Stats().Rejected == 0 {
+		t.Error("no rejections recorded")
+	}
+}
+
+func TestWrapperStrcpyBoundsViaStrlen(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, DefaultOptions())
+
+	// Heap destination tracked by the stateful table.
+	dst := ip.Call(p, "malloc", 8)
+	if dst == 0 {
+		t.Fatal("malloc failed")
+	}
+	src := cstrAt(t, p, "fit")
+	out := p.Run(func() uint64 { return ip.Call(p, "strcpy", dst, uint64(src)) })
+	if out.Kind != csim.OutcomeReturn || out.Ret != dst {
+		t.Fatalf("strcpy(fit) = %v", out)
+	}
+
+	// An overflowing copy is rejected BEFORE the library runs — even
+	// though the overflow would stay inside the same mapped page and no
+	// hardware fault would occur (the stateful-checking advantage).
+	long := cstrAt(t, p, "this string is far too long")
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return ip.Call(p, "strcpy", dst, uint64(long)) })
+	if out.Crashed() {
+		t.Fatal("wrapped strcpy crashed")
+	}
+	if out.Ret != 0 || p.Errno() != csim.EINVAL {
+		t.Errorf("overflow not rejected: ret=%#x errno=%d", out.Ret, p.Errno())
+	}
+	// The destination was not modified: the wrapper rejected pre-call.
+	if b, _ := p.Mem.LoadByte(cmem.Addr(dst)); b != 'f' {
+		t.Errorf("destination modified after rejection: %c", b)
+	}
+}
+
+func TestStatefulVsStatelessIntraPageOverflow(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+
+	overflow := func(stateless bool) (rejected bool, crashed bool) {
+		p := newProc()
+		opts := DefaultOptions()
+		opts.Stateless = stateless
+		ip := Attach(p, lib, decls, opts)
+		dst := ip.Call(p, "malloc", 8)
+		long := cstrAt(t, p, strings.Repeat("x", 100)) // fits in dst's page
+		out := p.Run(func() uint64 { return ip.Call(p, "strcpy", dst, uint64(long)) })
+		return out.Kind == csim.OutcomeReturn && out.Ret == 0, out.Crashed()
+	}
+
+	if rej, crash := overflow(false); !rej || crash {
+		t.Errorf("stateful: rejected=%v crashed=%v, want rejected", rej, crash)
+	}
+	// Stateless checking cannot see the allocation boundary inside the
+	// page: the call goes through and silently overflows (no crash,
+	// because the page is mapped) — exactly the gap §5.1 describes.
+	if rej, crash := overflow(true); rej || crash {
+		t.Errorf("stateless: rejected=%v crashed=%v, want silent pass", rej, crash)
+	}
+}
+
+func TestWrapperFgetsHangPrevented(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	p.SetStepBudget(50_000)
+	ip := Attach(p, lib, decls, DefaultOptions())
+	fp := p.Fopen("/data/file.txt", "r")
+	s := region(t, p, 64, cmem.ProtRW)
+
+	out := p.Run(func() uint64 { return ip.Call(p, "fgets", uint64(s), 0, uint64(fp)) })
+	if out.Kind == csim.OutcomeHang {
+		t.Fatal("wrapped fgets(size=0) hung")
+	}
+	if out.Ret != 0 {
+		t.Error("fgets(size=0) not rejected")
+	}
+	out = p.Run(func() uint64 { return ip.Call(p, "fgets", uint64(s), 64, uint64(fp)) })
+	if out.Kind != csim.OutcomeReturn || out.Ret != uint64(s) {
+		t.Fatalf("fgets(valid) = %v", out)
+	}
+}
+
+func TestCorruptedFILESurvivesFullAutoFailsSemiAuto(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	semiDecls := decl.ApplySemiAutoEdits(decls)
+
+	makeCorrupted := func(p *csim.Process) cmem.Addr {
+		real := p.Fopen("/data/file.txt", "r+")
+		if real == 0 {
+			t.Fatal("fopen failed")
+		}
+		copyAt := region(t, p, csim.SizeofFILE, cmem.ProtRW)
+		data, _ := p.Mem.Read(real, csim.SizeofFILE)
+		p.Mem.Write(copyAt, data)
+		p.Mem.WriteU64(copyAt+csim.FILEOffBufPtr, 0xdead0000)
+		p.Mem.WriteU64(copyAt+csim.FILEOffBufPos, 4)
+		return copyAt
+	}
+
+	// Full-auto: fileno+fstat pass (the fd is valid), the library runs,
+	// and the corrupted buffer pointer crashes it.
+	p := newProc()
+	ip := Attach(p, lib, decls, DefaultOptions())
+	fp := makeCorrupted(p)
+	out := p.Run(func() uint64 { return ip.Call(p, "fgetc", uint64(fp)) })
+	if !out.Crashed() {
+		t.Errorf("full-auto wrapped fgetc(corrupted) = %v, want crash (the paper's residual class)", out)
+	}
+
+	// Semi-auto: the file_integrity assertion catches it.
+	p2 := newProc()
+	ip2 := Attach(p2, lib, semiDecls, DefaultOptions())
+	fp2 := makeCorrupted(p2)
+	p2.ClearErrno()
+	out = p2.Run(func() uint64 { return ip2.Call(p2, "fgetc", uint64(fp2)) })
+	if out.Crashed() {
+		t.Fatal("semi-auto wrapped fgetc(corrupted) crashed")
+	}
+	if p2.Errno() == 0 {
+		t.Error("semi-auto rejection did not set errno")
+	}
+}
+
+func TestDirTrackingSemiAuto(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	semiDecls := decl.ApplySemiAutoEdits(decls)
+	p := newProc()
+	ip := Attach(p, lib, semiDecls, DefaultOptions())
+
+	// A DIR obtained through the wrapper is tracked and accepted.
+	path := cstrAt(t, p, "/data/d")
+	dp := ip.Call(p, "opendir", uint64(path))
+	if dp == 0 {
+		t.Fatal("opendir failed")
+	}
+	out := p.Run(func() uint64 { return ip.Call(p, "readdir", dp) })
+	if out.Kind != csim.OutcomeReturn || out.Ret == 0 {
+		t.Fatalf("readdir(tracked) = %v", out)
+	}
+
+	// Garbage DIR memory is rejected by the valid_dir assertion.
+	fake := region(t, p, csim.SizeofDIR, cmem.ProtRW)
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return ip.Call(p, "readdir", uint64(fake)) })
+	if out.Crashed() {
+		t.Fatal("semi-auto readdir(garbage) crashed")
+	}
+	if int64(out.Ret) != 0 || p.Errno() == 0 {
+		t.Errorf("garbage DIR not rejected: ret=%d errno=%d", int64(out.Ret), p.Errno())
+	}
+
+	// After closedir the pointer is no longer valid.
+	if ret := ip.Call(p, "closedir", dp); int64(ret) != 0 {
+		t.Fatalf("closedir = %d", int64(ret))
+	}
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return ip.Call(p, "readdir", dp) })
+	if out.Crashed() {
+		t.Fatal("readdir(closed) crashed")
+	}
+	if p.Errno() == 0 {
+		t.Error("stale DIR not rejected")
+	}
+}
+
+func TestSafeFunctionsPassThrough(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, DefaultOptions())
+	// read is safe: the wrapper forwards it without checks; the kernel
+	// handles the bad pointer with EFAULT.
+	fd := p.OpenFile("/data/file.txt", csim.ReadOnly, false)
+	p.ClearErrno()
+	ret := ip.Call(p, "read", uint64(uint32(fd)), 0xdead0000, 10)
+	if int64(ret) != -1 || p.Errno() != csim.EFAULT {
+		t.Errorf("read = %d errno=%d, want -1 EFAULT", int64(ret), p.Errno())
+	}
+	if ip.Stats().Passthru == 0 {
+		t.Error("no passthrough recorded")
+	}
+}
+
+func TestRecursionFlag(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, DefaultOptions())
+	// Validating a FILE* calls fileno through the library; the
+	// recursion flag must short-circuit the inner call.
+	fp := p.Fopen("/data/file.txt", "r")
+	out := p.Run(func() uint64 { return ip.Call(p, "fgetc", uint64(fp)) })
+	if out.Kind != csim.OutcomeReturn {
+		t.Fatalf("fgetc = %v", out)
+	}
+	if out.Ret != 'f' {
+		t.Errorf("fgetc = %c, want f", byte(out.Ret))
+	}
+}
+
+func TestAbortPolicy(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	opts := DefaultOptions()
+	opts.Policy = PolicyAbort
+	ip := Attach(p, lib, decls, opts)
+	out := p.Run(func() uint64 { return ip.Call(p, "strlen", 0) })
+	if out.Kind != csim.OutcomeAbort {
+		t.Errorf("debug-policy wrapper = %v, want abort", out)
+	}
+}
+
+func TestQsortComparatorRejected(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, DefaultOptions())
+	arr := region(t, p, 64, cmem.ProtRW)
+	p.ClearErrno()
+	out := p.Run(func() uint64 { return ip.Call(p, "qsort", uint64(arr), 4, 4, 0xdeadbeef) })
+	if out.Crashed() {
+		t.Fatal("wrapped qsort(garbage comparator) crashed")
+	}
+	if p.Errno() != csim.EINVAL {
+		t.Errorf("errno = %d", p.Errno())
+	}
+	// And a real comparator still sorts.
+	cmp := p.RegisterCallback(func(pp *csim.Process, args []uint64) uint64 {
+		a := int32(pp.LoadU32(cmem.Addr(args[0])))
+		b := int32(pp.LoadU32(cmem.Addr(args[1])))
+		return uint64(int64(a - b))
+	})
+	p.Mem.WriteU32(arr, 9)
+	p.Mem.WriteU32(arr+4, 1)
+	out = p.Run(func() uint64 { return ip.Call(p, "qsort", uint64(arr), 2, 4, uint64(cmp)) })
+	if out.Crashed() {
+		t.Fatal("wrapped qsort(valid) crashed")
+	}
+	if v, _ := p.Mem.ReadU32(arr); v != 1 {
+		t.Errorf("array not sorted: %d", v)
+	}
+}
+
+func TestUnterminatedStringRejected(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, DefaultOptions())
+	// A flush-mounted region with no terminator.
+	reg := region(t, p, cmem.PageSize, cmem.ProtRW)
+	fill := make([]byte, cmem.PageSize)
+	for i := range fill {
+		fill[i] = 'A'
+	}
+	p.Mem.Write(reg, fill)
+	p.ClearErrno()
+	out := p.Run(func() uint64 { return ip.Call(p, "strlen", uint64(reg)) })
+	if out.Crashed() {
+		t.Fatal("wrapped strlen(unterminated) crashed")
+	}
+	if p.Errno() != csim.EINVAL {
+		t.Errorf("errno = %d, want EINVAL", p.Errno())
+	}
+	// Heap-tracked unterminated string: terminator beyond the
+	// allocation is caught even inside the mapped page.
+	hp := ip.Call(p, "malloc", 4)
+	p.Mem.Write(cmem.Addr(hp), []byte{'a', 'b', 'c', 'd'}) // no NUL in alloc
+	p.ClearErrno()
+	out = p.Run(func() uint64 { return ip.Call(p, "strlen", hp) })
+	if out.Kind != csim.OutcomeReturn || p.Errno() != csim.EINVAL {
+		t.Errorf("heap unterminated not rejected: %v errno=%d", out, p.Errno())
+	}
+}
