@@ -1,0 +1,38 @@
+# Build and verification tiers for the HEALERS reproduction.
+#
+#   make check   — tier 1: what every change must keep green
+#   make race    — tier 2: vet + the race detector over the full suite
+#   make verify  — both tiers (the pre-commit gate)
+#   make bench   — wrapper call-path overhead benchmarks
+#   make table1 / figure6 / stats — run the paper's evaluations
+
+GO ?= go
+
+.PHONY: all check race verify bench table1 figure6 stats clean
+
+all: check
+
+check:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+verify: check race
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkWrapperCallOverhead -benchmem ./internal/wrapper/
+
+table1:
+	$(GO) run ./cmd/healers table1
+
+figure6:
+	$(GO) run ./cmd/healers figure6
+
+stats:
+	$(GO) run ./cmd/healers stats
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@ import (
 
 	"healers"
 	"healers/internal/injector"
+	"healers/internal/obs"
 	"healers/internal/report"
 )
 
@@ -33,9 +34,7 @@ func main() {
 	cfg := injector.DefaultConfig()
 	cfg.Conservative = *conservative
 	if *verbose {
-		cfg.Trace = func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		}
+		cfg.Obs = obs.New(obs.NewTextSink(os.Stdout))
 	}
 	campaign, err := sys.InjectWith(flag.Args(), cfg)
 	if err != nil {

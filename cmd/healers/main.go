@@ -4,23 +4,33 @@
 //
 // Usage:
 //
-//	healers extract             # §3 extraction statistics
-//	healers inject [func...]    # robust argument types (all 86 by default)
-//	healers decl <func>         # Figure 2 XML declaration for one function
-//	healers wrap [func...]      # Figure 5 C wrapper source
-//	healers table1              # Table 1 error-return classification
-//	healers figure6             # Figure 6 robustness evaluation
-//	healers table2              # Table 2 performance overhead
-//	healers bitflip [func...]   # §9 future work: bit-flip injection
+//	healers extract                      # §3 extraction statistics
+//	healers inject [flags] [func...]     # robust argument types (all 86 by default)
+//	healers decl <func>                  # Figure 2 XML declaration for one function
+//	healers wrap [func...]               # Figure 5 C wrapper source
+//	healers table1 [flags]               # Table 1 error-return classification
+//	healers figure6 [flags]              # Figure 6 robustness evaluation
+//	healers table2                       # Table 2 performance overhead
+//	healers stats [flags]                # full campaign with metrics + phase profile
+//	healers bitflip [func...]            # §9 future work: bit-flip injection
+//
+// Observability flags (inject, table1, figure6, stats):
+//
+//	-trace out.jsonl   write every structured event as JSON lines
+//	-metrics           print the metrics exposition after the report
+//	-progress          stream campaign progress to stderr
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"healers"
 	"healers/internal/ballista"
 	"healers/internal/bitflip"
+	"healers/internal/injector"
+	"healers/internal/obs"
 	"healers/internal/report"
 	"healers/internal/wrapgen"
 	"healers/internal/wrapper"
@@ -33,21 +43,106 @@ func main() {
 	}
 }
 
+// obsFlags is the per-command observability configuration assembled
+// from command-line flags.
+type obsFlags struct {
+	tracePath *string
+	metrics   *bool
+	progress  *bool
+
+	tracer   *obs.Tracer
+	registry *obs.Registry
+	spans    *obs.Spans
+	file     *os.File
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		tracePath: fs.String("trace", "", "write structured JSONL trace events to `file`"),
+		metrics:   fs.Bool("metrics", false, "print the metrics exposition after the report"),
+		progress:  fs.Bool("progress", false, "stream campaign progress events to stderr"),
+	}
+}
+
+// open builds the tracer/registry/spans after flag parsing. forceMetrics
+// is set by the stats command, which is pointless without a registry.
+func (of *obsFlags) open(forceMetrics bool) error {
+	var sinks []obs.Sink
+	if *of.tracePath != "" {
+		f, err := os.Create(*of.tracePath)
+		if err != nil {
+			return err
+		}
+		of.file = f
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	if *of.progress {
+		sinks = append(sinks, obs.FuncSink(func(e obs.Event) {
+			if e.Kind == obs.KindCampaignPhase {
+				fmt.Fprintln(os.Stderr, e.String())
+			}
+		}))
+	}
+	of.tracer = obs.New(sinks...)
+	if *of.metrics || forceMetrics {
+		of.registry = obs.NewRegistry()
+	}
+	of.spans = obs.NewSpans()
+	return nil
+}
+
+func (of *obsFlags) close() {
+	if of.file != nil {
+		of.file.Close()
+	}
+}
+
+// finish prints the exposition when -metrics was requested.
+func (of *obsFlags) finish() {
+	if of.registry != nil {
+		fmt.Println()
+		fmt.Print(report.Stats(of.registry, nil))
+	}
+}
+
+func (of *obsFlags) injectorConfig() healers.InjectorConfig {
+	cfg := injector.DefaultConfig()
+	cfg.Obs = of.tracer
+	cfg.Metrics = of.registry
+	return cfg
+}
+
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: healers extract|inject|decl|wrap|table1|figure6|table2|bitflip")
+		return fmt.Errorf("usage: healers extract|inject|decl|wrap|table1|figure6|table2|stats|bitflip")
 	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	of := registerObsFlags(fs)
+	stateless := fs.Bool("stateless", false, "figure6: add the stateless-wrapper ablation run")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	rest = fs.Args()
+	if err := of.open(cmd == "stats"); err != nil {
+		return err
+	}
+	defer of.close()
+
 	sys, err := healers.NewSystem()
 	if err != nil {
 		return err
 	}
-	cmd, rest := args[0], args[1:]
 
 	inject := func(names []string) (*healers.Campaign, error) {
 		if len(names) == 0 {
 			names = sys.CrashProne86()
 		}
-		return sys.Inject(names)
+		stop := of.spans.Start("inject")
+		campaign, err := sys.InjectWith(names, of.injectorConfig())
+		stop(len(names))
+		return campaign, err
 	}
 
 	switch cmd {
@@ -61,6 +156,7 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(report.Declarations(campaign))
+		of.finish()
 		return nil
 
 	case "decl":
@@ -95,22 +191,34 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(report.Table1(campaign))
+		of.finish()
 		return nil
 
-	case "figure6":
-		stateless := len(rest) > 0 && rest[0] == "-stateless"
+	case "figure6", "stats":
 		campaign, err := inject(nil)
 		if err != nil {
 			return err
 		}
 		decls := campaign.Decls()
+		stop := of.spans.Start("generate")
 		suite, err := sys.GenerateSuite()
 		if err != nil {
 			return err
 		}
-		fig := sys.RunFigure6(suite, decls, healers.SemiAuto(decls))
+		stop(len(suite.Tests))
+		fig := sys.RunFigure6Observed(suite, decls, healers.SemiAuto(decls), healers.Observability{
+			Tracer:  of.tracer,
+			Metrics: of.registry,
+			Spans:   of.spans,
+		})
 		fmt.Print(fig.Format())
-		if stateless {
+		if cmd == "stats" {
+			fmt.Println()
+			fmt.Print(report.Stats(of.registry, of.spans))
+		} else {
+			of.finish()
+		}
+		if *stateless {
 			// Ablation: the full-auto wrapper without its stateful
 			// tables — page probing and stack bounds only (§5.1's
 			// comparison against the signal-handler approach of [2]).

@@ -37,6 +37,7 @@ import (
 	"healers/internal/decl"
 	"healers/internal/extract"
 	"healers/internal/injector"
+	"healers/internal/obs"
 	"healers/internal/wrapgen"
 	"healers/internal/wrapper"
 )
@@ -70,7 +71,36 @@ type (
 	Measurement = apps.Measurement
 	// Extraction is the phase-one output: prototypes plus statistics.
 	Extraction = extract.Result
+	// Tracer is the structured observability event tracer.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured observability event.
+	TraceEvent = obs.Event
+	// TraceSink consumes tracer events (JSONL writer, ring buffer...).
+	TraceSink = obs.Sink
+	// Metrics is the atomic counter/gauge/histogram registry.
+	Metrics = obs.Registry
+	// Spans collects per-phase campaign timings.
+	Spans = obs.Spans
 )
+
+// NewTracer returns a tracer fanning out to the given sinks; with no
+// sinks it is disabled at zero cost.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.New(sinks...) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewSpans returns an empty span collector for phase profiling.
+func NewSpans() *Spans { return obs.NewSpans() }
+
+// Observability bundles the cross-cutting instrumentation threaded
+// through a campaign: structured tracing, metrics, and phase spans.
+// The zero value disables all three.
+type Observability struct {
+	Tracer  *Tracer
+	Metrics *Metrics
+	Spans   *Spans
+}
 
 // System bundles the library with its extraction products.
 type System struct {
@@ -153,18 +183,37 @@ func (s *System) GenerateSuite() (*Suite, error) {
 // RunFigure6 evaluates the suite under the three configurations of the
 // paper's Figure 6: unwrapped, fully automatic, semi-automatic.
 func (s *System) RunFigure6(suite *Suite, fullAuto, semiAuto *DeclSet) *Figure6 {
+	return s.RunFigure6Observed(suite, fullAuto, semiAuto, Observability{})
+}
+
+// RunFigure6Observed is RunFigure6 with instrumentation threaded
+// through every layer: per-test outcome events and progress from the
+// suite runner, wrapper counters and violation events, sandbox
+// boundary counters, and one span per configuration.
+func (s *System) RunFigure6Observed(suite *Suite, fullAuto, semiAuto *DeclSet, o Observability) *Figure6 {
 	template := ballista.NewTemplate()
 	lib := s.Library
+	runOpts := ballista.RunOptions{Obs: o.Tracer, Metrics: o.Metrics}
+	wrapOpts := wrapper.DefaultOptions()
+	wrapOpts.Obs = o.Tracer
+	wrapOpts.Metrics = o.Metrics
+
+	run := func(config string, factory func(p *Process) ballista.Caller) *Report {
+		stop := o.Spans.Start(config)
+		rep := suite.RunWith(config, template, factory, runOpts)
+		stop(len(suite.Tests))
+		return rep
+	}
 	return &Figure6{
-		Unwrapped: suite.Run("unwrapped", template, func(p *Process) ballista.Caller {
+		Unwrapped: run("unwrapped", func(p *Process) ballista.Caller {
 			return lib
-		}, 0),
-		FullAuto: suite.Run("full-auto", template, func(p *Process) ballista.Caller {
-			return wrapper.Attach(p, lib, fullAuto, wrapper.DefaultOptions())
-		}, 0),
-		SemiAuto: suite.Run("semi-auto", template, func(p *Process) ballista.Caller {
-			return wrapper.Attach(p, lib, semiAuto, wrapper.DefaultOptions())
-		}, 0),
+		}),
+		FullAuto: run("full-auto", func(p *Process) ballista.Caller {
+			return wrapper.Attach(p, lib, fullAuto, wrapOpts)
+		}),
+		SemiAuto: run("semi-auto", func(p *Process) ballista.Caller {
+			return wrapper.Attach(p, lib, semiAuto, wrapOpts)
+		}),
 		Tests: len(suite.Tests),
 		Funcs: len(suite.PerFunc),
 	}

@@ -134,6 +134,9 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-based")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock orderings are not meaningful under the race detector's slowdown")
+	}
 	lib, decls := setup(t)
 	ms := MeasureAll(lib, decls)
 	t.Logf("\n%s", FormatTable2(ms))
@@ -155,7 +158,11 @@ func TestTable2Shape(t *testing.T) {
 		t.Errorf("library share ordering wrong: gzip=%.4f tar=%.4f gcc=%.4f",
 			gzip.LibShare, tar.LibShare, gcc.LibShare)
 	}
-	if !(gzip.CheckOverhead <= tar.CheckOverhead) {
+	// Both overheads are fractions of wall-clock time; under parallel
+	// test load either can collapse to ~0, so the ordering claim only
+	// holds above a small noise floor.
+	const noise = 0.005
+	if !(gzip.CheckOverhead <= tar.CheckOverhead+noise) {
 		t.Errorf("gzip checking overhead (%.4f) should be minimal (tar %.4f)",
 			gzip.CheckOverhead, tar.CheckOverhead)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package apps
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package apps
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock assertions are skipped under its ~10x slowdown.
+const raceEnabled = true

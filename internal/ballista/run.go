@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"healers/internal/csim"
+	"healers/internal/obs"
 )
 
 // Bucket classifies one test outcome for Figure 6.
@@ -95,13 +96,57 @@ func (r *Report) String() string {
 // library for the unwrapped run, a fresh wrapper interposer otherwise.
 type CallerFactory func(p *csim.Process) Caller
 
+// RunOptions configures an observed suite run. The zero value runs
+// with the default step budget and no instrumentation.
+type RunOptions struct {
+	// StepBudget is the per-call hang budget (0 = 100k steps).
+	StepBudget int
+	// Obs, when enabled, receives one TestOutcome event per test
+	// (streaming, in suite order) and CampaignPhase progress events.
+	Obs *obs.Tracer
+	// Metrics, when non-nil, registers per-bucket outcome counters
+	// labeled by configuration, plus the sandbox boundary counters.
+	Metrics *obs.Registry
+	// ProgressEvery emits a CampaignPhase progress event every N tests
+	// (0 = every 1000); the final test always emits one.
+	ProgressEvery int
+}
+
 // Run executes the suite under one configuration.
 func (s *Suite) Run(config string, template *csim.Process, factory CallerFactory, stepBudget int) *Report {
+	return s.RunWith(config, template, factory, RunOptions{StepBudget: stepBudget})
+}
+
+// RunWith executes the suite under one configuration with
+// observability: streaming per-test outcome events, live progress, and
+// bucket counters.
+func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFactory, opt RunOptions) *Report {
+	stepBudget := opt.StepBudget
 	if stepBudget <= 0 {
 		stepBudget = 100_000
 	}
+	tr := opt.Obs
+	if tr == nil {
+		tr = obs.Nop()
+	}
+	reg := opt.Metrics // nil-safe
+	outcomeCounter := func(bucket string) *obs.Counter {
+		return reg.Counter(fmt.Sprintf("healers_ballista_outcomes_total{config=%q,bucket=%q}", config, bucket))
+	}
+	cErrno := outcomeCounter("errno-set")
+	cSilent := outcomeCounter("silent")
+	cCrash := outcomeCounter("crash")
+	var sandbox *csim.Metrics
+	if reg != nil {
+		sandbox = csim.NewMetrics(reg)
+	}
+	every := opt.ProgressEvery
+	if every <= 0 {
+		every = 1000
+	}
+
 	report := &Report{Config: config, PerFunc: make(map[string]*FuncReport)}
-	for _, test := range s.Tests {
+	for ti, test := range s.Tests {
 		fr := report.PerFunc[test.Func]
 		if fr == nil {
 			fr = &FuncReport{Name: test.Func}
@@ -110,7 +155,37 @@ func (s *Suite) Run(config string, template *csim.Process, factory CallerFactory
 
 		child := template.Fork()
 		child.SetStepBudget(stepBudget)
+		child.Metrics = sandbox
 		caller := factory(child)
+
+		emitOutcome := func(bucket string, out csim.Outcome) {
+			if !tr.Enabled() {
+				return
+			}
+			names := make([]string, len(test.Entries))
+			for i, e := range test.Entries {
+				names[i] = e.Name
+			}
+			tr.Emit(obs.Event{
+				Kind:    obs.KindTestOutcome,
+				Config:  config,
+				Func:    test.Func,
+				Probe:   strings.Join(names, ", "),
+				Outcome: bucket,
+				Errno:   out.Errno,
+				Steps:   out.Steps,
+			})
+		}
+		emitProgress := func() {
+			if tr.Enabled() && ((ti+1)%every == 0 || ti+1 == len(s.Tests)) {
+				tr.Emit(obs.Event{
+					Kind:  obs.KindCampaignPhase,
+					Phase: "ballista:" + config,
+					N:     ti + 1,
+					Total: len(s.Tests),
+				})
+			}
+		}
 
 		args := make([]uint64, len(test.Entries))
 		setup := child.Run(func() uint64 {
@@ -123,6 +198,9 @@ func (s *Suite) Run(config string, template *csim.Process, factory CallerFactory
 			// Setup trouble counts as silent: the test could not be
 			// delivered (rare; kept for accounting completeness).
 			fr.Silent++
+			cSilent.Inc()
+			emitOutcome("silent", setup)
+			emitProgress()
 			continue
 		}
 
@@ -132,19 +210,30 @@ func (s *Suite) Run(config string, template *csim.Process, factory CallerFactory
 		case csim.OutcomeReturn:
 			if child.ErrnoSet() {
 				fr.Errno++
+				cErrno.Inc()
+				emitOutcome("errno-set", out)
 			} else {
 				fr.Silent++
+				cSilent.Inc()
+				emitOutcome("silent", out)
 			}
 		case csim.OutcomeSegfault:
 			fr.Crash++
 			fr.Segfault++
+			cCrash.Inc()
+			emitOutcome("crash", out)
 		case csim.OutcomeHang:
 			fr.Crash++
 			fr.Hang++
+			cCrash.Inc()
+			emitOutcome("crash", out)
 		case csim.OutcomeAbort:
 			fr.Crash++
 			fr.Abort++
+			cCrash.Inc()
+			emitOutcome("crash", out)
 		}
+		emitProgress()
 	}
 	return report
 }

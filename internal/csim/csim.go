@@ -104,6 +104,7 @@ type Outcome struct {
 	Ret   uint64      // return value, valid when Kind == OutcomeReturn
 	Errno int         // errno after the call (0 if untouched)
 	Fault *cmem.Fault // faulting access, valid when Kind == OutcomeSegfault
+	Steps int         // simulated steps the call consumed
 }
 
 // Crashed reports whether the outcome is any of the failure kinds the
@@ -162,6 +163,11 @@ type Process struct {
 
 	// Cwd is the simulated current working directory.
 	Cwd string
+
+	// Metrics, when non-nil, tallies every sandboxed call's outcome and
+	// step count (the obs boundary counters). Children share it across
+	// Fork so a campaign's accounting survives per-test forking.
+	Metrics *Metrics
 }
 
 // NewProcess returns a fresh process over fs with stdin/stdout/stderr
@@ -197,6 +203,7 @@ func (p *Process) Fork() *Process {
 		stdinPos:   p.stdinPos,
 		Stdout:     append([]byte(nil), p.Stdout...),
 		Cwd:        p.Cwd,
+		Metrics:    p.Metrics,
 	}
 	for fd, of := range p.fds {
 		c.fds[fd] = of
@@ -218,6 +225,11 @@ func (p *Process) Fork() *Process {
 
 // SetStepBudget overrides the hang-detection budget for this process.
 func (p *Process) SetStepBudget(n int) { p.stepBudget = n }
+
+// StepCount returns the simulated steps consumed since the current
+// sandboxed call began. The wrapper uses the delta around its checks
+// as the check-latency measure.
+func (p *Process) StepCount() int { return p.steps }
 
 // Errno returns the current simulated errno value.
 func (p *Process) Errno() int { return p.errno }
@@ -267,17 +279,18 @@ func (p *Process) Run(fn func() uint64) (out Outcome) {
 		switch sig := r.(type) {
 		case nil:
 		case segvSignal:
-			out = Outcome{Kind: OutcomeSegfault, Errno: p.errno, Fault: sig.fault}
+			out = Outcome{Kind: OutcomeSegfault, Errno: p.errno, Fault: sig.fault, Steps: p.steps}
 		case hangSignal:
-			out = Outcome{Kind: OutcomeHang, Errno: p.errno}
+			out = Outcome{Kind: OutcomeHang, Errno: p.errno, Steps: p.steps}
 		case abrtSignal:
-			out = Outcome{Kind: OutcomeAbort, Errno: p.errno}
+			out = Outcome{Kind: OutcomeAbort, Errno: p.errno, Steps: p.steps}
 		default:
 			panic(r) // a real bug in the simulator; do not swallow it
 		}
+		p.Metrics.record(out)
 	}()
 	ret := fn()
-	return Outcome{Kind: OutcomeReturn, Ret: ret, Errno: p.errno}
+	return Outcome{Kind: OutcomeReturn, Ret: ret, Errno: p.errno, Steps: p.steps}
 }
 
 // --- Faulting memory accessors used by simulated C code ---

@@ -1,0 +1,54 @@
+package csim
+
+import "healers/internal/obs"
+
+// Metrics counts sandboxed-call outcomes and step consumption at the
+// Run boundary — the simulated analogue of the parent process tallying
+// child exit statuses and timeouts. Attach one to a Process (children
+// inherit it across Fork) and every sandboxed call is counted; a nil
+// *Metrics on the process disables the accounting entirely.
+type Metrics struct {
+	Returns   *obs.Counter
+	Segfaults *obs.Counter
+	Hangs     *obs.Counter
+	Aborts    *obs.Counter
+	// Steps is the per-call simulated work distribution; hangs land in
+	// the top buckets by construction (they exhausted the budget).
+	Steps *obs.Histogram
+}
+
+// StepBuckets are the default bounds for the per-call step histogram,
+// spanning trivial calls up to the default step budget.
+func StepBuckets() []int64 {
+	return []int64{16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}
+
+// NewMetrics registers the sandbox instruments on r (nil r yields
+// detached instruments, still safe to attach).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Returns:   r.Counter("healers_sandbox_returns_total"),
+		Segfaults: r.Counter("healers_sandbox_segfaults_total"),
+		Hangs:     r.Counter("healers_sandbox_hangs_total"),
+		Aborts:    r.Counter("healers_sandbox_aborts_total"),
+		Steps:     r.Histogram("healers_sandbox_steps", StepBuckets()),
+	}
+}
+
+// record tallies one outcome; called on every Run exit path.
+func (m *Metrics) record(out Outcome) {
+	if m == nil {
+		return
+	}
+	switch out.Kind {
+	case OutcomeReturn:
+		m.Returns.Inc()
+	case OutcomeSegfault:
+		m.Segfaults.Inc()
+	case OutcomeHang:
+		m.Hangs.Inc()
+	case OutcomeAbort:
+		m.Aborts.Inc()
+	}
+	m.Steps.Observe(int64(out.Steps))
+}

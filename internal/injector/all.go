@@ -6,6 +6,7 @@ import (
 
 	"healers/internal/decl"
 	"healers/internal/extract"
+	"healers/internal/obs"
 )
 
 // Campaign is the result of injecting a set of functions.
@@ -26,11 +27,18 @@ func (inj *Injector) InjectAll(ext *extract.Result, names []string) (*Campaign, 
 		}
 	}
 	c := &Campaign{Results: make(map[string]*Result, len(names))}
-	for _, name := range names {
+	for i, name := range names {
 		fi, ok := ext.Lookup(name)
 		if !ok {
 			return nil, fmt.Errorf("injector: %s not extracted", name)
 		}
+		inj.tr.Emit(obs.Event{
+			Kind:  obs.KindCampaignPhase,
+			Phase: "inject",
+			Func:  name,
+			N:     i + 1,
+			Total: len(names),
+		})
 		res, err := inj.InjectFunction(fi, ext.Table)
 		if err != nil {
 			return nil, err

@@ -20,6 +20,7 @@ import (
 	"healers/internal/decl"
 	"healers/internal/extract"
 	"healers/internal/gens"
+	"healers/internal/obs"
 	"healers/internal/typesys"
 )
 
@@ -33,8 +34,19 @@ type Config struct {
 	// Conservative selects the stricter robust-type variant of §4.3.
 	Conservative bool
 	// Trace, when non-nil, receives one line per experiment — probe
-	// labels, outcome, and adaptive adjustments (cmd/faultinject -v).
+	// labels, outcome, and adaptive adjustments.
+	//
+	// Deprecated: Trace is a compatibility shim rendered from the
+	// structured tracer events; new consumers should set Obs instead.
 	Trace func(format string, args ...any)
+	// Obs, when non-nil, receives the campaign's structured events:
+	// one InjectionProbe + SandboxOutcome pair per experiment, an
+	// ArgAdjust per adaptive-loop step, and CampaignPhase progress.
+	Obs *obs.Tracer
+	// Metrics, when non-nil, registers the campaign counters
+	// (experiments, crashes, adjustments), the adaptive-loop iteration
+	// histogram, and the sandbox boundary counters of csim.Metrics.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the standard campaign configuration.
@@ -66,7 +78,23 @@ func (r *Result) Unsafe() bool { return r.Crashes+r.Hangs+r.Aborts > 0 }
 type Injector struct {
 	lib *clib.Library
 	cfg Config
+
+	tr      *obs.Tracer
+	sandbox *csim.Metrics // nil when cfg.Metrics is nil
+
+	mExperiments *obs.Counter
+	mCrashes     *obs.Counter
+	mHangs       *obs.Counter
+	mAborts      *obs.Counter
+	mAdjusts     *obs.Counter
+	// hAdaptive observes the adjustments each §4.1 adaptive chain
+	// needed before its faults disappeared (0 = first probe stood).
+	hAdaptive *obs.Histogram
 }
+
+// adaptiveIterBuckets bound the adjustments-per-chain histogram; the
+// grown-array chains for large reads (asctime's 44 bytes) land mid-range.
+var adaptiveIterBuckets = []int64{0, 1, 2, 4, 8, 16, 32}
 
 // New returns an injector for lib.
 func New(lib *clib.Library, cfg Config) *Injector {
@@ -76,7 +104,49 @@ func New(lib *clib.Library, cfg Config) *Injector {
 	if cfg.ProductCap == 0 {
 		cfg.ProductCap = DefaultConfig().ProductCap
 	}
-	return &Injector{lib: lib, cfg: cfg}
+	tr := cfg.Obs
+	if cfg.Trace != nil {
+		if tr == nil {
+			tr = obs.New()
+		}
+		tr.Attach(legacyTraceSink(cfg.Trace))
+	}
+	if tr == nil {
+		tr = obs.Nop()
+	}
+	inj := &Injector{lib: lib, cfg: cfg, tr: tr}
+	reg := cfg.Metrics // nil-safe: a nil registry hands out detached instruments
+	inj.mExperiments = reg.Counter("healers_injector_experiments_total")
+	inj.mCrashes = reg.Counter("healers_injector_crashes_total")
+	inj.mHangs = reg.Counter("healers_injector_hangs_total")
+	inj.mAborts = reg.Counter("healers_injector_aborts_total")
+	inj.mAdjusts = reg.Counter("healers_injector_adjusts_total")
+	inj.hAdaptive = reg.Histogram("healers_injector_adaptive_iterations", adaptiveIterBuckets)
+	if cfg.Metrics != nil {
+		inj.sandbox = csim.NewMetrics(cfg.Metrics)
+	}
+	return inj
+}
+
+// legacyTraceSink renders tracer events in the exact line format the
+// old Config.Trace callback produced, keeping pre-obs consumers
+// byte-compatible.
+func legacyTraceSink(f func(format string, args ...any)) obs.Sink {
+	return obs.FuncSink(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindArgAdjust:
+			f("  adjust arg%d: %s -> %s (fault at %#x)", e.Arg, e.Probe, e.Detail, e.Addr)
+		case obs.KindSandboxOutcome:
+			switch e.Outcome {
+			case "return":
+				f("%s(%s) -> return %#x (errno %s)", e.Func, e.Probe, e.Ret, e.Err)
+			case "segfault":
+				f("%s(%s) -> SIGSEGV at %#x", e.Func, e.Probe, e.Addr)
+			default:
+				f("%s(%s) -> %s", e.Func, e.Probe, e.Outcome)
+			}
+		}
+	})
 }
 
 // NewTemplateProcess builds the process every injection child is forked
@@ -140,6 +210,7 @@ func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 		errnos:   make(map[int]int),
 		result:   &Result{Name: fn.Name, Proto: fi.Proto},
 	}
+	c.template.Metrics = inj.sandbox
 	for _, param := range fi.Proto.Params {
 		g := gens.ForParam(param, table)
 		c.gens = append(c.gens, g)
@@ -170,6 +241,7 @@ func (c *campaign) exploreArguments() {
 			probes := make([]*gens.Probe, len(c.defaults))
 			copy(probes, c.defaults)
 			probes[i] = pr
+			adjusts := 0
 			for {
 				out, fault := c.runOnce(probes, i)
 				if out == typesys.Success {
@@ -201,15 +273,24 @@ func (c *campaign) exploreArguments() {
 				if np == nil {
 					break
 				}
-				if c.inj.cfg.Trace != nil {
-					c.inj.cfg.Trace("  adjust arg%d: %s -> %s (fault at %#x)",
-						owner, probes[owner].Fund, np.Fund, uint64(fault.Addr))
+				adjusts++
+				c.inj.mAdjusts.Inc()
+				if c.inj.tr.Enabled() {
+					c.inj.tr.Emit(obs.Event{
+						Kind:   obs.KindArgAdjust,
+						Func:   c.fn.Name,
+						Arg:    owner,
+						Probe:  probes[owner].Fund,
+						Detail: np.Fund,
+						Addr:   uint64(fault.Addr),
+					})
 				}
 				probes[owner] = np
 				if owner == i {
 					c.tried[i] = append(c.tried[i], np)
 				}
 			}
+			c.inj.hAdaptive.Observe(int64(adjusts))
 		}
 	}
 }
@@ -300,14 +381,27 @@ func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutc
 		return typesys.ErrorReturn, nil
 	}
 
-	child.ClearErrno()
-	out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
-
-	c.result.Calls++
 	funds := make([]string, len(probes))
 	for i, pr := range probes {
 		funds[i] = pr.Fund
 	}
+	traced := c.inj.tr.Enabled()
+	probeLabel := ""
+	if traced {
+		probeLabel = strings.Join(funds, ", ")
+		c.inj.tr.Emit(obs.Event{
+			Kind:  obs.KindInjectionProbe,
+			Func:  c.fn.Name,
+			Arg:   explored,
+			Probe: probeLabel,
+		})
+	}
+
+	child.ClearErrno()
+	out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
+
+	c.result.Calls++
+	c.inj.mExperiments.Inc()
 
 	var caseOut typesys.CaseOutcome
 	var fault *cmem.Fault
@@ -324,16 +418,35 @@ func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutc
 		caseOut = typesys.Crash
 		fault = out.Fault
 		c.result.Crashes++
+		c.inj.mCrashes.Inc()
 	case csim.OutcomeHang:
 		caseOut = typesys.Crash
 		c.result.Hangs++
+		c.inj.mHangs.Inc()
 	case csim.OutcomeAbort:
 		caseOut = typesys.Crash
 		c.result.Aborts++
+		c.inj.mAborts.Inc()
 	}
 	c.runs = append(c.runs, vectorRun{funds: funds, outcome: caseOut, explored: explored})
-	if c.inj.cfg.Trace != nil {
-		c.inj.cfg.Trace("%s(%s) -> %v", c.fn.Name, strings.Join(funds, ", "), out)
+	if traced {
+		ev := obs.Event{
+			Kind:    obs.KindSandboxOutcome,
+			Func:    c.fn.Name,
+			Arg:     explored,
+			Probe:   probeLabel,
+			Outcome: out.Kind.String(),
+			Steps:   out.Steps,
+		}
+		switch out.Kind {
+		case csim.OutcomeReturn:
+			ev.Ret = out.Ret
+			ev.Errno = out.Errno
+			ev.Err = csim.ErrnoName(out.Errno)
+		case csim.OutcomeSegfault:
+			ev.Addr = uint64(out.Fault.Addr)
+		}
+		c.inj.tr.Emit(ev)
 	}
 	return caseOut, fault
 }

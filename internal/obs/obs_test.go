@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSequenceAndFanOutOrder(t *testing.T) {
+	var order []string
+	a := FuncSink(func(e Event) { order = append(order, "a") })
+	b := FuncSink(func(e Event) { order = append(order, "b") })
+	tr := New(a)
+	tr.Attach(b)
+
+	if !tr.Enabled() {
+		t.Fatal("tracer with sinks should be enabled")
+	}
+	tr.Emit(Event{Kind: KindWrapperCall, Func: "strcpy"})
+	tr.Emit(Event{Kind: KindWrapperCall, Func: "strlen"})
+
+	// Every event visits every sink in attachment order.
+	want := []string{"a", "b", "a", "b"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("fan-out order = %v, want %v", order, want)
+	}
+	if tr.Seq() != 2 {
+		t.Fatalf("Seq() = %d, want 2", tr.Seq())
+	}
+}
+
+func TestTracerAssignsMonotonicSeq(t *testing.T) {
+	var seqs []uint64
+	tr := New(FuncSink(func(e Event) { seqs = append(seqs, e.Seq) }))
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindInjectionProbe})
+	}
+	if !reflect.DeepEqual(seqs, []uint64{1, 2, 3, 4, 5}) {
+		t.Fatalf("seqs = %v", seqs)
+	}
+}
+
+func TestNopAndNilTracerDisabled(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Enabled() {
+		t.Error("nil tracer should be disabled")
+	}
+	nilTr.Emit(Event{Kind: KindWrapperCall}) // must not panic
+	if nilTr.Seq() != 0 {
+		t.Error("nil tracer Seq should be 0")
+	}
+	if Nop().Enabled() {
+		t.Error("Nop tracer should be disabled")
+	}
+	if New().Enabled() {
+		t.Error("sinkless tracer should be disabled")
+	}
+}
+
+func TestNopTracerEmitAllocatesNothing(t *testing.T) {
+	tr := Nop()
+	allocs := testing.AllocsPerRun(100, func() {
+		if tr.Enabled() {
+			t.Fatal("nop tracer enabled")
+		}
+		tr.Emit(Event{Kind: KindSandboxOutcome, Func: "strcpy", Outcome: "return"})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestNilRegistryInstrumentsAllocateNothingPerOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []int64{1, 10})
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(7)
+		h.Observe(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("detached instrument ops allocate %v per run, want 0", allocs)
+	}
+	if c.Value() == 0 || h.Count() == 0 {
+		t.Fatal("detached instruments must still function")
+	}
+}
+
+func TestKindTextRoundTrip(t *testing.T) {
+	for k := KindInjectionProbe; k <= KindTestOutcome; k++ {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%d): %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %d -> %q -> %d", k, text, back)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("no-such-kind")); err == nil {
+		t.Fatal("unknown kind name should not parse")
+	}
+	if _, err := Kind(200).MarshalText(); err == nil {
+		t.Fatal("unknown kind value should not marshal")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindInjectionProbe, Func: "memcpy", Arg: 1, Probe: "RW_FIXED[3], RONLY_FIXED[0], INT_16"},
+		{Kind: KindArgAdjust, Func: "memcpy", Arg: 0, Probe: "RW_FIXED[3]", Detail: "RW_FIXED[4]", Addr: 0x2000},
+		{Kind: KindSandboxOutcome, Func: "memcpy", Outcome: "segfault", Addr: 0xdead0000, Steps: 42},
+		{Kind: KindSandboxOutcome, Func: "close", Outcome: "return", Ret: ^uint64(0), Errno: 9, Err: "EBADF"},
+		{Kind: KindCheckViolation, Func: "strcpy", Arg: 1, Probe: "CSTR", Detail: "unreadable",
+			Errno: 14, Err: "EFAULT", Policy: "return-error"},
+		{Kind: KindWrapperCall, Func: "fclose", Outcome: "checked", Steps: 12},
+		{Kind: KindCampaignPhase, Phase: "inject", Func: "abs", N: 3, Total: 86},
+		{Kind: KindTestOutcome, Config: "full-auto", Func: "fgets", Probe: "BUF, INT, FILE", Outcome: "errno-set"},
+	}
+
+	var buf bytes.Buffer
+	tr := New(NewJSONLSink(&buf))
+	for _, e := range events {
+		tr.Emit(e)
+	}
+
+	parsed, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(events))
+	}
+	for i, e := range events {
+		e.Seq = uint64(i + 1) // the tracer stamps sequence numbers
+		if !reflect.DeepEqual(parsed[i], e) {
+			t.Errorf("event %d round trip:\n got %+v\nwant %+v", i, parsed[i], e)
+		}
+	}
+}
+
+func TestParseJSONLErrors(t *testing.T) {
+	if _, err := ParseJSONL(strings.NewReader("{\"seq\":1,\"kind\":\"wrapper-call\"}\nnot json\n")); err == nil {
+		t.Fatal("malformed line should fail")
+	}
+	events, err := ParseJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("blank lines: events=%v err=%v", events, err)
+	}
+}
+
+func TestRingSinkOverwrite(t *testing.T) {
+	ring := NewRingSink(4)
+	tr := New(ring)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindTestOutcome, N: i})
+	}
+	got := ring.Events()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(got))
+	}
+	// Oldest-first tail of the stream: N = 6, 7, 8, 9.
+	for i, e := range got {
+		if e.N != 6+i {
+			t.Errorf("ring[%d].N = %d, want %d", i, e.N, 6+i)
+		}
+		if e.Seq != uint64(7+i) {
+			t.Errorf("ring[%d].Seq = %d, want %d", i, e.Seq, 7+i)
+		}
+	}
+	if ring.Total() != 10 {
+		t.Fatalf("Total() = %d, want 10", ring.Total())
+	}
+}
+
+func TestRingSinkPartialFill(t *testing.T) {
+	ring := NewRingSink(8)
+	ring.Emit(Event{N: 1})
+	ring.Emit(Event{N: 2})
+	got := ring.Events()
+	if len(got) != 2 || got[0].N != 1 || got[1].N != 2 {
+		t.Fatalf("partial ring = %+v", got)
+	}
+	if NewRingSink(0) == nil {
+		t.Fatal("capacity 0 should clamp, not fail")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]int64{10, 100})
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []int64{0, 5, 10} {
+		h.Observe(v)
+	}
+	for _, v := range []int64{11, 100} {
+		h.Observe(v)
+	}
+	h.Observe(101) // +Inf overflow
+
+	bounds, buckets := h.Snapshot()
+	if !reflect.DeepEqual(bounds, []int64{10, 100}) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if !reflect.DeepEqual(buckets, []int64{3, 2, 1}) {
+		t.Fatalf("buckets = %v, want [3 2 1]", buckets)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 0+5+10+11+100+101 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+}
+
+func TestHistogramSortsBounds(t *testing.T) {
+	h := newHistogram([]int64{100, 10}) // deliberately unsorted
+	h.Observe(50)
+	bounds, buckets := h.Snapshot()
+	if !reflect.DeepEqual(bounds, []int64{10, 100}) {
+		t.Fatalf("bounds not sorted: %v", bounds)
+	}
+	if !reflect.DeepEqual(buckets, []int64{0, 1, 0}) {
+		t.Fatalf("buckets = %v", buckets)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("same name should return same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same name should return same gauge")
+	}
+	h1 := r.Histogram("h", []int64{1, 2})
+	h2 := r.Histogram("h", []int64{9, 99}) // bounds ignored on reuse
+	if h1 != h2 {
+		t.Error("same name should return same histogram")
+	}
+	bounds, _ := h2.Snapshot()
+	if !reflect.DeepEqual(bounds, []int64{1, 2}) {
+		t.Errorf("reused histogram lost its original bounds: %v", bounds)
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("healers_calls_total").Add(5)
+	r.Counter(`healers_outcomes_total{config="b"}`).Add(2)
+	r.Counter(`healers_outcomes_total{config="a"}`).Add(1)
+	r.Gauge("healers_depth").Set(-3)
+	h := r.Histogram("healers_steps", []int64{10, 100})
+	h.Observe(7)
+	h.Observe(10)
+	h.Observe(55)
+	h.Observe(1000)
+
+	want := `# TYPE healers_calls_total counter
+healers_calls_total 5
+# TYPE healers_outcomes_total counter
+healers_outcomes_total{config="a"} 1
+healers_outcomes_total{config="b"} 2
+# TYPE healers_depth gauge
+healers_depth -3
+# TYPE healers_steps histogram
+healers_steps_bucket{le="10"} 2
+healers_steps_bucket{le="100"} 3
+healers_steps_bucket{le="+Inf"} 4
+healers_steps_sum 1072
+healers_steps_count 4
+`
+	if got := r.Exposition(); got != want {
+		t.Errorf("Exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionNilAndEmpty(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Exposition() != "" {
+		t.Error("nil registry exposition should be empty")
+	}
+	if NewRegistry().Exposition() != "" {
+		t.Error("empty registry exposition should be empty")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h", []int64{5}).Observe(4)
+
+	data, err := r.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["c"] != 3 || s.Gauges["g"] != -1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 4 || !reflect.DeepEqual(hs.Buckets, []int64{1, 0}) {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestSpansReportWithFakeClock(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewSpans()
+	s.SetClock(func() time.Time { return now })
+
+	stop := s.Start("inject")
+	now = now.Add(1 * time.Second)
+	stop(86)
+
+	stop = s.Start("evaluate")
+	now = now.Add(3 * time.Second)
+	stop(0)
+
+	spans := s.List()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "inject" || spans[0].Dur != time.Second || spans[0].Items != 86 {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+
+	report := s.Report()
+	for _, want := range []string{
+		"Campaign profile — 2 phases, total 4s",
+		"inject", "1s", "25.0%", "(86 items, 86/s)",
+		"evaluate", "3s", "75.0%",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestNilSpansAreNoOps(t *testing.T) {
+	var s *Spans
+	s.SetClock(nil)
+	s.Start("x")(1)
+	if s.List() != nil || s.Report() != "" {
+		t.Fatal("nil Spans should report nothing")
+	}
+}
+
+func TestLegacyViolationSinkFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(LegacyViolationSink(&buf))
+	tr.Emit(Event{Kind: KindWrapperCall, Func: "strlen"}) // filtered out
+	tr.Emit(Event{
+		Kind: KindCheckViolation, Func: "strlen", Arg: 0, Probe: "CSTR",
+		Detail: "unreadable or unterminated string", Errno: 14, Err: "EFAULT",
+		Policy: "return-error",
+	})
+	want := "healers: strlen arg0 violates CSTR: unreadable or unterminated string\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("legacy line = %q, want %q", got, want)
+	}
+}
+
+func TestTextSinkRendersEventString(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewTextSink(&buf))
+	tr.Emit(Event{Kind: KindSandboxOutcome, Func: "asctime", Probe: "NULL",
+		Outcome: "return", Ret: 0, Err: "EINVAL"})
+	want := "#1 asctime(NULL) -> return 0x0 (errno EINVAL) [0 steps]\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("text line = %q, want %q", got, want)
+	}
+}

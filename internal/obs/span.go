@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed campaign phase (extract → inject → wrap →
+// evaluate in Fig. 1's pipeline).
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+	// Items is the optional unit count the phase processed (functions
+	// injected, tests run); 0 means unreported.
+	Items int `json:"items,omitempty"`
+}
+
+// Spans collects phase timings for the campaign progress report. Safe
+// for concurrent use; the zero value is not valid, use NewSpans. A nil
+// *Spans is a no-op on every method, so callers thread it through
+// unconditionally.
+type Spans struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	spans []Span
+}
+
+// NewSpans returns an empty span collector using wall-clock time.
+func NewSpans() *Spans { return &Spans{now: time.Now} }
+
+// SetClock replaces the time source (tests pin it for deterministic
+// reports).
+func (s *Spans) SetClock(now func() time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Start begins a span and returns its stop function; items is the
+// phase's processed unit count (0 if not meaningful). Stop must be
+// called exactly once.
+func (s *Spans) Start(name string) func(items int) {
+	if s == nil {
+		return func(int) {}
+	}
+	s.mu.Lock()
+	start := s.now()
+	s.mu.Unlock()
+	return func(items int) {
+		s.mu.Lock()
+		s.spans = append(s.spans, Span{Name: name, Start: start, Dur: s.now().Sub(start), Items: items})
+		s.mu.Unlock()
+	}
+}
+
+// List returns the finished spans in completion order.
+func (s *Spans) List() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Span(nil), s.spans...)
+}
+
+// Report renders the campaign profile: per-phase duration, share of
+// total, and throughput where the phase reported item counts.
+func (s *Spans) Report() string {
+	spans := s.List()
+	if len(spans) == 0 {
+		return ""
+	}
+	var total time.Duration
+	for _, sp := range spans {
+		total += sp.Dur
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Campaign profile — %d phases, total %s\n", len(spans), total.Round(time.Millisecond))
+	for _, sp := range spans {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(sp.Dur) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-12s %10s %5.1f%%", sp.Name, sp.Dur.Round(time.Millisecond), pct)
+		if sp.Items > 0 {
+			rate := float64(sp.Items) / sp.Dur.Seconds()
+			if sp.Dur <= 0 {
+				rate = 0
+			}
+			fmt.Fprintf(&b, "  (%d items, %.0f/s)", sp.Items, rate)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

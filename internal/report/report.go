@@ -8,6 +8,7 @@ import (
 
 	"healers/internal/extract"
 	"healers/internal/injector"
+	"healers/internal/obs"
 )
 
 // Extraction renders the §3 statistics next to the paper's values.
@@ -44,6 +45,27 @@ func Table1(c *injector.Campaign) string {
 	fmt.Fprintf(&b, "  inconsistent functions: %s (paper: fdopen, freopen)\n",
 		strings.Join(c.InconsistentNames(), ", "))
 	fmt.Fprintf(&b, "  unsafe functions: %d of %d\n", c.UnsafeCount(), t.Total())
+	return b.String()
+}
+
+// Stats renders the observability report of a campaign: the per-phase
+// profile first (when spans were collected), then every registered
+// counter, gauge, and histogram in exposition format.
+func Stats(reg *obs.Registry, spans *obs.Spans) string {
+	var b strings.Builder
+	if prof := spans.Report(); prof != "" {
+		b.WriteString(prof)
+		b.WriteByte('\n')
+	}
+	if reg != nil {
+		b.WriteString("Metrics\n")
+		exp := reg.Exposition()
+		if exp == "" {
+			b.WriteString("  (no metrics registered)\n")
+		} else {
+			b.WriteString(exp)
+		}
+	}
 	return b.String()
 }
 

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"healers/internal/obs"
+)
+
+func TestStatsRendersProfileAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("healers_wrapper_calls_total").Add(42)
+	reg.Histogram("healers_sandbox_steps", []int64{10}).Observe(3)
+
+	now := time.Unix(0, 0)
+	spans := obs.NewSpans()
+	spans.SetClock(func() time.Time { return now })
+	stop := spans.Start("inject")
+	now = now.Add(2 * time.Second)
+	stop(86)
+
+	out := Stats(reg, spans)
+	for _, want := range []string{
+		"Campaign profile — 1 phases, total 2s",
+		"inject",
+		"Metrics",
+		"healers_wrapper_calls_total 42",
+		`healers_sandbox_steps_bucket{le="10"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsEmptyInputs(t *testing.T) {
+	if out := Stats(nil, nil); out != "" {
+		t.Errorf("Stats(nil, nil) = %q, want empty", out)
+	}
+	out := Stats(obs.NewRegistry(), nil)
+	if !strings.Contains(out, "(no metrics registered)") {
+		t.Errorf("empty registry render = %q", out)
+	}
+}

@@ -68,6 +68,7 @@ func (ip *Interposer) checkMemorySlow(addr cmem.Addr, size int, needRead, needWr
 
 // heapLookup finds the tracked allocation containing addr.
 func (ip *Interposer) heapLookup(addr cmem.Addr) (cmem.Addr, int, bool) {
+	ip.work++
 	// The table is small for typical workloads; a linear containment
 	// scan keeps the structure simple. The direct-hit case is first.
 	if size, ok := ip.heap[addr]; ok {
@@ -91,6 +92,7 @@ func (ip *Interposer) probePages(addr cmem.Addr, size int, needRead, needWrite b
 	first := addr.PageBase()
 	last := (addr + cmem.Addr(size) - 1).PageBase()
 	for base := first; ; base += cmem.PageSize {
+		ip.work++
 		prot, mapped := ip.p.Mem.ProtAt(base)
 		if !mapped {
 			return false
@@ -121,6 +123,7 @@ func (ip *Interposer) checkCString(addr cmem.Addr, writable bool) bool {
 		}
 	}
 	for i := 0; i < limit; i++ {
+		ip.work++
 		a := addr + cmem.Addr(i)
 		if a.PageBase() == a || i == 0 {
 			// Page boundary (or first byte): re-validate protection.
@@ -154,6 +157,7 @@ func (ip *Interposer) checkBoundedString(addr cmem.Addr, bound int) bool {
 		bound = ip.opts.MaxStrlen
 	}
 	for i := 0; i < bound; i++ {
+		ip.work++
 		b, f := ip.p.Mem.LoadByte(addr + cmem.Addr(i))
 		if f != nil {
 			return false
@@ -172,6 +176,7 @@ func (ip *Interposer) strlen(addr cmem.Addr) (int, bool) {
 		return 0, false
 	}
 	for i := 0; i < ip.opts.MaxStrlen; i++ {
+		ip.work++
 		b, f := ip.p.Mem.LoadByte(addr + cmem.Addr(i))
 		if f != nil {
 			return 0, false
@@ -204,6 +209,8 @@ func (ip *Interposer) checkFILE(addr cmem.Addr, base string) bool {
 }
 
 func (ip *Interposer) checkFILESlow(addr cmem.Addr, base string) bool {
+	// The fileno+fstat round trip dominates the cost of FILE checks.
+	ip.work += 8
 	if !ip.checkMemory(addr, csim.SizeofFILE, true, true) {
 		return false
 	}

@@ -18,11 +18,14 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"healers/internal/clib"
 	"healers/internal/cmem"
 	"healers/internal/csim"
 	"healers/internal/decl"
+	"healers/internal/obs"
 )
 
 // Policy selects what a wrapper does when it detects a violation.
@@ -50,8 +53,20 @@ type Options struct {
 	// MaxStrlen bounds string walks during checking.
 	MaxStrlen int
 	// Log, when non-nil, receives the deployed wrapper's violation log
-	// ("log invalid inputs" in §2's life-cycle discussion).
+	// ("log invalid inputs" in §2's life-cycle discussion). Each line
+	// carries the errno delivered and the policy applied; consumers of
+	// the historical short format can attach obs.LegacyViolationSink
+	// to Obs instead.
 	Log io.Writer
+	// Obs, when non-nil, receives structured wrapper events: one
+	// WrapperCall per checked or forwarded call and one CheckViolation
+	// per rejection. A nil (or sink-less) tracer costs nothing on the
+	// call path.
+	Obs *obs.Tracer
+	// Metrics, when non-nil, registers the wrapper call counters and
+	// the per-call check-work histogram for exposition. Counters for
+	// Stats are kept per-interposer regardless.
+	Metrics *obs.Registry
 	// CacheChecks enables the pointer-validity cache of DeVale &
 	// Koopman [3] that §7 cites as the route to lower overhead: a
 	// region validated once stays trusted until the allocation state
@@ -64,7 +79,8 @@ func DefaultOptions() Options {
 	return Options{Policy: PolicyReturnError, MaxStrlen: 1 << 20}
 }
 
-// Stats counts wrapper activity.
+// Stats is a race-free snapshot of wrapper activity, taken by
+// Interposer.Stats from atomic counters.
 type Stats struct {
 	Calls      int // calls that entered the wrapper
 	Checked    int // calls that went through argument checking
@@ -73,6 +89,18 @@ type Stats struct {
 	Reentrant  int // calls short-circuited by the recursion flag
 	ChecksRun  int // individual argument checks performed
 	Violations []Violation
+}
+
+// counters is the interposer's live counter set. Updates are atomic so
+// a monitor goroutine can snapshot Stats while calls are in flight
+// (and so concurrent interposers can be driven under -race).
+type counters struct {
+	calls     atomic.Int64
+	checked   atomic.Int64
+	rejected  atomic.Int64
+	passthru  atomic.Int64
+	reentrant atomic.Int64
+	checksRun atomic.Int64
 }
 
 // Violation records one rejected call for later failure diagnosis
@@ -109,8 +137,32 @@ type Interposer struct {
 	// fileCache memoizes FILE validations (fileno+fstat round trips).
 	fileCache map[fileCacheKey]bool
 
-	stats Stats
+	stats counters
+	// vmu guards the violation log so Stats can copy it while another
+	// goroutine is rejecting calls.
+	vmu        sync.Mutex
+	violations []Violation
+
+	// work accumulates the simulated cost of the current call's checks
+	// (bytes walked, pages probed, table lookups) — the check-latency
+	// measure hCheckWork observes per checked call.
+	work int
+
+	tr *obs.Tracer
+	// Registry instruments (detached dummies when Options.Metrics is
+	// nil, so the hot path never branches).
+	mCalls     *obs.Counter
+	mChecked   *obs.Counter
+	mRejected  *obs.Counter
+	mPassthru  *obs.Counter
+	mReentrant *obs.Counter
+	mChecksRun *obs.Counter
+	hCheckWork *obs.Histogram
 }
+
+// checkWorkBuckets bound the per-call check-work histogram: table hits
+// cost a few units, page probes tens, long string walks thousands.
+var checkWorkBuckets = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384}
 
 // Attach builds an interposer for process p.
 func Attach(p *csim.Process, lib *clib.Library, decls *decl.DeclSet, opts Options) *Interposer {
@@ -132,6 +184,18 @@ func Attach(p *csim.Process, lib *clib.Library, decls *decl.DeclSet, opts Option
 		ip.checkCache = make(map[cmem.Addr]cacheEntry)
 		ip.fileCache = make(map[fileCacheKey]bool)
 	}
+	ip.tr = opts.Obs
+	if ip.tr == nil {
+		ip.tr = obs.Nop()
+	}
+	reg := opts.Metrics // nil-safe: hands out detached instruments
+	ip.mCalls = reg.Counter("healers_wrapper_calls_total")
+	ip.mChecked = reg.Counter("healers_wrapper_checked_total")
+	ip.mRejected = reg.Counter("healers_wrapper_rejected_total")
+	ip.mPassthru = reg.Counter("healers_wrapper_passthru_total")
+	ip.mReentrant = reg.Counter("healers_wrapper_reentrant_total")
+	ip.mChecksRun = reg.Counter("healers_wrapper_checks_run_total")
+	ip.hCheckWork = reg.Histogram("healers_wrapper_check_work", checkWorkBuckets)
 	return ip
 }
 
@@ -142,8 +206,27 @@ type fileCacheKey struct {
 	base string
 }
 
-// Stats returns a snapshot of the wrapper counters.
-func (ip *Interposer) Stats() Stats { return ip.stats }
+// Stats returns a snapshot of the wrapper counters. Every counter is
+// loaded atomically and the violation list is copied under its lock,
+// so the snapshot is safe to take while other goroutines drive calls.
+func (ip *Interposer) Stats() Stats {
+	// The rejected counter and the violation log are updated together
+	// under vmu, so loading both inside the lock yields an exactly
+	// consistent pair (Rejected == len(Violations) at snapshot time).
+	ip.vmu.Lock()
+	violations := append([]Violation(nil), ip.violations...)
+	rejected := ip.stats.rejected.Load()
+	ip.vmu.Unlock()
+	return Stats{
+		Calls:      int(ip.stats.calls.Load()),
+		Checked:    int(ip.stats.checked.Load()),
+		Rejected:   int(rejected),
+		Passthru:   int(ip.stats.passthru.Load()),
+		Reentrant:  int(ip.stats.reentrant.Load()),
+		ChecksRun:  int(ip.stats.checksRun.Load()),
+		Violations: violations,
+	}
+}
 
 // HeapTableSize returns the number of tracked live allocations.
 func (ip *Interposer) HeapTableSize() int { return len(ip.heap) }
@@ -151,14 +234,16 @@ func (ip *Interposer) HeapTableSize() int { return len(ip.heap) }
 // Call invokes name through the wrapper: prefix checks, original call,
 // postfix state upkeep (the structure of Figure 5).
 func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 {
-	ip.stats.Calls++
+	ip.stats.calls.Add(1)
+	ip.mCalls.Inc()
 	fn := ip.lib.MustLookup(name)
 
 	// Recursion guard: when the wrapper itself calls the library
 	// (fileno during FILE validation), the inner call must bypass
 	// checking or the resolution could recurse forever.
 	if ip.inFlag {
-		ip.stats.Reentrant++
+		ip.stats.reentrant.Add(1)
+		ip.mReentrant.Inc()
 		return fn.Impl(p, args)
 	}
 	ip.inFlag = true
@@ -169,25 +254,37 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 		declared = false
 	}
 	if !declared || !d.Unsafe() {
-		ip.stats.Passthru++
+		ip.stats.passthru.Add(1)
+		ip.mPassthru.Inc()
+		if ip.tr.Enabled() {
+			ip.tr.Emit(obs.Event{Kind: obs.KindWrapperCall, Func: name, Outcome: "passthru"})
+		}
 		ret := fn.Impl(p, args)
 		ip.postfix(name, args, ret)
 		return ret
 	}
 
-	ip.stats.Checked++
+	ip.stats.checked.Add(1)
+	ip.mChecked.Inc()
+	ip.work = 0
 	for i, arg := range d.Args {
 		if i >= len(args) {
 			break
 		}
 		if ok, reason := ip.checkArg(arg, args, i); !ok {
+			ip.hCheckWork.Observe(int64(ip.work))
 			return ip.reject(d, i, arg, reason)
 		}
 	}
 	for _, assertion := range d.Assertions {
 		if ok, i, reason := ip.checkAssertion(assertion, d, args); !ok {
+			ip.hCheckWork.Observe(int64(ip.work))
 			return ip.reject(d, i, d.Args[i], reason)
 		}
+	}
+	ip.hCheckWork.Observe(int64(ip.work))
+	if ip.tr.Enabled() {
+		ip.tr.Emit(obs.Event{Kind: obs.KindWrapperCall, Func: name, Outcome: "checked", Steps: ip.work})
 	}
 
 	ret := fn.Impl(p, args)
@@ -197,17 +294,37 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 
 // reject implements the violation policy.
 func (ip *Interposer) reject(d *decl.FuncDecl, argIdx int, arg decl.ArgDecl, reason string) uint64 {
-	ip.stats.Rejected++
+	ip.mRejected.Inc()
 	v := Violation{
 		Func:   d.Name,
 		Arg:    argIdx,
 		Robust: arg.Robust.String(),
 		Reason: reason,
 	}
-	ip.stats.Violations = append(ip.stats.Violations, v)
+	ip.vmu.Lock()
+	ip.stats.rejected.Add(1)
+	ip.violations = append(ip.violations, v)
+	ip.vmu.Unlock()
+	errName := csim.ErrnoName(d.ErrnoOnReject)
+	policy := "return-error"
+	if ip.opts.Policy == PolicyAbort {
+		policy = "abort"
+	}
+	if ip.tr.Enabled() {
+		ip.tr.Emit(obs.Event{
+			Kind:   obs.KindCheckViolation,
+			Func:   v.Func,
+			Arg:    v.Arg,
+			Probe:  v.Robust,
+			Detail: v.Reason,
+			Errno:  d.ErrnoOnReject,
+			Err:    errName,
+			Policy: policy,
+		})
+	}
 	if ip.opts.Log != nil {
-		fmt.Fprintf(ip.opts.Log, "healers: %s arg%d violates %s: %s\n",
-			v.Func, v.Arg, v.Robust, v.Reason)
+		fmt.Fprintf(ip.opts.Log, "healers: %s arg%d violates %s: %s [errno=%s policy=%s]\n",
+			v.Func, v.Arg, v.Robust, v.Reason, errName, policy)
 	}
 	if ip.opts.Policy == PolicyAbort {
 		ip.p.Abort()
@@ -290,7 +407,8 @@ func (v argsView) Value(i int) int64 {
 
 // checkArg validates one argument against its robust type.
 func (ip *Interposer) checkArg(arg decl.ArgDecl, args []uint64, i int) (bool, string) {
-	ip.stats.ChecksRun++
+	ip.stats.checksRun.Add(1)
+	ip.mChecksRun.Inc()
 	rt := arg.Robust
 	val := args[i]
 	addr := cmem.Addr(val)

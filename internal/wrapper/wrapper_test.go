@@ -17,7 +17,7 @@ import (
 var cachedDecls *decl.DeclSet
 var cachedLib *clib.Library
 
-func fullAutoDecls(t *testing.T) (*clib.Library, *decl.DeclSet) {
+func fullAutoDecls(t testing.TB) (*clib.Library, *decl.DeclSet) {
 	t.Helper()
 	if cachedDecls != nil {
 		return cachedLib, cachedDecls
