@@ -2,13 +2,14 @@
 #
 #   make check   — tier 1: what every change must keep green
 #   make race    — tier 2: vet + the race detector over the full suite
-#   make verify  — both tiers (the pre-commit gate)
+#   make lint    — gofmt diff + go vet, no test execution
+#   make verify  — all tiers (the pre-commit gate)
 #   make bench   — wrapper call-path overhead benchmarks
 #   make table1 / figure6 / stats — run the paper's evaluations
 
 GO ?= go
 
-.PHONY: all check race verify bench table1 figure6 stats clean
+.PHONY: all check race lint verify bench table1 figure6 stats analyze clean
 
 all: check
 
@@ -20,7 +21,15 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-verify: check race
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; \
+		gofmt -d $$unformatted; exit 1; \
+	fi
+	$(GO) vet ./...
+
+verify: check race lint
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkWrapperCallOverhead -benchmem ./internal/wrapper/
@@ -33,6 +42,9 @@ figure6:
 
 stats:
 	$(GO) run ./cmd/healers stats
+
+analyze:
+	$(GO) run ./cmd/healers analyze
 
 clean:
 	$(GO) clean ./...

@@ -378,3 +378,51 @@ func BenchmarkDeclRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStaticSeededInjection is the PR's ablation: the full 86-
+// function campaign cold versus seeded with the static prediction's
+// size/read-only hints. The seeds must not change any robust vector
+// (asserted by TestSeededVectorsIdentical in internal/analysis); here
+// we quantify what they buy — sandboxed injection calls and wall time.
+func BenchmarkStaticSeededInjection(b *testing.B) {
+	sys, _ := fixture(b)
+	names := sys.CrashProne86()
+	pred, err := sys.Predict(names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalCalls := func(c *healers.Campaign) int {
+		var n int
+		for _, name := range c.Order {
+			n += c.Results[name].Calls
+		}
+		return n
+	}
+
+	var coldCalls, seededCalls int
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			campaign, err := sys.InjectWith(names, injector.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			coldCalls = totalCalls(campaign)
+		}
+		b.ReportMetric(float64(coldCalls), "inject-calls")
+	})
+	b.Run("seeded", func(b *testing.B) {
+		cfg := injector.DefaultConfig()
+		cfg.Seeds = pred.Seeds()
+		for i := 0; i < b.N; i++ {
+			campaign, err := sys.InjectWith(names, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seededCalls = totalCalls(campaign)
+		}
+		b.ReportMetric(float64(seededCalls), "inject-calls")
+		if coldCalls > 0 {
+			b.ReportMetric(100*float64(coldCalls-seededCalls)/float64(coldCalls), "calls-saved-%")
+		}
+	})
+}

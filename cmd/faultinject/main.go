@@ -3,7 +3,10 @@
 // mechanics live: every probe, every outcome, every guard-page-driven
 // adjustment.
 //
-//	faultinject [-v] [-conservative] <function> [function...]
+//	faultinject [-v] [-conservative] [-predict] <function> [function...]
+//
+// With -predict, the static robust-type prediction is printed before
+// injection and its size/read-only hints seed the adaptive growth.
 package main
 
 import (
@@ -20,9 +23,10 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "trace every experiment")
 	conservative := flag.Bool("conservative", false, "use the stricter §4.3 robust-type variant")
+	predict := flag.Bool("predict", false, "print the static prediction first and seed injection with it")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: faultinject [-v] [-conservative] <function>...")
+		fmt.Fprintln(os.Stderr, "usage: faultinject [-v] [-conservative] [-predict] <function>...")
 		os.Exit(2)
 	}
 
@@ -35,6 +39,22 @@ func main() {
 	cfg.Conservative = *conservative
 	if *verbose {
 		cfg.Obs = obs.New(obs.NewTextSink(os.Stdout))
+	}
+	if *predict {
+		pred, err := sys.Predict(flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultinject:", err)
+			os.Exit(1)
+		}
+		for _, name := range pred.Order {
+			fp := pred.Funcs[name]
+			fmt.Printf("static %s\n", name)
+			for _, a := range fp.Args {
+				fmt.Printf("  arg%d %-22s %-22s conf=%.1f  %s\n",
+					a.Index, a.CType, a.Predicted(), a.Confidence, a.Reason)
+			}
+		}
+		cfg.Seeds = pred.Seeds()
 	}
 	campaign, err := sys.InjectWith(flag.Args(), cfg)
 	if err != nil {

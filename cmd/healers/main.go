@@ -6,6 +6,7 @@
 //
 //	healers extract                      # §3 extraction statistics
 //	healers inject [flags] [func...]     # robust argument types (all 86 by default)
+//	healers analyze [flags] [func...]    # static prediction vs dynamic agreement table
 //	healers decl <func>                  # Figure 2 XML declaration for one function
 //	healers wrap [func...]               # Figure 5 C wrapper source
 //	healers table1 [flags]               # Table 1 error-return classification
@@ -19,9 +20,15 @@
 //	-trace out.jsonl   write every structured event as JSON lines
 //	-metrics           print the metrics exposition after the report
 //	-progress          stream campaign progress to stderr
+//
+// Command-specific flags:
+//
+//	inject -seed=static|none   seed adaptive growth from the static prediction
+//	analyze -json              emit the agreement report as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -114,13 +121,15 @@ func (of *obsFlags) injectorConfig() healers.InjectorConfig {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: healers extract|inject|decl|wrap|table1|figure6|table2|stats|bitflip")
+		return fmt.Errorf("usage: healers extract|inject|analyze|decl|wrap|table1|figure6|table2|stats|bitflip")
 	}
 	cmd, rest := args[0], args[1:]
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	of := registerObsFlags(fs)
 	stateless := fs.Bool("stateless", false, "figure6: add the stateless-wrapper ablation run")
+	seedMode := fs.String("seed", "none", "inject: seed adaptive growth from the static prediction (static|none)")
+	jsonOut := fs.Bool("json", false, "analyze: emit the agreement report as JSON")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -151,11 +160,52 @@ func run(args []string) error {
 		return nil
 
 	case "inject":
-		campaign, err := inject(rest)
+		names := rest
+		if len(names) == 0 {
+			names = sys.CrashProne86()
+		}
+		cfg := of.injectorConfig()
+		switch *seedMode {
+		case "static":
+			pred, err := sys.Predict(names)
+			if err != nil {
+				return err
+			}
+			cfg.Seeds = pred.Seeds()
+		case "none":
+		default:
+			return fmt.Errorf("inject: -seed must be static or none, got %q", *seedMode)
+		}
+		stop := of.spans.Start("inject")
+		campaign, err := sys.InjectWith(names, cfg)
+		stop(len(names))
 		if err != nil {
 			return err
 		}
 		fmt.Print(report.Declarations(campaign))
+		of.finish()
+		return nil
+
+	case "analyze":
+		var names []string
+		if len(rest) > 0 {
+			names = rest
+		}
+		stop := of.spans.Start("analyze")
+		rep, err := sys.Analyze(names, of.injectorConfig())
+		if err != nil {
+			return err
+		}
+		stop(rep.Summary.Funcs)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(report.Analysis(rep))
+		}
 		of.finish()
 		return nil
 

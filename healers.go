@@ -29,6 +29,7 @@
 package healers
 
 import (
+	"healers/internal/analysis"
 	"healers/internal/apps"
 	"healers/internal/ballista"
 	"healers/internal/clib"
@@ -71,6 +72,12 @@ type (
 	Measurement = apps.Measurement
 	// Extraction is the phase-one output: prototypes plus statistics.
 	Extraction = extract.Result
+	// Prediction is the static robust-type pre-inference output.
+	Prediction = analysis.Prediction
+	// AnalysisReport is the static-vs-dynamic agreement report.
+	AnalysisReport = analysis.Report
+	// InjectorSeeds carries static size/read-only hints into a campaign.
+	InjectorSeeds = injector.Seeds
 	// Tracer is the structured observability event tracer.
 	Tracer = obs.Tracer
 	// TraceEvent is one structured observability event.
@@ -135,6 +142,20 @@ func (s *System) Inject(names []string) (*Campaign, error) {
 // InjectWith runs the campaign with an explicit configuration.
 func (s *System) InjectWith(names []string, cfg InjectorConfig) (*Campaign, error) {
 	return injector.New(s.Library, cfg).InjectAll(s.Extraction, names)
+}
+
+// Predict runs only the static pass: prototype-based robust-type
+// pre-inference over the named functions (nil means every external
+// function with a prototype). No fault injection is performed.
+func (s *System) Predict(names []string) (*Prediction, error) {
+	return analysis.Predict(s.Extraction, names)
+}
+
+// Analyze runs the full static-analysis pipeline: prediction, a cold
+// and a seeded injection campaign, per-argument agreement
+// classification, and static verification of the generated wrapper C.
+func (s *System) Analyze(names []string, cfg InjectorConfig) (*AnalysisReport, error) {
+	return analysis.Run(s.Library, s.Extraction, names, cfg)
 }
 
 // UnmarshalDecls parses an archived <functions> declaration document

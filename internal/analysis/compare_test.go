@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"testing"
+
+	"healers/internal/decl"
+)
+
+func rt(t *testing.T, s string) decl.RobustType {
+	t.Helper()
+	r, err := decl.ParseRobustType(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return r
+}
+
+func TestLatticeLE(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		// Same family, size ordering: bigger is stronger.
+		{"R_ARRAY[44]", "R_ARRAY[0]", true},
+		{"R_ARRAY[0]", "R_ARRAY[44]", false},
+		// NULL unions are weaker.
+		{"R_ARRAY[44]", "R_ARRAY_NULL[44]", true},
+		{"R_ARRAY_NULL[44]", "R_ARRAY[44]", false},
+		// RW implies both R and W.
+		{"RW_ARRAY[56]", "R_ARRAY[56]", true},
+		{"RW_ARRAY[56]", "W_ARRAY[0]", true},
+		{"W_ARRAY[52]", "R_ARRAY[0]", false},
+		// Streams flow into the arrays that hold them.
+		{"OPEN_FILE", "RW_ARRAY_NULL[152]", true},
+		{"R_FILE", "RW_ARRAY_NULL[152]", true},
+		{"OPEN_DIR", "RW_ARRAY_NULL[64]", true},
+		{"RW_ARRAY_NULL[152]", "OPEN_FILE", false},
+		// Strings are readable arrays; the reverse does not hold.
+		{"CSTR", "R_ARRAY_NULL[0]", true},
+		{"W_CSTR", "CSTR", true},
+		{"CSTR", "CSTR_NULL", true},
+		{"R_ARRAY[0]", "CSTR", false},
+		// Bounded reads: any valid string satisfies them; plain
+		// readable arrays only with the identical bound.
+		{"CSTR", "R_BOUNDED[arg2]", true},
+		{"R_ARRAY[arg2]", "R_BOUNDED[arg2]", true},
+		{"R_ARRAY[arg1]", "R_BOUNDED[arg2]", false},
+		{"R_BOUNDED[arg2]", "CSTR", false},
+		{"R_BOUNDED[arg2]", "UNCONSTRAINED", true},
+		// Expression sizes against the size-0 family floor.
+		{"W_ARRAY[arg2]", "W_ARRAY_NULL[0]", true},
+		{"RW_ARRAY[arg1*arg2]", "W_ARRAY_NULL[0]", true},
+		{"W_ARRAY[strlen(arg1)+1]", "W_ARRAY_NULL[0]", true},
+		{"W_ARRAY[arg2]", "W_ARRAY_NULL[4]", false},
+		// Same expression across families.
+		{"W_ARRAY[arg2]", "W_ARRAY_NULL[arg2]", true},
+		{"W_ARRAY[arg2]", "R_ARRAY[arg2]", false},
+		// Integers.
+		{"INT_POSITIVE", "INT_NONNEG", true},
+		{"INT_NONNEG", "INT_ANY", true},
+		{"INT_NONNEG", "INT_POSITIVE", false},
+		// Tops absorb everything.
+		{"OPEN_FILE", "UNCONSTRAINED", true},
+		{"UNCONSTRAINED", "OPEN_FILE", false},
+		{"FD_VALID", "FD_ANY", true},
+		{"VALID_FUNC", "UNCONSTRAINED", true},
+	}
+	for _, c := range cases {
+		if got := LE(rt(t, c.a), rt(t, c.b)); got != c.want {
+			t.Errorf("LE(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareClassification(t *testing.T) {
+	pred := func(s string) ArgPrediction { return ArgPrediction{Robust: rt(t, s)} }
+
+	if got := Compare(ArgPrediction{Unknown: true}, rt(t, "CSTR")); got != AgreeUnknown {
+		t.Errorf("unknown prediction = %v", got)
+	}
+	if got := Compare(pred("R_ARRAY_NULL[44]"), rt(t, "R_ARRAY_NULL[44]")); got != AgreeExact {
+		t.Errorf("identical types = %v, want exact", got)
+	}
+	// INT_ANY vs UNCONSTRAINED: both are "no constraint" for the arg.
+	if got := Compare(pred("INT_ANY"), rt(t, "UNCONSTRAINED")); got != AgreeExact {
+		t.Errorf("trivial pair = %v, want exact", got)
+	}
+	// Dynamic stronger than predicted: sound but weaker.
+	if got := Compare(pred("RW_ARRAY_NULL[44]"), rt(t, "RW_ARRAY[44]")); got != AgreeWeaker {
+		t.Errorf("sound under-claim = %v, want weaker", got)
+	}
+	// Predicted stronger than dynamic: unsound.
+	if got := Compare(pred("CSTR"), rt(t, "UNCONSTRAINED")); got != AgreeWrong {
+		t.Errorf("over-claim = %v, want wrong", got)
+	}
+	if got := Compare(pred("RW_ARRAY_NULL[152]"), rt(t, "R_ARRAY[0]")); got != AgreeWrong {
+		t.Errorf("incomparable over-claim = %v, want wrong", got)
+	}
+}

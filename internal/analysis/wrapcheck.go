@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"healers/internal/decl"
+	"healers/internal/wrapgen"
+)
+
+// Issue is one static verification failure found in emitted wrapper C.
+type Issue struct {
+	// Func is the wrapped function the issue concerns.
+	Func string
+	// Arg is the zero-based argument index, or -1 for function-level
+	// issues (missing wrapper, broken recursion guard...).
+	Arg int
+	// Kind is a stable machine-readable category.
+	Kind string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+func (i Issue) String() string {
+	if i.Arg >= 0 {
+		return fmt.Sprintf("%s arg%d: %s: %s", i.Func, i.Arg, i.Kind, i.Detail)
+	}
+	return fmt.Sprintf("%s: %s: %s", i.Func, i.Kind, i.Detail)
+}
+
+// Issue kinds.
+const (
+	IssueMissingWrapper = "missing-wrapper"
+	IssueNoGuard        = "no-recursion-guard"
+	IssueNoFlagSet      = "flag-not-set"
+	IssueNoFlagReset    = "flag-not-reset"
+	IssueNoCall         = "no-real-call"
+	IssueMissingCheck   = "missing-check"
+	IssueDupCheck       = "duplicate-check"
+	IssueCheckAfterCall = "check-after-call"
+	IssueNoErrno        = "no-errno-on-reject"
+	IssueErrnoLate      = "errno-after-return"
+)
+
+// CheckWrappers statically verifies wrapgen output against the
+// declarations it was generated from: every unsafe function has a
+// wrapper; the recursion flag is tested before anything else and reset
+// on the way out; every constrained argument has exactly one check and
+// all checks precede the real libc call; every rejection path sets
+// errno before delivering the error return value. A nil return means
+// the source passed.
+func CheckWrappers(src string, set *decl.DeclSet, opts wrapgen.Options) []Issue {
+	var issues []Issue
+	for _, d := range sortedDecls(set) {
+		if !d.Unsafe() {
+			continue
+		}
+		issues = append(issues, checkWrapper(src, d, opts)...)
+	}
+	return issues
+}
+
+func sortedDecls(set *decl.DeclSet) []*decl.FuncDecl {
+	names := make([]string, 0, len(set.ByName))
+	for n := range set.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic issue order for tables and tests
+	out := make([]*decl.FuncDecl, len(names))
+	for i, n := range names {
+		out[i] = set.ByName[n]
+	}
+	return out
+}
+
+// checkWrapper verifies one function's wrapper body.
+func checkWrapper(src string, d *decl.FuncDecl, opts wrapgen.Options) []Issue {
+	var issues []Issue
+	fail := func(arg int, kind, detail string) {
+		issues = append(issues, Issue{Func: d.Name, Arg: arg, Kind: kind, Detail: detail})
+	}
+
+	body, ok := wrapperBody(src, d)
+	if !ok {
+		fail(-1, IssueMissingWrapper, "no wrapper definition found in source")
+		return issues
+	}
+
+	names := make([]string, len(d.Args))
+	for i := range d.Args {
+		names[i] = fmt.Sprintf("a%d", i+1)
+	}
+	call := fmt.Sprintf("(*libc_%s)(%s);", d.Name, strings.Join(names, ", "))
+
+	// The real call is the last occurrence: the first lives inside the
+	// recursion-guard passthrough.
+	callIdx := strings.LastIndex(body, call)
+	if callIdx < 0 {
+		fail(-1, IssueNoCall, "wrapper never calls the real function")
+		return issues
+	}
+
+	guardIdx := strings.Index(body, "if (in_flag)")
+	if guardIdx < 0 {
+		fail(-1, IssueNoGuard, "recursion flag is never tested")
+	}
+	setIdx := strings.Index(body, "in_flag = 1;")
+	if setIdx < 0 {
+		fail(-1, IssueNoFlagSet, "recursion flag is never set")
+	}
+	if !strings.Contains(body[callIdx:], "in_flag = 0;") {
+		fail(-1, IssueNoFlagReset, "recursion flag is not reset after the call")
+	}
+
+	for i, a := range d.Args {
+		expr := wrapgen.CheckExpr(a.Robust, names[i], names)
+		if expr == "" {
+			continue // unconstrained: no check required
+		}
+		cond := "if (!" + expr + ")"
+		switch n := strings.Count(body, cond); {
+		case n == 0:
+			fail(i, IssueMissingCheck, fmt.Sprintf("no check for %s", a.Robust.String()))
+			continue
+		case n > 1:
+			fail(i, IssueDupCheck, fmt.Sprintf("%d checks for %s", n, a.Robust.String()))
+		}
+		pos := strings.Index(body, cond)
+		if pos > callIdx {
+			fail(i, IssueCheckAfterCall, fmt.Sprintf("check for %s runs after the real call", a.Robust.String()))
+			continue
+		}
+		if guardIdx >= 0 && pos < guardIdx {
+			fail(i, IssueNoGuard, "check runs before the recursion-guard test")
+		}
+		issues = append(issues, checkRejectPath(body, pos, d, i, opts)...)
+	}
+	return issues
+}
+
+// wrapperBody extracts the function body emitted for d. The signature
+// is reconstructed exactly as wrapgen formats it, so a lookup failure
+// means the wrapper genuinely is not in the source.
+func wrapperBody(src string, d *decl.FuncDecl) (string, bool) {
+	params := make([]string, len(d.Args))
+	for i, a := range d.Args {
+		params[i] = fmt.Sprintf("%s a%d", a.CType, i+1)
+	}
+	paramList := strings.Join(params, ", ")
+	if paramList == "" {
+		paramList = "void"
+	}
+	sig := fmt.Sprintf("\n%s %s(%s)\n{\n", d.Ret, d.Name, paramList)
+	start := strings.Index(src, sig)
+	if start < 0 {
+		return "", false
+	}
+	rest := src[start+len(sig):]
+	end := strings.Index(rest, "\n}\n")
+	if end < 0 {
+		return "", false
+	}
+	return rest[:end], true
+}
+
+// checkRejectPath verifies the rejection block that follows the check
+// condition at pos: errno must be assigned before control leaves for
+// the return path (or the block must abort).
+func checkRejectPath(body string, pos int, d *decl.FuncDecl, arg int, opts wrapgen.Options) []Issue {
+	open := strings.Index(body[pos:], "{")
+	if open < 0 {
+		return []Issue{{Func: d.Name, Arg: arg, Kind: IssueNoErrno, Detail: "rejection block is missing"}}
+	}
+	rest := body[pos+open+1:]
+	end := strings.Index(rest, "}")
+	if end < 0 {
+		return []Issue{{Func: d.Name, Arg: arg, Kind: IssueNoErrno, Detail: "rejection block is unterminated"}}
+	}
+	block := rest[:end]
+	if opts.AbortOnViolation {
+		if !strings.Contains(block, "abort();") {
+			return []Issue{{Func: d.Name, Arg: arg, Kind: IssueNoErrno, Detail: "debugging wrapper must abort on violation"}}
+		}
+		return nil
+	}
+	errnoIdx := strings.Index(block, "errno = ")
+	if errnoIdx < 0 {
+		return []Issue{{Func: d.Name, Arg: arg, Kind: IssueNoErrno,
+			Detail: "rejection path never sets errno"}}
+	}
+	if exitIdx := strings.Index(block, "goto PostProcessing;"); exitIdx >= 0 && errnoIdx > exitIdx {
+		return []Issue{{Func: d.Name, Arg: arg, Kind: IssueErrnoLate,
+			Detail: "errno assigned after leaving the rejection block"}}
+	}
+	if retIdx := strings.Index(block, "ret = "); retIdx >= 0 && errnoIdx > retIdx {
+		return []Issue{{Func: d.Name, Arg: arg, Kind: IssueErrnoLate,
+			Detail: "errno assigned after the error value"}}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package cparse
+
+import "testing"
+
+// Qualifier corner cases: the robust-type predictor keys off exactly
+// where const binds, so the distinction between a const pointer and a
+// pointer to const must survive parsing.
+
+func TestConstBindingMatrix(t *testing.T) {
+	_, d := parseOne(t, `
+int a(const char *s);
+int b(char const *s);
+int c(char * const s);
+int e(const char * const s);
+`)
+	if len(d.Prototypes) != 4 {
+		t.Fatalf("prototypes = %d", len(d.Prototypes))
+	}
+	get := func(i int) *CType { return d.Prototypes[i].Params[0].Type }
+
+	// `const char *` and `char const *`: mutable pointer, const pointee.
+	for i, name := range []string{"a", "b"} {
+		p := get(i)
+		if p.Const {
+			t.Errorf("%s: pointer itself marked const", name)
+		}
+		if !p.Elem.Const {
+			t.Errorf("%s: pointee lost its const", name)
+		}
+	}
+	// `char * const`: const pointer, mutable pointee.
+	if p := get(2); !p.Const || p.Elem.Const {
+		t.Errorf("c: want const pointer to mutable char, got %+v -> %+v", p, p.Elem)
+	}
+	// `const char * const`: both.
+	if p := get(3); !p.Const || !p.Elem.Const {
+		t.Errorf("e: want const pointer to const char, got %+v -> %+v", p, p.Elem)
+	}
+}
+
+func TestConstPointerToPointer(t *testing.T) {
+	_, d := parseOne(t, `int f(const char **argv);`)
+	p := d.Prototypes[0].Params[0].Type
+	if p.Kind != KindPointer || p.Elem.Kind != KindPointer {
+		t.Fatalf("argv = %v", p)
+	}
+	if p.Const || p.Elem.Const {
+		t.Errorf("outer pointers must be mutable: %+v -> %+v", p, p.Elem)
+	}
+	if !p.Elem.Elem.Const {
+		t.Error("innermost char lost its const")
+	}
+}
+
+func TestFunctionPointerParamShapes(t *testing.T) {
+	p := NewParser(NewTypeTable())
+	p.Table().DefineTypedef("size_t", &CType{Kind: KindInt, Name: "size_t", Size: 8, Unsigned: true})
+	d, err := p.Parse("search.h", `
+void twalk(const void *root, void (*action)(const void *nodep, int which, int depth));
+void *bsearch(const void *key, const void *base, size_t nmemb, size_t size,
+	int (*compar)(const void *, const void *));
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action := d.Prototypes[0].Params[1]
+	if action.Type.Kind != KindFuncPtr || action.Name != "action" {
+		t.Errorf("twalk action = %+v", action)
+	}
+	compar := d.Prototypes[1].Params[4]
+	if compar.Type.Kind != KindFuncPtr || compar.Name != "compar" {
+		t.Errorf("bsearch compar = %+v", compar)
+	}
+	if got := p.Table().Sizeof(compar.Type); got != PointerSize {
+		t.Errorf("sizeof(funcptr) = %d", got)
+	}
+}
+
+// TestSizeofNestedStructRefs: a struct embedding another struct by
+// value (and an array of them) must recurse through the table.
+func TestSizeofNestedStructRefs(t *testing.T) {
+	p, _ := parseOne(t, `
+struct timeval {
+	long tv_sec;
+	long tv_usec;
+};
+struct itimerval {
+	struct timeval it_interval;
+	struct timeval it_value;
+};
+struct ring {
+	struct timeval slots[4];
+	int head;
+};
+`)
+	tv := p.Table().Sizeof(&CType{Kind: KindStruct, Struct: "timeval"})
+	if tv != 16 {
+		t.Fatalf("sizeof(struct timeval) = %d, want 16", tv)
+	}
+	if got := p.Table().Sizeof(&CType{Kind: KindStruct, Struct: "itimerval"}); got != 2*tv {
+		t.Errorf("sizeof(struct itimerval) = %d, want %d", got, 2*tv)
+	}
+	if got := p.Table().Sizeof(&CType{Kind: KindStruct, Struct: "ring"}); got != 4*tv+4 {
+		t.Errorf("sizeof(struct ring) = %d, want %d", got, 4*tv+4)
+	}
+	// A reference to a struct that is never defined stays size 0 even
+	// when nested inside a known struct.
+	p2, _ := parseOne(t, `
+struct holder {
+	struct mystery m;
+	int tail;
+};
+`)
+	if got := p2.Table().Sizeof(&CType{Kind: KindStruct, Struct: "holder"}); got != 4 {
+		t.Errorf("sizeof(struct holder) = %d, want 4 (unknown member contributes 0)", got)
+	}
+}

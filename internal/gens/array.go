@@ -24,11 +24,53 @@ type ArrayGen struct {
 	// pointers whose pointed-to *value* selects an error path (a huge
 	// time_t drives gmtime's EINVAL branch).
 	VariantFills []byte
+	// SeedSize, when positive, is a statically predicted minimal region
+	// size (internal/analysis pre-inference): the first fault-driven
+	// growth of each exploration chain jumps straight to it instead of
+	// creeping up byte by byte. A confirmation probe at SeedSize-1 then
+	// verifies minimality; if it unexpectedly succeeds the chain falls
+	// back to cold growth from where the jump left off, so a wrong
+	// prediction costs a few probes but never changes the result.
+	SeedSize int
+	// SkipWriteChains suppresses the RW/WO growth chains when the
+	// static type proves the function cannot legally write through the
+	// pointer (const-qualified pointee). NoteSuccess confirmations
+	// still probe those protections at every successful size, so the
+	// access-mode crash evidence the selection needs is preserved.
+	SkipWriteChains bool
 
 	queue     []*Probe
 	observed  map[int]bool
 	confirmed map[int]bool
 	started   bool
+
+	seeds map[cmem.Prot]*seedChain
+	stats SeedStats
+}
+
+// seedChain tracks the static-seed state of one protection chain.
+type seedChain struct {
+	state seedState
+}
+
+type seedState uint8
+
+const (
+	seedArmed    seedState = iota + 1 // chain may jump on its first fault
+	seedJumped                        // jump probe issued, outcome pending
+	seedChecking                      // minimality probe at SeedSize-1 out
+	seedDone
+)
+
+// SeedStats counts how a generator's static seed fared: Jumps is how
+// many chains skipped growth, Confirms how many minimality probes
+// crashed as predicted, Misses how many predictions were off (too
+// small: the jump probe still faulted; too large: SeedSize-1 succeeded
+// and the chain fell back to cold growth).
+type SeedStats struct {
+	Jumps    int
+	Confirms int
+	Misses   int
 }
 
 var _ Generator = (*ArrayGen)(nil)
@@ -67,12 +109,26 @@ func (g *ArrayGen) start() {
 	g.queue = append(g.queue, nullProbe())
 	g.queue = append(g.queue, invalidProbes()...)
 	// The three adaptive chains, each starting at size zero ("we first
-	// allocate an array of zero size").
-	g.queue = append(g.queue,
-		g.protProbe(0, cmem.ProtRead, typesys.NameROnlyFixed),
-		g.protProbe(0, cmem.ProtRW, typesys.NameRWFixed),
-		g.protProbe(0, cmem.ProtWrite, typesys.NameWOnlyFixed),
-	)
+	// allocate an array of zero size"). A static prediction arms each
+	// chain it keeps; a const-qualified pointee drops the write chains.
+	chains := []struct {
+		prot cmem.Prot
+		fund func(int) string
+	}{
+		{cmem.ProtRead, typesys.NameROnlyFixed},
+		{cmem.ProtRW, typesys.NameRWFixed},
+		{cmem.ProtWrite, typesys.NameWOnlyFixed},
+	}
+	g.seeds = make(map[cmem.Prot]*seedChain)
+	for _, ch := range chains {
+		if g.SkipWriteChains && ch.prot != cmem.ProtRead {
+			continue
+		}
+		if g.SeedSize > 0 {
+			g.seeds[ch.prot] = &seedChain{state: seedArmed}
+		}
+		g.queue = append(g.queue, g.protProbe(0, ch.prot, ch.fund))
+	}
 	for _, fill := range g.VariantFills {
 		saved := g.Fill
 		g.Fill = fill
@@ -120,13 +176,55 @@ func (g *ArrayGen) Adjust(pr *Probe, faultAddr cmem.Addr) *Probe {
 	if pr.Region.Size >= preciseGrowthLimit && newSize < pr.Region.Size*2 {
 		newSize = pr.Region.Size * 2
 	}
+	prot := protOfFund(pr.Fund)
+	fund := fundNamer(pr.Fund)
+	if st := g.seeds[prot]; st != nil {
+		switch st.state {
+		case seedArmed:
+			if g.SeedSize > newSize && g.SeedSize <= g.MaxSize {
+				st.state = seedJumped
+				g.stats.Jumps++
+				return g.protProbe(g.SeedSize, prot, fund)
+			}
+			// The fault already demands at least the predicted size:
+			// the jump would not save anything.
+			st.state = seedDone
+		case seedJumped:
+			if pr.Size == g.SeedSize {
+				// The jump probe itself faulted past its end: the
+				// prediction was too small. Cold growth takes over.
+				st.state = seedDone
+				g.stats.Misses++
+			}
+		case seedChecking:
+			if pr.Size == g.SeedSize-1 {
+				// The minimality probe crashed: SeedSize is minimal,
+				// exactly as predicted. The crash is already recorded
+				// as evidence; nothing is left to grow.
+				st.state = seedDone
+				g.stats.Confirms++
+				return nil
+			}
+		}
+	}
 	if newSize <= pr.Region.Size || newSize > g.MaxSize {
 		return nil
 	}
-	prot := protOfFund(pr.Fund)
-	fund := fundNamer(pr.Fund)
 	return g.protProbe(newSize, prot, fund)
 }
+
+// DisarmSeeds ends any pending seed jumps. The injector calls it after
+// exploration so dependent-size re-measurement (which regrows fresh
+// chains to find true minima) can never be contaminated by a static
+// prediction.
+func (g *ArrayGen) DisarmSeeds() {
+	for _, st := range g.seeds {
+		st.state = seedDone
+	}
+}
+
+// SeedOutcome returns the seed outcome counters.
+func (g *ArrayGen) SeedOutcome() SeedStats { return g.stats }
 
 // protOfFund recovers the protection of a chain from its type name.
 func protOfFund(fund string) cmem.Prot {
@@ -158,7 +256,31 @@ func fundNamer(fund string) func(int) string {
 // requirements (the cfsetospeed read-modify-write asymmetry needs a
 // read-only case at the final size to pin RW_ARRAY over R_ARRAY).
 func (g *ArrayGen) NoteSuccess(pr *Probe) {
-	if pr.Region.Base == 0 || pr.Size == 0 || g.confirmed[pr.Size] {
+	if pr.Region.Base == 0 || pr.Size == 0 {
+		return
+	}
+	if st := g.seeds[protOfFund(pr.Fund)]; st != nil {
+		switch {
+		case st.state == seedJumped && pr.Size == g.SeedSize:
+			if g.SeedSize <= 1 {
+				st.state = seedDone
+				g.stats.Confirms++
+			} else {
+				// The jump landed on a working size; probe one byte
+				// below to confirm it is also the *minimal* one.
+				st.state = seedChecking
+				g.queue = append(g.queue, g.protProbe(g.SeedSize-1, protOfFund(pr.Fund), fundNamer(pr.Fund)))
+			}
+		case st.state == seedChecking && pr.Size == g.SeedSize-1:
+			// The minimality probe succeeded: the prediction was too
+			// large. Restart the chain cold so it still finds the true
+			// minimum — a wrong seed costs probes, never precision.
+			st.state = seedDone
+			g.stats.Misses++
+			g.queue = append(g.queue, g.protProbe(0, protOfFund(pr.Fund), fundNamer(pr.Fund)))
+		}
+	}
+	if g.confirmed[pr.Size] {
 		return
 	}
 	g.confirmed[pr.Size] = true

@@ -96,10 +96,10 @@ func NewDoubleGen() *DoubleGen { return &DoubleGen{} }
 // Name implements Generator.
 func (g *DoubleGen) Name() string { return "double" }
 
-const typeDouble = "DBL"
+const typeDouble = typesys.TypeDouble
 
 // TypeDoubleAny is the unified top of the double hierarchy.
-const TypeDoubleAny = "DBL_ANY"
+const TypeDoubleAny = typesys.TypeDoubleAny
 
 func doubleProbe(v float64) *Probe {
 	return &Probe{
@@ -133,9 +133,7 @@ func (g *DoubleGen) Default() *Probe { return doubleProbe(1) }
 // Hierarchy implements Generator.
 func (g *DoubleGen) Hierarchy() *typesys.Hierarchy {
 	h := typesys.NewHierarchy()
-	d := h.Fundamental(typeDouble)
-	top := h.Unified(TypeDoubleAny)
-	h.Edge(d, top)
+	typesys.AddDoubleTypes(h)
 	if err := h.Finalize(); err != nil {
 		panic(err)
 	}

@@ -80,12 +80,13 @@ func (g *CharBufGen) Hierarchy() *typesys.Hierarchy {
 	return h
 }
 
-// Fd type names.
+// Fd type names (canonical definitions live in typesys, next to the
+// rest of the shared vocabulary).
 const (
-	TypeFdOpen  = "FD_OPEN"
-	TypeFdBad   = "FD_BAD"
-	TypeFdValid = "FD_VALID"
-	TypeFdAny   = "FD_ANY"
+	TypeFdOpen  = typesys.TypeFdOpen
+	TypeFdBad   = typesys.TypeFdBad
+	TypeFdValid = typesys.TypeFdValid
+	TypeFdAny   = typesys.TypeFdAny
 )
 
 // FdGen generates file-descriptor arguments: one genuinely open
@@ -152,13 +153,7 @@ func (g *FdGen) Default() *Probe { return g.openFdProbe() }
 // Hierarchy implements Generator.
 func (g *FdGen) Hierarchy() *typesys.Hierarchy {
 	h := typesys.NewHierarchy()
-	open := h.Fundamental(TypeFdOpen)
-	bad := h.Fundamental(TypeFdBad)
-	valid := h.Unified(TypeFdValid)
-	top := h.Unified(TypeFdAny)
-	h.Edge(open, valid)
-	h.Edge(valid, top)
-	h.Edge(bad, top)
+	typesys.AddFdTypes(h)
 	if err := h.Finalize(); err != nil {
 		panic(err)
 	}

@@ -47,7 +47,27 @@ type Config struct {
 	// (experiments, crashes, adjustments), the adaptive-loop iteration
 	// histogram, and the sandbox boundary counters of csim.Metrics.
 	Metrics *obs.Registry
+	// Seeds, when non-nil, supplies the static pre-inference hints of
+	// internal/analysis: adaptive array chains start at the predicted
+	// size (with a minimality confirmation probe) and provably
+	// unreachable write-protection chains are skipped. The robust type
+	// vectors are identical with and without seeds; only the number of
+	// sandboxed injection calls changes, making seeded-vs-cold a clean
+	// ablation.
+	Seeds Seeds
 }
+
+// ArgSeed is one argument's static pre-inference hint.
+type ArgSeed struct {
+	// Size is the predicted minimal region size in bytes (0 = none).
+	Size int
+	// ReadOnly marks const-qualified pointees, whose write-protection
+	// growth chains can never succeed and are skipped.
+	ReadOnly bool
+}
+
+// Seeds maps function names to per-argument static hints.
+type Seeds map[string][]ArgSeed
 
 // DefaultConfig returns the standard campaign configuration.
 func DefaultConfig() Config {
@@ -67,6 +87,10 @@ type Result struct {
 	Crashes int
 	Hangs   int
 	Aborts  int
+
+	// Seed aggregates the static-seed outcomes across this function's
+	// adaptive chains (all zero when the campaign ran cold).
+	Seed gens.SeedStats
 
 	ErrClass decl.ErrClass
 }
@@ -90,6 +114,11 @@ type Injector struct {
 	// hAdaptive observes the adjustments each §4.1 adaptive chain
 	// needed before its faults disappeared (0 = first probe stood).
 	hAdaptive *obs.Histogram
+	// Static-seed counters: chains that jumped to a predicted size,
+	// predictions confirmed minimal, and predictions that missed.
+	mSeedJumps    *obs.Counter
+	mSeedConfirms *obs.Counter
+	mSeedMisses   *obs.Counter
 }
 
 // adaptiveIterBuckets bound the adjustments-per-chain histogram; the
@@ -122,6 +151,9 @@ func New(lib *clib.Library, cfg Config) *Injector {
 	inj.mAborts = reg.Counter("healers_injector_aborts_total")
 	inj.mAdjusts = reg.Counter("healers_injector_adjusts_total")
 	inj.hAdaptive = reg.Histogram("healers_injector_adaptive_iterations", adaptiveIterBuckets)
+	inj.mSeedJumps = reg.Counter("healers_injector_seed_jumps_total")
+	inj.mSeedConfirms = reg.Counter("healers_injector_seed_confirms_total")
+	inj.mSeedMisses = reg.Counter("healers_injector_seed_misses_total")
 	if cfg.Metrics != nil {
 		inj.sandbox = csim.NewMetrics(cfg.Metrics)
 	}
@@ -217,14 +249,60 @@ func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 		c.defaults = append(c.defaults, g.Default())
 		c.tried = append(c.tried, nil)
 	}
+	c.applySeeds(inj.cfg.Seeds[fn.Name])
 	c.exploreArguments()
 	c.productPhase()
+	c.settleSeeds()
 	robust, err := c.computeRobustVector()
 	if err != nil {
 		return nil, fmt.Errorf("injector: %s: %w", fn.Name, err)
 	}
 	c.buildDecl(robust)
 	return c.result, nil
+}
+
+// applySeeds arms the adaptive array generators with the static
+// pre-inference hints. Only plain array generators are seeded: string
+// and stream generators have no size to predict, and the char-buffer
+// generator's minimal size is call-dependent.
+func (c *campaign) applySeeds(seeds []ArgSeed) {
+	for i, s := range seeds {
+		if i >= len(c.gens) || (s.Size <= 0 && !s.ReadOnly) {
+			continue
+		}
+		if ag, ok := c.gens[i].(*gens.ArrayGen); ok {
+			ag.SeedSize = s.Size
+			ag.SkipWriteChains = s.ReadOnly
+		}
+	}
+}
+
+// settleSeeds disarms pending seed jumps (so dependent-size
+// re-measurement regrows cold) and aggregates the per-chain seed
+// outcomes into the result, the metrics registry, and the trace.
+func (c *campaign) settleSeeds() {
+	for _, g := range c.gens {
+		ag, ok := g.(*gens.ArrayGen)
+		if !ok {
+			continue
+		}
+		ag.DisarmSeeds()
+		st := ag.SeedOutcome()
+		c.result.Seed.Jumps += st.Jumps
+		c.result.Seed.Confirms += st.Confirms
+		c.result.Seed.Misses += st.Misses
+	}
+	st := c.result.Seed
+	c.inj.mSeedJumps.Add(int64(st.Jumps))
+	c.inj.mSeedConfirms.Add(int64(st.Confirms))
+	c.inj.mSeedMisses.Add(int64(st.Misses))
+	if st.Jumps > 0 && c.inj.tr.Enabled() {
+		c.inj.tr.Emit(obs.Event{
+			Kind:   obs.KindStaticSeed,
+			Func:   c.fn.Name,
+			Detail: fmt.Sprintf("jumps=%d confirms=%d misses=%d", st.Jumps, st.Confirms, st.Misses),
+		})
+	}
 }
 
 // exploreArguments runs the one-argument-at-a-time phase with the

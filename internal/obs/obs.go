@@ -44,6 +44,10 @@ const (
 	// KindTestOutcome is one Ballista test's classified bucket under
 	// one configuration.
 	KindTestOutcome
+	// KindStaticSeed summarizes how static pre-inference seeds fared on
+	// one function's campaign: chains jumped, minimality confirms,
+	// mispredictions that fell back to cold growth.
+	KindStaticSeed
 )
 
 var kindNames = [...]string{
@@ -54,6 +58,7 @@ var kindNames = [...]string{
 	KindWrapperCall:    "wrapper-call",
 	KindCampaignPhase:  "campaign-phase",
 	KindTestOutcome:    "test-outcome",
+	KindStaticSeed:     "static-seed",
 }
 
 func (k Kind) String() string {
@@ -160,6 +165,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d phase %s [%d/%d]", e.Seq, e.Phase, e.N, e.Total)
 	case KindTestOutcome:
 		return fmt.Sprintf("#%d [%s] %s(%s) -> %s", e.Seq, e.Config, e.Func, e.Probe, e.Outcome)
+	case KindStaticSeed:
+		return fmt.Sprintf("#%d seed %s: %s", e.Seq, e.Func, e.Detail)
 	}
 	return fmt.Sprintf("#%d %s", e.Seq, e.Kind)
 }

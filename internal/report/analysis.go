@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"healers/internal/analysis"
+)
+
+// Analysis renders the static-vs-dynamic agreement table: one row per
+// argument with the predicted robust type next to the type the
+// fault-injection campaign discovered, then the corpus rollup, the
+// seeding ablation, and the wrapper-verification verdict.
+func Analysis(r *analysis.Report) string {
+	var b strings.Builder
+	b.WriteString("Static robust-type prediction vs fault injection\n")
+	fmt.Fprintf(&b, "  %-14s %-4s %-22s %-22s %-22s %s\n",
+		"function", "arg", "c type", "predicted", "dynamic", "agreement")
+	for _, fr := range r.Funcs {
+		for _, a := range fr.Args {
+			name := fr.Name
+			if a.Index > 0 {
+				name = ""
+			}
+			fmt.Fprintf(&b, "  %-14s %-4d %-22s %-22s %-22s %s\n",
+				name, a.Index, a.CType, a.Predicted, a.Dynamic, a.Agreement)
+		}
+	}
+
+	s := r.Summary
+	b.WriteString("\nAgreement summary\n")
+	pct := func(n int) float64 {
+		if s.Args == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(s.Args)
+	}
+	fmt.Fprintf(&b, "  functions analyzed   %5d\n", s.Funcs)
+	fmt.Fprintf(&b, "  arguments            %5d\n", s.Args)
+	fmt.Fprintf(&b, "  exact                %5d %5.1f%%\n", s.Exact, pct(s.Exact))
+	fmt.Fprintf(&b, "  weaker (sound)       %5d %5.1f%%\n", s.Weaker, pct(s.Weaker))
+	fmt.Fprintf(&b, "  unknown (declined)   %5d %5.1f%%\n", s.Unknown, pct(s.Unknown))
+	fmt.Fprintf(&b, "  wrong (unsound)      %5d %5.1f%%\n", s.Wrong, pct(s.Wrong))
+
+	b.WriteString("\nSeeded injection ablation\n")
+	fmt.Fprintf(&b, "  sandboxed calls cold   %6d\n", s.ColdCalls)
+	fmt.Fprintf(&b, "  sandboxed calls seeded %6d\n", s.SeededCalls)
+	fmt.Fprintf(&b, "  calls saved            %6d (%.1f%%)\n", s.SavedCalls(), 100*s.SavedFraction())
+	fmt.Fprintf(&b, "  seed jumps/confirms/misses  %d/%d/%d\n",
+		s.SeedJumps, s.SeedConfirms, s.SeedMisses)
+	if s.AllVectorsIdentical {
+		b.WriteString("  robust vectors: identical to cold campaign\n")
+	} else {
+		b.WriteString("  robust vectors: DIVERGED from cold campaign\n")
+	}
+
+	b.WriteString("\nWrapper verification\n")
+	fmt.Fprintf(&b, "  wrappers checked  %d\n", s.WrappersChecked)
+	if len(s.WrapperIssues) == 0 {
+		b.WriteString("  issues: none\n")
+	} else {
+		for _, issue := range s.WrapperIssues {
+			fmt.Fprintf(&b, "  issue: %s\n", issue)
+		}
+	}
+	return b.String()
+}

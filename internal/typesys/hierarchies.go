@@ -42,6 +42,12 @@ const (
 	TypeIntAny       = "INT_ANY"
 	TypeFuncPtr      = "FUNC_PTR"
 	TypeFuncPtrU     = "VALID_FUNC"
+	TypeFdOpen       = "FD_OPEN"
+	TypeFdBad        = "FD_BAD"
+	TypeFdValid      = "FD_VALID"
+	TypeFdAny        = "FD_ANY"
+	TypeDouble       = "DBL"
+	TypeDoubleAny    = "DBL_ANY"
 )
 
 // Parameterized type name constructors.
@@ -335,6 +341,28 @@ func AddIntTypes(h *Hierarchy) {
 	h.Edge(posU, nonneg)
 	h.Edge(nonpos, any)
 	h.Edge(nonneg, any)
+}
+
+// AddFdTypes adds the file-descriptor hierarchy: a genuinely open
+// descriptor under FD_VALID, arbitrary numbers alongside it under the
+// FD_ANY top. Descriptors cannot cause memory faults, which is why
+// the hierarchy is this shallow.
+func AddFdTypes(h *Hierarchy) {
+	open := h.Fundamental(TypeFdOpen)
+	bad := h.Fundamental(TypeFdBad)
+	valid := h.Unified(TypeFdValid)
+	top := h.Unified(TypeFdAny)
+	h.Edge(open, valid)
+	h.Edge(valid, top)
+	h.Edge(bad, top)
+}
+
+// AddDoubleTypes adds the (trivial) floating-point hierarchy: every
+// double belongs to DBL_ANY.
+func AddDoubleTypes(h *Hierarchy) {
+	d := h.Fundamental(TypeDouble)
+	top := h.Unified(TypeDoubleAny)
+	h.Edge(d, top)
 }
 
 // AddFuncPtrTypes adds function pointer types: a registered code
