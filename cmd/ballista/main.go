@@ -5,11 +5,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"healers"
+	"healers/internal/injector"
 )
 
 func main() {
@@ -20,12 +22,18 @@ func main() {
 }
 
 func run() error {
+	workersFlag := flag.Int("workers", 1, "parallel workers for injection and suite runs (0 = one per CPU, 1 = sequential)")
+	flag.Parse()
+	workers := injector.ResolveWorkers(*workersFlag)
+
 	sys, err := healers.NewSystem()
 	if err != nil {
 		return err
 	}
 	fmt.Println("injecting 86 functions...")
-	campaign, err := sys.Inject(sys.CrashProne86())
+	cfg := injector.DefaultConfig()
+	cfg.Workers = workers
+	campaign, err := sys.InjectWith(sys.CrashProne86(), cfg)
 	if err != nil {
 		return err
 	}
@@ -34,8 +42,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("running %d tests x 3 configurations...\n\n", len(suite.Tests))
-	fig := sys.RunFigure6(suite, decls, healers.SemiAuto(decls))
+	fmt.Printf("running %d tests x 3 configurations (%d workers)...\n\n", len(suite.Tests), workers)
+	fig := sys.RunFigure6Observed(suite, decls, healers.SemiAuto(decls), healers.Observability{Workers: workers})
 	fmt.Print(fig.Format())
 
 	fmt.Printf("\ncrashing functions, unwrapped (%d):\n  %v\n",

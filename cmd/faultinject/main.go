@@ -3,10 +3,12 @@
 // mechanics live: every probe, every outcome, every guard-page-driven
 // adjustment.
 //
-//	faultinject [-v] [-conservative] [-predict] <function> [function...]
+//	faultinject [-v] [-conservative] [-predict] [-workers N] <function> [function...]
 //
 // With -predict, the static robust-type prediction is printed before
 // injection and its size/read-only hints seed the adaptive growth.
+// With -workers N the functions are injected on N parallel workers
+// (0 = one per CPU); the printed declarations are identical either way.
 package main
 
 import (
@@ -24,9 +26,10 @@ func main() {
 	verbose := flag.Bool("v", false, "trace every experiment")
 	conservative := flag.Bool("conservative", false, "use the stricter §4.3 robust-type variant")
 	predict := flag.Bool("predict", false, "print the static prediction first and seed injection with it")
+	workers := flag.Int("workers", 1, "parallel campaign workers (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: faultinject [-v] [-conservative] [-predict] <function>...")
+		fmt.Fprintln(os.Stderr, "usage: faultinject [-v] [-conservative] [-predict] [-workers N] <function>...")
 		os.Exit(2)
 	}
 
@@ -37,6 +40,7 @@ func main() {
 	}
 	cfg := injector.DefaultConfig()
 	cfg.Conservative = *conservative
+	cfg.Workers = injector.ResolveWorkers(*workers)
 	if *verbose {
 		cfg.Obs = obs.New(obs.NewTextSink(os.Stdout))
 	}

@@ -20,6 +20,9 @@
 //	-trace out.jsonl   write every structured event as JSON lines
 //	-metrics           print the metrics exposition after the report
 //	-progress          stream campaign progress to stderr
+//	-workers N         shard the campaign across N workers (0 = one per
+//	                   CPU, 1 = sequential); results are byte-identical
+//	                   to the sequential run
 //
 // Command-specific flags:
 //
@@ -56,6 +59,7 @@ type obsFlags struct {
 	tracePath *string
 	metrics   *bool
 	progress  *bool
+	workers   *int
 
 	tracer   *obs.Tracer
 	registry *obs.Registry
@@ -68,6 +72,7 @@ func registerObsFlags(fs *flag.FlagSet) *obsFlags {
 		tracePath: fs.String("trace", "", "write structured JSONL trace events to `file`"),
 		metrics:   fs.Bool("metrics", false, "print the metrics exposition after the report"),
 		progress:  fs.Bool("progress", false, "stream campaign progress events to stderr"),
+		workers:   fs.Int("workers", 1, "parallel campaign workers (`N`; 0 = one per CPU, 1 = sequential)"),
 	}
 }
 
@@ -116,6 +121,8 @@ func (of *obsFlags) injectorConfig() healers.InjectorConfig {
 	cfg := injector.DefaultConfig()
 	cfg.Obs = of.tracer
 	cfg.Metrics = of.registry
+	cfg.Spans = of.spans
+	cfg.Workers = injector.ResolveWorkers(*of.workers)
 	return cfg
 }
 
@@ -260,6 +267,7 @@ func run(args []string) error {
 			Tracer:  of.tracer,
 			Metrics: of.registry,
 			Spans:   of.spans,
+			Workers: injector.ResolveWorkers(*of.workers),
 		})
 		fmt.Print(fig.Format())
 		if cmd == "stats" {

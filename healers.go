@@ -78,6 +78,8 @@ type (
 	AnalysisReport = analysis.Report
 	// InjectorSeeds carries static size/read-only hints into a campaign.
 	InjectorSeeds = injector.Seeds
+	// InjectorCache memoizes per-function campaign results across runs.
+	InjectorCache = injector.ResultCache
 	// Tracer is the structured observability event tracer.
 	Tracer = obs.Tracer
 	// TraceEvent is one structured observability event.
@@ -100,6 +102,10 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // NewSpans returns an empty span collector for phase profiling.
 func NewSpans() *Spans { return obs.NewSpans() }
 
+// NewInjectorCache returns an empty campaign result cache; pass it via
+// InjectorConfig.Cache so re-runs skip unchanged functions.
+func NewInjectorCache() *InjectorCache { return injector.NewResultCache() }
+
 // Observability bundles the cross-cutting instrumentation threaded
 // through a campaign: structured tracing, metrics, and phase spans.
 // The zero value disables all three.
@@ -107,6 +113,10 @@ type Observability struct {
 	Tracer  *Tracer
 	Metrics *Metrics
 	Spans   *Spans
+	// Workers shards each Ballista configuration run across a goroutine
+	// pool (0 or 1 = sequential). Reports are identical to sequential
+	// runs; see ballista.RunOptions.Workers.
+	Workers int
 }
 
 // System bundles the library with its extraction products.
@@ -139,8 +149,13 @@ func (s *System) Inject(names []string) (*Campaign, error) {
 	return s.InjectWith(names, injector.DefaultConfig())
 }
 
-// InjectWith runs the campaign with an explicit configuration.
+// InjectWith runs the campaign with an explicit configuration. For
+// parallel campaigns (cfg.Workers > 1) each worker gets a fresh
+// library instance unless the caller supplied its own LibFactory.
 func (s *System) InjectWith(names []string, cfg InjectorConfig) (*Campaign, error) {
+	if cfg.Workers > 1 && cfg.LibFactory == nil {
+		cfg.LibFactory = clib.New
+	}
 	return injector.New(s.Library, cfg).InjectAll(s.Extraction, names)
 }
 
@@ -214,7 +229,7 @@ func (s *System) RunFigure6(suite *Suite, fullAuto, semiAuto *DeclSet) *Figure6 
 func (s *System) RunFigure6Observed(suite *Suite, fullAuto, semiAuto *DeclSet, o Observability) *Figure6 {
 	template := ballista.NewTemplate()
 	lib := s.Library
-	runOpts := ballista.RunOptions{Obs: o.Tracer, Metrics: o.Metrics}
+	runOpts := ballista.RunOptions{Obs: o.Tracer, Metrics: o.Metrics, Workers: o.Workers}
 	wrapOpts := wrapper.DefaultOptions()
 	wrapOpts.Obs = o.Tracer
 	wrapOpts.Metrics = o.Metrics

@@ -95,13 +95,30 @@ func LE(a, b decl.RobustType) bool {
 	}
 
 	// R_BOUNDED[n]: readable until NUL or n bytes, whichever first.
-	// Every valid C string satisfies it for any n; a readable array of
-	// the same bound satisfies it trivially. Nothing but UNCONSTRAINED
-	// (handled above) is implied by it.
+	// Every valid C string satisfies it for any n; a readable region
+	// satisfies it whenever its guaranteed extent covers the bound —
+	// fixed m >= fixed n, an identical size expression, or the n == 0
+	// floor every region meets. (The original equal-sizes-only rule
+	// broke transitivity: RW_ARRAY[56] <= RW_ARRAY[44] <= R_BOUNDED[44]
+	// without RW_ARRAY[56] <= R_BOUNDED[44].)
 	if b.Base == "R_BOUNDED" {
 		switch a.Base {
 		case "CSTR", "W_CSTR":
 			return true
+		case "R_BOUNDED":
+			if a.Size.Kind == decl.SizeFixed && b.Size.Kind == decl.SizeFixed {
+				return a.Size.N >= b.Size.N
+			}
+			return a.Size.String() == b.Size.String()
+		}
+		// Anything else implies the bounded read exactly when its
+		// guaranteed readable extent covers the bound: delegate to the
+		// plain readable array of the same size, which closes the
+		// relation transitively over the whole lattice.
+		if b.Size.Kind == decl.SizeFixed {
+			return LE(a, decl.RobustType{Base: "R_ARRAY", Size: decl.Fixed(b.Size.N)})
+		}
+		switch a.Base {
 		case "R_ARRAY", "RW_ARRAY":
 			return a.Size.String() == b.Size.String()
 		}

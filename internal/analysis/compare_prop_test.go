@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"healers/internal/decl"
+)
+
+// Property tests for the LE relation: LE must be a preorder (reflexive
+// and transitive) over every robust type the predictor or injector can
+// emit, antisymmetric up to the known equivalences, and Compare must
+// agree with it. The generator draws from the full comparison
+// vocabulary — fixed and expression sizes, every unified family — with
+// a pinned seed so failures replay exactly.
+
+// randRobust draws one robust type. Sizes mix the fixed values the
+// simulated library actually produces with the expression shapes of
+// dependent-size chains.
+func randRobust(r *rand.Rand) decl.RobustType {
+	fixedSizes := []int{0, 8, 16, 44, 56, 152, 280}
+	sizeExprs := []decl.SizeExpr{
+		{Kind: decl.SizeArgValue, A: 1},
+		{Kind: decl.SizeArgValue, A: 2},
+		{Kind: decl.SizeArgProduct, A: 1, B: 2},
+		{Kind: decl.SizeStrlenPlus1, A: 1},
+	}
+	randSize := func() decl.SizeExpr {
+		if r.Intn(3) == 0 {
+			return sizeExprs[r.Intn(len(sizeExprs))]
+		}
+		return decl.Fixed(fixedSizes[r.Intn(len(fixedSizes))])
+	}
+	paramBases := []string{
+		"R_ARRAY", "RW_ARRAY", "W_ARRAY",
+		"R_ARRAY_NULL", "RW_ARRAY_NULL", "W_ARRAY_NULL", "R_BOUNDED",
+	}
+	plainBases := []string{
+		"UNCONSTRAINED", "INT_ANY", "FD_ANY", "DBL_ANY",
+		"CSTR", "W_CSTR", "CSTR_NULL", "W_CSTR_NULL",
+		"OPEN_FILE", "R_FILE", "W_FILE", "OPEN_FILE_NULL",
+		"OPEN_DIR", "OPEN_DIR_NULL",
+		"INT_POSITIVE", "INT_NONNEG", "INT_NONPOS", "INT_NEGATIVE",
+		"FD_VALID", "VALID_FUNC",
+	}
+	if r.Intn(2) == 0 {
+		return decl.RobustType{Base: paramBases[r.Intn(len(paramBases))], Size: randSize()}
+	}
+	return decl.RobustType{Base: plainBases[r.Intn(len(plainBases))]}
+}
+
+// equivalent is the acknowledged kernel of LE's antisymmetry: identical
+// renderings, or two trivial tops (INT_ANY and UNCONSTRAINED both
+// accept every value of their kind and are deliberately mutually LE).
+func equivalent(a, b decl.RobustType) bool {
+	if a.String() == b.String() {
+		return true
+	}
+	return trivialTypes[a.Base] && trivialTypes[b.Base]
+}
+
+func TestLEIsReflexive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := randRobust(r)
+		if !LE(a, a) {
+			t.Fatalf("LE not reflexive at %s", a)
+		}
+	}
+}
+
+func TestLEIsAntisymmetricUpToEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		a, b := randRobust(r), randRobust(r)
+		if LE(a, b) && LE(b, a) && !equivalent(a, b) {
+			t.Fatalf("mutual LE between non-equivalent types %s and %s", a, b)
+		}
+	}
+}
+
+func TestLEIsTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		a, b, c := randRobust(r), randRobust(r), randRobust(r)
+		if LE(a, b) && LE(b, c) && !LE(a, c) {
+			t.Fatalf("LE not transitive: %s <= %s <= %s but not %s <= %s", a, b, c, a, c)
+		}
+	}
+}
+
+// TestCompareAgreesWithLE cross-checks the Agreement classifier against
+// the relation it is defined over: Exact iff the types are equivalent,
+// Weaker iff the dynamic type strictly implies the prediction, Wrong
+// otherwise — and Unknown predictions always classify Unknown.
+func TestCompareAgreesWithLE(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		pred, dyn := randRobust(r), randRobust(r)
+		got := Compare(ArgPrediction{Robust: pred}, dyn)
+		var want Agreement
+		switch {
+		case equivalent(pred, dyn):
+			want = AgreeExact
+		case LE(dyn, pred):
+			want = AgreeWeaker
+		default:
+			want = AgreeWrong
+		}
+		if got != want {
+			t.Fatalf("Compare(%s, %s) = %s, want %s", pred, dyn, got, want)
+		}
+	}
+	if got := Compare(ArgPrediction{Unknown: true}, randRobust(r)); got != AgreeUnknown {
+		t.Fatalf("unknown prediction classified %s", got)
+	}
+}
+
+// TestLEKnownOrderings pins hand-picked edges of the lattice so the
+// property tests cannot silently pass over a degenerate relation.
+func TestLEKnownOrderings(t *testing.T) {
+	rt := func(base string, n int) decl.RobustType {
+		if (decl.RobustType{Base: base}).Parameterized() {
+			return decl.RobustType{Base: base, Size: decl.Fixed(n)}
+		}
+		return decl.RobustType{Base: base}
+	}
+	cases := []struct {
+		a, b decl.RobustType
+		want bool
+	}{
+		// Stronger access implies weaker access at the same size.
+		{rt("RW_ARRAY", 44), rt("R_ARRAY", 44), true},
+		{rt("RW_ARRAY", 44), rt("W_ARRAY", 44), true},
+		{rt("R_ARRAY", 44), rt("RW_ARRAY", 44), false},
+		// Non-NULL implies the NULL-admitting variant.
+		{rt("R_ARRAY", 44), rt("R_ARRAY_NULL", 44), true},
+		{rt("R_ARRAY_NULL", 44), rt("R_ARRAY", 44), false},
+		// Larger regions imply smaller ones.
+		{rt("R_ARRAY", 152), rt("R_ARRAY", 8), true},
+		{rt("R_ARRAY", 8), rt("R_ARRAY", 152), false},
+		// Everything implies the trivial top.
+		{rt("OPEN_FILE", 0), rt("UNCONSTRAINED", 0), true},
+		{rt("INT_POSITIVE", 0), rt("INT_ANY", 0), true},
+		// C strings satisfy any bounded read.
+		{rt("CSTR", 0), rt("R_BOUNDED", 16), true},
+		// Incomparable families.
+		{rt("OPEN_DIR", 0), rt("OPEN_FILE", 0), false},
+		{rt("CSTR", 0), rt("INT_POSITIVE", 0), false},
+	}
+	for _, c := range cases {
+		if got := LE(c.a, c.b); got != c.want {
+			t.Errorf("LE(%s, %s) = %t, want %t", c.a, c.b, got, c.want)
+		}
+	}
+}

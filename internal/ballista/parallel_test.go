@@ -1,0 +1,64 @@
+package ballista
+
+import (
+	"reflect"
+	"testing"
+
+	"healers/internal/csim"
+	"healers/internal/obs"
+	"healers/internal/wrapper"
+)
+
+// TestParallelRunMatchesSequential shards the full suite across a
+// worker pool and requires the report to be deep-equal to the
+// sequential run's, for both the bare library and the wrapped
+// configuration (the wrapper allocates per-process state, so this also
+// exercises wrapper isolation). Run under -race this is the ballista
+// half of the concurrency audit.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	f := setup(t)
+	template := NewTemplate()
+
+	configs := []struct {
+		name    string
+		factory CallerFactory
+	}{
+		{"unwrapped", func(p *csim.Process) Caller { return f.lib }},
+		{"full-auto", func(p *csim.Process) Caller {
+			return wrapper.Attach(p, f.lib, f.decls, wrapper.DefaultOptions())
+		}},
+	}
+	for _, c := range configs {
+		sequential := f.suite.RunWith(c.name, template, c.factory, RunOptions{})
+		parallel := f.suite.RunWith(c.name, template, c.factory, RunOptions{Workers: 8})
+		if !reflect.DeepEqual(sequential.PerFunc, parallel.PerFunc) {
+			for name, sf := range sequential.PerFunc {
+				pf := parallel.PerFunc[name]
+				if pf == nil || *sf != *pf {
+					t.Errorf("%s %s: sequential %+v, parallel %+v", c.name, name, sf, pf)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRunCountersReconcile checks the sharded run's bucket
+// counters and worker gauge agree with its report.
+func TestParallelRunCountersReconcile(t *testing.T) {
+	f := setup(t)
+	reg := obs.NewRegistry()
+	rep := f.suite.RunWith("unwrapped", NewTemplate(), func(p *csim.Process) Caller {
+		return f.lib
+	}, RunOptions{Workers: 4, Metrics: reg})
+
+	errno, silent, crash, _ := rep.Totals()
+	for bucket, want := range map[string]int{"errno-set": errno, "silent": silent, "crash": crash} {
+		name := `healers_ballista_outcomes_total{config="unwrapped",bucket="` + bucket + `"}`
+		if got := reg.Counter(name).Value(); got != int64(want) {
+			t.Errorf("counter %s = %d, report = %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge(`healers_ballista_workers{config="unwrapped"}`).Value(); got != 4 {
+		t.Errorf("worker gauge = %d, want 4", got)
+	}
+}

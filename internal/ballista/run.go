@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"healers/internal/csim"
 	"healers/internal/obs"
@@ -102,7 +104,8 @@ type RunOptions struct {
 	// StepBudget is the per-call hang budget (0 = 100k steps).
 	StepBudget int
 	// Obs, when enabled, receives one TestOutcome event per test
-	// (streaming, in suite order) and CampaignPhase progress events.
+	// (streaming, in suite order when Workers <= 1) and CampaignPhase
+	// progress events.
 	Obs *obs.Tracer
 	// Metrics, when non-nil, registers per-bucket outcome counters
 	// labeled by configuration, plus the sandbox boundary counters.
@@ -110,6 +113,13 @@ type RunOptions struct {
 	// ProgressEvery emits a CampaignPhase progress event every N tests
 	// (0 = every 1000); the final test always emits one.
 	ProgressEvery int
+	// Workers shards the suite across a goroutine pool. Each worker
+	// forks its own private template, every test forks a private child
+	// from it, and classifications merge back in suite order, so the
+	// report is identical to the sequential run. 0 or 1 runs
+	// sequentially. With Workers > 1 trace events interleave by
+	// completion; counters and the report stay deterministic.
+	Workers int
 }
 
 // Run executes the suite under one configuration.
@@ -117,9 +127,105 @@ func (s *Suite) Run(config string, template *csim.Process, factory CallerFactory
 	return s.RunWith(config, template, factory, RunOptions{StepBudget: stepBudget})
 }
 
+// testResult is one executed test's classification, recorded at the
+// test's suite index so parallel runs merge deterministically.
+type testResult struct {
+	bucket Bucket
+	kind   csim.OutcomeKind // crash sub-kind; zero when not a crash
+}
+
+// suiteRunner holds the per-configuration execution state shared by
+// the sequential and sharded paths. Everything it touches concurrently
+// is atomic (counters, the progress count) or internally locked (the
+// tracer).
+type suiteRunner struct {
+	suite      *Suite
+	config     string
+	factory    CallerFactory
+	stepBudget int
+
+	tr                      *obs.Tracer
+	cErrno, cSilent, cCrash *obs.Counter
+	sandbox                 *csim.Metrics
+	every                   int
+	done                    atomic.Int64
+}
+
+// runTest forks a child from template, delivers one test, and
+// classifies the outcome. It emits the per-test outcome event and the
+// periodic progress event.
+func (r *suiteRunner) runTest(template *csim.Process, test *Test) testResult {
+	child := template.Fork()
+	child.SetStepBudget(r.stepBudget)
+	child.Metrics = r.sandbox
+	caller := r.factory(child)
+
+	emitOutcome := func(bucket string, out csim.Outcome) {
+		if !r.tr.Enabled() {
+			return
+		}
+		names := make([]string, len(test.Entries))
+		for i, e := range test.Entries {
+			names[i] = e.Name
+		}
+		r.tr.Emit(obs.Event{
+			Kind:    obs.KindTestOutcome,
+			Config:  r.config,
+			Func:    test.Func,
+			Probe:   strings.Join(names, ", "),
+			Outcome: bucket,
+			Errno:   out.Errno,
+			Steps:   out.Steps,
+		})
+	}
+	finish := func(res testResult, bucket string, out csim.Outcome) testResult {
+		emitOutcome(bucket, out)
+		n := int(r.done.Add(1))
+		if r.tr.Enabled() && (n%r.every == 0 || n == len(r.suite.Tests)) {
+			r.tr.Emit(obs.Event{
+				Kind:  obs.KindCampaignPhase,
+				Phase: "ballista:" + r.config,
+				N:     n,
+				Total: len(r.suite.Tests),
+			})
+		}
+		return res
+	}
+
+	args := make([]uint64, len(test.Entries))
+	setup := child.Run(func() uint64 {
+		for i, e := range test.Entries {
+			args[i] = e.Build(child, caller)
+		}
+		return 0
+	})
+	if setup.Kind != csim.OutcomeReturn {
+		// Setup trouble counts as silent: the test could not be
+		// delivered (rare; kept for accounting completeness).
+		r.cSilent.Inc()
+		return finish(testResult{bucket: BucketSilent}, "silent", setup)
+	}
+
+	child.ClearErrno()
+	out := child.Run(func() uint64 { return caller.Call(child, test.Func, args...) })
+	switch out.Kind {
+	case csim.OutcomeSegfault, csim.OutcomeHang, csim.OutcomeAbort:
+		r.cCrash.Inc()
+		return finish(testResult{bucket: BucketCrash, kind: out.Kind}, "crash", out)
+	default:
+		if child.ErrnoSet() {
+			r.cErrno.Inc()
+			return finish(testResult{bucket: BucketErrno}, "errno-set", out)
+		}
+		r.cSilent.Inc()
+		return finish(testResult{bucket: BucketSilent}, "silent", out)
+	}
+}
+
 // RunWith executes the suite under one configuration with
 // observability: streaming per-test outcome events, live progress, and
-// bucket counters.
+// bucket counters. With opt.Workers > 1 the tests are sharded across a
+// goroutine pool and merged back in suite order.
 func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFactory, opt RunOptions) *Report {
 	stepBudget := opt.StepBudget
 	if stepBudget <= 0 {
@@ -133,9 +239,6 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 	outcomeCounter := func(bucket string) *obs.Counter {
 		return reg.Counter(fmt.Sprintf("healers_ballista_outcomes_total{config=%q,bucket=%q}", config, bucket))
 	}
-	cErrno := outcomeCounter("errno-set")
-	cSilent := outcomeCounter("silent")
-	cCrash := outcomeCounter("crash")
 	var sandbox *csim.Metrics
 	if reg != nil {
 		sandbox = csim.NewMetrics(reg)
@@ -144,96 +247,82 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 	if every <= 0 {
 		every = 1000
 	}
+	runner := &suiteRunner{
+		suite:      s,
+		config:     config,
+		factory:    factory,
+		stepBudget: stepBudget,
+		tr:         tr,
+		cErrno:     outcomeCounter("errno-set"),
+		cSilent:    outcomeCounter("silent"),
+		cCrash:     outcomeCounter("crash"),
+		sandbox:    sandbox,
+		every:      every,
+	}
 
+	results := make([]testResult, len(s.Tests))
+	if opt.Workers > 1 && len(s.Tests) > 1 {
+		workers := opt.Workers
+		if workers > len(s.Tests) {
+			workers = len(s.Tests)
+		}
+		reg.Gauge(fmt.Sprintf("healers_ballista_workers{config=%q}", config)).Set(int64(workers))
+		// Worker templates fork sequentially up front: concurrent forks
+		// of one process would race on its memory's single-entry page
+		// cache (reads mutate it).
+		templates := make([]*csim.Process, workers)
+		for w := range templates {
+			templates[w] = template.Fork()
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wtpl := templates[w]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ti := range jobs {
+					results[ti] = runner.runTest(wtpl, &s.Tests[ti])
+				}
+			}()
+		}
+		for ti := range s.Tests {
+			jobs <- ti
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for ti := range s.Tests {
+			results[ti] = runner.runTest(template, &s.Tests[ti])
+		}
+	}
+
+	// Deterministic merge: aggregate in suite order, so PerFunc is the
+	// same map the sequential loop built regardless of completion order.
 	report := &Report{Config: config, PerFunc: make(map[string]*FuncReport)}
-	for ti, test := range s.Tests {
+	for ti := range s.Tests {
+		test := &s.Tests[ti]
 		fr := report.PerFunc[test.Func]
 		if fr == nil {
 			fr = &FuncReport{Name: test.Func}
 			report.PerFunc[test.Func] = fr
 		}
-
-		child := template.Fork()
-		child.SetStepBudget(stepBudget)
-		child.Metrics = sandbox
-		caller := factory(child)
-
-		emitOutcome := func(bucket string, out csim.Outcome) {
-			if !tr.Enabled() {
-				return
-			}
-			names := make([]string, len(test.Entries))
-			for i, e := range test.Entries {
-				names[i] = e.Name
-			}
-			tr.Emit(obs.Event{
-				Kind:    obs.KindTestOutcome,
-				Config:  config,
-				Func:    test.Func,
-				Probe:   strings.Join(names, ", "),
-				Outcome: bucket,
-				Errno:   out.Errno,
-				Steps:   out.Steps,
-			})
-		}
-		emitProgress := func() {
-			if tr.Enabled() && ((ti+1)%every == 0 || ti+1 == len(s.Tests)) {
-				tr.Emit(obs.Event{
-					Kind:  obs.KindCampaignPhase,
-					Phase: "ballista:" + config,
-					N:     ti + 1,
-					Total: len(s.Tests),
-				})
-			}
-		}
-
-		args := make([]uint64, len(test.Entries))
-		setup := child.Run(func() uint64 {
-			for i, e := range test.Entries {
-				args[i] = e.Build(child, caller)
-			}
-			return 0
-		})
-		if setup.Kind != csim.OutcomeReturn {
-			// Setup trouble counts as silent: the test could not be
-			// delivered (rare; kept for accounting completeness).
+		switch results[ti].bucket {
+		case BucketErrno:
+			fr.Errno++
+		case BucketSilent:
 			fr.Silent++
-			cSilent.Inc()
-			emitOutcome("silent", setup)
-			emitProgress()
-			continue
-		}
-
-		child.ClearErrno()
-		out := child.Run(func() uint64 { return caller.Call(child, test.Func, args...) })
-		switch out.Kind {
-		case csim.OutcomeReturn:
-			if child.ErrnoSet() {
-				fr.Errno++
-				cErrno.Inc()
-				emitOutcome("errno-set", out)
-			} else {
-				fr.Silent++
-				cSilent.Inc()
-				emitOutcome("silent", out)
+		case BucketCrash:
+			fr.Crash++
+			switch results[ti].kind {
+			case csim.OutcomeSegfault:
+				fr.Segfault++
+			case csim.OutcomeHang:
+				fr.Hang++
+			case csim.OutcomeAbort:
+				fr.Abort++
 			}
-		case csim.OutcomeSegfault:
-			fr.Crash++
-			fr.Segfault++
-			cCrash.Inc()
-			emitOutcome("crash", out)
-		case csim.OutcomeHang:
-			fr.Crash++
-			fr.Hang++
-			cCrash.Inc()
-			emitOutcome("crash", out)
-		case csim.OutcomeAbort:
-			fr.Crash++
-			fr.Abort++
-			cCrash.Inc()
-			emitOutcome("crash", out)
 		}
-		emitProgress()
 	}
 	return report
 }

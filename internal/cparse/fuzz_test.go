@@ -1,0 +1,88 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are header fragments spanning the grammar: scalar and
+// pointer params, const qualifiers, typedefs, struct definitions and
+// uses, variadics, function pointers, includes, and a few malformed
+// inputs the parser must reject without panicking. The checked-in
+// corpus under testdata/fuzz mirrors these plus minimized crashers.
+var fuzzSeeds = []string{
+	"int f(int x);",
+	"void g(void);",
+	"char *strcpy(char *dest, const char *src);",
+	"size_t strlen(const char *s);",
+	"typedef unsigned long size_t;\nsize_t f(size_t n);",
+	"struct tm { int tm_sec; int tm_min; };\nstruct tm *gmtime(const long *timep);",
+	"int printf(const char *format, ...);",
+	"void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));",
+	"#include <stddef.h>\nint h(double d);",
+	"int a(int, int);",
+	"const char *b(void);",
+	"int bad(",
+	"typedef;",
+	"struct { int x; } anon(void);",
+	"int weird(unsigned long long x, signed char c);",
+	"",
+	";;;",
+	"int arr(char buf[16]);",
+}
+
+// FuzzParsePrototype asserts two properties over arbitrary header
+// sources: the parser never panics (errors are fine), and parsing is a
+// fixpoint under rendering — every accepted prototype re-renders to a
+// string that parses to the identical rendering. The second property is
+// what lets tools archive Prototype.String() output and re-ingest it.
+func FuzzParsePrototype(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		table := NewTypeTable()
+		decls, err := NewParser(table).Parse("fuzz.h", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, proto := range decls.Prototypes {
+			rendered := proto.String()
+			// Re-parse against the same table so typedefs and struct
+			// tags the source introduced stay resolvable.
+			again, err := NewParser(table).Parse("fuzz2.h", strings.TrimSuffix(rendered, ";")+";")
+			if err != nil {
+				t.Fatalf("rendered prototype does not re-parse:\nsource: %q\nrendered: %q\nerr: %v", src, rendered, err)
+			}
+			if len(again.Prototypes) != 1 {
+				t.Fatalf("rendered prototype parsed to %d prototypes: %q", len(again.Prototypes), rendered)
+			}
+			if got := again.Prototypes[0].String(); got != rendered {
+				t.Fatalf("render not a fixpoint:\nfirst:  %q\nsecond: %q", rendered, got)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsRoundTrip runs the fuzz property over the seed corpus in
+// a plain test, so `go test` exercises it without -fuzz.
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	for _, seed := range fuzzSeeds {
+		table := NewTypeTable()
+		decls, err := NewParser(table).Parse("seed.h", seed)
+		if err != nil {
+			continue
+		}
+		for _, proto := range decls.Prototypes {
+			rendered := proto.String()
+			again, err := NewParser(table).Parse("seed2.h", rendered)
+			if err != nil {
+				t.Errorf("seed %q: rendered %q does not re-parse: %v", seed, rendered, err)
+				continue
+			}
+			if len(again.Prototypes) != 1 || again.Prototypes[0].String() != rendered {
+				t.Errorf("seed %q: render not a fixpoint: %q", seed, rendered)
+			}
+		}
+	}
+}

@@ -16,8 +16,22 @@ type Campaign struct {
 	Order []string
 }
 
+// task is one scheduled function of a campaign: its input-order index
+// plus the extraction record resolved before any worker starts, so
+// lookup failures surface deterministically and workers only run
+// experiments.
+type task struct {
+	idx  int
+	name string
+	fi   *extract.FuncInfo
+}
+
 // InjectAll runs the campaign over the named functions (or every
-// external function with a prototype if names is nil).
+// external function with a prototype if names is nil). With
+// Config.Workers > 1 the function list is sharded across a worker
+// pool; the merged report is identical to the sequential run — results
+// land at their input-order position regardless of completion order,
+// and per-function campaigns share no mutable state.
 func (inj *Injector) InjectAll(ext *extract.Result, names []string) (*Campaign, error) {
 	if names == nil {
 		for _, fi := range ext.Funcs {
@@ -26,25 +40,41 @@ func (inj *Injector) InjectAll(ext *extract.Result, names []string) (*Campaign, 
 			}
 		}
 	}
-	c := &Campaign{Results: make(map[string]*Result, len(names))}
+	tasks := make([]task, len(names))
 	for i, name := range names {
 		fi, ok := ext.Lookup(name)
 		if !ok {
 			return nil, fmt.Errorf("injector: %s not extracted", name)
 		}
-		inj.tr.Emit(obs.Event{
-			Kind:  obs.KindCampaignPhase,
-			Phase: "inject",
-			Func:  name,
-			N:     i + 1,
-			Total: len(names),
-		})
-		res, err := inj.InjectFunction(fi, ext.Table)
-		if err != nil {
+		tasks[i] = task{idx: i, name: name, fi: fi}
+	}
+
+	results := make([]*Result, len(tasks))
+	if inj.cfg.Workers > 1 && len(tasks) > 1 {
+		if err := inj.injectParallel(tasks, ext.Table, results); err != nil {
 			return nil, err
 		}
-		c.Results[name] = res
-		c.Order = append(c.Order, name)
+	} else {
+		for i, t := range tasks {
+			inj.tr.Emit(obs.Event{
+				Kind:  obs.KindCampaignPhase,
+				Phase: "inject",
+				Func:  t.name,
+				N:     i + 1,
+				Total: len(tasks),
+			})
+			res, _, err := inj.injectOne(t.fi, ext.Table)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+	}
+
+	c := &Campaign{Results: make(map[string]*Result, len(tasks))}
+	for i, t := range tasks {
+		c.Results[t.name] = results[i]
+		c.Order = append(c.Order, t.name)
 	}
 	sort.Strings(c.Order)
 	return c, nil

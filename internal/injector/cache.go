@@ -1,0 +1,100 @@
+package injector
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"healers/internal/cparse"
+	"healers/internal/extract"
+)
+
+// ResultCache memoizes per-function campaign results across InjectAll
+// runs. The key folds together everything that determines a function's
+// outcome — its name, its parsed prototype, and the fingerprint of the
+// campaign configuration (step budget, product cap, conservative mode,
+// and the function's static seeds) — so a re-run skips exactly the
+// functions whose inputs are unchanged. Cached Results are shared, not
+// copied; callers must treat them as immutable, which every consumer
+// of Campaign already does.
+//
+// The cache is scoped to one library implementation: it has no way to
+// observe library code, so callers evaluating a modified library must
+// use a fresh cache.
+type ResultCache struct {
+	mu sync.Mutex
+	m  map[string]*Result
+}
+
+// NewResultCache returns an empty campaign result cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{m: make(map[string]*Result)}
+}
+
+// Get returns the cached result for key, if present.
+func (c *ResultCache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+// Put stores a result under key.
+func (c *ResultCache) Put(key string, r *Result) {
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached functions.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// cacheKey builds the memoization key for one function under one
+// configuration: prototype text plus the config fingerprint. The
+// prototype string includes the function name, return type, parameter
+// types and qualifiers — any header change that could alter generator
+// selection changes the key.
+func cacheKey(fi *extract.FuncInfo, cfg Config) string {
+	return fi.Proto.String() + "|" + cfg.fingerprint(fi.Symbol.Name)
+}
+
+// fingerprint hashes the configuration fields that influence a
+// function's campaign outcome. Observability plumbing (Obs, Metrics,
+// Trace, Spans) and scheduling (Workers, LibFactory, Cache) are
+// deliberately excluded: they change how the campaign is observed and
+// executed, never what it computes.
+func (cfg Config) fingerprint(fn string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1|%d|%d|%t", cfg.StepBudget, cfg.ProductCap, cfg.Conservative)
+	for _, s := range cfg.Seeds[fn] {
+		fmt.Fprintf(h, "|%d,%t", s.Size, s.ReadOnly)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// injectOne runs (or recalls) one function's campaign, consulting the
+// configured result cache first. The bool reports a cache hit.
+func (inj *Injector) injectOne(fi *extract.FuncInfo, table *cparse.TypeTable) (*Result, bool, error) {
+	cache := inj.cfg.Cache
+	var key string
+	if cache != nil {
+		key = cacheKey(fi, inj.cfg)
+		if r, ok := cache.Get(key); ok {
+			inj.mCacheHits.Inc()
+			return r, true, nil
+		}
+	}
+	r, err := inj.InjectFunction(fi, table)
+	if err != nil {
+		return nil, false, err
+	}
+	if cache != nil {
+		cache.Put(key, r)
+		inj.mCacheMisses.Inc()
+	}
+	return r, false, nil
+}

@@ -55,6 +55,32 @@ type Config struct {
 	// sandboxed injection calls changes, making seeded-vs-cold a clean
 	// ablation.
 	Seeds Seeds
+	// Workers sets the campaign parallelism of InjectAll: the function
+	// list is sharded across min(Workers, len(functions)) goroutines,
+	// each injecting whole functions with its own isolated sandbox (and
+	// its own library instance when LibFactory is set). 0 or 1 runs the
+	// campaign sequentially on the calling goroutine. Robust-type
+	// vectors and error classifications are byte-identical to the
+	// sequential run regardless of Workers — per-function campaigns
+	// share no mutable state, and the merge is input-order.
+	Workers int
+	// LibFactory, when non-nil, builds a fresh library instance for each
+	// parallel worker, so even the (immutable after construction) symbol
+	// table is not shared across goroutines. When nil, workers share the
+	// injector's library, which is safe for clib.New libraries: the
+	// audit invariant is that Library is never mutated after New and all
+	// per-call state lives in the forked csim.Process.
+	LibFactory func() *clib.Library
+	// Cache, when non-nil, memoizes per-function campaign results keyed
+	// by (function name, prototype, config fingerprint): re-running a
+	// campaign over an unchanged function skips its injection entirely
+	// and returns the cached Result. Safe for concurrent use.
+	Cache *ResultCache
+	// Spans, when non-nil, records one span per parallel worker
+	// (inject-worker-N) so the campaign profile shows how the shards
+	// balanced. The sequential path records no spans (callers already
+	// wrap InjectAll in a single inject span).
+	Spans *obs.Spans
 }
 
 // ArgSeed is one argument's static pre-inference hint.
@@ -119,6 +145,10 @@ type Injector struct {
 	mSeedJumps    *obs.Counter
 	mSeedConfirms *obs.Counter
 	mSeedMisses   *obs.Counter
+	// Result-cache counters: functions served from Config.Cache versus
+	// injected and newly stored.
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
 }
 
 // adaptiveIterBuckets bound the adjustments-per-chain histogram; the
@@ -154,6 +184,8 @@ func New(lib *clib.Library, cfg Config) *Injector {
 	inj.mSeedJumps = reg.Counter("healers_injector_seed_jumps_total")
 	inj.mSeedConfirms = reg.Counter("healers_injector_seed_confirms_total")
 	inj.mSeedMisses = reg.Counter("healers_injector_seed_misses_total")
+	inj.mCacheHits = reg.Counter("healers_injector_cache_hits_total")
+	inj.mCacheMisses = reg.Counter("healers_injector_cache_misses_total")
 	if cfg.Metrics != nil {
 		inj.sandbox = csim.NewMetrics(cfg.Metrics)
 	}

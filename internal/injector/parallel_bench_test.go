@@ -1,0 +1,80 @@
+package injector
+
+import (
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/extract"
+)
+
+// benchCampaign runs one full 86-function campaign and returns its
+// signature so the benchmark doubles as a determinism check — the
+// parallel benchmark must produce the same bytes as the sequential one.
+func benchCampaign(b *testing.B, workers int) string {
+	b.Helper()
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	if workers > 1 {
+		cfg.LibFactory = clib.New
+	}
+	campaign, err := New(lib, cfg).InjectAll(ext, lib.CrashProne86())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return campaign.VectorSignature()
+}
+
+// BenchmarkCampaignSequential is the baseline: all 86 functions on one
+// goroutine. Compare against BenchmarkCampaignParallel4 for the
+// sharding speedup (EXPERIMENTS.md records measured numbers).
+func BenchmarkCampaignSequential(b *testing.B) {
+	var sig string
+	for i := 0; i < b.N; i++ {
+		sig = benchCampaign(b, 1)
+	}
+	benchSig(b, sig)
+}
+
+func BenchmarkCampaignParallel2(b *testing.B) {
+	var sig string
+	for i := 0; i < b.N; i++ {
+		sig = benchCampaign(b, 2)
+	}
+	benchSig(b, sig)
+}
+
+func BenchmarkCampaignParallel4(b *testing.B) {
+	var sig string
+	for i := 0; i < b.N; i++ {
+		sig = benchCampaign(b, 4)
+	}
+	benchSig(b, sig)
+}
+
+func BenchmarkCampaignParallel8(b *testing.B) {
+	var sig string
+	for i := 0; i < b.N; i++ {
+		sig = benchCampaign(b, 8)
+	}
+	benchSig(b, sig)
+}
+
+// benchSig asserts the campaign the benchmark just timed produced the
+// committed golden vectors — a benchmark that silently computed the
+// wrong answer would be meaningless.
+func benchSig(b *testing.B, sig string) {
+	b.Helper()
+	data, err := readGolden()
+	if err != nil {
+		b.Skipf("no golden file: %v", err)
+	}
+	if sig != string(data) {
+		b.Fatal("benchmark campaign diverged from golden vectors")
+	}
+}
