@@ -3,6 +3,7 @@
 #   make check         — tier 1: what every change must keep green
 #   make race          — tier 2: vet + the race detector over the full suite
 #   make race-parallel — the parallel-campaign concurrency audit under -race
+#   make serve-test    — the campaign-service e2e/soak layer under -race
 #   make lint          — gofmt diff + go vet, no test execution
 #   make cover         — coverage with a failing floor at COVER_BASELINE
 #   make verify        — all tiers (the pre-commit gate)
@@ -14,11 +15,11 @@
 GO ?= go
 
 # Total statement coverage must not fall below this floor (measured
-# 80.7% when the floor was set; the margin absorbs counting noise, not
+# 81.0% when the floor was set; the margin absorbs counting noise, not
 # untested subsystems).
-COVER_BASELINE ?= 78.0
+COVER_BASELINE ?= 79.0
 
-.PHONY: all check race race-parallel lint cover verify bench bench-campaign fuzz table1 figure6 stats analyze clean
+.PHONY: all check race race-parallel serve-test lint cover verify bench bench-campaign fuzz table1 figure6 stats analyze clean
 
 all: check
 
@@ -32,6 +33,14 @@ race:
 
 race-parallel:
 	$(GO) test -race -count=1 -run 'TestParallel|TestResultCache' ./internal/injector/ ./internal/ballista/
+
+# The campaign-service soak: HTTP e2e (86-function campaign over the
+# wire, vectors byte-compared to the golden file), concurrent-client
+# dedup, warm-restart from the persistent cache, and the single-flight
+# audit — all under the race detector.
+serve-test:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestFlight|TestDiskCache|TestConcurrentCampaigns|TestCacheStats' ./internal/injector/
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -48,7 +57,7 @@ cover:
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' || \
 		{ echo "FAIL: coverage $$total% is below the $(COVER_BASELINE)% baseline"; exit 1; }
 
-verify: check race lint cover
+verify: check race serve-test lint cover
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkWrapperCallOverhead -benchmem ./internal/wrapper/

@@ -14,6 +14,7 @@
 //	healers table2                       # Table 2 performance overhead
 //	healers stats [flags]                # full campaign with metrics + phase profile
 //	healers bitflip [func...]            # §9 future work: bit-flip injection
+//	healers serve [flags]                # long-running HTTP campaign service
 //
 // Observability flags (inject, table1, figure6, stats):
 //
@@ -28,13 +29,20 @@
 //
 //	inject -seed=static|none   seed adaptive growth from the static prediction
 //	analyze -json              emit the agreement report as JSON
+//	serve -addr :8080          listen address for the campaign service
+//	serve -cache results.jsonl persistent result cache shared across restarts
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"healers"
 	"healers/internal/ballista"
@@ -42,6 +50,7 @@ import (
 	"healers/internal/injector"
 	"healers/internal/obs"
 	"healers/internal/report"
+	"healers/internal/serve"
 	"healers/internal/wrapgen"
 	"healers/internal/wrapper"
 )
@@ -126,9 +135,49 @@ func (of *obsFlags) injectorConfig() healers.InjectorConfig {
 	return cfg
 }
 
+// runServe hosts the campaign service until SIGINT/SIGTERM, then
+// drains: new submissions get 503, running campaigns finish, open SSE
+// streams receive their done events, and the disk cache is synced.
+func runServe(addr, cachePath string, workers int, reg *obs.Registry) error {
+	srv, err := serve.New(serve.Options{
+		CachePath: cachePath,
+		Workers:   workers,
+		Registry:  reg,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "healers serve: draining")
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "healers serve: shutdown:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "healers serve: listening on %s (cache %q, workers %d)\n",
+		addr, cachePath, injector.ResolveWorkers(workers))
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	<-idle
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	return srv.Close(ctx)
+}
+
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: healers extract|inject|analyze|decl|wrap|table1|figure6|table2|stats|bitflip")
+		return fmt.Errorf("usage: healers extract|inject|analyze|decl|wrap|table1|figure6|table2|stats|bitflip|serve")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -137,14 +186,20 @@ func run(args []string) error {
 	stateless := fs.Bool("stateless", false, "figure6: add the stateless-wrapper ablation run")
 	seedMode := fs.String("seed", "none", "inject: seed adaptive growth from the static prediction (static|none)")
 	jsonOut := fs.Bool("json", false, "analyze: emit the agreement report as JSON")
+	addr := fs.String("addr", ":8080", "serve: listen `address` for the campaign service")
+	cachePath := fs.String("cache", "", "serve: persistent result cache `file` (JSONL; empty = in-memory)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
 	rest = fs.Args()
-	if err := of.open(cmd == "stats"); err != nil {
+	if err := of.open(cmd == "stats" || cmd == "serve"); err != nil {
 		return err
 	}
 	defer of.close()
+
+	if cmd == "serve" {
+		return runServe(*addr, *cachePath, *of.workers, of.registry)
+	}
 
 	sys, err := healers.NewSystem()
 	if err != nil {

@@ -78,8 +78,15 @@ type (
 	AnalysisReport = analysis.Report
 	// InjectorSeeds carries static size/read-only hints into a campaign.
 	InjectorSeeds = injector.Seeds
-	// InjectorCache memoizes per-function campaign results across runs.
+	// InjectorCache memoizes per-function campaign results across runs
+	// (in memory; see InjectorDiskCache for persistence).
 	InjectorCache = injector.ResultCache
+	// InjectorDiskCache persists campaign results across restarts as a
+	// checksummed, corruption-tolerant JSONL file.
+	InjectorDiskCache = injector.DiskCache
+	// InjectorFlight deduplicates concurrent computations of one cache
+	// key across campaigns (single-flight).
+	InjectorFlight = injector.Flight
 	// Tracer is the structured observability event tracer.
 	Tracer = obs.Tracer
 	// TraceEvent is one structured observability event.
@@ -105,6 +112,18 @@ func NewSpans() *Spans { return obs.NewSpans() }
 // NewInjectorCache returns an empty campaign result cache; pass it via
 // InjectorConfig.Cache so re-runs skip unchanged functions.
 func NewInjectorCache() *InjectorCache { return injector.NewResultCache() }
+
+// OpenInjectorCache opens (creating if absent) a persistent result
+// cache: campaign results put through it survive process restarts, and
+// corrupt entries are dropped and recomputed rather than served.
+func OpenInjectorCache(path string) (*InjectorDiskCache, error) {
+	return injector.OpenDiskCache(path)
+}
+
+// NewInjectorFlight returns a single-flight group; pass it via
+// InjectorConfig.Flight (alongside a shared Cache) so concurrent
+// campaigns compute each function at most once.
+func NewInjectorFlight() *InjectorFlight { return injector.NewFlight() }
 
 // Observability bundles the cross-cutting instrumentation threaded
 // through a campaign: structured tracing, metrics, and phase spans.

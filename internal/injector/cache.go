@@ -9,40 +9,83 @@ import (
 	"healers/internal/extract"
 )
 
-// ResultCache memoizes per-function campaign results across InjectAll
-// runs. The key folds together everything that determines a function's
-// outcome — its name, its parsed prototype, and the fingerprint of the
-// campaign configuration (step budget, product cap, conservative mode,
-// and the function's static seeds) — so a re-run skips exactly the
-// functions whose inputs are unchanged. Cached Results are shared, not
-// copied; callers must treat them as immutable, which every consumer
-// of Campaign already does.
+// Cache is the campaign result store consulted before every function
+// injection. Implementations memoize per-function campaign results
+// keyed by the (prototype, config fingerprint) content address — a
+// re-run skips exactly the functions whose inputs are unchanged.
+// Cached Results are shared, not copied; callers must treat them as
+// immutable, which every consumer of Campaign already does.
 //
-// The cache is scoped to one library implementation: it has no way to
+// Counting contract: Get records a hit when (and only when) it finds
+// the key; Put records a miss and stores the freshly computed result.
+// Both updates happen under the cache's own lock together with the map
+// mutation, so a Stats snapshot taken concurrently from a metrics
+// endpoint is cross-field consistent — it can never observe an entry
+// whose miss has not been counted yet, or vice versa.
+//
+// A cache is scoped to one library implementation: it has no way to
 // observe library code, so callers evaluating a modified library must
 // use a fresh cache.
-type ResultCache struct {
-	mu sync.Mutex
-	m  map[string]*Result
+type Cache interface {
+	// Get returns the cached result for key, recording a hit when found.
+	Get(key string) (*Result, bool)
+	// Put stores a computed result under key, recording a miss.
+	Put(key string, r *Result)
+	// Stats returns a consistent point-in-time snapshot of the cache.
+	Stats() CacheStats
 }
 
-// NewResultCache returns an empty campaign result cache.
+// CacheStats is a consistent snapshot of a cache's counters: all
+// fields are read under one lock, so Hits+Misses always agrees with
+// the lookups that have fully completed and Entries never runs ahead
+// of Misses+Loaded.
+type CacheStats struct {
+	// Hits counts lookups served from the cache.
+	Hits int64
+	// Misses counts results computed and stored (one per Put).
+	Misses int64
+	// Entries is the number of results currently held.
+	Entries int64
+	// Loaded counts entries restored from disk at open (DiskCache only).
+	Loaded int64
+	// Dropped counts persisted entries rejected at load time — truncated,
+	// checksum-corrupt, or version-skewed lines (DiskCache only).
+	Dropped int64
+}
+
+// ResultCache is the in-memory Cache: process-lifetime memoization
+// with no persistence.
+type ResultCache struct {
+	mu     sync.Mutex
+	m      map[string]*Result
+	hits   int64
+	misses int64
+}
+
+var _ Cache = (*ResultCache)(nil)
+
+// NewResultCache returns an empty in-memory campaign result cache.
 func NewResultCache() *ResultCache {
 	return &ResultCache{m: make(map[string]*Result)}
 }
 
-// Get returns the cached result for key, if present.
+// Get returns the cached result for key, if present, counting a hit
+// when it is.
 func (c *ResultCache) Get(key string) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
 	return r, ok
 }
 
-// Put stores a result under key.
+// Put stores a computed result under key, counting a miss.
 func (c *ResultCache) Put(key string, r *Result) {
 	c.mu.Lock()
 	c.m[key] = r
+	c.misses++
 	c.mu.Unlock()
 }
 
@@ -51,6 +94,13 @@ func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: int64(len(c.m))}
 }
 
 // cacheKey builds the memoization key for one function under one
@@ -64,9 +114,9 @@ func cacheKey(fi *extract.FuncInfo, cfg Config) string {
 
 // fingerprint hashes the configuration fields that influence a
 // function's campaign outcome. Observability plumbing (Obs, Metrics,
-// Trace, Spans) and scheduling (Workers, LibFactory, Cache) are
-// deliberately excluded: they change how the campaign is observed and
-// executed, never what it computes.
+// Trace, Spans) and scheduling (Workers, LibFactory, Cache, Flight)
+// are deliberately excluded: they change how the campaign is observed
+// and executed, never what it computes.
 func (cfg Config) fingerprint(fn string) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v1|%d|%d|%t", cfg.StepBudget, cfg.ProductCap, cfg.Conservative)
@@ -77,24 +127,43 @@ func (cfg Config) fingerprint(fn string) string {
 }
 
 // injectOne runs (or recalls) one function's campaign, consulting the
-// configured result cache first. The bool reports a cache hit.
+// configured result cache first and deduplicating concurrent
+// computations of the same key through the configured flight group.
+// The bool reports that the result came from the cache or from another
+// in-flight computation rather than a fresh injection.
 func (inj *Injector) injectOne(fi *extract.FuncInfo, table *cparse.TypeTable) (*Result, bool, error) {
 	cache := inj.cfg.Cache
-	var key string
-	if cache != nil {
-		key = cacheKey(fi, inj.cfg)
+	if cache == nil {
+		r, err := inj.InjectFunction(fi, table)
+		return r, false, err
+	}
+	key := cacheKey(fi, inj.cfg)
+	if r, ok := cache.Get(key); ok {
+		inj.mCacheHits.Inc()
+		return r, true, nil
+	}
+	compute := func() (*Result, error) {
+		// Re-check under flight leadership: a previous leader may have
+		// stored this key between our miss and winning the flight.
 		if r, ok := cache.Get(key); ok {
 			inj.mCacheHits.Inc()
-			return r, true, nil
+			return r, nil
 		}
-	}
-	r, err := inj.InjectFunction(fi, table)
-	if err != nil {
-		return nil, false, err
-	}
-	if cache != nil {
+		r, err := inj.InjectFunction(fi, table)
+		if err != nil {
+			return nil, err
+		}
 		cache.Put(key, r)
 		inj.mCacheMisses.Inc()
+		return r, nil
 	}
-	return r, false, nil
+	if fl := inj.cfg.Flight; fl != nil {
+		r, shared, err := fl.Do(key, compute)
+		if shared {
+			inj.mFlightJoins.Inc()
+		}
+		return r, shared, err
+	}
+	r, err := compute()
+	return r, false, err
 }

@@ -1,0 +1,253 @@
+package injector
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"sync"
+
+	"healers/internal/decl"
+	"healers/internal/gens"
+)
+
+// DiskCache is the persistent Cache: an in-memory map backed by an
+// append-only JSONL file, so campaign results survive process
+// restarts. Each line is one self-validating entry — a version tag, the
+// content-address key, an fnv64a checksum, and the serialized result —
+// and the load path is corruption-tolerant: truncated tails, bit-flipped
+// payloads, garbage lines, and entries written by a different format
+// version are silently dropped (counted in Stats().Dropped) and simply
+// recomputed on next use. A dropped or missing entry can never produce
+// a wrong vector, only extra work; a checksum-valid entry is served
+// as-is, which is sound because the key embeds everything that
+// determines the result (prototype text + config fingerprint).
+//
+// Writes are appended under the cache lock, so the file is a serialized
+// log even with concurrent campaigns; duplicate keys (possible if two
+// processes shared a file, which is unsupported) resolve to the last
+// loaded entry.
+type DiskCache struct {
+	mu     sync.Mutex
+	m      map[string]*Result
+	f      *os.File
+	hits   int64
+	misses int64
+	loaded int64
+	// dropped counts rejected persisted lines (load-time corruption) and
+	// entries that failed to serialize at Put time (kept in memory only).
+	dropped int64
+}
+
+var _ Cache = (*DiskCache)(nil)
+
+// diskCacheVersion tags each persisted line; bump it when diskResult's
+// shape changes so skewed entries from older builds are recomputed
+// instead of misread.
+const diskCacheVersion = 1
+
+// diskEntry is one JSONL line of the persistent cache.
+type diskEntry struct {
+	V   int    `json:"v"`
+	Key string `json:"key"`
+	// Sum is the fnv64a of the raw Result payload bytes, %016x.
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
+}
+
+// diskResult is the serialized subset of Result that cached-campaign
+// consumers read: the declaration (as its archival Figure 2 XML, which
+// round-trips), the robust names, the experiment counters, and the
+// error classification. Proto is deliberately absent — no consumer of
+// a cached result dereferences it, and its text is already folded into
+// the key.
+type diskResult struct {
+	Name        string         `json:"name"`
+	DeclXML     string         `json:"decl"`
+	RobustNames []string       `json:"robust,omitempty"`
+	Calls       int            `json:"calls"`
+	Crashes     int            `json:"crashes,omitempty"`
+	Hangs       int            `json:"hangs,omitempty"`
+	Aborts      int            `json:"aborts,omitempty"`
+	Seed        gens.SeedStats `json:"seed"`
+	ErrClass    uint8          `json:"errclass"`
+}
+
+func payloadSum(payload []byte) string {
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func encodeResult(r *Result) ([]byte, error) {
+	if r.Decl == nil {
+		return nil, fmt.Errorf("injector: result %s has no declaration", r.Name)
+	}
+	xml, err := r.Decl.EncodeXML()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(diskResult{
+		Name:        r.Name,
+		DeclXML:     string(xml),
+		RobustNames: r.RobustNames,
+		Calls:       r.Calls,
+		Crashes:     r.Crashes,
+		Hangs:       r.Hangs,
+		Aborts:      r.Aborts,
+		Seed:        r.Seed,
+		ErrClass:    uint8(r.ErrClass),
+	})
+}
+
+func decodeResult(payload []byte) (*Result, error) {
+	var dr diskResult
+	if err := json.Unmarshal(payload, &dr); err != nil {
+		return nil, err
+	}
+	d, err := decl.UnmarshalXML([]byte(dr.DeclXML))
+	if err != nil {
+		return nil, err
+	}
+	// ErrClass is not part of the Figure 2 XML schema; restore it on
+	// both the declaration and the result from the sidecar field.
+	d.ErrClass = decl.ErrClass(dr.ErrClass)
+	return &Result{
+		Name:        dr.Name,
+		Decl:        d,
+		RobustNames: dr.RobustNames,
+		Calls:       dr.Calls,
+		Crashes:     dr.Crashes,
+		Hangs:       dr.Hangs,
+		Aborts:      dr.Aborts,
+		Seed:        dr.Seed,
+		ErrClass:    decl.ErrClass(dr.ErrClass),
+	}, nil
+}
+
+// OpenDiskCache opens (creating if absent) the persistent cache at
+// path, loading every entry that passes version and checksum
+// validation. It never fails on a corrupt file — only on I/O errors
+// opening or creating it.
+func OpenDiskCache(path string) (*DiskCache, error) {
+	c := &DiskCache{m: make(map[string]*Result)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("injector: open disk cache: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e diskEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			c.dropped++ // truncated tail or garbage
+			continue
+		}
+		if e.V != diskCacheVersion {
+			c.dropped++ // version skew: recompute rather than misread
+			continue
+		}
+		if payloadSum(e.Result) != e.Sum {
+			c.dropped++ // bit rot: the payload no longer matches its checksum
+			continue
+		}
+		r, err := decodeResult(e.Result)
+		if err != nil || e.Key == "" {
+			c.dropped++
+			continue
+		}
+		if _, dup := c.m[e.Key]; !dup {
+			c.loaded++
+		}
+		c.m[e.Key] = r
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("injector: open disk cache: %w", err)
+	}
+	c.f = f
+	return c, nil
+}
+
+// Get returns the cached result for key, if present, counting a hit
+// when it is.
+func (c *DiskCache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+// Put stores a computed result under key, counting a miss, and appends
+// the entry to the backing file. A result that cannot be serialized
+// (or a write that fails after Close) stays memory-only for this
+// process and counts as dropped; the campaign itself is unaffected.
+func (c *DiskCache) Put(key string, r *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+	c.misses++
+	payload, err := encodeResult(r)
+	if err != nil {
+		c.dropped++
+		return
+	}
+	line, err := json.Marshal(diskEntry{
+		V:      diskCacheVersion,
+		Key:    key,
+		Sum:    payloadSum(payload),
+		Result: payload,
+	})
+	if err != nil {
+		c.dropped++
+		return
+	}
+	if c.f == nil {
+		c.dropped++
+		return
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		c.dropped++
+	}
+}
+
+// Len returns the number of cached functions.
+func (c *DiskCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *DiskCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Entries: int64(len(c.m)),
+		Loaded:  c.loaded,
+		Dropped: c.dropped,
+	}
+}
+
+// Close syncs and closes the backing file. The in-memory map keeps
+// serving Gets; Puts after Close stay memory-only.
+func (c *DiskCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}

@@ -1,0 +1,79 @@
+package injector
+
+import "sync"
+
+// Flight deduplicates concurrent computations of the same cache key
+// (single-flight semantics). When several campaigns — the serve layer
+// runs many at once — ask for the same (prototype, config) key before
+// any of them has stored a result, exactly one caller (the leader)
+// runs the computation; the others block until it finishes and share
+// its result. The invariant backing the serve layer's dedup guarantee:
+// for any key, at most one computation is ever in flight, so a burst
+// of identical submissions costs one injection campaign, not N.
+//
+// A Flight is shared across Injector instances the same way a Cache
+// is; both are safe for concurrent use. Flight carries no results of
+// its own — completed keys leave the map immediately, and later
+// callers find the value in the cache instead.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// leads counts computations completed by a leader; joins counts
+	// callers that attached to an in-flight computation. Both move
+	// under mu, so a snapshot is consistent with the map state.
+	leads int64
+	joins int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	r    *Result
+	err  error
+}
+
+// NewFlight returns an empty single-flight group.
+func NewFlight() *Flight { return &Flight{calls: make(map[string]*flightCall)} }
+
+// FlightStats is a consistent snapshot of a flight group.
+type FlightStats struct {
+	// Leads counts Do calls that ran their computation.
+	Leads int64
+	// Joins counts Do calls served by another caller's computation.
+	Joins int64
+	// InFlight is the number of computations currently running.
+	InFlight int64
+}
+
+// Stats returns a consistent snapshot of the flight counters.
+func (f *Flight) Stats() FlightStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlightStats{Leads: f.leads, Joins: f.joins, InFlight: int64(len(f.calls))}
+}
+
+// Do runs compute for key, unless an identical computation is already
+// in flight, in which case it waits for that one and returns its
+// result with shared=true. The leader's error (if any) propagates to
+// every joined caller — a failed computation is not silently retried
+// by its followers.
+func (f *Flight) Do(key string, compute func() (*Result, error)) (r *Result, shared bool, err error) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.joins++
+		f.mu.Unlock()
+		<-c.done
+		return c.r, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.r, c.err = compute()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.leads++
+	f.mu.Unlock()
+	close(c.done)
+	return c.r, false, c.err
+}

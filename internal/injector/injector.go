@@ -74,8 +74,15 @@ type Config struct {
 	// Cache, when non-nil, memoizes per-function campaign results keyed
 	// by (function name, prototype, config fingerprint): re-running a
 	// campaign over an unchanged function skips its injection entirely
-	// and returns the cached Result. Safe for concurrent use.
-	Cache *ResultCache
+	// and returns the cached Result. NewResultCache gives process-scoped
+	// memoization; OpenDiskCache persists results across restarts. Safe
+	// for concurrent use.
+	Cache Cache
+	// Flight, when non-nil (and Cache is set), deduplicates concurrent
+	// computations of the same cache key across campaigns: a burst of
+	// identical requests runs one injection and shares the result. The
+	// serve layer passes one Flight alongside its shared cache.
+	Flight *Flight
 	// Spans, when non-nil, records one span per parallel worker
 	// (inject-worker-N) so the campaign profile shows how the shards
 	// balanced. The sequential path records no spans (callers already
@@ -146,9 +153,11 @@ type Injector struct {
 	mSeedConfirms *obs.Counter
 	mSeedMisses   *obs.Counter
 	// Result-cache counters: functions served from Config.Cache versus
-	// injected and newly stored.
+	// injected and newly stored, plus lookups that attached to another
+	// campaign's in-flight computation of the same key.
 	mCacheHits   *obs.Counter
 	mCacheMisses *obs.Counter
+	mFlightJoins *obs.Counter
 }
 
 // adaptiveIterBuckets bound the adjustments-per-chain histogram; the
@@ -186,6 +195,7 @@ func New(lib *clib.Library, cfg Config) *Injector {
 	inj.mSeedMisses = reg.Counter("healers_injector_seed_misses_total")
 	inj.mCacheHits = reg.Counter("healers_injector_cache_hits_total")
 	inj.mCacheMisses = reg.Counter("healers_injector_cache_misses_total")
+	inj.mFlightJoins = reg.Counter("healers_injector_flight_joins_total")
 	if cfg.Metrics != nil {
 		inj.sandbox = csim.NewMetrics(cfg.Metrics)
 	}

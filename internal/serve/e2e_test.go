@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/extract"
+	"healers/internal/injector"
+)
+
+// goldenPath pins the canonical 86-function vector block shared with
+// the CLI-path golden test.
+const goldenPath = "../injector/testdata/golden_vectors.txt"
+
+// newTestServer builds a Server over opts and an httptest front end,
+// both torn down with the test.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// submit POSTs a campaign request and decodes the response status,
+// asserting the HTTP code.
+func submit(t *testing.T, ts *httptest.Server, req CampaignRequest, wantCode int) CampaignStatus {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/campaigns: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST /v1/campaigns: code %d, want %d (body %s)", resp.StatusCode, wantCode, raw)
+	}
+	var st CampaignStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decode status: %v (body %s)", err, raw)
+	}
+	return st
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// consumeSSE reads the campaign's event stream until the terminal
+// `done` event, returning every event in order.
+func consumeSSE(t *testing.T, ts *httptest.Server, id string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events: code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("GET events: Content-Type %q", ct)
+	}
+
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				events = append(events, cur)
+				if cur.event == "done" {
+					return events
+				}
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	t.Fatalf("SSE stream ended without done event (%d events, scan err %v)", len(events), sc.Err())
+	return nil
+}
+
+// getVectors fetches the campaign's vector block, asserting the code.
+func getVectors(t *testing.T, ts *httptest.Server, id string, wantCode int) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/vectors")
+	if err != nil {
+		t.Fatalf("GET vectors: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET vectors: code %d, want %d (body %s)", resp.StatusCode, wantCode, raw)
+	}
+	return string(raw)
+}
+
+// TestE2EFullCampaignGolden is the tentpole acceptance check: the
+// paper's 86-function campaign submitted over HTTP, progress consumed
+// over SSE to completion, and the served vectors byte-identical to the
+// committed golden file the CLI path is pinned to.
+func TestE2EFullCampaignGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 86-function campaign")
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+
+	srv, ts := newTestServer(t, Options{Workers: 4})
+	st := submit(t, ts, CampaignRequest{}, http.StatusAccepted)
+	if st.State != "running" && st.State != "done" {
+		t.Fatalf("submit state %q", st.State)
+	}
+	if st.Functions != len(srv.lib.CrashProne86()) {
+		t.Fatalf("functions %d, want %d", st.Functions, len(srv.lib.CrashProne86()))
+	}
+
+	events := consumeSSE(t, ts, st.ID)
+	last := events[len(events)-1]
+	if last.event != "done" {
+		t.Fatalf("last event %q, want done", last.event)
+	}
+	var final CampaignStatus
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatalf("done payload: %v", err)
+	}
+	if final.State != "done" || final.Error != "" {
+		t.Fatalf("final state %q error %q", final.State, final.Error)
+	}
+
+	// Every function's injection start was streamed exactly once.
+	started := make(map[string]int)
+	for _, e := range events[:len(events)-1] {
+		if e.event != "progress" {
+			t.Fatalf("unexpected event %q before done", e.event)
+		}
+		var p ProgressEvent
+		if err := json.Unmarshal([]byte(e.data), &p); err != nil {
+			t.Fatalf("progress payload: %v", err)
+		}
+		if p.Total != st.Functions {
+			t.Fatalf("progress total %d, want %d", p.Total, st.Functions)
+		}
+		started[p.Func]++
+	}
+	if len(started) != st.Functions {
+		t.Fatalf("progress covered %d functions, want %d", len(started), st.Functions)
+	}
+	for name, n := range started {
+		if n != 1 {
+			t.Fatalf("function %s started %d times", name, n)
+		}
+	}
+
+	vectors := getVectors(t, ts, st.ID, http.StatusOK)
+	if vectors != string(golden) {
+		t.Fatalf("HTTP vectors diverge from golden file\ngot %d bytes, want %d", len(vectors), len(golden))
+	}
+	if want := fmt.Sprintf("%x", sha256.Sum256([]byte(vectors))); final.VectorSHA256 != want {
+		t.Fatalf("vector_sha256 %s does not fingerprint the served body (%s)", final.VectorSHA256, want)
+	}
+}
+
+// TestE2ESmallCampaignMatchesCLI submits a handful of functions and
+// checks the served vectors against a direct in-process injector run —
+// the CLI path — byte for byte.
+func TestE2ESmallCampaignMatchesCLI(t *testing.T) {
+	names := []string{"strcpy", "memcpy", "fopen", "asctime"}
+
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	camp, err := injector.New(lib, injector.DefaultConfig()).InjectAll(ext, names)
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	want := camp.VectorSignature()
+
+	_, ts := newTestServer(t, Options{Workers: 2})
+	st := submit(t, ts, CampaignRequest{Functions: names}, http.StatusAccepted)
+	consumeSSE(t, ts, st.ID)
+	if got := getVectors(t, ts, st.ID, http.StatusOK); got != want {
+		t.Fatalf("HTTP vectors diverge from the CLI path\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestE2ESeededCampaign checks the static-seeded variant round-trips:
+// a seeded submission is a distinct campaign from the cold one, and
+// both complete.
+func TestE2ESeededCampaign(t *testing.T) {
+	names := []string{"strcpy", "strlen"}
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	cold := submit(t, ts, CampaignRequest{Functions: names}, http.StatusAccepted)
+	seeded := submit(t, ts, CampaignRequest{Functions: names, Seed: "static"}, http.StatusAccepted)
+	if cold.ID == seeded.ID {
+		t.Fatalf("cold and seeded submissions share campaign %s", cold.ID)
+	}
+	consumeSSE(t, ts, cold.ID)
+	consumeSSE(t, ts, seeded.ID)
+	if got := submit(t, ts, CampaignRequest{Functions: names, Seed: "static"}, http.StatusOK); !got.Deduped {
+		t.Fatalf("seeded resubmission not deduped: %+v", got)
+	}
+}

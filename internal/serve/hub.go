@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"sync"
+
+	"healers/internal/obs"
+)
+
+// ProgressEvent is one SSE `progress` payload: a function's injection
+// has started at position N of Total.
+type ProgressEvent struct {
+	Func  string `json:"func"`
+	N     int    `json:"n"`
+	Total int    `json:"total"`
+}
+
+// hub fans one campaign's progress out to any number of SSE
+// subscribers. It is the campaign's obs.Sink: campaign-phase events
+// are buffered (so late subscribers replay from the start) and pushed
+// to live subscriber channels. Pushes never block the campaign — a
+// subscriber that stops reading loses live events but its replay
+// buffer stays complete, and the terminal `done` event is delivered
+// by the SSE handler from the campaign record, not the hub.
+type hub struct {
+	mu   sync.Mutex
+	past []ProgressEvent
+	subs map[int]chan ProgressEvent
+	next int
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[int]chan ProgressEvent)}
+}
+
+// subChanBuffer absorbs bursts from many parallel workers between two
+// subscriber reads; the 86-function campaign fits entirely.
+const subChanBuffer = 256
+
+// Emit implements obs.Sink, filtering for campaign progress.
+func (h *hub) Emit(e obs.Event) {
+	if e.Kind != obs.KindCampaignPhase {
+		return
+	}
+	p := ProgressEvent{Func: e.Func, N: e.N, Total: e.Total}
+	h.mu.Lock()
+	h.past = append(h.past, p)
+	for _, ch := range h.subs {
+		select {
+		case ch <- p:
+		default: // slow subscriber: drop the live copy, keep the campaign hot
+		}
+	}
+	h.mu.Unlock()
+}
+
+// subscribe returns the events so far plus a live channel; cancel
+// detaches the channel. The replay copy and the registration happen
+// under one lock, so no event is ever both missing from the replay and
+// unsent to the channel.
+func (h *hub) subscribe() (replay []ProgressEvent, ch chan ProgressEvent, cancel func()) {
+	ch = make(chan ProgressEvent, subChanBuffer)
+	h.mu.Lock()
+	replay = append([]ProgressEvent(nil), h.past...)
+	id := h.next
+	h.next++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	return replay, ch, func() {
+		h.mu.Lock()
+		delete(h.subs, id)
+		h.mu.Unlock()
+	}
+}
+
+// count returns how many progress events have been emitted — the
+// campaign's "functions started" position.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.past)
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// drainTestServer shuts a test server down mid-test (the registered
+// cleanup tolerates the second Close). This is what syncs the disk
+// cache so a second server can reopen it.
+func drainTestServer(t *testing.T, srv *Server, ts *httptest.Server) {
+	t.Helper()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWarmRestartServesFromDisk is the persistence acceptance check: a
+// second server started over the same cache path answers the same
+// campaign entirely from disk — zero recomputation — with vectors
+// byte-identical to the cold run.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	names := []string{"strcpy", "memcpy", "fopen", "asctime", "qsort"}
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+
+	// Cold server: every function computes and lands on disk.
+	srv1, ts1 := newTestServer(t, Options{CachePath: path, Workers: 2})
+	st1 := submit(t, ts1, CampaignRequest{Functions: names}, http.StatusAccepted)
+	consumeSSE(t, ts1, st1.ID)
+	cold := getVectors(t, ts1, st1.ID, http.StatusOK)
+	if cst := srv1.cache.Stats(); cst.Misses != int64(len(names)) || cst.Loaded != 0 {
+		t.Fatalf("cold run: misses %d loaded %d, want %d/0", cst.Misses, cst.Loaded, len(names))
+	}
+
+	// Tear the first server down before reopening the cache file, so
+	// the second server reads a synced, closed file.
+	drainTestServer(t, srv1, ts1)
+
+	// Warm server: the same submission is a fresh campaign (new
+	// process, empty campaign table) but every per-function result is a
+	// disk hit.
+	srv2, ts2 := newTestServer(t, Options{CachePath: path, Workers: 2})
+	if cst := srv2.cache.Stats(); cst.Loaded != int64(len(names)) || cst.Dropped != 0 {
+		t.Fatalf("warm open: loaded %d dropped %d, want %d/0", cst.Loaded, cst.Dropped, len(names))
+	}
+	st2 := submit(t, ts2, CampaignRequest{Functions: names}, http.StatusAccepted)
+	consumeSSE(t, ts2, st2.ID)
+	warm := getVectors(t, ts2, st2.ID, http.StatusOK)
+	if warm != cold {
+		t.Fatalf("warm vectors diverge from cold run\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	cst := srv2.cache.Stats()
+	if cst.Misses != 0 {
+		t.Fatalf("warm run recomputed %d functions; want pure disk hits", cst.Misses)
+	}
+	if cst.Hits != int64(len(names)) {
+		t.Fatalf("warm run: hits %d, want %d", cst.Hits, len(names))
+	}
+}
+
+// TestWarmRestartFullCampaign repeats the warm-restart check over the
+// full 86-function campaign and pins the warm vectors to the golden
+// file.
+func TestWarmRestartFullCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 86-function server runs")
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+
+	srv1, ts1 := newTestServer(t, Options{CachePath: path, Workers: 4})
+	st1 := submit(t, ts1, CampaignRequest{}, http.StatusAccepted)
+	consumeSSE(t, ts1, st1.ID)
+	n := int64(st1.Functions)
+	drainTestServer(t, srv1, ts1)
+
+	srv2, ts2 := newTestServer(t, Options{CachePath: path, Workers: 4})
+	if cst := srv2.cache.Stats(); cst.Loaded != n || cst.Dropped != 0 {
+		t.Fatalf("warm open: loaded %d dropped %d, want %d/0", cst.Loaded, cst.Dropped, n)
+	}
+	st2 := submit(t, ts2, CampaignRequest{}, http.StatusAccepted)
+	consumeSSE(t, ts2, st2.ID)
+	if got := getVectors(t, ts2, st2.ID, http.StatusOK); got != string(golden) {
+		t.Fatal("warm 86-function vectors diverge from golden file")
+	}
+	if cst := srv2.cache.Stats(); cst.Misses != 0 || cst.Hits != n {
+		t.Fatalf("warm run: hits %d misses %d, want %d/0", cst.Hits, cst.Misses, n)
+	}
+}
+
+// TestRestartToleratesCorruptCache corrupts the cache file between
+// runs: the warm server drops the bad entries, recomputes only those,
+// and still serves identical vectors.
+func TestRestartToleratesCorruptCache(t *testing.T) {
+	names := []string{"strcpy", "memcpy", "fopen"}
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+
+	srv1, ts1 := newTestServer(t, Options{CachePath: path, Workers: 2})
+	st1 := submit(t, ts1, CampaignRequest{Functions: names}, http.StatusAccepted)
+	consumeSSE(t, ts1, st1.ID)
+	cold := getVectors(t, ts1, st1.ID, http.StatusOK)
+	drainTestServer(t, srv1, ts1)
+
+	// Truncate the last line mid-entry, as a crashed writer would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := newTestServer(t, Options{CachePath: path, Workers: 2})
+	cst := srv2.cache.Stats()
+	if cst.Loaded != int64(len(names)-1) || cst.Dropped != 1 {
+		t.Fatalf("corrupt open: loaded %d dropped %d, want %d/1", cst.Loaded, cst.Dropped, len(names)-1)
+	}
+	st2 := submit(t, ts2, CampaignRequest{Functions: names}, http.StatusAccepted)
+	consumeSSE(t, ts2, st2.ID)
+	if warm := getVectors(t, ts2, st2.ID, http.StatusOK); warm != cold {
+		t.Fatal("vectors diverge after corrupt-entry recovery")
+	}
+	cst = srv2.cache.Stats()
+	if cst.Misses != 1 || cst.Hits != int64(len(names)-1) {
+		t.Fatalf("recovery run: hits %d misses %d, want %d/1", cst.Hits, cst.Misses, len(names)-1)
+	}
+}

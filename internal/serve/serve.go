@@ -1,0 +1,252 @@
+// Package serve is the long-running campaign service: the HEALERS
+// pipeline behind an HTTP/JSON API instead of a one-shot CLI process.
+// Clients submit prototype-set campaigns (POST /v1/campaigns), follow
+// per-function progress over SSE (GET /v1/campaigns/{id}/events), and
+// fetch robust-type vectors that are byte-identical to the CLI path
+// (GET /v1/campaigns/{id}/vectors). Results are memoized at two
+// levels: identical submissions content-address to the same campaign
+// record (a burst of duplicates runs once), and per-function results
+// live in a shared injector.Cache — persistent across restarts when
+// the server is opened over a disk cache — deduplicated in flight by a
+// shared injector.Flight. The obs registry backs GET /metrics in the
+// Prometheus text exposition.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/extract"
+	"healers/internal/injector"
+	"healers/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CachePath backs the per-function result cache with a persistent
+	// JSONL file (injector.OpenDiskCache); empty uses a process-lifetime
+	// in-memory cache.
+	CachePath string
+	// Workers is the default campaign parallelism for submissions that
+	// do not set their own (injector.ResolveWorkers convention: 0 = one
+	// worker per CPU, negative = sequential).
+	Workers int
+	// Registry receives every metric — request counters, in-flight
+	// gauges, and all injector campaign counters. Nil creates one.
+	Registry *obs.Registry
+}
+
+// Server owns the extraction products, the shared result cache, and
+// the set of submitted campaigns. Its Handler is safe for concurrent
+// use; campaigns run on background goroutines drained by Close.
+type Server struct {
+	lib     *clib.Library
+	ext     *extract.Result
+	cache   injector.Cache
+	disk    *injector.DiskCache // non-nil iff CachePath was set
+	flight  *injector.Flight
+	reg     *obs.Registry
+	workers int
+	started time.Time
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string // submission order, for stable listings
+	draining  bool
+
+	wg sync.WaitGroup
+
+	gInflight  *obs.Gauge
+	mSubmitted *obs.Counter
+	mDeduped   *obs.Counter
+	mDone      *obs.Counter
+	mFailed    *obs.Counter
+	hRequestMS *obs.Histogram
+}
+
+// requestMSBuckets bound the request-duration histogram: sub-ms cache
+// answers through multi-second cold campaigns.
+var requestMSBuckets = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+// New builds the simulated library, runs extraction, and opens the
+// result cache. The returned server is ready to serve; call Close to
+// drain campaigns and release the cache file.
+func New(opts Options) (*Server, error) {
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		return nil, fmt.Errorf("serve: extraction: %w", err)
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		lib:       lib,
+		ext:       ext,
+		flight:    injector.NewFlight(),
+		reg:       reg,
+		workers:   opts.Workers,
+		started:   time.Now(),
+		campaigns: make(map[string]*campaign),
+	}
+	if opts.CachePath != "" {
+		dc, err := injector.OpenDiskCache(opts.CachePath)
+		if err != nil {
+			return nil, err
+		}
+		s.cache, s.disk = dc, dc
+	} else {
+		s.cache = injector.NewResultCache()
+	}
+	s.gInflight = reg.Gauge("healers_serve_inflight_campaigns")
+	s.mSubmitted = reg.Counter("healers_serve_campaigns_submitted_total")
+	s.mDeduped = reg.Counter("healers_serve_campaigns_deduped_total")
+	s.mDone = reg.Counter("healers_serve_campaigns_done_total")
+	s.mFailed = reg.Counter("healers_serve_campaigns_failed_total")
+	s.hRequestMS = reg.Histogram("healers_http_request_ms", requestMSBuckets)
+	return s, nil
+}
+
+// Handler returns the service's routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.instrument("/v1/campaigns", s.handleSubmit))
+	mux.HandleFunc("GET /v1/campaigns", s.instrument("/v1/campaigns", s.handleList))
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("/v1/campaigns/{id}", s.handleStatus))
+	mux.HandleFunc("GET /v1/campaigns/{id}/vectors", s.instrument("/v1/campaigns/{id}/vectors", s.handleVectors))
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.instrument("/v1/campaigns/{id}/events", s.handleEvents))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	return mux
+}
+
+// BeginDrain stops the server accepting new campaign submissions
+// (they get 503) while existing campaigns keep running. Status,
+// vector, event, and metrics reads stay available throughout.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Close gracefully shuts the campaign engine down: no new submissions,
+// every running campaign drains to completion (bounded by ctx), and
+// the disk cache is synced and closed. Safe to call once alongside
+// http.Server.Shutdown.
+func (s *Server) Close(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+	if s.disk != nil {
+		return s.disk.Close()
+	}
+	return nil
+}
+
+// statusRecorder captures the response code for the request counter
+// while passing Flush through for SSE streams.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the request-level metrics: one
+// counter per (method, route pattern, status code) — patterns, not raw
+// paths, so cardinality stays bounded — and the duration histogram.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(sr, r)
+		s.reg.Counter(fmt.Sprintf(
+			"healers_http_requests_total{method=%q,path=%q,code=\"%d\"}",
+			r.Method, pattern, sr.code)).Inc()
+		s.hRequestMS.Observe(time.Since(start).Milliseconds())
+	}
+}
+
+// apiError is the uniform JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) lookup(id string) (*campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.campaigns)
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  int64(time.Since(s.started).Seconds()),
+		"campaigns": n,
+		"draining":  draining,
+	})
+}
+
+// handleMetrics renders the Prometheus exposition. Cache and flight
+// gauges are refreshed at scrape time from their owners' single-lock
+// Stats snapshots, so a scrape mid-campaign sees a consistent view
+// (entries can never run ahead of misses+loaded).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	s.reg.Gauge("healers_cache_entries").Set(st.Entries)
+	s.reg.Gauge("healers_cache_hits").Set(st.Hits)
+	s.reg.Gauge("healers_cache_misses").Set(st.Misses)
+	s.reg.Gauge("healers_cache_loaded").Set(st.Loaded)
+	s.reg.Gauge("healers_cache_dropped").Set(st.Dropped)
+	fst := s.flight.Stats()
+	s.reg.Gauge("healers_flight_leads").Set(fst.Leads)
+	s.reg.Gauge("healers_flight_joins").Set(fst.Joins)
+	s.reg.Gauge("healers_flight_inflight").Set(fst.InFlight)
+	s.mu.Lock()
+	s.reg.Gauge("healers_serve_campaigns").Set(int64(len(s.campaigns)))
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.reg.Exposition())
+}
