@@ -8,7 +8,8 @@
 #   make cover         — coverage with a failing floor at COVER_BASELINE
 #   make verify        — all tiers (the pre-commit gate)
 #   make bench         — wrapper call-path overhead benchmarks
-#   make bench-campaign — sequential vs sharded campaign benchmarks
+#   make bench-campaign — campaign benchmarks + BENCH_campaign.json refresh
+#   make bench-smoke   — one-iteration benchmark + COW differential audit
 #   make fuzz          — 30s of prototype-parser fuzzing beyond the corpus
 #   make table1 / figure6 / stats — run the paper's evaluations
 
@@ -19,7 +20,7 @@ GO ?= go
 # untested subsystems).
 COVER_BASELINE ?= 79.0
 
-.PHONY: all check race race-parallel serve-test lint cover verify bench bench-campaign fuzz table1 figure6 stats analyze clean
+.PHONY: all check race race-parallel serve-test lint cover verify bench bench-campaign bench-smoke fuzz table1 figure6 stats analyze clean
 
 all: check
 
@@ -62,8 +63,20 @@ verify: check race serve-test lint cover
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkWrapperCallOverhead -benchmem ./internal/wrapper/
 
+# Campaign performance trajectory: fork microbenchmarks (eager vs COW),
+# the sequential/sharded campaign benchmarks, and a refresh of the
+# committed BENCH_campaign.json so perf regressions show up as a diff.
 bench-campaign:
+	$(GO) test -run '^$$' -bench 'BenchmarkFork' -benchmem -benchtime 1000x ./internal/cmem/
 	$(GO) test -run '^$$' -bench BenchmarkCampaign -benchtime 3x ./internal/injector/
+	BENCH_JSON=$(CURDIR)/BENCH_campaign.json $(GO) test -count=1 -run TestBenchTrajectory -v ./internal/injector/
+
+# CI's cheap perf gate: every campaign benchmark runs one iteration (so
+# a hang or a golden-vector divergence fails fast), and the COW
+# differential + aliasing + purity audits run under the race detector.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaign|BenchmarkFork' -benchtime 1x ./internal/injector/ ./internal/cmem/
+	$(GO) test -race -count=1 -run 'TestDifferentialCOWvsEager|TestConcurrentTemplateForks|TestReadPathsLeaveSnapshotFrozen|TestFork|TestProtectAfterFork|TestWriteOnlyPagesSurviveFork|TestChildFree|TestMapResetAfterFork|TestRelease|TestSharedPageRelease' ./internal/cmem/
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParsePrototype -fuzztime 30s ./internal/cparse/

@@ -156,6 +156,7 @@ type suiteRunner struct {
 // periodic progress event.
 func (r *suiteRunner) runTest(template *csim.Process, test *Test) testResult {
 	child := template.Fork()
+	defer child.Release()
 	child.SetStepBudget(r.stepBudget)
 	child.Metrics = r.sandbox
 	caller := r.factory(child)
@@ -267,20 +268,18 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 			workers = len(s.Tests)
 		}
 		reg.Gauge(fmt.Sprintf("healers_ballista_workers{config=%q}", config)).Set(int64(workers))
-		// Worker templates fork sequentially up front: concurrent forks
-		// of one process would race on its memory's single-entry page
-		// cache (reads mutate it).
-		templates := make([]*csim.Process, workers)
-		for w := range templates {
-			templates[w] = template.Fork()
-		}
+		// Each worker forks its own template inside its goroutine:
+		// copy-on-write forks only read the parent, and every cmem read
+		// path is side-effect-free, so concurrent forks of (and reads
+		// from) one shared template are race-free.
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			wtpl := templates[w]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				wtpl := template.Fork()
+				defer wtpl.Release()
 				for ti := range jobs {
 					results[ti] = runner.runTest(wtpl, &s.Tests[ti])
 				}

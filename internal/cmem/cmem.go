@@ -8,13 +8,24 @@
 // with independent read/write protection, every access is checked, and a
 // failed access reports the exact faulting address and access kind.
 //
+// Forking is copy-on-write: Clone copies only the page table and takes a
+// reference on every page; the first mutation of a shared page (a store,
+// a protection change, a re-map) copies it. Read paths are strictly
+// side-effect-free, which makes a Memory safe to Clone concurrently from
+// several goroutines as long as nobody mutates it — the property the
+// parallel campaign schedulers rely on to fork worker templates without
+// serializing.
+//
 // All methods return a *Fault on bad accesses instead of panicking; the
 // process layer (package csim) converts faults into simulated signals.
 package cmem
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size in bytes of a simulated memory page.
@@ -93,14 +104,94 @@ func (f *Fault) Error() string {
 // ErrNoMemory is returned when the simulated address space is exhausted.
 var ErrNoMemory = errors.New("cmem: out of simulated memory")
 
+// page is one 4 KiB unit of simulated memory. Pages are shared across
+// forked address spaces: refs counts the page tables referencing this
+// page, and a page may be mutated in place only while refs == 1. The
+// refcount is atomic because sibling forks copy-on-write (and release)
+// shared pages concurrently.
 type page struct {
 	prot Prot
+	refs atomic.Int32
 	data [PageSize]byte
 }
 
+// pagePool recycles page buffers: every fork that diverges copies a few
+// pages and then discards them when its experiment ends, so a campaign
+// would otherwise churn millions of 4 KiB allocations through the GC.
+var pagePool = sync.Pool{New: func() any { return new(page) }}
+
+// newPage returns an exclusively owned, zeroed page. Pooled pages carry
+// the data of their previous life and must be cleared: freshly mapped
+// simulated memory reads as zero.
+func newPage(prot Prot) *page {
+	pg := pagePool.Get().(*page)
+	pg.prot = prot
+	pg.data = [PageSize]byte{}
+	pg.refs.Store(1)
+	return pg
+}
+
+// copyOf returns an exclusively owned copy of src. No clearing is
+// needed: the whole payload is overwritten.
+func copyOf(src *page) *page {
+	pg := pagePool.Get().(*page)
+	pg.prot = src.prot
+	pg.data = src.data
+	pg.refs.Store(1)
+	return pg
+}
+
+// release drops one reference; the last referent returns the page to
+// the pool.
+func (pg *page) release() {
+	if pg.refs.Add(-1) == 0 {
+		pagePool.Put(pg)
+	}
+}
+
+// ForkStats counts page sharing across one fork tree. Every Memory
+// cloned (directly or transitively) from the same root shares one
+// ForkStats, so a campaign can report how much copying its forks
+// avoided. All counters are atomic: sibling forks diverge concurrently.
+type ForkStats struct {
+	forks       atomic.Int64
+	pagesShared atomic.Int64
+	pagesCopied atomic.Int64
+}
+
+// ForkCounts is a point-in-time snapshot of a fork tree's counters.
+type ForkCounts struct {
+	// Forks is the number of Clone calls in the tree.
+	Forks int64
+	// PagesShared counts page-table entries forked by reference — each
+	// one a 4 KiB copy the eager clone would have performed up front.
+	PagesShared int64
+	// PagesCopied counts copy-on-write copies actually performed when a
+	// fork diverged.
+	PagesCopied int64
+}
+
+// Snapshot reads the counters.
+func (s *ForkStats) Snapshot() ForkCounts {
+	return ForkCounts{
+		Forks:       s.forks.Load(),
+		PagesShared: s.pagesShared.Load(),
+		PagesCopied: s.pagesCopied.Load(),
+	}
+}
+
+// BytesAvoided is the copying the fork tree skipped: pages shared at
+// fork time minus the ones later copied on write, in bytes.
+func (c ForkCounts) BytesAvoided() int64 {
+	return (c.PagesShared - c.PagesCopied) * PageSize
+}
+
 // Memory is a simulated address space. The zero value is not usable;
-// call New. Memory is not safe for concurrent use; a simulated process
-// owns its memory exclusively.
+// call New. A Memory is owned by one goroutine: mutating methods are
+// not safe for concurrent use. Read-only methods and Clone perform no
+// writes to shared state, so concurrent Clones of (and reads from) an
+// otherwise-idle Memory are safe — forked children then diverge under
+// their exclusive owners via copy-on-write.
 type Memory struct {
 	pages map[Addr]*page // keyed by page base address
 
@@ -114,11 +205,8 @@ type Memory struct {
 
 	stack *Stack
 
-	// Single-entry page cache for the byte accessors: simulated C code
-	// is dominated by byte-at-a-time loops over one region, and the
-	// map lookup per byte would dominate the whole injection campaign.
-	cacheBase Addr
-	cachePage *page
+	// stats is shared by every Memory in this fork tree.
+	stats *ForkStats
 }
 
 // Address-space layout constants. The null page (and everything below
@@ -127,9 +215,9 @@ const (
 	heapBase Addr = 0x0000_1000_0000
 	mmapBase Addr = 0x2000_0000_0000
 	stackTop Addr = 0x7fff_ffff_f000
-	// stackSize is deliberately small: the fault injector forks a child
-	// per test case and Clone copies every mapped page, so a lean stack
-	// keeps millions of forks affordable.
+	// stackSize is deliberately small: even with copy-on-write forking
+	// every mapped page costs a table entry and a refcount per fork, so
+	// a lean stack keeps millions of forks affordable.
 	stackSize = 32 << 10
 )
 
@@ -139,28 +227,84 @@ func New() *Memory {
 		pages:      make(map[Addr]*page),
 		heapCursor: heapBase,
 		mmapCursor: mmapBase,
+		stats:      &ForkStats{},
 	}
 	m.heap = newHeapState()
 	m.stack = newStack(m)
 	return m
 }
 
-// Clone returns a deep copy of the address space. The fault injector
-// forks a fresh child for every call of the function under test; Clone
-// is the memory half of that fork.
+// Clone returns a copy-on-write fork of the address space. The fault
+// injector forks a fresh child for every call of the function under
+// test; Clone is the memory half of that fork. Only the page table is
+// copied — every page is shared by reference and copied lazily when
+// either side first mutates it.
+//
+// Clone reads the parent but never writes it, so several goroutines may
+// Clone the same Memory concurrently (the scheduler's worker-template
+// fork); concurrency with mutations of the parent remains undefined.
 func (m *Memory) Clone() *Memory {
 	c := &Memory{
 		pages:      make(map[Addr]*page, len(m.pages)),
 		heapCursor: m.heapCursor,
 		mmapCursor: m.mmapCursor,
+		stats:      m.stats,
 	}
 	for base, pg := range m.pages {
-		cp := *pg
-		c.pages[base] = &cp
+		pg.refs.Add(1)
+		c.pages[base] = pg
+	}
+	c.heap = m.heap.clone()
+	c.stack = m.stack.clone(c)
+	m.stats.forks.Add(1)
+	m.stats.pagesShared.Add(int64(len(m.pages)))
+	return c
+}
+
+// CloneEager returns a deep copy sharing no pages: the pre-COW fork,
+// kept as the reference implementation for the differential tests and
+// the eager-vs-COW benchmarks. It does not count toward ForkStats.
+func (m *Memory) CloneEager() *Memory {
+	c := &Memory{
+		pages:      make(map[Addr]*page, len(m.pages)),
+		heapCursor: m.heapCursor,
+		mmapCursor: m.mmapCursor,
+		stats:      m.stats,
+	}
+	for base, pg := range m.pages {
+		c.pages[base] = copyOf(pg)
 	}
 	c.heap = m.heap.clone()
 	c.stack = m.stack.clone(c)
 	return c
+}
+
+// Release drops the address space's page references, returning
+// exclusively owned pages to the page pool. The fault injector calls it
+// when a forked child's experiment completes; the Memory must not be
+// used afterwards (mutations panic, accesses fault as unmapped).
+func (m *Memory) Release() {
+	for _, pg := range m.pages {
+		pg.release()
+	}
+	m.pages = nil
+}
+
+// ForkStats returns the sharing counters of this Memory's fork tree.
+func (m *Memory) ForkStats() *ForkStats { return m.stats }
+
+// ensureOwned returns a page for base that this Memory owns
+// exclusively, copying the shared page first if needed. Every mutation
+// path funnels through it — the copy-on-write fault handler.
+func (m *Memory) ensureOwned(base Addr, pg *page) *page {
+	if pg.refs.Load() == 1 {
+		return pg
+	}
+	np := copyOf(pg)
+	m.pages[base] = np
+	pg.release()
+	m.stats.pagesCopied.Add(1)
+	return np
 }
 
 // Map maps n bytes starting at the page containing addr with protection
@@ -170,14 +314,15 @@ func (m *Memory) Map(addr Addr, n int, prot Prot) {
 	if n <= 0 {
 		return
 	}
-	m.cachePage = nil
 	first := addr.PageBase()
 	last := (addr + Addr(n) - 1).PageBase()
 	for base := first; ; base += PageSize {
 		if pg, ok := m.pages[base]; ok {
-			pg.prot = prot
+			if pg.prot != prot {
+				m.ensureOwned(base, pg).prot = prot
+			}
 		} else {
-			m.pages[base] = &page{prot: prot}
+			m.pages[base] = newPage(prot)
 		}
 		if base == last {
 			break
@@ -191,11 +336,13 @@ func (m *Memory) Unmap(addr Addr, n int) {
 	if n <= 0 {
 		return
 	}
-	m.cachePage = nil
 	first := addr.PageBase()
 	last := (addr + Addr(n) - 1).PageBase()
 	for base := first; ; base += PageSize {
-		delete(m.pages, base)
+		if pg, ok := m.pages[base]; ok {
+			delete(m.pages, base)
+			pg.release()
+		}
 		if base == last {
 			break
 		}
@@ -203,17 +350,18 @@ func (m *Memory) Unmap(addr Addr, n int) {
 }
 
 // Protect changes the protection of every page overlapping [addr, addr+n).
-// Unmapped pages in the range are left unmapped.
+// Unmapped pages in the range are left unmapped. Changing a shared
+// page's protection copies it: protection state lives in the page, and
+// the sibling forks must keep seeing the old protection.
 func (m *Memory) Protect(addr Addr, n int, prot Prot) {
 	if n <= 0 {
 		return
 	}
-	m.cachePage = nil
 	first := addr.PageBase()
 	last := (addr + Addr(n) - 1).PageBase()
 	for base := first; ; base += PageSize {
-		if pg, ok := m.pages[base]; ok {
-			pg.prot = prot
+		if pg, ok := m.pages[base]; ok && pg.prot != prot {
+			m.ensureOwned(base, pg).prot = prot
 		}
 		if base == last {
 			break
@@ -314,34 +462,24 @@ func (m *Memory) copyOut(addr Addr, out []byte) {
 	}
 }
 
-// copyIn copies data into memory; all pages must be mapped.
+// copyIn copies data into memory; all pages must be mapped. Shared
+// pages are copied before the store lands.
 func (m *Memory) copyIn(addr Addr, data []byte) {
 	for len(data) > 0 {
-		pg := m.pages[addr.PageBase()]
-		off := int(addr - addr.PageBase())
+		base := addr.PageBase()
+		pg := m.ensureOwned(base, m.pages[base])
+		off := int(addr - base)
 		n := copy(pg.data[off:], data)
 		data = data[n:]
 		addr += Addr(n)
 	}
 }
 
-// pageFor resolves the page containing addr through the single-entry
-// cache.
-func (m *Memory) pageFor(addr Addr) *page {
-	base := addr.PageBase()
-	if m.cachePage != nil && m.cacheBase == base {
-		return m.cachePage
-	}
-	pg := m.pages[base]
-	if pg != nil {
-		m.cacheBase, m.cachePage = base, pg
-	}
-	return pg
-}
-
-// LoadByte reads a single byte.
+// LoadByte reads a single byte. Like every read path it performs no
+// state writes, so frozen snapshots and fork templates stay pristine
+// under arbitrary reads.
 func (m *Memory) LoadByte(addr Addr) (byte, *Fault) {
-	pg := m.pageFor(addr)
+	pg := m.pages[addr.PageBase()]
 	if pg == nil {
 		return 0, &Fault{Addr: addr, Access: AccessRead}
 	}
@@ -351,15 +489,18 @@ func (m *Memory) LoadByte(addr Addr) (byte, *Fault) {
 	return pg.data[addr&(PageSize-1)], nil
 }
 
-// StoreByte writes a single byte.
+// StoreByte writes a single byte. The protection check precedes the
+// copy-on-write fault, so a denied store never copies the page.
 func (m *Memory) StoreByte(addr Addr, b byte) *Fault {
-	pg := m.pageFor(addr)
+	base := addr.PageBase()
+	pg := m.pages[base]
 	if pg == nil {
 		return &Fault{Addr: addr, Access: AccessWrite}
 	}
 	if pg.prot&ProtWrite == 0 {
 		return &Fault{Addr: addr, Access: AccessWrite, Mapped: true}
 	}
+	pg = m.ensureOwned(base, pg)
 	pg.data[addr&(PageSize-1)] = b
 	return nil
 }
@@ -414,27 +555,40 @@ func (m *Memory) WriteU64(addr Addr, v uint64) *Fault {
 	return m.Write(addr, b)
 }
 
-// CString reads a NUL-terminated string starting at addr. Reading
-// proceeds byte by byte so that an unterminated string in a bounded
-// region faults at exactly the first inaccessible byte, the behaviour
-// real C string functions exhibit.
+// maxCString caps CString scans: a terminator must appear within the
+// mapped region, and a megabyte without one means the simulation set up
+// a pathological string. The scan then faults at the cursor, exactly as
+// the historical byte-at-a-time loop did.
+const maxCString = 1 << 20
+
+// CString reads a NUL-terminated string starting at addr. The scan
+// observes protection page by page, so an unterminated string in a
+// bounded region faults at exactly the first inaccessible byte — the
+// behaviour real C string functions exhibit.
 func (m *Memory) CString(addr Addr) (string, *Fault) {
 	var buf []byte
-	for a := addr; ; a++ {
-		b, f := m.LoadByte(a)
-		if f != nil {
-			return "", f
+	a := addr
+	for {
+		pg := m.pages[a.PageBase()]
+		if pg == nil {
+			return "", &Fault{Addr: a, Access: AccessRead}
 		}
-		if b == 0 {
-			return string(buf), nil
-		}
-		buf = append(buf, b)
-		if len(buf) > 1<<20 {
-			// A terminator must appear within the mapped region; a
-			// megabyte without one means the simulation set up a
-			// pathological string. Treat as a fault at the cursor.
+		if pg.prot&ProtRead == 0 {
 			return "", &Fault{Addr: a, Access: AccessRead, Mapped: true}
 		}
+		chunk := pg.data[a&(PageSize-1):]
+		i := bytes.IndexByte(chunk, 0)
+		if i < 0 {
+			i = len(chunk)
+		}
+		if len(buf)+i > maxCString {
+			return "", &Fault{Addr: a + Addr(maxCString-len(buf)), Access: AccessRead, Mapped: true}
+		}
+		if i < len(chunk) {
+			return string(append(buf, chunk[:i]...)), nil
+		}
+		buf = append(buf, chunk...)
+		a += Addr(len(chunk))
 	}
 }
 

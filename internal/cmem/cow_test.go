@@ -1,0 +1,356 @@
+package cmem
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForkChildWriteDoesNotLeak pins the core aliasing rule: a write in
+// one fork is invisible to the parent and to every sibling fork, even
+// though all three share the page until the write.
+func TestForkChildWriteDoesNotLeak(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(p, 1); f != nil {
+		t.Fatal(f)
+	}
+
+	a := m.Clone()
+	b := m.Clone()
+	if f := a.StoreByte(p, 2); f != nil {
+		t.Fatal(f)
+	}
+	if f := b.StoreByte(p, 3); f != nil {
+		t.Fatal(f)
+	}
+
+	for _, tt := range []struct {
+		name string
+		m    *Memory
+		want byte
+	}{
+		{"parent", m, 1},
+		{"child a", a, 2},
+		{"child b", b, 3},
+	} {
+		if got, f := tt.m.LoadByte(p); f != nil || got != tt.want {
+			t.Errorf("%s byte = %d, %v; want %d", tt.name, got, f, tt.want)
+		}
+	}
+
+	fk := m.ForkStats().Snapshot()
+	if fk.Forks != 2 {
+		t.Errorf("Forks = %d, want 2", fk.Forks)
+	}
+	if fk.PagesShared == 0 || fk.PagesCopied == 0 {
+		t.Errorf("expected sharing and copying, got %+v", fk)
+	}
+	if fk.BytesAvoided() <= 0 {
+		t.Errorf("BytesAvoided = %d, want > 0", fk.BytesAvoided())
+	}
+}
+
+// TestForkParentWriteDoesNotLeak is the symmetric direction: the parent
+// diverging after a fork must not disturb the child's view.
+func TestForkParentWriteDoesNotLeak(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(p, 7); f != nil {
+		t.Fatal(f)
+	}
+	c := m.Clone()
+	if f := m.StoreByte(p, 8); f != nil {
+		t.Fatal(f)
+	}
+	if got, _ := c.LoadByte(p); got != 7 {
+		t.Errorf("child byte = %d after parent write, want 7", got)
+	}
+	if got, _ := m.LoadByte(p); got != 8 {
+		t.Errorf("parent byte = %d, want 8", got)
+	}
+}
+
+// TestProtectAfterForkSplits verifies that changing a shared page's
+// protection in one fork copies it: the other fork keeps both the old
+// protection and the old contents.
+func TestProtectAfterForkSplits(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(base, 42); f != nil {
+		t.Fatal(f)
+	}
+	c := m.Clone()
+	c.Protect(base, PageSize, ProtRead)
+
+	if f := c.StoreByte(base, 1); f == nil {
+		t.Error("child write after Protect(ProtRead) did not fault")
+	}
+	if f := m.StoreByte(base, 43); f != nil {
+		t.Errorf("parent write faulted after child Protect: %v", f)
+	}
+	if prot, ok := m.ProtAt(base); !ok || prot != ProtRW {
+		t.Errorf("parent prot = %v, %v; want rw-", prot, ok)
+	}
+	if prot, ok := c.ProtAt(base); !ok || prot != ProtRead {
+		t.Errorf("child prot = %v, %v; want r--", prot, ok)
+	}
+	if got, _ := c.LoadByte(base); got != 42 {
+		t.Errorf("child lost pre-fork contents: byte = %d, want 42", got)
+	}
+}
+
+// TestWriteOnlyPagesSurviveFork checks WONLY semantics across a fork:
+// the page stays write-only on both sides, reads keep faulting with
+// Mapped=true, and a child write still copies rather than aliasing.
+func TestWriteOnlyPagesSurviveFork(t *testing.T) {
+	m := New()
+	wo, err := m.MmapRegion(PageSize, ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(wo, 5); f != nil {
+		t.Fatal(f)
+	}
+	c := m.Clone()
+	for name, mm := range map[string]*Memory{"parent": m, "child": c} {
+		if prot, ok := mm.ProtAt(wo); !ok || prot != ProtWrite {
+			t.Errorf("%s prot = %v, %v; want -w-", name, prot, ok)
+		}
+		_, f := mm.LoadByte(wo)
+		if f == nil {
+			t.Errorf("%s read of write-only page did not fault", name)
+		} else if !f.Mapped || f.Access != AccessRead {
+			t.Errorf("%s fault = %+v, want mapped read fault", name, f)
+		}
+	}
+	// The child's write must land on a private copy.
+	if f := c.StoreByte(wo, 9); f != nil {
+		t.Fatal(f)
+	}
+	c.Protect(wo, PageSize, ProtRW)
+	m.Protect(wo, PageSize, ProtRW)
+	if got, _ := c.LoadByte(wo); got != 9 {
+		t.Errorf("child byte = %d, want 9", got)
+	}
+	if got, _ := m.LoadByte(wo); got != 5 {
+		t.Errorf("parent byte = %d, want 5", got)
+	}
+}
+
+// TestChildFreeLeavesParentAllocIntact: releasing a heap block in a
+// fork unmaps the child's pages only; the parent's allocation table and
+// data survive.
+func TestChildFreeLeavesParentAllocIntact(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.Write(p, []byte("payload")); f != nil {
+		t.Fatal(f)
+	}
+	c := m.Clone()
+	if !c.Free(p) {
+		t.Fatal("child Free returned false")
+	}
+	if _, f := c.LoadByte(p); f == nil {
+		t.Error("child use-after-free did not fault")
+	}
+	if c.LiveAllocs() != 0 {
+		t.Errorf("child LiveAllocs = %d, want 0", c.LiveAllocs())
+	}
+
+	if m.LiveAllocs() != 1 {
+		t.Errorf("parent LiveAllocs = %d, want 1", m.LiveAllocs())
+	}
+	info, ok := m.AllocAt(p + 50)
+	if !ok || info.Base != p || info.Size != 100 {
+		t.Errorf("parent AllocAt = %+v, %v", info, ok)
+	}
+	got, f := m.Read(p, 7)
+	if f != nil || string(got) != "payload" {
+		t.Errorf("parent data = %q, %v", got, f)
+	}
+
+	// And the reverse: a parent Free must not unmap the child's view.
+	m2 := New()
+	q, _ := m2.Malloc(10)
+	c2 := m2.Clone()
+	m2.Free(q)
+	if _, f := c2.LoadByte(q); f != nil {
+		t.Errorf("child read faulted after parent Free: %v", f)
+	}
+}
+
+// TestMapResetAfterForkSplits: re-mapping an already-mapped shared page
+// (which resets protection but preserves contents) must not be visible
+// to the other fork.
+func TestMapResetAfterForkSplits(t *testing.T) {
+	m := New()
+	base, err := m.MmapRegion(PageSize, ProtRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.Map(base, PageSize, ProtRW)
+	if f := c.StoreByte(base, 1); f != nil {
+		t.Errorf("child write after re-map faulted: %v", f)
+	}
+	if f := m.StoreByte(base, 2); f == nil {
+		t.Error("parent write to read-only page did not fault after child re-map")
+	}
+}
+
+// TestForkOfForkDiverges exercises a three-generation chain: pages
+// shared across grandparent/parent/child split correctly at each level.
+func TestForkOfForkDiverges(t *testing.T) {
+	g := New()
+	p, err := g.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := g.StoreByte(p, 1); f != nil {
+		t.Fatal(f)
+	}
+	mid := g.Clone()
+	leaf := mid.Clone()
+	if f := leaf.StoreByte(p, 3); f != nil {
+		t.Fatal(f)
+	}
+	if f := mid.StoreByte(p, 2); f != nil {
+		t.Fatal(f)
+	}
+	for _, tt := range []struct {
+		name string
+		m    *Memory
+		want byte
+	}{{"grandparent", g, 1}, {"middle", mid, 2}, {"leaf", leaf, 3}} {
+		if got, _ := tt.m.LoadByte(p); got != tt.want {
+			t.Errorf("%s byte = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+// TestReleaseReturnsPagesAndPoisons: Release drops the page table; the
+// memory then faults as unmapped, and pooled pages handed to a fresh
+// mapping read as zero (no stale data escapes the pool).
+func TestReleaseReturnsPagesAndPoisons(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := make([]byte, PageSize)
+	for i := range fill {
+		fill[i] = 0xAB
+	}
+	if f := m.Write(p, fill); f != nil {
+		t.Fatal(f)
+	}
+	m.Release()
+	if _, f := m.LoadByte(p); f == nil {
+		t.Error("read after Release did not fault")
+	}
+
+	// Fresh mappings must be zeroed even when served from the pool.
+	m2 := New()
+	q, err := m2.Malloc(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, f := m2.Read(q, PageSize)
+	if f != nil {
+		t.Fatal(f)
+	}
+	for i, b := range data {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %#x, want 0 (stale pool data leaked)", i, b)
+		}
+	}
+}
+
+// TestSharedPageReleaseKeepsSibling: releasing one fork must not return
+// still-shared pages to the pool while a sibling references them.
+func TestSharedPageReleaseKeepsSibling(t *testing.T) {
+	m := New()
+	p, err := m.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.StoreByte(p, 0x5A); f != nil {
+		t.Fatal(f)
+	}
+	c := m.Clone()
+	c.Release()
+	// Thrash the pool so a wrongly released page would be recycled.
+	for i := 0; i < 8; i++ {
+		x := New()
+		if _, err := x.Malloc(4 * PageSize); err != nil {
+			t.Fatal(err)
+		}
+		x.Release()
+	}
+	if got, f := m.LoadByte(p); f != nil || got != 0x5A {
+		t.Errorf("parent byte = %d, %v after child release; want 0x5a", got, f)
+	}
+}
+
+// TestConcurrentTemplateForks is the race audit for the scheduler's
+// worker-template pattern: many goroutines fork one idle template
+// concurrently, diverge privately, and release. Run under -race this
+// validates the atomic refcount protocol end to end.
+func TestConcurrentTemplateForks(t *testing.T) {
+	template := New()
+	p, err := template.Malloc(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := template.WriteCString(p, "template"); f != nil {
+		t.Fatal(f)
+	}
+
+	const workers, forksPerWorker = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < forksPerWorker; i++ {
+				c := template.Clone()
+				if s, f := c.CString(p); f != nil || s != "template" {
+					errs <- "fork saw corrupted template data"
+				}
+				if f := c.StoreByte(p, byte(w)); f != nil {
+					errs <- f.Error()
+				}
+				if got, _ := c.LoadByte(p); got != byte(w) {
+					errs <- "fork lost its private write"
+				}
+				c.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if s, f := template.CString(p); f != nil || s != "template" {
+		t.Fatalf("template mutated by concurrent forks: %q, %v", s, f)
+	}
+	fk := template.ForkStats().Snapshot()
+	if want := int64(workers * forksPerWorker); fk.Forks != want {
+		t.Errorf("Forks = %d, want %d", fk.Forks, want)
+	}
+}

@@ -14,10 +14,13 @@ type AllocInfo struct {
 // End returns the first address past the allocation.
 func (a AllocInfo) End() Addr { return a.Base + Addr(a.Size) }
 
+// heapState tracks live allocations. The sorted index is maintained
+// incrementally by Malloc/Free rather than rebuilt lazily on lookup:
+// AllocAt is a read path, and read paths must not write state (a frozen
+// snapshot or a shared fork template stays bit-identical under reads).
 type heapState struct {
 	allocs map[Addr]int // base -> size
 	sorted []Addr       // sorted bases, for containing-block lookup
-	dirty  bool         // sorted needs rebuilding
 }
 
 func newHeapState() *heapState {
@@ -25,21 +28,36 @@ func newHeapState() *heapState {
 }
 
 func (h *heapState) clone() *heapState {
-	c := newHeapState()
+	c := &heapState{
+		allocs: make(map[Addr]int, len(h.allocs)),
+		sorted: append([]Addr(nil), h.sorted...),
+	}
 	for b, s := range h.allocs {
 		c.allocs[b] = s
 	}
-	c.dirty = true
 	return c
 }
 
-func (h *heapState) rebuild() {
-	h.sorted = h.sorted[:0]
-	for b := range h.allocs {
-		h.sorted = append(h.sorted, b)
+// insert records base in the sorted index. The heap cursor only grows,
+// so within one address space new bases append; the general insert
+// covers forked children interleaving with inherited allocations.
+func (h *heapState) insert(base Addr) {
+	if n := len(h.sorted); n == 0 || h.sorted[n-1] < base {
+		h.sorted = append(h.sorted, base)
+		return
 	}
-	sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
-	h.dirty = false
+	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] >= base })
+	h.sorted = append(h.sorted, 0)
+	copy(h.sorted[i+1:], h.sorted[i:])
+	h.sorted[i] = base
+}
+
+// remove drops base from the sorted index.
+func (h *heapState) remove(base Addr) {
+	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] >= base })
+	if i < len(h.sorted) && h.sorted[i] == base {
+		h.sorted = append(h.sorted[:i], h.sorted[i+1:]...)
+	}
 }
 
 // Malloc allocates size bytes on the simulated heap. Each allocation is
@@ -63,7 +81,7 @@ func (m *Memory) Malloc(size int) (Addr, error) {
 	m.Map(base, pages*PageSize, ProtRW)
 	m.heapCursor = base + Addr(pages*PageSize) + PageSize
 	m.heap.allocs[base] = size
-	m.heap.dirty = true
+	m.heap.insert(base)
 	return base, nil
 }
 
@@ -85,7 +103,7 @@ func (m *Memory) Free(addr Addr) bool {
 	}
 	m.Unmap(addr, n)
 	delete(m.heap.allocs, addr)
-	m.heap.dirty = true
+	m.heap.remove(addr)
 	return true
 }
 
@@ -118,12 +136,10 @@ func (m *Memory) Realloc(addr Addr, size int) (Addr, error) {
 }
 
 // AllocAt returns the live allocation whose [Base, End) range contains
-// addr, if any. This is the wrapper's stateful lookup.
+// addr, if any. This is the wrapper's stateful lookup. It is a pure
+// read: the sorted index is maintained at allocation time.
 func (m *Memory) AllocAt(addr Addr) (AllocInfo, bool) {
 	h := m.heap
-	if h.dirty {
-		h.rebuild()
-	}
 	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] > addr })
 	if i == 0 {
 		return AllocInfo{}, false

@@ -186,10 +186,15 @@ func NewProcess(fs *FS) *Process {
 	}
 }
 
-// Fork returns a copy of the process: cloned memory, copied descriptor
-// table (descriptors share open-file state like a real fork), same
-// filesystem. The fault injector forks a child per test call so a crash
-// cannot corrupt the parent.
+// Fork returns a copy of the process: copy-on-write memory (the child
+// shares every page with the parent until one of them writes it),
+// copied descriptor table (descriptors share open-file state like a
+// real fork), cloned filesystem. The fault injector forks a child per
+// test call so a crash cannot corrupt the parent.
+//
+// Fork only reads the parent, so one template process may be forked
+// concurrently from several goroutines — the parallel campaign
+// schedulers do exactly that — as long as nothing mutates the template.
 func (p *Process) Fork() *Process {
 	c := &Process{
 		Mem:        p.Mem.Clone(),
@@ -222,6 +227,11 @@ func (p *Process) Fork() *Process {
 	}
 	return c
 }
+
+// Release returns the process's exclusively owned memory pages to the
+// shared page pool. The campaign drivers call it when a forked child's
+// experiment completes; the process must not run code afterwards.
+func (p *Process) Release() { p.Mem.Release() }
 
 // SetStepBudget overrides the hang-detection budget for this process.
 func (p *Process) SetStepBudget(n int) { p.stepBudget = n }

@@ -32,6 +32,30 @@ func chainArrayGen(g gens.Generator) *gens.ArrayGen {
 // given probe overrides on the other arguments and returns the minimal
 // region size that lets the function return, or ok=false if the chain
 // never succeeds.
+// runChild forks a fresh child from the template, materializes probes,
+// and calls the function under test, releasing the child's pages before
+// returning. ok is false when materialization failed (a harness
+// problem, not an experiment); errnoSet reports the child's errno
+// observation after the call.
+func (c *campaign) runChild(probes []*gens.Probe) (out csim.Outcome, errnoSet bool, ok bool) {
+	child := c.template.Fork()
+	defer child.Release()
+	child.SetStepBudget(c.inj.cfg.StepBudget)
+	args := make([]uint64, len(probes))
+	mat := child.Run(func() uint64 {
+		for i, p := range probes {
+			args[i] = p.Build(child)
+		}
+		return 0
+	})
+	if mat.Kind != csim.OutcomeReturn {
+		return csim.Outcome{}, false, false
+	}
+	child.ClearErrno()
+	out = child.Run(func() uint64 { return c.fn.Impl(child, args) })
+	return out, child.ErrnoSet(), true
+}
+
 func (c *campaign) measureMinimal(target int, prot cmem.Prot, overrides map[int]*gens.Probe) (int, bool) {
 	ag := chainArrayGen(c.gens[target])
 	if ag == nil {
@@ -46,22 +70,12 @@ func (c *campaign) measureMinimal(target int, prot cmem.Prot, overrides map[int]
 		}
 		probes[target] = pr
 
-		child := c.template.Fork()
-		child.SetStepBudget(c.inj.cfg.StepBudget)
-		args := make([]uint64, len(probes))
-		mat := child.Run(func() uint64 {
-			for i, p := range probes {
-				args[i] = p.Build(child)
-			}
-			return 0
-		})
-		if mat.Kind != csim.OutcomeReturn {
+		out, errnoSet, ok := c.runChild(probes)
+		if !ok {
 			return 0, false
 		}
-		child.ClearErrno()
-		out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
 		if out.Kind == csim.OutcomeReturn {
-			if child.ErrnoSet() {
+			if errnoSet {
 				return 0, false // error path, not a sizing success
 			}
 			return pr.Size, true
@@ -97,20 +111,10 @@ func (c *campaign) inferBoundedRead(target int, rt decl.RobustType) (decl.Robust
 		copy(probes, c.defaults)
 		probes[target] = pr
 		probes[intArg] = ig.ValueProbe(n)
-		child := c.template.Fork()
-		child.SetStepBudget(c.inj.cfg.StepBudget)
-		args := make([]uint64, len(probes))
-		mat := child.Run(func() uint64 {
-			for i, p := range probes {
-				args[i] = p.Build(child)
-			}
-			return 0
-		})
-		if mat.Kind != csim.OutcomeReturn {
+		out, _, ok := c.runChild(probes)
+		if !ok {
 			return 0, false
 		}
-		child.ClearErrno()
-		out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
 		return out.Kind, true
 	}
 	for j, g := range c.gens {

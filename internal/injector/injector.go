@@ -125,6 +125,12 @@ type Result struct {
 	// adaptive chains (all zero when the campaign ran cold).
 	Seed gens.SeedStats
 
+	// Fork counts the campaign's copy-on-write forking: children
+	// forked from the function's template, pages shared at fork time,
+	// and pages copied when a child diverged. Zero for results served
+	// from a cache — no forking happened.
+	Fork cmem.ForkCounts
+
 	ErrClass decl.ErrClass
 }
 
@@ -158,6 +164,13 @@ type Injector struct {
 	mCacheHits   *obs.Counter
 	mCacheMisses *obs.Counter
 	mFlightJoins *obs.Counter
+	// Copy-on-write fork counters: child forks performed, pages shared
+	// at fork time, pages copied when a fork diverged, and the copying
+	// (in bytes) the lazy fork avoided versus an eager clone.
+	mForks            *obs.Counter
+	mForkPagesShared  *obs.Counter
+	mForkPagesCopied  *obs.Counter
+	mForkBytesAvoided *obs.Counter
 }
 
 // adaptiveIterBuckets bound the adjustments-per-chain histogram; the
@@ -196,6 +209,10 @@ func New(lib *clib.Library, cfg Config) *Injector {
 	inj.mCacheHits = reg.Counter("healers_injector_cache_hits_total")
 	inj.mCacheMisses = reg.Counter("healers_injector_cache_misses_total")
 	inj.mFlightJoins = reg.Counter("healers_injector_flight_joins_total")
+	inj.mForks = reg.Counter("healers_injector_forks_total")
+	inj.mForkPagesShared = reg.Counter("healers_injector_fork_pages_shared_total")
+	inj.mForkPagesCopied = reg.Counter("healers_injector_fork_pages_copied_total")
+	inj.mForkBytesAvoided = reg.Counter("healers_injector_fork_bytes_avoided_total")
 	if cfg.Metrics != nil {
 		inj.sandbox = csim.NewMetrics(cfg.Metrics)
 	}
@@ -300,7 +317,22 @@ func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 		return nil, fmt.Errorf("injector: %s: %w", fn.Name, err)
 	}
 	c.buildDecl(robust)
+	c.settleForkStats()
 	return c.result, nil
+}
+
+// settleForkStats snapshots the template fork tree's copy-on-write
+// counters into the result and the campaign metrics, then returns the
+// template's pages to the shared page pool — every child has already
+// been released by runOnce, so the template holds the last references.
+func (c *campaign) settleForkStats() {
+	fk := c.template.Mem.ForkStats().Snapshot()
+	c.result.Fork = fk
+	c.inj.mForks.Add(fk.Forks)
+	c.inj.mForkPagesShared.Add(fk.PagesShared)
+	c.inj.mForkPagesCopied.Add(fk.PagesCopied)
+	c.inj.mForkBytesAvoided.Add(fk.BytesAvoided())
+	c.template.Release()
 }
 
 // applySeeds arms the adaptive array generators with the static
@@ -482,6 +514,7 @@ func selectRepresentatives(list []*gens.Probe, max int) []*gens.Probe {
 // outcome and the fault (if the call crashed with one).
 func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutcome, *cmem.Fault) {
 	child := c.template.Fork()
+	defer child.Release()
 	child.SetStepBudget(c.inj.cfg.StepBudget)
 
 	args := make([]uint64, len(probes))

@@ -27,9 +27,10 @@ import (
 //   - All per-call C state (memory, errno, descriptors, statics such
 //     as strtok's scan position) lives in the csim.Process, and every
 //     function campaign builds its own template process, forking a
-//     private child per experiment. cmem.Memory carries a single-entry
-//     page cache that mutates on reads, so a Process must never be
-//     shared across goroutines — campaigns never do.
+//     private copy-on-write child per experiment. Every cmem read path
+//     is side-effect-free and fork refcounts are atomic, so a template
+//     may even be forked from several goroutines at once (ballista's
+//     workers do); here each campaign owns its template outright.
 //   - Generators (gens.*) and the per-function campaign struct are
 //     allocated inside InjectFunction; nothing escapes.
 //   - The shared observability spine is concurrency-safe by
@@ -90,6 +91,12 @@ func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, resul
 			worker := inj.shadow(lib)
 			wFuncs := reg.Counter(fmt.Sprintf("healers_injector_worker_functions_total{worker=%q}", fmt.Sprint(wid)))
 			wCalls := reg.Counter(fmt.Sprintf("healers_injector_worker_calls_total{worker=%q}", fmt.Sprint(wid)))
+			// Per-worker copy-on-write accounting: forks this worker
+			// performed, pages it shared at fork time, and pages its
+			// children copied on first write.
+			wForks := reg.Counter(fmt.Sprintf("healers_injector_worker_forks_total{worker=%q}", fmt.Sprint(wid)))
+			wShared := reg.Counter(fmt.Sprintf("healers_injector_worker_pages_shared_total{worker=%q}", fmt.Sprint(wid)))
+			wCopied := reg.Counter(fmt.Sprintf("healers_injector_worker_pages_copied_total{worker=%q}", fmt.Sprint(wid)))
 			stop := inj.cfg.Spans.Start(fmt.Sprintf("inject-worker-%d", wid))
 			done := 0
 			for t := range jobs {
@@ -108,6 +115,9 @@ func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, resul
 				results[t.idx] = res
 				wFuncs.Inc()
 				wCalls.Add(int64(res.Calls))
+				wForks.Add(res.Fork.Forks)
+				wShared.Add(res.Fork.PagesShared)
+				wCopied.Add(res.Fork.PagesCopied)
 				done++
 			}
 			stop(done)

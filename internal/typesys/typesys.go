@@ -145,22 +145,39 @@ func (h *Hierarchy) Finalize() error {
 		}
 	}
 
-	// Membership: fund ∈ V(t) iff an edge path leads from fund to t
-	// (or t is the fundamental itself).
-	member := make([][]bool, n) // member[fund][t]
-	for i := range member {
-		member[i] = make([]bool, n)
+	// Membership: fund ∈ V(t) iff an edge path leads from fund to t (or
+	// t is the fundamental itself). Each type's value set is stored as a
+	// bitset over fundamental ordinals, so the inclusion test below is a
+	// handful of word operations instead of a scan over all types —
+	// hierarchies are rebuilt per argument per campaign function over
+	// every adaptively probed size, and the cubic scan dominated whole
+	// campaigns.
+	fundBit := make([]int, n) // type index -> fundamental ordinal, -1 for unified
+	nf := 0
+	for _, t := range h.types {
+		if t.fundamental {
+			fundBit[t.index] = nf
+			nf++
+		} else {
+			fundBit[t.index] = -1
+		}
+	}
+	words := (nf + 63) / 64
+	funds := make([][]uint64, n) // funds[t] = bitset of fundamentals in V(t)
+	for i := range funds {
+		funds[i] = make([]uint64, words)
 	}
 	for _, f := range h.types {
 		if !f.fundamental {
 			continue
 		}
+		word, mask := fundBit[f.index]/64, uint64(1)<<(fundBit[f.index]%64)
 		var mark func(t *Type)
 		mark = func(t *Type) {
-			if member[f.index][t.index] {
+			if funds[t.index][word]&mask != 0 {
 				return
 			}
-			member[f.index][t.index] = true
+			funds[t.index][word] |= mask
 			for _, s := range h.supers[t] {
 				mark(s)
 			}
@@ -174,10 +191,12 @@ func (h *Hierarchy) Finalize() error {
 		h.le[i] = make([]bool, n)
 	}
 	for _, a := range h.types {
+		fa := funds[a.index]
 		for _, b := range h.types {
+			fb := funds[b.index]
 			le := true
-			for _, f := range h.types {
-				if f.fundamental && member[f.index][a.index] && !member[f.index][b.index] {
+			for k := 0; k < words; k++ {
+				if fa[k]&^fb[k] != 0 {
 					le = false
 					break
 				}
@@ -185,7 +204,7 @@ func (h *Hierarchy) Finalize() error {
 			// A fundamental is only below types it is a member of;
 			// the empty-set rule would make it below everything.
 			if a.fundamental {
-				le = le && member[a.index][b.index]
+				le = le && fb[fundBit[a.index]/64]&(1<<(fundBit[a.index]%64)) != 0
 			}
 			h.le[a.index][b.index] = le
 		}
