@@ -9,6 +9,7 @@
 #   make verify        — all tiers (the pre-commit gate)
 #   make bench         — wrapper call-path overhead benchmarks
 #   make bench-campaign — campaign benchmarks + BENCH_campaign.json refresh
+#   make bench-gate    — perf-regression gate against the committed history
 #   make bench-smoke   — one-iteration benchmark + COW differential audit
 #   make fuzz          — 30s of prototype-parser fuzzing beyond the corpus
 #   make table1 / figure6 / stats — run the paper's evaluations
@@ -20,7 +21,7 @@ GO ?= go
 # untested subsystems).
 COVER_BASELINE ?= 79.0
 
-.PHONY: all check race race-parallel serve-test lint cover verify bench bench-campaign bench-smoke fuzz table1 figure6 stats analyze clean
+.PHONY: all check race race-parallel serve-test lint cover verify bench bench-campaign bench-gate bench-smoke fuzz table1 figure6 stats analyze clean
 
 all: check
 
@@ -71,11 +72,21 @@ bench-campaign:
 	$(GO) test -run '^$$' -bench BenchmarkCampaign -benchtime 3x ./internal/injector/
 	BENCH_JSON=$(CURDIR)/BENCH_campaign.json $(GO) test -count=1 -run TestBenchTrajectory -v ./internal/injector/
 
+# The perf-regression gate: re-measure the campaign trajectory, compare
+# against the last committed BENCH_campaign.json entry under benchgate
+# tolerances (override per category with BENCH_GATE_*_PCT; soften noisy
+# timing categories with BENCH_GATE_SOFT=cold_sequential,...), and
+# append a git-SHA-stamped entry to the history on a clean pass.
+bench-gate:
+	BENCH_JSON=$(CURDIR)/BENCH_campaign.json BENCH_GATE=1 $(GO) test -count=1 -run TestBenchTrajectory -v ./internal/injector/
+
 # CI's cheap perf gate: every campaign benchmark runs one iteration (so
-# a hang or a golden-vector divergence fails fast), and the COW
-# differential + aliasing + purity audits run under the race detector.
+# a hang or a golden-vector divergence fails fast), the wrapper nop
+# path proves its zero-alloc contract, and the COW differential +
+# aliasing + purity audits run under the race detector.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCampaign|BenchmarkFork' -benchtime 1x ./internal/injector/ ./internal/cmem/
+	$(GO) test -count=1 -run TestNopObservabilityAddsNoAllocations ./internal/wrapper/
 	$(GO) test -race -count=1 -run 'TestDifferentialCOWvsEager|TestConcurrentTemplateForks|TestReadPathsLeaveSnapshotFrozen|TestFork|TestProtectAfterFork|TestWriteOnlyPagesSurviveFork|TestChildFree|TestMapResetAfterFork|TestRelease|TestSharedPageRelease' ./internal/cmem/
 
 fuzz:

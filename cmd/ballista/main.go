@@ -12,6 +12,7 @@ import (
 
 	"healers"
 	"healers/internal/injector"
+	"healers/internal/obs"
 )
 
 func main() {
@@ -23,8 +24,18 @@ func main() {
 
 func run() error {
 	workersFlag := flag.Int("workers", 1, "parallel workers for injection and suite runs (0 = one per CPU, 1 = sequential)")
+	traceOut := flag.String("trace-out", "", "write injection + suite runs as Chrome trace-event JSON to `file`")
 	flag.Parse()
 	workers := injector.ResolveWorkers(*workersFlag)
+
+	// One collector spans the injection campaign and all three suite
+	// configurations, so the written trace shows the whole evaluation.
+	var tracer *obs.Tracer
+	var collect *obs.CollectSink
+	if *traceOut != "" {
+		collect = obs.NewCollectSink(0)
+		tracer = obs.New(collect)
+	}
 
 	sys, err := healers.NewSystem()
 	if err != nil {
@@ -33,6 +44,7 @@ func run() error {
 	fmt.Println("injecting 86 functions...")
 	cfg := injector.DefaultConfig()
 	cfg.Workers = workers
+	cfg.Obs = tracer
 	campaign, err := sys.InjectWith(sys.CrashProne86(), cfg)
 	if err != nil {
 		return err
@@ -43,8 +55,22 @@ func run() error {
 		return err
 	}
 	fmt.Printf("running %d tests x 3 configurations (%d workers)...\n\n", len(suite.Tests), workers)
-	fig := sys.RunFigure6Observed(suite, decls, healers.SemiAuto(decls), healers.Observability{Workers: workers})
+	fig := sys.RunFigure6Observed(suite, decls, healers.SemiAuto(decls), healers.Observability{
+		Tracer:  tracer,
+		Workers: workers,
+	})
 	fmt.Print(fig.Format())
+
+	if collect != nil {
+		data, err := obs.MarshalChromeTrace(collect.Events())
+		if err == nil {
+			err = os.WriteFile(*traceOut, data, 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d events) to %s\n", len(collect.Events()), *traceOut)
+	}
 
 	fmt.Printf("\ncrashing functions, unwrapped (%d):\n  %v\n",
 		len(fig.Unwrapped.CrashingFuncs()), fig.Unwrapped.CrashingFuncs())

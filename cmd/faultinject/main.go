@@ -3,12 +3,14 @@
 // mechanics live: every probe, every outcome, every guard-page-driven
 // adjustment.
 //
-//	faultinject [-v] [-conservative] [-predict] [-workers N] <function> [function...]
+//	faultinject [-v] [-conservative] [-predict] [-workers N] [-trace-out out.json] <function> [function...]
 //
 // With -predict, the static robust-type prediction is printed before
 // injection and its size/read-only hints seed the adaptive growth.
 // With -workers N the functions are injected on N parallel workers
 // (0 = one per CPU); the printed declarations are identical either way.
+// With -trace-out the whole injection campaign is written as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
 package main
 
 import (
@@ -27,9 +29,10 @@ func main() {
 	conservative := flag.Bool("conservative", false, "use the stricter §4.3 robust-type variant")
 	predict := flag.Bool("predict", false, "print the static prediction first and seed injection with it")
 	workers := flag.Int("workers", 1, "parallel campaign workers (0 = one per CPU, 1 = sequential)")
+	traceOut := flag.String("trace-out", "", "write the campaign as Chrome trace-event JSON to `file`")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: faultinject [-v] [-conservative] [-predict] [-workers N] <function>...")
+		fmt.Fprintln(os.Stderr, "usage: faultinject [-v] [-conservative] [-predict] [-workers N] [-trace-out out.json] <function>...")
 		os.Exit(2)
 	}
 
@@ -41,8 +44,17 @@ func main() {
 	cfg := injector.DefaultConfig()
 	cfg.Conservative = *conservative
 	cfg.Workers = injector.ResolveWorkers(*workers)
+	var sinks []obs.Sink
 	if *verbose {
-		cfg.Obs = obs.New(obs.NewTextSink(os.Stdout))
+		sinks = append(sinks, obs.NewTextSink(os.Stdout))
+	}
+	var collect *obs.CollectSink
+	if *traceOut != "" {
+		collect = obs.NewCollectSink(0)
+		sinks = append(sinks, collect)
+	}
+	if len(sinks) > 0 {
+		cfg.Obs = obs.New(sinks...)
 	}
 	if *predict {
 		pred, err := sys.Predict(flag.Args())
@@ -64,6 +76,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultinject:", err)
 		os.Exit(1)
+	}
+	if collect != nil {
+		data, err := obs.MarshalChromeTrace(collect.Events())
+		if err == nil {
+			err = os.WriteFile(*traceOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultinject: writing trace:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println()
 	fmt.Print(report.Declarations(campaign))

@@ -18,12 +18,14 @@
 //
 // Observability flags (inject, table1, figure6, stats):
 //
-//	-trace out.jsonl   write every structured event as JSON lines
-//	-metrics           print the metrics exposition after the report
-//	-progress          stream campaign progress to stderr
-//	-workers N         shard the campaign across N workers (0 = one per
-//	                   CPU, 1 = sequential); results are byte-identical
-//	                   to the sequential run
+//	-trace out.jsonl       write every structured event as JSON lines
+//	-trace-out out.json    write the campaign as Chrome trace-event JSON
+//	                       (open in Perfetto / chrome://tracing)
+//	-metrics               print the metrics exposition after the report
+//	-progress              stream campaign progress to stderr
+//	-workers N             shard the campaign across N workers (0 = one
+//	                       per CPU, 1 = sequential); results are
+//	                       byte-identical to the sequential run
 //
 // Command-specific flags:
 //
@@ -31,6 +33,7 @@
 //	analyze -json              emit the agreement report as JSON
 //	serve -addr :8080          listen address for the campaign service
 //	serve -cache results.jsonl persistent result cache shared across restarts
+//	serve -pprof               mount net/http/pprof under /debug/pprof/
 package main
 
 import (
@@ -66,6 +69,7 @@ func main() {
 // from command-line flags.
 type obsFlags struct {
 	tracePath *string
+	traceOut  *string
 	metrics   *bool
 	progress  *bool
 	workers   *int
@@ -74,11 +78,13 @@ type obsFlags struct {
 	registry *obs.Registry
 	spans    *obs.Spans
 	file     *os.File
+	collect  *obs.CollectSink
 }
 
 func registerObsFlags(fs *flag.FlagSet) *obsFlags {
 	return &obsFlags{
 		tracePath: fs.String("trace", "", "write structured JSONL trace events to `file`"),
+		traceOut:  fs.String("trace-out", "", "write the campaign as Chrome trace-event JSON to `file` (Perfetto-loadable)"),
 		metrics:   fs.Bool("metrics", false, "print the metrics exposition after the report"),
 		progress:  fs.Bool("progress", false, "stream campaign progress events to stderr"),
 		workers:   fs.Int("workers", 1, "parallel campaign workers (`N`; 0 = one per CPU, 1 = sequential)"),
@@ -97,6 +103,10 @@ func (of *obsFlags) open(forceMetrics bool) error {
 		of.file = f
 		sinks = append(sinks, obs.NewJSONLSink(f))
 	}
+	if *of.traceOut != "" {
+		of.collect = obs.NewCollectSink(0)
+		sinks = append(sinks, of.collect)
+	}
 	if *of.progress {
 		sinks = append(sinks, obs.FuncSink(func(e obs.Event) {
 			if e.Kind == obs.KindCampaignPhase {
@@ -113,6 +123,17 @@ func (of *obsFlags) open(forceMetrics bool) error {
 }
 
 func (of *obsFlags) close() {
+	if of.collect != nil {
+		data, err := obs.MarshalChromeTrace(of.collect.Events())
+		if err == nil {
+			err = os.WriteFile(*of.traceOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "healers: writing trace:", err)
+		} else if dropped := of.collect.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "healers: trace truncated, %d events dropped at capacity\n", dropped)
+		}
+	}
 	if of.file != nil {
 		of.file.Close()
 	}
@@ -138,11 +159,12 @@ func (of *obsFlags) injectorConfig() healers.InjectorConfig {
 // runServe hosts the campaign service until SIGINT/SIGTERM, then
 // drains: new submissions get 503, running campaigns finish, open SSE
 // streams receive their done events, and the disk cache is synced.
-func runServe(addr, cachePath string, workers int, reg *obs.Registry) error {
+func runServe(addr, cachePath string, workers int, reg *obs.Registry, withPprof bool) error {
 	srv, err := serve.New(serve.Options{
 		CachePath: cachePath,
 		Workers:   workers,
 		Registry:  reg,
+		Pprof:     withPprof,
 	})
 	if err != nil {
 		return err
@@ -188,6 +210,7 @@ func run(args []string) error {
 	jsonOut := fs.Bool("json", false, "analyze: emit the agreement report as JSON")
 	addr := fs.String("addr", ":8080", "serve: listen `address` for the campaign service")
 	cachePath := fs.String("cache", "", "serve: persistent result cache `file` (JSONL; empty = in-memory)")
+	withPprof := fs.Bool("pprof", false, "serve: mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -198,7 +221,7 @@ func run(args []string) error {
 	defer of.close()
 
 	if cmd == "serve" {
-		return runServe(*addr, *cachePath, *of.workers, of.registry)
+		return runServe(*addr, *cachePath, *of.workers, of.registry, *withPprof)
 	}
 
 	sys, err := healers.NewSystem()

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"healers/internal/csim"
 	"healers/internal/obs"
@@ -120,6 +121,11 @@ type RunOptions struct {
 	// sequentially. With Workers > 1 trace events interleave by
 	// completion; counters and the report stay deterministic.
 	Workers int
+	// Span, when valid, parents the suite's span to an enclosing trace
+	// (a figure-wide or CLI-origin span); otherwise the suite roots its
+	// own trace. Worker and per-test events parent back to the suite
+	// span either way.
+	Span obs.SpanContext
 }
 
 // Run executes the suite under one configuration.
@@ -153,13 +159,19 @@ type suiteRunner struct {
 
 // runTest forks a child from template, delivers one test, and
 // classifies the outcome. It emits the per-test outcome event and the
-// periodic progress event.
-func (r *suiteRunner) runTest(template *csim.Process, test *Test) testResult {
+// periodic progress event, both parented to sc (the suite span when
+// sequential, the worker span when sharded).
+func (r *suiteRunner) runTest(template *csim.Process, test *Test, sc obs.SpanContext) testResult {
 	child := template.Fork()
 	defer child.Release()
 	child.SetStepBudget(r.stepBudget)
 	child.Metrics = r.sandbox
 	caller := r.factory(child)
+	testStart := time.Now()
+	var tsc obs.SpanContext
+	if r.tr.Enabled() {
+		tsc = sc.Child()
+	}
 
 	emitOutcome := func(bucket string, out csim.Outcome) {
 		if !r.tr.Enabled() {
@@ -169,7 +181,7 @@ func (r *suiteRunner) runTest(template *csim.Process, test *Test) testResult {
 		for i, e := range test.Entries {
 			names[i] = e.Name
 		}
-		r.tr.Emit(obs.Event{
+		r.tr.Emit(tsc.Tag(obs.Event{
 			Kind:    obs.KindTestOutcome,
 			Config:  r.config,
 			Func:    test.Func,
@@ -177,18 +189,20 @@ func (r *suiteRunner) runTest(template *csim.Process, test *Test) testResult {
 			Outcome: bucket,
 			Errno:   out.Errno,
 			Steps:   out.Steps,
-		})
+			TS:      testStart.UnixMicro(),
+			DurUS:   time.Since(testStart).Microseconds(),
+		}))
 	}
 	finish := func(res testResult, bucket string, out csim.Outcome) testResult {
 		emitOutcome(bucket, out)
 		n := int(r.done.Add(1))
 		if r.tr.Enabled() && (n%r.every == 0 || n == len(r.suite.Tests)) {
-			r.tr.Emit(obs.Event{
+			r.tr.Emit(sc.Tag(obs.Event{
 				Kind:  obs.KindCampaignPhase,
 				Phase: "ballista:" + r.config,
 				N:     n,
 				Total: len(r.suite.Tests),
-			})
+			}))
 		}
 		return res
 	}
@@ -261,6 +275,9 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 		every:      every,
 	}
 
+	suiteSC := opt.Span.Child()
+	suiteStart := time.Now()
+
 	results := make([]testResult, len(s.Tests))
 	if opt.Workers > 1 && len(s.Tests) > 1 {
 		workers := opt.Workers
@@ -275,13 +292,29 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
+			wid := w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				wtpl := template.Fork()
 				defer wtpl.Release()
+				wsc := suiteSC.Child()
+				workStart := time.Now()
+				done := 0
 				for ti := range jobs {
-					results[ti] = runner.runTest(wtpl, &s.Tests[ti])
+					results[ti] = runner.runTest(wtpl, &s.Tests[ti], wsc)
+					done++
+				}
+				if tr.Enabled() {
+					tr.Emit(wsc.Tag(obs.Event{
+						Kind:   obs.KindSpan,
+						Phase:  fmt.Sprintf("ballista-worker-%d", wid),
+						Config: config,
+						N:      done,
+						Total:  len(s.Tests),
+						TS:     workStart.UnixMicro(),
+						DurUS:  time.Since(workStart).Microseconds(),
+					}))
 				}
 			}()
 		}
@@ -292,12 +325,13 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 		wg.Wait()
 	} else {
 		for ti := range s.Tests {
-			results[ti] = runner.runTest(template, &s.Tests[ti])
+			results[ti] = runner.runTest(template, &s.Tests[ti], suiteSC)
 		}
 	}
 
 	// Deterministic merge: aggregate in suite order, so PerFunc is the
 	// same map the sequential loop built regardless of completion order.
+	mergeStart := time.Now()
 	report := &Report{Config: config, PerFunc: make(map[string]*FuncReport)}
 	for ti := range s.Tests {
 		test := &s.Tests[ti]
@@ -323,8 +357,26 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 			}
 		}
 	}
+	reg.Histogram("healers_phase_merge_us", mergeBuckets).
+		ObserveEx(time.Since(mergeStart).Microseconds(), suiteSC.Trace)
+	if tr.Enabled() {
+		tr.Emit(suiteSC.Tag(obs.Event{
+			Kind:   obs.KindSpan,
+			Phase:  "ballista:" + config,
+			Config: config,
+			N:      len(s.Tests),
+			Total:  len(s.Tests),
+			TS:     suiteStart.UnixMicro(),
+			DurUS:  time.Since(suiteStart).Microseconds(),
+		}))
+	}
 	return report
 }
+
+// mergeBuckets bound the suite-merge duration histogram (microseconds);
+// the name matches the injector's merge histogram so both phases land
+// in one family.
+var mergeBuckets = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
 
 // Figure6 holds the paper's three-bar comparison.
 type Figure6 struct {

@@ -1,0 +1,279 @@
+// Package benchgate turns the committed campaign benchmark trajectory
+// (BENCH_campaign.json) from a log into an enforced contract. The file
+// holds an append-only history of measured entries, each stamped with
+// the git SHA and machine shape that produced it; the gate compares a
+// fresh measurement against the last committed entry and fails when a
+// tracked number regresses beyond its tolerance.
+//
+// Tolerances are deliberately two-tier: timing categories (cold
+// campaign walls, forks/sec) are noisy on shared runners and can be
+// softened to warnings via BENCH_GATE_SOFT, while structural categories
+// — the wrapper nop path allocating at all, the warm-cache path losing
+// its speedup — are cheap to measure reliably and stay hard failures
+// everywhere.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one measured campaign shape: the benchmark numbers plus the
+// provenance needed to compare entries honestly (a 1-CPU CI runner and
+// a 16-core workstation are not the same machine).
+type Entry struct {
+	GitSHA string `json:"git_sha"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+
+	Functions int `json:"functions"`
+
+	// Wall-clock for one full cold campaign (nothing cached).
+	ColdSequentialMS float64 `json:"cold_sequential_ms"`
+	ColdParallel8MS  float64 `json:"cold_parallel8_ms"`
+	// Wall-clock for a campaign served entirely from the result cache.
+	WarmCachedMS float64 `json:"warm_cached_ms"`
+
+	// Copy-on-write accounting of the cold sequential campaign.
+	Forks          int64   `json:"forks"`
+	ForksPerSec    float64 `json:"forks_per_sec"`
+	PagesShared    int64   `json:"pages_shared"`
+	PagesCopied    int64   `json:"pages_copied"`
+	BytesAvoidedMB float64 `json:"bytes_avoided_mb"`
+
+	// The wrapper's nop-observability call path (strlen through the
+	// interposer with a no-op tracer).
+	WrapperNopNsPerOp     float64 `json:"wrapper_nop_ns_per_op"`
+	WrapperNopAllocsPerOp int64   `json:"wrapper_nop_allocs_per_op"`
+}
+
+// History is the BENCH_campaign.json schema: an append-only entry list,
+// oldest first.
+type History struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Last returns the most recent entry, or false for an empty history.
+func (h *History) Last() (Entry, bool) {
+	if len(h.Entries) == 0 {
+		return Entry{}, false
+	}
+	return h.Entries[len(h.Entries)-1], true
+}
+
+// Append adds e to the history.
+func (h *History) Append(e Entry) { h.Entries = append(h.Entries, e) }
+
+// Load reads a history file. A missing file yields an empty history.
+// The pre-history single-object form (one bare Entry, no "entries" key)
+// is migrated in place to a one-entry history, so old checkouts gate
+// against their last committed measurement instead of starting blind.
+func Load(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &History{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes history bytes, migrating the legacy single-object form.
+func Parse(data []byte) (*History, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("benchgate: not a JSON object: %w", err)
+	}
+	if _, ok := probe["entries"]; !ok {
+		// Legacy form: the whole object is one entry. Provenance fields
+		// did not exist then; they stay zero and Check treats the entry
+		// as comparable (the numbers are what the gate cares about).
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("benchgate: legacy entry: %w", err)
+		}
+		return &History{Entries: []Entry{e}}, nil
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("benchgate: history: %w", err)
+	}
+	return &h, nil
+}
+
+// Save writes the history as indented JSON.
+func (h *History) Save(path string) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Violation categories, one per gated number.
+const (
+	CatColdSequential = "cold_sequential"
+	CatColdParallel8  = "cold_parallel8"
+	CatWarmCached     = "warm_cached"
+	CatForksPerSec    = "forks_per_sec"
+	CatWrapperNs      = "wrapper_ns"
+	CatWrapperAllocs  = "wrapper_allocs"
+)
+
+// Tolerances configure how much each category may regress before the
+// gate fails. Percentages are relative to the previous entry; absolute
+// slacks guard the tiny-denominator cases (a 0.5ms warm path doubling
+// to 1.1ms is noise, not a regression).
+type Tolerances struct {
+	// ColdPct allows the cold sequential campaign wall to grow this
+	// many percent.
+	ColdPct float64
+	// ParallelPct allows the 8-worker cold wall to grow this many
+	// percent (parallel timing is the noisiest category).
+	ParallelPct float64
+	// WarmPct and WarmSlackMS bound the warm-cache wall: the measured
+	// value may exceed the previous by WarmPct percent plus WarmSlackMS
+	// absolute milliseconds.
+	WarmPct     float64
+	WarmSlackMS float64
+	// ForksPct allows forks/sec to drop this many percent.
+	ForksPct float64
+	// WrapperNsPct allows the wrapper nop path to slow this many percent.
+	WrapperNsPct float64
+	// MaxWrapperAllocs is the absolute ceiling on wrapper nop-path
+	// allocations per op — not relative: the contract is zero.
+	MaxWrapperAllocs int64
+	// Soft marks categories whose violations warn instead of fail —
+	// the 1-CPU CI runner softens the timing categories and keeps the
+	// structural ones hard.
+	Soft map[string]bool
+}
+
+// DefaultTolerances returns the gate's default thresholds. Timing
+// tolerances are wide — the gate exists to catch step-function
+// regressions (an accidental O(n²), a lost cache), not 5% jitter.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		ColdPct:          50,
+		ParallelPct:      75,
+		WarmPct:          100,
+		WarmSlackMS:      2.0,
+		ForksPct:         40,
+		WrapperNsPct:     75,
+		MaxWrapperAllocs: 0,
+	}
+}
+
+// TolerancesFromEnv builds tolerances from the defaults plus
+// BENCH_GATE_*_PCT overrides and the BENCH_GATE_SOFT category list
+// (comma-separated). getenv is injected for testability; pass
+// os.Getenv in production.
+func TolerancesFromEnv(getenv func(string) string) Tolerances {
+	tol := DefaultTolerances()
+	override := func(key string, dst *float64) {
+		if v := getenv(key); v != "" {
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				*dst = f
+			}
+		}
+	}
+	override("BENCH_GATE_COLD_PCT", &tol.ColdPct)
+	override("BENCH_GATE_PARALLEL_PCT", &tol.ParallelPct)
+	override("BENCH_GATE_WARM_PCT", &tol.WarmPct)
+	override("BENCH_GATE_WARM_SLACK_MS", &tol.WarmSlackMS)
+	override("BENCH_GATE_FORKS_PCT", &tol.ForksPct)
+	override("BENCH_GATE_WRAPPER_NS_PCT", &tol.WrapperNsPct)
+	if soft := getenv("BENCH_GATE_SOFT"); soft != "" {
+		tol.Soft = make(map[string]bool)
+		for _, cat := range strings.Split(soft, ",") {
+			if cat = strings.TrimSpace(cat); cat != "" {
+				tol.Soft[cat] = true
+			}
+		}
+	}
+	return tol
+}
+
+// Violation is one gated number outside its tolerance.
+type Violation struct {
+	Category string
+	Msg      string
+	// Soft violations warn instead of failing the gate.
+	Soft bool
+}
+
+func (v Violation) String() string {
+	kind := "FAIL"
+	if v.Soft {
+		kind = "warn"
+	}
+	return fmt.Sprintf("[%s] %s: %s", kind, v.Category, v.Msg)
+}
+
+// Hard reports whether any violation in vs is a hard failure.
+func Hard(vs []Violation) bool {
+	for _, v := range vs {
+		if !v.Soft {
+			return true
+		}
+	}
+	return false
+}
+
+// Check compares a fresh measurement against the previous entry under
+// tol and returns every violated category. Relative checks are skipped
+// when the previous entry lacks the number (zero): a partially
+// populated legacy entry gates only what it recorded. The wrapper
+// allocation ceiling is absolute and always checked.
+func Check(prev, cur Entry, tol Tolerances) []Violation {
+	var out []Violation
+	add := func(cat, msg string) {
+		out = append(out, Violation{Category: cat, Msg: msg, Soft: tol.Soft[cat]})
+	}
+
+	if prev.ColdSequentialMS > 0 {
+		limit := prev.ColdSequentialMS * (1 + tol.ColdPct/100)
+		if cur.ColdSequentialMS > limit {
+			add(CatColdSequential, fmt.Sprintf("cold sequential %.1fms exceeds %.1fms (prev %.1fms +%.0f%%)",
+				cur.ColdSequentialMS, limit, prev.ColdSequentialMS, tol.ColdPct))
+		}
+	}
+	if prev.ColdParallel8MS > 0 {
+		limit := prev.ColdParallel8MS * (1 + tol.ParallelPct/100)
+		if cur.ColdParallel8MS > limit {
+			add(CatColdParallel8, fmt.Sprintf("cold parallel8 %.1fms exceeds %.1fms (prev %.1fms +%.0f%%)",
+				cur.ColdParallel8MS, limit, prev.ColdParallel8MS, tol.ParallelPct))
+		}
+	}
+	if prev.WarmCachedMS > 0 {
+		limit := prev.WarmCachedMS*(1+tol.WarmPct/100) + tol.WarmSlackMS
+		if cur.WarmCachedMS > limit {
+			add(CatWarmCached, fmt.Sprintf("warm cached %.2fms exceeds %.2fms (prev %.2fms +%.0f%% +%.1fms slack)",
+				cur.WarmCachedMS, limit, prev.WarmCachedMS, tol.WarmPct, tol.WarmSlackMS))
+		}
+	}
+	if prev.ForksPerSec > 0 {
+		floor := prev.ForksPerSec * (1 - tol.ForksPct/100)
+		if cur.ForksPerSec < floor {
+			add(CatForksPerSec, fmt.Sprintf("forks/sec %.0f below %.0f (prev %.0f -%.0f%%)",
+				cur.ForksPerSec, floor, prev.ForksPerSec, tol.ForksPct))
+		}
+	}
+	if prev.WrapperNopNsPerOp > 0 {
+		limit := prev.WrapperNopNsPerOp * (1 + tol.WrapperNsPct/100)
+		if cur.WrapperNopNsPerOp > limit {
+			add(CatWrapperNs, fmt.Sprintf("wrapper nop %.0fns exceeds %.0fns (prev %.0fns +%.0f%%)",
+				cur.WrapperNopNsPerOp, limit, prev.WrapperNopNsPerOp, tol.WrapperNsPct))
+		}
+	}
+	if cur.WrapperNopAllocsPerOp > tol.MaxWrapperAllocs {
+		add(CatWrapperAllocs, fmt.Sprintf("wrapper nop path allocates %d/op, ceiling is %d",
+			cur.WrapperNopAllocsPerOp, tol.MaxWrapperAllocs))
+	}
+	return out
+}

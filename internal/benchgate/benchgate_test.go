@@ -1,0 +1,205 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// baseline mirrors the shape of a real committed entry.
+func baseline() Entry {
+	return Entry{
+		GitSHA:                "6d779fd",
+		GOOS:                  "linux",
+		GOARCH:                "amd64",
+		NumCPU:                8,
+		Functions:             86,
+		ColdSequentialMS:      211.4,
+		ColdParallel8MS:       216.7,
+		WarmCachedMS:          0.555,
+		Forks:                 8998,
+		ForksPerSec:           42562.7,
+		PagesShared:           71984,
+		BytesAvoidedMB:        281.2,
+		WrapperNopNsPerOp:     359,
+		WrapperNopAllocsPerOp: 0,
+	}
+}
+
+func TestCheckPassesOnIdenticalEntry(t *testing.T) {
+	prev := baseline()
+	if vs := Check(prev, prev, DefaultTolerances()); len(vs) != 0 {
+		t.Fatalf("identical entries must pass, got %v", vs)
+	}
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	prev := baseline()
+	cur := prev
+	cur.ColdSequentialMS *= 1.3  // < +50%
+	cur.ColdParallel8MS *= 1.5   // < +75%
+	cur.WarmCachedMS = 2.0       // < 0.555*2 + 2.0 slack
+	cur.ForksPerSec *= 0.7       // < -40% drop
+	cur.WrapperNopNsPerOp *= 1.4 // < +75%
+	if vs := Check(prev, cur, DefaultTolerances()); len(vs) != 0 {
+		t.Fatalf("in-tolerance drift must pass, got %v", vs)
+	}
+}
+
+// TestCheckFailsOnSyntheticRegression is the ISSUE's acceptance test:
+// inject a regression into each category and prove the gate trips it.
+func TestCheckFailsOnSyntheticRegression(t *testing.T) {
+	prev := baseline()
+	cases := []struct {
+		category string
+		mutate   func(*Entry)
+	}{
+		{CatColdSequential, func(e *Entry) { e.ColdSequentialMS = prev.ColdSequentialMS * 2 }},
+		{CatColdParallel8, func(e *Entry) { e.ColdParallel8MS = prev.ColdParallel8MS * 2 }},
+		{CatWarmCached, func(e *Entry) { e.WarmCachedMS = 50 }},
+		{CatForksPerSec, func(e *Entry) { e.ForksPerSec = prev.ForksPerSec * 0.3 }},
+		{CatWrapperNs, func(e *Entry) { e.WrapperNopNsPerOp = prev.WrapperNopNsPerOp * 2 }},
+		{CatWrapperAllocs, func(e *Entry) { e.WrapperNopAllocsPerOp = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.category, func(t *testing.T) {
+			cur := prev
+			tc.mutate(&cur)
+			vs := Check(prev, cur, DefaultTolerances())
+			if len(vs) != 1 {
+				t.Fatalf("want exactly one violation, got %v", vs)
+			}
+			if vs[0].Category != tc.category {
+				t.Fatalf("want category %q, got %q", tc.category, vs[0].Category)
+			}
+			if vs[0].Soft {
+				t.Fatalf("default tolerances have no soft categories, got soft %v", vs[0])
+			}
+			if !Hard(vs) {
+				t.Fatalf("Hard() must report the default-tolerance violation")
+			}
+		})
+	}
+}
+
+func TestSoftCategoriesWarnInsteadOfFail(t *testing.T) {
+	env := map[string]string{
+		"BENCH_GATE_SOFT": "cold_sequential, cold_parallel8,forks_per_sec",
+	}
+	tol := TolerancesFromEnv(func(k string) string { return env[k] })
+
+	prev := baseline()
+	cur := prev
+	cur.ColdSequentialMS *= 3
+	cur.ForksPerSec *= 0.1
+	vs := Check(prev, cur, tol)
+	if len(vs) != 2 {
+		t.Fatalf("want 2 violations, got %v", vs)
+	}
+	for _, v := range vs {
+		if !v.Soft {
+			t.Fatalf("softened category %q reported hard", v.Category)
+		}
+	}
+	if Hard(vs) {
+		t.Fatalf("all-soft violations must not be a hard failure")
+	}
+
+	// Structural categories stay hard even alongside softened timing.
+	cur.WrapperNopAllocsPerOp = 2
+	vs = Check(prev, cur, tol)
+	if !Hard(vs) {
+		t.Fatalf("wrapper_allocs must stay hard under BENCH_GATE_SOFT timing list")
+	}
+}
+
+func TestTolerancesFromEnvOverrides(t *testing.T) {
+	env := map[string]string{
+		"BENCH_GATE_COLD_PCT":      "10",
+		"BENCH_GATE_WARM_SLACK_MS": "0",
+		"BENCH_GATE_WARM_PCT":      "5",
+	}
+	tol := TolerancesFromEnv(func(k string) string { return env[k] })
+	if tol.ColdPct != 10 || tol.WarmSlackMS != 0 || tol.WarmPct != 5 {
+		t.Fatalf("env overrides not applied: %+v", tol)
+	}
+	// Untouched knobs keep their defaults.
+	def := DefaultTolerances()
+	if tol.ParallelPct != def.ParallelPct || tol.ForksPct != def.ForksPct {
+		t.Fatalf("unset knobs drifted from defaults: %+v", tol)
+	}
+}
+
+// TestParseMigratesLegacySingleObject covers the pre-history
+// BENCH_campaign.json form: one bare object, no "entries" wrapper.
+func TestParseMigratesLegacySingleObject(t *testing.T) {
+	legacy := []byte(`{
+  "functions": 86,
+  "cold_sequential_ms": 211.405,
+  "cold_parallel8_ms": 216.681,
+  "warm_cached_ms": 0.555,
+  "forks": 8998,
+  "forks_per_sec": 42562.7,
+  "pages_shared": 71984,
+  "pages_copied": 0,
+  "bytes_avoided_mb": 281.1875,
+  "wrapper_nop_ns_per_op": 359,
+  "wrapper_nop_allocs_per_op": 1
+}`)
+	h, err := Parse(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 1 {
+		t.Fatalf("legacy object must migrate to one entry, got %d", len(h.Entries))
+	}
+	e := h.Entries[0]
+	if e.Functions != 86 || e.ColdSequentialMS != 211.405 || e.WrapperNopAllocsPerOp != 1 {
+		t.Fatalf("legacy fields lost in migration: %+v", e)
+	}
+	if e.GitSHA != "" {
+		t.Fatalf("legacy entries have no provenance, got git_sha %q", e.GitSHA)
+	}
+}
+
+func TestLoadAppendSaveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	h, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Last(); ok {
+		t.Fatal("missing file must load as empty history")
+	}
+
+	h.Append(baseline())
+	next := baseline()
+	next.GitSHA = "abc1234"
+	next.ColdSequentialMS = 190.0
+	h.Append(next)
+	if err := h.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"entries"`) {
+		t.Fatalf("saved file must use the history schema:\n%s", data)
+	}
+
+	h2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Entries) != 2 {
+		t.Fatalf("want 2 entries after round trip, got %d", len(h2.Entries))
+	}
+	last, ok := h2.Last()
+	if !ok || last.GitSHA != "abc1234" || last.ColdSequentialMS != 190.0 {
+		t.Fatalf("Last() = %+v, %v", last, ok)
+	}
+}

@@ -207,6 +207,14 @@ type Memory struct {
 
 	// stats is shared by every Memory in this fork tree.
 	stats *ForkStats
+
+	// TraceID and SpanID identify the causal span that owns this address
+	// space (internal/obs span IDs, kept as plain integers so cmem stays
+	// dependency-free). Clone inherits them, which is how a trace crosses
+	// the fork boundary: a COW child is attributable to the span that
+	// forked its template without any side channel.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Address-space layout constants. The null page (and everything below
@@ -249,6 +257,8 @@ func (m *Memory) Clone() *Memory {
 		heapCursor: m.heapCursor,
 		mmapCursor: m.mmapCursor,
 		stats:      m.stats,
+		TraceID:    m.TraceID,
+		SpanID:     m.SpanID,
 	}
 	for base, pg := range m.pages {
 		pg.refs.Add(1)
@@ -270,6 +280,8 @@ func (m *Memory) CloneEager() *Memory {
 		heapCursor: m.heapCursor,
 		mmapCursor: m.mmapCursor,
 		stats:      m.stats,
+		TraceID:    m.TraceID,
+		SpanID:     m.SpanID,
 	}
 	for base, pg := range m.pages {
 		c.pages[base] = copyOf(pg)

@@ -1,8 +1,10 @@
 package injector
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"healers/internal/decl"
 	"healers/internal/extract"
@@ -14,6 +16,9 @@ type Campaign struct {
 	Results map[string]*Result
 	// Order is the sorted function name list.
 	Order []string
+	// Trace is the campaign's root-side span: every function, worker,
+	// and probe span of the run is reachable from it by parent links.
+	Trace obs.SpanContext
 }
 
 // task is one scheduled function of a campaign: its input-order index
@@ -33,6 +38,16 @@ type task struct {
 // land at their input-order position regardless of completion order,
 // and per-function campaigns share no mutable state.
 func (inj *Injector) InjectAll(ext *extract.Result, names []string) (*Campaign, error) {
+	return inj.InjectAllContext(context.Background(), ext, names)
+}
+
+// InjectAllContext is InjectAll with causal-trace propagation: when ctx
+// carries a span (obs.ContextWithSpan — the serve layer's HTTP-origin
+// span), the campaign span becomes its child; otherwise the campaign
+// roots a fresh trace. Either way every function, worker, and probe
+// span of the run parents back to the campaign span, and Campaign.Trace
+// reports it.
+func (inj *Injector) InjectAllContext(ctx context.Context, ext *extract.Result, names []string) (*Campaign, error) {
 	if names == nil {
 		for _, fi := range ext.Funcs {
 			if !fi.Internal && fi.Proto != nil {
@@ -49,21 +64,25 @@ func (inj *Injector) InjectAll(ext *extract.Result, names []string) (*Campaign, 
 		tasks[i] = task{idx: i, name: name, fi: fi}
 	}
 
+	parent, _ := obs.SpanFromContext(ctx)
+	campSC := parent.Child()
+	campStart := time.Now()
+
 	results := make([]*Result, len(tasks))
 	if inj.cfg.Workers > 1 && len(tasks) > 1 {
-		if err := inj.injectParallel(tasks, ext.Table, results); err != nil {
+		if err := inj.injectParallel(tasks, ext.Table, results, campSC); err != nil {
 			return nil, err
 		}
 	} else {
 		for i, t := range tasks {
-			inj.tr.Emit(obs.Event{
+			inj.tr.Emit(campSC.Tag(obs.Event{
 				Kind:  obs.KindCampaignPhase,
 				Phase: "inject",
 				Func:  t.name,
 				N:     i + 1,
 				Total: len(tasks),
-			})
-			res, _, err := inj.injectOne(t.fi, ext.Table)
+			}))
+			res, _, err := inj.injectOne(t.fi, ext.Table, campSC)
 			if err != nil {
 				return nil, err
 			}
@@ -71,12 +90,24 @@ func (inj *Injector) InjectAll(ext *extract.Result, names []string) (*Campaign, 
 		}
 	}
 
-	c := &Campaign{Results: make(map[string]*Result, len(tasks))}
+	mergeStart := time.Now()
+	c := &Campaign{Results: make(map[string]*Result, len(tasks)), Trace: campSC}
 	for i, t := range tasks {
 		c.Results[t.name] = results[i]
 		c.Order = append(c.Order, t.name)
 	}
 	sort.Strings(c.Order)
+	inj.hPhaseMerge.ObserveEx(time.Since(mergeStart).Microseconds(), campSC.Trace)
+	if inj.tr.Enabled() {
+		inj.tr.Emit(campSC.Tag(obs.Event{
+			Kind:  obs.KindSpan,
+			Phase: "campaign",
+			N:     len(tasks),
+			Total: len(tasks),
+			TS:    campStart.UnixMicro(),
+			DurUS: time.Since(campStart).Microseconds(),
+		}))
+	}
 	return c, nil
 }
 

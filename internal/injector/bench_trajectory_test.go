@@ -1,11 +1,14 @@
 package injector
 
 import (
-	"encoding/json"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"healers/internal/benchgate"
 	"healers/internal/clib"
 	"healers/internal/cmem"
 	"healers/internal/corpus"
@@ -13,32 +16,6 @@ import (
 	"healers/internal/extract"
 	"healers/internal/wrapper"
 )
-
-// campaignBench is the schema of BENCH_campaign.json — the committed
-// benchmark trajectory. Each entry is one measured campaign shape; the
-// file is regenerated by `make bench-campaign` and diffed in review, so
-// performance regressions show up as ordinary code review.
-type campaignBench struct {
-	Functions int `json:"functions"`
-
-	// Wall-clock for one full cold campaign (nothing cached).
-	ColdSequentialMS float64 `json:"cold_sequential_ms"`
-	ColdParallel8MS  float64 `json:"cold_parallel8_ms"`
-	// Wall-clock for a campaign served entirely from the result cache.
-	WarmCachedMS float64 `json:"warm_cached_ms"`
-
-	// Copy-on-write accounting of the cold sequential campaign.
-	Forks          int64   `json:"forks"`
-	ForksPerSec    float64 `json:"forks_per_sec"`
-	PagesShared    int64   `json:"pages_shared"`
-	PagesCopied    int64   `json:"pages_copied"`
-	BytesAvoidedMB float64 `json:"bytes_avoided_mb"`
-
-	// The wrapper's nop-observability call path (strlen through the
-	// interposer with a no-op tracer).
-	WrapperNopNsPerOp     float64 `json:"wrapper_nop_ns_per_op"`
-	WrapperNopAllocsPerOp int64   `json:"wrapper_nop_allocs_per_op"`
-}
 
 // forkTotals sums the per-function COW counters of a campaign.
 func forkTotals(c *Campaign) (forks, shared, copied int64) {
@@ -73,39 +50,48 @@ func timedCampaign(t *testing.T, cfg Config) (*Campaign, time.Duration) {
 	return campaign, elapsed
 }
 
-// TestBenchTrajectory measures the campaign shapes the performance work
-// targets and writes them as JSON to the path named by BENCH_JSON
-// (skipped when unset — this is `make bench-campaign`'s JSON step, not
-// part of the ordinary suite).
-func TestBenchTrajectory(t *testing.T) {
-	dest := os.Getenv("BENCH_JSON")
-	if dest == "" {
-		t.Skip("set BENCH_JSON=<path> to write the campaign benchmark JSON")
+// gitShortSHA resolves the current commit for entry provenance; falls
+// back to "unknown" outside a git checkout (tarball builds).
+func gitShortSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// measureEntry runs the campaign shapes the performance work targets
+// and returns them as one git-SHA-stamped history entry.
+func measureEntry(t *testing.T) benchgate.Entry {
+	t.Helper()
+	e := benchgate.Entry{
+		GitSHA: gitShortSHA(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
 	}
 
-	var out campaignBench
-
 	seq, seqDur := timedCampaign(t, DefaultConfig())
-	out.Functions = len(seq.Order)
-	out.ColdSequentialMS = float64(seqDur.Microseconds()) / 1e3
+	e.Functions = len(seq.Order)
+	e.ColdSequentialMS = float64(seqDur.Microseconds()) / 1e3
 	forks, shared, copied := forkTotals(seq)
-	out.Forks = forks
-	out.ForksPerSec = float64(forks) / seqDur.Seconds()
-	out.PagesShared = shared
-	out.PagesCopied = copied
-	out.BytesAvoidedMB = float64(shared-copied) * 4096 / (1 << 20)
+	e.Forks = forks
+	e.ForksPerSec = float64(forks) / seqDur.Seconds()
+	e.PagesShared = shared
+	e.PagesCopied = copied
+	e.BytesAvoidedMB = float64(shared-copied) * 4096 / (1 << 20)
 
 	pcfg := DefaultConfig()
 	pcfg.Workers = 8
 	pcfg.LibFactory = clib.New
 	_, parDur := timedCampaign(t, pcfg)
-	out.ColdParallel8MS = float64(parDur.Microseconds()) / 1e3
+	e.ColdParallel8MS = float64(parDur.Microseconds()) / 1e3
 
 	wcfg := DefaultConfig()
 	wcfg.Cache = NewResultCache()
 	_, _ = timedCampaign(t, wcfg) // fill
 	_, warmDur := timedCampaign(t, wcfg)
-	out.WarmCachedMS = float64(warmDur.Microseconds()) / 1e3
+	e.WarmCachedMS = float64(warmDur.Microseconds()) / 1e3
 
 	// Wrapper fast path: the checked strlen call with nop observability,
 	// using the declarations the sequential campaign just generated.
@@ -128,15 +114,60 @@ func TestBenchTrajectory(t *testing.T) {
 			ip.Call(p, "strlen", uint64(s))
 		}
 	})
-	out.WrapperNopNsPerOp = float64(br.NsPerOp())
-	out.WrapperNopAllocsPerOp = br.AllocsPerOp()
+	e.WrapperNopNsPerOp = float64(br.NsPerOp())
+	e.WrapperNopAllocsPerOp = br.AllocsPerOp()
+	return e
+}
 
-	data, err := json.MarshalIndent(&out, "", "  ")
+// TestBenchTrajectory measures the campaign shapes the performance work
+// targets and appends them as a git-SHA-stamped entry to the history
+// file named by BENCH_JSON (skipped when unset — this is
+// `make bench-campaign`'s JSON step, not part of the ordinary suite).
+//
+// With BENCH_GATE=1 it additionally gates the fresh measurement
+// against the last committed entry under benchgate tolerances (see
+// BENCH_GATE_*_PCT and BENCH_GATE_SOFT): hard violations fail the
+// test and nothing is appended; soft violations log and the entry is
+// recorded. This is `make bench-gate`.
+func TestBenchTrajectory(t *testing.T) {
+	dest := os.Getenv("BENCH_JSON")
+	if dest == "" {
+		t.Skip("set BENCH_JSON=<path> to write the campaign benchmark JSON")
+	}
+
+	hist, err := benchgate.Load(dest)
 	if err != nil {
+		t.Fatalf("loading benchmark history: %v", err)
+	}
+
+	entry := measureEntry(t)
+
+	if os.Getenv("BENCH_GATE") == "1" {
+		prev, ok := hist.Last()
+		if !ok {
+			t.Log("bench-gate: no previous entry, recording baseline without gating")
+		} else {
+			tol := benchgate.TolerancesFromEnv(os.Getenv)
+			violations := benchgate.Check(prev, entry, tol)
+			for _, v := range violations {
+				if v.Soft {
+					t.Logf("bench-gate %s", v)
+				} else {
+					t.Errorf("bench-gate %s", v)
+				}
+			}
+			if benchgate.Hard(violations) {
+				t.Fatalf("bench-gate: regression vs %s on %s/%s (%d CPU); entry not appended",
+					prev.GitSHA, prev.GOOS, prev.GOARCH, prev.NumCPU)
+			}
+		}
+	}
+
+	hist.Append(entry)
+	if err := hist.Save(dest); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(dest, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %s:\n%s", dest, data)
+	t.Logf("appended %s entry #%d: cold=%.1fms parallel8=%.1fms warm=%.2fms forks/s=%.0f wrapper=%.0fns/%dallocs",
+		entry.GitSHA, len(hist.Entries), entry.ColdSequentialMS, entry.ColdParallel8MS,
+		entry.WarmCachedMS, entry.ForksPerSec, entry.WrapperNopNsPerOp, entry.WrapperNopAllocsPerOp)
 }

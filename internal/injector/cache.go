@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"time"
 
 	"healers/internal/cparse"
 	"healers/internal/extract"
+	"healers/internal/obs"
 )
 
 // Cache is the campaign result store consulted before every function
@@ -131,15 +133,26 @@ func (cfg Config) fingerprint(fn string) string {
 // computations of the same key through the configured flight group.
 // The bool reports that the result came from the cache or from another
 // in-flight computation rather than a fresh injection.
-func (inj *Injector) injectOne(fi *extract.FuncInfo, table *cparse.TypeTable) (*Result, bool, error) {
+//
+// parent is the scheduling span this function runs under (the campaign
+// span when sequential, the worker span when sharded). A fresh
+// injection parents the function campaign span to it; a cache hit (or
+// flight join) instead emits a short span of its own, so warm-campaign
+// traces stay connected trees — every function appears, annotated with
+// how its result was obtained.
+func (inj *Injector) injectOne(fi *extract.FuncInfo, table *cparse.TypeTable, parent obs.SpanContext) (*Result, bool, error) {
 	cache := inj.cfg.Cache
 	if cache == nil {
-		r, err := inj.InjectFunction(fi, table)
+		r, err := inj.injectFunction(fi, table, parent)
 		return r, false, err
 	}
 	key := cacheKey(fi, inj.cfg)
-	if r, ok := cache.Get(key); ok {
+	lookupStart := time.Now()
+	r, ok := cache.Get(key)
+	inj.hPhaseCache.ObserveEx(time.Since(lookupStart).Microseconds(), parent.Trace)
+	if ok {
 		inj.mCacheHits.Inc()
+		inj.emitRecallSpan(fi, parent, lookupStart, "cached")
 		return r, true, nil
 	}
 	compute := func() (*Result, error) {
@@ -149,7 +162,7 @@ func (inj *Injector) injectOne(fi *extract.FuncInfo, table *cparse.TypeTable) (*
 			inj.mCacheHits.Inc()
 			return r, nil
 		}
-		r, err := inj.InjectFunction(fi, table)
+		r, err := inj.injectFunction(fi, table, parent)
 		if err != nil {
 			return nil, err
 		}
@@ -161,9 +174,26 @@ func (inj *Injector) injectOne(fi *extract.FuncInfo, table *cparse.TypeTable) (*
 		r, shared, err := fl.Do(key, compute)
 		if shared {
 			inj.mFlightJoins.Inc()
+			inj.emitRecallSpan(fi, parent, lookupStart, "flight-join")
 		}
 		return r, shared, err
 	}
 	r, err := compute()
 	return r, false, err
+}
+
+// emitRecallSpan records the span of a function slot whose result was
+// recalled (cache hit or flight join) rather than injected.
+func (inj *Injector) emitRecallSpan(fi *extract.FuncInfo, parent obs.SpanContext, start time.Time, how string) {
+	if !inj.tr.Enabled() {
+		return
+	}
+	inj.tr.Emit(parent.Child().Tag(obs.Event{
+		Kind:   obs.KindSpan,
+		Phase:  "inject",
+		Func:   fi.Symbol.Name,
+		Detail: how,
+		TS:     start.UnixMicro(),
+		DurUS:  time.Since(start).Microseconds(),
+	}))
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"healers/internal/clib"
 	"healers/internal/cmem"
@@ -171,11 +172,22 @@ type Injector struct {
 	mForkPagesShared  *obs.Counter
 	mForkPagesCopied  *obs.Counter
 	mForkBytesAvoided *obs.Counter
+	// Phase-duration histograms (microseconds), each carrying an
+	// exemplar trace ID so a fat tail links back to a concrete campaign.
+	hPhaseFork  *obs.Histogram
+	hPhaseProbe *obs.Histogram
+	hPhaseCache *obs.Histogram
+	hPhaseMerge *obs.Histogram
 }
 
 // adaptiveIterBuckets bound the adjustments-per-chain histogram; the
 // grown-array chains for large reads (asctime's 44 bytes) land mid-range.
 var adaptiveIterBuckets = []int64{0, 1, 2, 4, 8, 16, 32}
+
+// phaseBuckets bound the phase-duration histograms in microseconds:
+// forks and cache lookups land in the single-digit range, probes in the
+// tens, merges and whole functions in the thousands.
+var phaseBuckets = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
 
 // New returns an injector for lib.
 func New(lib *clib.Library, cfg Config) *Injector {
@@ -213,6 +225,10 @@ func New(lib *clib.Library, cfg Config) *Injector {
 	inj.mForkPagesShared = reg.Counter("healers_injector_fork_pages_shared_total")
 	inj.mForkPagesCopied = reg.Counter("healers_injector_fork_pages_copied_total")
 	inj.mForkBytesAvoided = reg.Counter("healers_injector_fork_bytes_avoided_total")
+	inj.hPhaseFork = reg.Histogram("healers_phase_fork_us", phaseBuckets)
+	inj.hPhaseProbe = reg.Histogram("healers_phase_probe_us", phaseBuckets)
+	inj.hPhaseCache = reg.Histogram("healers_phase_cache_us", phaseBuckets)
+	inj.hPhaseMerge = reg.Histogram("healers_phase_merge_us", phaseBuckets)
 	if cfg.Metrics != nil {
 		inj.sandbox = csim.NewMetrics(cfg.Metrics)
 	}
@@ -281,10 +297,20 @@ type campaign struct {
 	result  *Result
 	errVals map[uint64]int // return values observed when errno was set
 	errnos  map[int]int    // errno values observed
+
+	// span is this function campaign's node in the causal tree; probes
+	// become its children (via the template memory's inherited IDs).
+	span obs.SpanContext
 }
 
 // InjectFunction runs the full campaign for one extracted function.
+// The campaign roots a fresh trace; scheduled campaigns (InjectAll)
+// parent their function spans to the campaign span instead.
 func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTable) (*Result, error) {
+	return inj.injectFunction(fi, table, obs.SpanContext{})
+}
+
+func (inj *Injector) injectFunction(fi *extract.FuncInfo, table *cparse.TypeTable, parent obs.SpanContext) (*Result, error) {
 	if fi.Proto == nil {
 		return nil, fmt.Errorf("injector: %s has no prototype", fi.Symbol.Name)
 	}
@@ -292,6 +318,7 @@ func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 	if !ok {
 		return nil, fmt.Errorf("injector: %s not in library", fi.Symbol.Name)
 	}
+	start := time.Now()
 	c := &campaign{
 		inj:      inj,
 		fn:       fn,
@@ -300,8 +327,14 @@ func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 		errVals:  make(map[uint64]int),
 		errnos:   make(map[int]int),
 		result:   &Result{Name: fn.Name, Proto: fi.Proto},
+		span:     parent.Child(),
 	}
 	c.template.Metrics = inj.sandbox
+	// The template memory carries the function span's identity; every
+	// COW fork inherits it (cmem.Clone), which is how probe spans know
+	// their parent across the fork boundary.
+	c.template.Mem.TraceID = c.span.Trace
+	c.template.Mem.SpanID = c.span.Span
 	for _, param := range fi.Proto.Params {
 		g := gens.ForParam(param, table)
 		c.gens = append(c.gens, g)
@@ -318,6 +351,15 @@ func (inj *Injector) InjectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 	}
 	c.buildDecl(robust)
 	c.settleForkStats()
+	if inj.tr.Enabled() {
+		inj.tr.Emit(c.span.Tag(obs.Event{
+			Kind:  obs.KindSpan,
+			Phase: "inject",
+			Func:  fn.Name,
+			TS:    start.UnixMicro(),
+			DurUS: time.Since(start).Microseconds(),
+		}))
+	}
 	return c.result, nil
 }
 
@@ -513,7 +555,9 @@ func selectRepresentatives(list []*gens.Probe, max int) []*gens.Probe {
 // under test, and records the experiment. It returns the typesys
 // outcome and the fault (if the call crashed with one).
 func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutcome, *cmem.Fault) {
+	forkStart := time.Now()
 	child := c.template.Fork()
+	c.inj.hPhaseFork.ObserveEx(time.Since(forkStart).Microseconds(), c.span.Trace)
 	defer child.Release()
 	child.SetStepBudget(c.inj.cfg.StepBudget)
 
@@ -540,18 +584,26 @@ func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutc
 	}
 	traced := c.inj.tr.Enabled()
 	probeLabel := ""
+	var psc obs.SpanContext
 	if traced {
+		// The probe span's parent is read back from the forked child's
+		// memory, not from c.span directly — the trace crosses the fork
+		// boundary by inheritance, and this is the read side of it.
+		psc = obs.SpanContext{Trace: child.Mem.TraceID, Span: child.Mem.SpanID}.Child()
 		probeLabel = strings.Join(funds, ", ")
-		c.inj.tr.Emit(obs.Event{
+		c.inj.tr.Emit(psc.Tag(obs.Event{
 			Kind:  obs.KindInjectionProbe,
 			Func:  c.fn.Name,
 			Arg:   explored,
 			Probe: probeLabel,
-		})
+		}))
 	}
 
 	child.ClearErrno()
+	callStart := time.Now()
 	out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
+	callDurUS := time.Since(callStart).Microseconds()
+	c.inj.hPhaseProbe.ObserveEx(callDurUS, c.span.Trace)
 
 	c.result.Calls++
 	c.inj.mExperiments.Inc()
@@ -583,14 +635,16 @@ func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutc
 	}
 	c.runs = append(c.runs, vectorRun{funds: funds, outcome: caseOut, explored: explored})
 	if traced {
-		ev := obs.Event{
+		ev := psc.Tag(obs.Event{
 			Kind:    obs.KindSandboxOutcome,
 			Func:    c.fn.Name,
 			Arg:     explored,
 			Probe:   probeLabel,
 			Outcome: out.Kind.String(),
 			Steps:   out.Steps,
-		}
+			TS:      callStart.UnixMicro(),
+			DurUS:   callDurUS,
+		})
 		switch out.Kind {
 		case csim.OutcomeReturn:
 			ev.Ret = out.Ret

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"healers/internal/clib"
 	"healers/internal/cparse"
@@ -66,8 +67,10 @@ func (inj *Injector) shadow(lib *clib.Library) *Injector {
 // injectParallel runs the tasks on Config.Workers goroutines, writing
 // each result at its input index. The first failure (by input order)
 // is returned after all workers drain, so errors are as deterministic
-// as the sequential run's.
-func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, results []*Result) error {
+// as the sequential run's. Each worker gets a span child of campSC and
+// function campaigns parent to their worker's span — the causal tree
+// is stable under any Workers value, only the fan-out layer differs.
+func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, results []*Result, campSC obs.SpanContext) error {
 	workers := inj.cfg.Workers
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -98,16 +101,18 @@ func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, resul
 			wShared := reg.Counter(fmt.Sprintf("healers_injector_worker_pages_shared_total{worker=%q}", fmt.Sprint(wid)))
 			wCopied := reg.Counter(fmt.Sprintf("healers_injector_worker_pages_copied_total{worker=%q}", fmt.Sprint(wid)))
 			stop := inj.cfg.Spans.Start(fmt.Sprintf("inject-worker-%d", wid))
+			wsc := campSC.Child()
+			workStart := time.Now()
 			done := 0
 			for t := range jobs {
-				worker.tr.Emit(obs.Event{
+				worker.tr.Emit(wsc.Tag(obs.Event{
 					Kind:  obs.KindCampaignPhase,
 					Phase: "inject",
 					Func:  t.name,
 					N:     int(started.Add(1)),
 					Total: len(tasks),
-				})
-				res, _, err := worker.injectOne(t.fi, table)
+				}))
+				res, _, err := worker.injectOne(t.fi, table, wsc)
 				if err != nil {
 					errs[t.idx] = err
 					continue
@@ -121,6 +126,16 @@ func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, resul
 				done++
 			}
 			stop(done)
+			if worker.tr.Enabled() {
+				worker.tr.Emit(wsc.Tag(obs.Event{
+					Kind:  obs.KindSpan,
+					Phase: fmt.Sprintf("inject-worker-%d", wid),
+					N:     done,
+					Total: len(tasks),
+					TS:    workStart.UnixMicro(),
+					DurUS: time.Since(workStart).Microseconds(),
+				}))
+			}
 		}()
 	}
 	for _, t := range tasks {

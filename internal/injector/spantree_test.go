@@ -1,0 +1,158 @@
+package injector
+
+import (
+	"testing"
+
+	"healers/internal/obs"
+)
+
+// spanTree indexes collected events by span ID and can walk any event
+// up its parent chain to the root.
+type spanTree struct {
+	byID  map[uint64]obs.Event // span-carrying events, keyed by span ID
+	roots []obs.Event
+}
+
+func buildSpanTree(t *testing.T, events []obs.Event) *spanTree {
+	t.Helper()
+	st := &spanTree{byID: make(map[uint64]obs.Event)}
+	for _, e := range events {
+		if e.Span == 0 {
+			continue
+		}
+		if prev, dup := st.byID[e.Span]; dup && prev.Kind == obs.KindSpan && e.Kind == obs.KindSpan {
+			t.Fatalf("span ID %d used by two spans: %v and %v", e.Span, prev, e)
+		}
+		// Prefer the KindSpan event for an ID that also tagged probe
+		// events (the function span tags nothing else, but be strict).
+		if prev, dup := st.byID[e.Span]; !dup || prev.Kind != obs.KindSpan {
+			st.byID[e.Span] = e
+		}
+		if e.Parent == 0 && e.Kind == obs.KindSpan {
+			st.roots = append(st.roots, e)
+		}
+	}
+	return st
+}
+
+// rootOf walks e's parent chain and returns the root span, failing on
+// a dangling parent or a cycle.
+func (st *spanTree) rootOf(t *testing.T, e obs.Event) obs.Event {
+	t.Helper()
+	cur := e
+	for hops := 0; cur.Parent != 0; hops++ {
+		if hops > 64 {
+			t.Fatalf("parent chain from span %d did not terminate (cycle?)", e.Span)
+		}
+		parent, ok := st.byID[cur.Parent]
+		if !ok {
+			t.Fatalf("event %s (span %d) has dangling parent %d", cur.Kind, cur.Span, cur.Parent)
+		}
+		cur = parent
+	}
+	return cur
+}
+
+// TestCampaignTraceIsOneConnectedTree is the ISSUE's connectivity
+// criterion at the injector layer: every traced event of a campaign —
+// worker spans, function spans, probe and outcome events inside forked
+// children — must walk its parent IDs back to the single campaign root
+// span. The probe events are the interesting half: their span context
+// crossed the fork boundary through cmem.Memory.TraceID/SpanID rather
+// than a Go call chain.
+func TestCampaignTraceIsOneConnectedTree(t *testing.T) {
+	names := []string{"asctime", "strcpy", "fgets", "close", "strlen", "atoi"}
+	shapes := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"sequential", DefaultConfig},
+		{"parallel4", func() Config {
+			cfg := DefaultConfig()
+			cfg.Workers = 4
+			return cfg
+		}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			collect := obs.NewCollectSink(0)
+			cfg := shape.cfg()
+			cfg.Obs = obs.New(collect)
+			traceCampaign(t, cfg, names)
+
+			events := collect.Events()
+			st := buildSpanTree(t, events)
+			if len(st.roots) != 1 {
+				t.Fatalf("want exactly 1 root span, got %d: %v", len(st.roots), st.roots)
+			}
+			root := st.roots[0]
+			if root.Kind != obs.KindSpan || root.Phase != "campaign" {
+				t.Fatalf("root is not the campaign span: %+v", root)
+			}
+
+			funcSpans := map[string]bool{}
+			probes := 0
+			for _, e := range events {
+				if e.Span == 0 && e.Parent == 0 {
+					continue // untraced bookkeeping (campaign-phase progress)
+				}
+				got := st.rootOf(t, e)
+				if got.Span != root.Span {
+					t.Fatalf("event %v reaches root %d, want campaign root %d", e, got.Span, root.Span)
+				}
+				switch {
+				case e.Kind == obs.KindSpan && e.Phase == "inject":
+					funcSpans[e.Func] = true
+				case e.Kind == obs.KindInjectionProbe:
+					probes++
+				}
+			}
+			for _, name := range names {
+				if !funcSpans[name] {
+					t.Errorf("no function span for %s reached the tree", name)
+				}
+			}
+			if probes == 0 {
+				t.Error("no probe events carried span context across the fork boundary")
+			}
+		})
+	}
+}
+
+// TestWarmCampaignTraceStaysConnected covers the recall paths: a warm
+// campaign served from the result cache must still produce one tree —
+// cache hits emit "inject" spans with Detail "cached" parented to the
+// scheduler span instead of silently vanishing from the trace.
+func TestWarmCampaignTraceStaysConnected(t *testing.T) {
+	names := []string{"asctime", "strcpy", "close"}
+	cache := NewResultCache()
+
+	fill := DefaultConfig()
+	fill.Cache = cache
+	traceCampaign(t, fill, names)
+
+	collect := obs.NewCollectSink(0)
+	warm := DefaultConfig()
+	warm.Cache = cache
+	warm.Obs = obs.New(collect)
+	traceCampaign(t, warm, names)
+
+	st := buildSpanTree(t, collect.Events())
+	if len(st.roots) != 1 {
+		t.Fatalf("warm campaign: want 1 root span, got %d", len(st.roots))
+	}
+	cached := map[string]bool{}
+	for _, e := range collect.Events() {
+		if e.Kind == obs.KindSpan && e.Phase == "inject" && e.Detail == "cached" {
+			if got := st.rootOf(t, e); got.Span != st.roots[0].Span {
+				t.Fatalf("cached span for %s not under campaign root", e.Func)
+			}
+			cached[e.Func] = true
+		}
+	}
+	for _, name := range names {
+		if !cached[name] {
+			t.Errorf("cache hit for %s emitted no recall span", name)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Chrome trace-event export: the recorded event stream of one campaign
+// rendered in the trace-event JSON format that Perfetto
+// (ui.perfetto.dev) and chrome://tracing load directly. Timed spans
+// become complete ("X") events, point observations become instant
+// ("i") events, and every entry carries its causal IDs in args so the
+// tree survives the export.
+
+// ChromeTraceEvent is one entry of the trace-event format's
+// "JSON array format" (the subset every viewer supports).
+type ChromeTraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" complete, "i" instant, "M" metadata.
+	Ph string `json:"ph"`
+	// TS is microseconds; Dur only applies to "X" events.
+	TS  int64 `json:"ts"`
+	Dur int64 `json:"dur,omitempty"`
+	PID int64 `json:"pid"`
+	TID int64 `json:"tid"`
+	// S scopes instant events ("t" = thread).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON object format envelope.
+type ChromeTrace struct {
+	TraceEvents     []ChromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit,omitempty"`
+}
+
+// chromeLane picks the track a span renders on. Spans draw on their
+// parent's lane — a worker's function campaigns stack on the worker
+// track, a function's probes on the function track — which keeps the
+// lane count at tree fan-out, not tree size. Root spans get lane 1.
+func chromeLane(e Event) int64 {
+	if e.Parent != 0 {
+		return int64(e.Parent)
+	}
+	return 1
+}
+
+// chromeArgs carries the causal identity through the export; the
+// viewer shows them on click, and ValidateChromeTrace's consumers use
+// them to rebuild the tree.
+func chromeArgs(e Event) map[string]any {
+	args := map[string]any{
+		"trace":  fmt.Sprintf("%x", e.Trace),
+		"span":   fmt.Sprintf("%x", e.Span),
+		"parent": fmt.Sprintf("%x", e.Parent),
+		"seq":    e.Seq,
+	}
+	if e.Func != "" {
+		args["func"] = e.Func
+	}
+	if e.Outcome != "" {
+		args["outcome"] = e.Outcome
+	}
+	if e.Probe != "" {
+		args["probe"] = e.Probe
+	}
+	return args
+}
+
+// BuildChromeTrace converts a recorded event stream to the trace-event
+// format. Events without timing (TS == 0) that are not spans or
+// outcomes are skipped — progress bookkeeping has no place on a
+// timeline; the causal IDs of what remains are preserved in args.
+func BuildChromeTrace(events []Event) *ChromeTrace {
+	ct := &ChromeTrace{DisplayTimeUnit: "ms"}
+	ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "healers campaign"},
+	})
+	for _, e := range events {
+		switch e.Kind {
+		case KindSpan:
+			ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+				Name: e.Phase,
+				Cat:  "span",
+				Ph:   "X",
+				TS:   e.TS,
+				Dur:  max64(e.DurUS, 1),
+				PID:  1,
+				TID:  chromeLane(e),
+				Args: chromeArgs(e),
+			})
+		case KindSandboxOutcome:
+			if e.TS == 0 {
+				continue
+			}
+			ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+				Name: fmt.Sprintf("%s → %s", e.Func, e.Outcome),
+				Cat:  "probe",
+				Ph:   "X",
+				TS:   e.TS,
+				Dur:  max64(e.DurUS, 1),
+				PID:  1,
+				TID:  chromeLane(e),
+				Args: chromeArgs(e),
+			})
+		case KindArgAdjust, KindCheckViolation, KindTestOutcome, KindStaticSeed:
+			if e.TS == 0 {
+				continue
+			}
+			ct.TraceEvents = append(ct.TraceEvents, ChromeTraceEvent{
+				Name: fmt.Sprintf("%s %s", e.Kind, e.Func),
+				Cat:  "event",
+				Ph:   "i",
+				TS:   e.TS,
+				PID:  1,
+				TID:  chromeLane(e),
+				S:    "t",
+				Args: chromeArgs(e),
+			})
+		}
+	}
+	return ct
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MarshalChromeTrace renders the trace as the JSON object format.
+func MarshalChromeTrace(events []Event) ([]byte, error) {
+	return json.MarshalIndent(BuildChromeTrace(events), "", " ")
+}
+
+// validPhases are the trace-event phases this exporter may emit plus
+// the other single-letter phases the format defines — the validator
+// accepts the format, not just our subset.
+var validPhases = map[string]bool{
+	"B": true, "E": true, "X": true, "i": true, "I": true, "C": true,
+	"b": true, "n": true, "e": true, "s": true, "t": true, "f": true,
+	"P": true, "N": true, "O": true, "D": true, "M": true,
+}
+
+// ValidateChromeTrace checks data parses as the trace-event JSON
+// object format: a traceEvents array whose entries each carry a string
+// name, a known ph, a numeric non-negative ts, and numeric pid/tid.
+// It returns the decoded events for further (semantic) assertions.
+func ValidateChromeTrace(data []byte) ([]ChromeTraceEvent, error) {
+	var raw struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("chrometrace: not a JSON object: %w", err)
+	}
+	if raw.TraceEvents == nil {
+		return nil, fmt.Errorf("chrometrace: missing traceEvents array")
+	}
+	out := make([]ChromeTraceEvent, 0, len(raw.TraceEvents))
+	for i, msg := range raw.TraceEvents {
+		// Decode loosely first so a wrong-typed field is reported as
+		// such rather than silently zeroed.
+		var loose map[string]json.RawMessage
+		if err := json.Unmarshal(msg, &loose); err != nil {
+			return nil, fmt.Errorf("chrometrace: event %d: not an object: %w", i, err)
+		}
+		var e ChromeTraceEvent
+		if err := json.Unmarshal(msg, &e); err != nil {
+			return nil, fmt.Errorf("chrometrace: event %d: %w", i, err)
+		}
+		if _, ok := loose["name"]; !ok || e.Name == "" {
+			return nil, fmt.Errorf("chrometrace: event %d: missing name", i)
+		}
+		if !validPhases[e.Ph] {
+			return nil, fmt.Errorf("chrometrace: event %d: bad phase %q", i, e.Ph)
+		}
+		if _, ok := loose["ts"]; !ok {
+			return nil, fmt.Errorf("chrometrace: event %d: missing ts", i)
+		}
+		if e.TS < 0 {
+			return nil, fmt.Errorf("chrometrace: event %d: negative ts %d", i, e.TS)
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			return nil, fmt.Errorf("chrometrace: event %d: negative dur %d", i, e.Dur)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindSpan, Phase: "campaign", Trace: 7, Span: 10, TS: 1000, DurUS: 500, Seq: 1},
+		{Kind: KindSpan, Phase: "inject", Func: "strlen", Trace: 7, Span: 11, Parent: 10, TS: 1100, DurUS: 200, Seq: 2},
+		{Kind: KindInjectionProbe, Func: "strlen", Probe: "NULL", Trace: 7, Span: 12, Parent: 11, Seq: 3},
+		{Kind: KindSandboxOutcome, Func: "strlen", Probe: "NULL", Outcome: "SIGSEGV",
+			Trace: 7, Span: 12, Parent: 11, TS: 1150, DurUS: 30, Seq: 4},
+		{Kind: KindArgAdjust, Func: "strlen", Trace: 7, Span: 12, Parent: 11, TS: 1180, Seq: 5},
+		{Kind: KindCampaignPhase, Func: "strlen", N: 1, Total: 1, Seq: 6}, // untimed bookkeeping
+	}
+}
+
+func TestBuildChromeTraceShape(t *testing.T) {
+	ct := BuildChromeTrace(sampleEvents())
+
+	if ct.TraceEvents[0].Ph != "M" || ct.TraceEvents[0].Name != "process_name" {
+		t.Fatalf("first event must be process metadata, got %+v", ct.TraceEvents[0])
+	}
+	var spans, probes, instants int
+	for _, e := range ct.TraceEvents[1:] {
+		switch e.Cat {
+		case "span":
+			spans++
+			if e.Ph != "X" || e.Dur <= 0 {
+				t.Errorf("span event not a complete slice: %+v", e)
+			}
+		case "probe":
+			probes++
+			if !strings.Contains(e.Name, "→") {
+				t.Errorf("probe slice name %q missing outcome arrow", e.Name)
+			}
+		case "event":
+			instants++
+			if e.Ph != "i" || e.S != "t" {
+				t.Errorf("instant event malformed: %+v", e)
+			}
+		default:
+			t.Errorf("unexpected category %q: %+v", e.Cat, e)
+		}
+	}
+	// 2 spans, 1 timed outcome, 1 timed adjust. The probe event (the
+	// outcome's duplicate) and the untimed progress event are skipped.
+	if spans != 2 || probes != 1 || instants != 1 {
+		t.Fatalf("got %d spans, %d probes, %d instants; want 2, 1, 1", spans, probes, instants)
+	}
+
+	// Causal IDs survive the export as hex args.
+	inject := ct.TraceEvents[2]
+	if inject.Args["span"] != "b" || inject.Args["parent"] != "a" || inject.Args["trace"] != "7" {
+		t.Errorf("inject span args lost causal IDs: %v", inject.Args)
+	}
+	if inject.Args["func"] != "strlen" {
+		t.Errorf("inject span args lost func: %v", inject.Args)
+	}
+}
+
+func TestMarshalChromeTraceValidates(t *testing.T) {
+	data, err := MarshalChromeTrace(sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("exporter emitted an invalid trace: %v", err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("round trip returned %d events, want 5", len(events))
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not json", `[1,2`, "not a JSON object"},
+		{"array format", `[{"name":"x","ph":"X","ts":1}]`, "not a JSON object"},
+		{"missing traceEvents", `{"displayTimeUnit":"ms"}`, "missing traceEvents"},
+		{"missing name", `{"traceEvents":[{"ph":"X","ts":1,"pid":1,"tid":1}]}`, "missing name"},
+		{"empty name", `{"traceEvents":[{"name":"","ph":"X","ts":1,"pid":1,"tid":1}]}`, "missing name"},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":1}]}`, "bad phase"},
+		{"missing ts", `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1}]}`, "missing ts"},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"X","ts":-5,"pid":1,"tid":1}]}`, "negative ts"},
+		{"negative dur", `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-2,"pid":1,"tid":1}]}`, "negative dur"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateChromeTrace([]byte(tc.data))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestChromeLaneAssignment(t *testing.T) {
+	// Children render on the parent's lane; roots on lane 1.
+	ct := BuildChromeTrace([]Event{
+		{Kind: KindSpan, Phase: "campaign", Span: 20, TS: 1},
+		{Kind: KindSpan, Phase: "inject", Span: 21, Parent: 20, TS: 2},
+	})
+	if root := ct.TraceEvents[1]; root.TID != 1 {
+		t.Errorf("root span on lane %d, want 1", root.TID)
+	}
+	if child := ct.TraceEvents[2]; child.TID != 20 {
+		t.Errorf("child span on lane %d, want parent's span ID 20", child.TID)
+	}
+}

@@ -45,6 +45,16 @@ type Histogram struct {
 	buckets []atomic.Int64 // len(bounds)+1, non-cumulative
 	count   atomic.Int64
 	sum     atomic.Int64
+	// exemplar is the most recent span-scoped observation — a trace ID
+	// plus the value it observed — so a tail-latency bucket links back
+	// to a concrete campaign trace instead of an anonymous count.
+	exemplar atomic.Pointer[HistExemplar]
+}
+
+// HistExemplar ties one observed value to the trace it came from.
+type HistExemplar struct {
+	Trace uint64 `json:"trace"`
+	Value int64  `json:"value"`
 }
 
 func newHistogram(bounds []int64) *Histogram {
@@ -61,11 +71,70 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveEx records one value and, when trace is nonzero, publishes it
+// as the histogram's exemplar.
+func (h *Histogram) ObserveEx(v int64, trace uint64) {
+	h.Observe(v)
+	if trace != 0 {
+		h.exemplar.Store(&HistExemplar{Trace: trace, Value: v})
+	}
+}
+
+// Exemplar returns the most recent span-scoped observation, or nil if
+// none was recorded.
+func (h *Histogram) Exemplar() *HistExemplar { return h.exemplar.Load() }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket that crosses the target rank — the
+// standard Prometheus histogram_quantile estimate. The lowest bucket
+// interpolates from 0 and the +Inf bucket clamps to the highest finite
+// bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: the best point estimate is the largest
+				// finite bound (or 0 with no finite buckets at all).
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Snapshot returns the bounds and per-bucket (non-cumulative) counts;
 // the final bucket is the +Inf overflow.
@@ -225,6 +294,12 @@ type HistogramSnapshot struct {
 	Buckets []int64 `json:"buckets"`
 	Count   int64   `json:"count"`
 	Sum     int64   `json:"sum"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates.
+	P50 int64 `json:"p50,omitempty"`
+	P95 int64 `json:"p95,omitempty"`
+	P99 int64 `json:"p99,omitempty"`
+	// Exemplar links the histogram to a recent contributing trace.
+	Exemplar *HistExemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric, the JSON companion
@@ -261,6 +336,8 @@ func (r *Registry) Snapshot() Snapshot {
 			bounds, buckets := h.Snapshot()
 			s.Histograms[name] = HistogramSnapshot{
 				Bounds: bounds, Buckets: buckets, Count: h.Count(), Sum: h.Sum(),
+				P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+				Exemplar: h.Exemplar(),
 			}
 		}
 	}

@@ -48,6 +48,11 @@ const (
 	// one function's campaign: chains jumped, minimality confirms,
 	// mispredictions that fell back to cold growth.
 	KindStaticSeed
+	// KindSpan is one completed timed phase of the causal tree: the
+	// campaign root, a scheduler worker, a per-function injection, or
+	// an HTTP-origin span. Phase names it, TS/DurUS time it, and
+	// Trace/Span/Parent place it in the tree.
+	KindSpan
 )
 
 var kindNames = [...]string{
@@ -59,6 +64,7 @@ var kindNames = [...]string{
 	KindCampaignPhase:  "campaign-phase",
 	KindTestOutcome:    "test-outcome",
 	KindStaticSeed:     "static-seed",
+	KindSpan:           "span",
 }
 
 func (k Kind) String() string {
@@ -130,6 +136,16 @@ type Event struct {
 	// N of Total is campaign progress for KindCampaignPhase.
 	N     int `json:"n,omitempty"`
 	Total int `json:"total,omitempty"`
+	// Trace, Span, and Parent place the event in its campaign's causal
+	// tree (trace.go). Zero means the emitter was not span-scoped.
+	Trace  uint64 `json:"trace,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// TS is the event's wall-clock time in Unix microseconds and DurUS
+	// its duration, for timed events (KindSpan, sandbox outcomes). The
+	// microsecond unit is the Chrome trace-event convention.
+	TS    int64 `json:"ts,omitempty"`
+	DurUS int64 `json:"dur_us,omitempty"`
 }
 
 // String renders the event as one human-readable line (the TextSink
@@ -167,6 +183,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d [%s] %s(%s) -> %s", e.Seq, e.Config, e.Func, e.Probe, e.Outcome)
 	case KindStaticSeed:
 		return fmt.Sprintf("#%d seed %s: %s", e.Seq, e.Func, e.Detail)
+	case KindSpan:
+		return fmt.Sprintf("#%d span %s [%dus] trace=%x span=%x parent=%x",
+			e.Seq, e.Phase, e.DurUS, e.Trace, e.Span, e.Parent)
 	}
 	return fmt.Sprintf("#%d %s", e.Seq, e.Kind)
 }

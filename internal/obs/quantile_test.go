@@ -1,0 +1,101 @@
+package obs
+
+import "testing"
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test", []int64{10, 20, 30})
+
+	// Four observations land in the (10, 20] bucket; the median
+	// interpolates linearly inside it.
+	for i := 0; i < 4; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("Quantile(0.5) = %d, want interpolated 15", got)
+	}
+	// All mass in one bucket: q=1 reaches the bucket's upper bound.
+	if got := h.Quantile(1); got != 20 {
+		t.Errorf("Quantile(1) = %d, want 20", got)
+	}
+
+	// Spread mass across buckets: 4 in (10,20], 4 in (20,30].
+	for i := 0; i < 4; i++ {
+		h.Observe(25)
+	}
+	if got := h.Quantile(0.5); got != 20 {
+		t.Errorf("Quantile(0.5) after spread = %d, want bucket edge 20", got)
+	}
+	if got := h.Quantile(0.75); got != 25 {
+		t.Errorf("Quantile(0.75) = %d, want 25", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_edges", []int64{10, 20})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+	h.Observe(5)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+
+	// Overflow observations clamp to the largest finite bound rather
+	// than inventing a number beyond the histogram's resolution.
+	h.Observe(1000)
+	h.Observe(1000)
+	if got := h.Quantile(0.99); got != 20 {
+		t.Errorf("overflow Quantile(0.99) = %d, want clamp to 20", got)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_exemplar", []int64{10})
+
+	if h.Exemplar() != nil {
+		t.Fatal("fresh histogram has an exemplar")
+	}
+	// Observations without a trace leave no exemplar behind.
+	h.ObserveEx(5, 0)
+	if h.Exemplar() != nil {
+		t.Fatal("trace-less observation stored an exemplar")
+	}
+	h.ObserveEx(7, 0xabc)
+	ex := h.Exemplar()
+	if ex == nil || ex.Trace != 0xabc || ex.Value != 7 {
+		t.Fatalf("exemplar = %+v, want {Trace: 0xabc, Value: 7}", ex)
+	}
+	// The latest traced observation wins.
+	h.ObserveEx(9, 0xdef)
+	if ex := h.Exemplar(); ex.Trace != 0xdef || ex.Value != 9 {
+		t.Fatalf("exemplar after second trace = %+v", ex)
+	}
+	// A later untraced observation does not erase the exemplar.
+	h.ObserveEx(11, 0)
+	if ex := h.Exemplar(); ex == nil || ex.Trace != 0xdef {
+		t.Fatalf("untraced observation clobbered the exemplar: %+v", ex)
+	}
+}
+
+func TestSnapshotCarriesQuantilesAndExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_snap", []int64{10, 100})
+	h.ObserveEx(50, 0x77)
+	h.Observe(50)
+
+	snap := reg.Snapshot()
+	hs, ok := snap.Histograms["q_snap"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.P50 == 0 || hs.P95 == 0 || hs.P99 == 0 {
+		t.Errorf("snapshot quantiles not filled: p50=%d p95=%d p99=%d", hs.P50, hs.P95, hs.P99)
+	}
+	if hs.Exemplar == nil || hs.Exemplar.Trace != 0x77 {
+		t.Errorf("snapshot exemplar = %+v, want trace 0x77", hs.Exemplar)
+	}
+}

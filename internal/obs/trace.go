@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Causal tracing. A campaign is one trace; every phase of its execution
+// — the HTTP submission, the campaign itself, each scheduler worker,
+// each per-function injection, each forked probe — is one span in that
+// trace, linked to its parent by ID. The IDs ride on trace events
+// (Event.Trace/Span/Parent), so a recorded event stream reconstructs as
+// one tree rooted at the campaign's origin, and exports losslessly to
+// the Chrome trace-event format (chrometrace.go).
+//
+// Propagation invariants (asserted by tests, documented in DESIGN.md):
+//
+//   - IDs are assigned exactly once, by NewTrace (roots) and Child
+//     (everything else); nothing ever rewrites a span's identity.
+//   - A trace crosses process-fork boundaries by inheritance: the
+//     template process's memory image carries its owning span's IDs
+//     (cmem.Memory.TraceID/SpanID), cmem.Clone copies them, so every
+//     COW fork is attributable to the span that forked its template.
+//   - Worker sharding never reassigns spans: a function campaign's span
+//     is parented to the worker span that ran it, which is parented to
+//     the campaign span, so the tree is stable under any Workers value
+//     — only the worker layer's fan-out differs.
+
+// spanIDs hands out process-unique span and trace IDs. A plain counter
+// (not randomness) keeps traces deterministic enough to diff; IDs only
+// need uniqueness within a process lifetime.
+var spanIDs atomic.Uint64
+
+func nextID() uint64 { return spanIDs.Add(1) }
+
+// SpanContext identifies one node of a campaign's causal tree.
+// The zero value is "no span" (Valid reports false); instrumented code
+// threads it unconditionally and only pays for it when tracing is on.
+type SpanContext struct {
+	// Trace identifies the tree; every span of one campaign shares it.
+	Trace uint64
+	// Span is this node's process-unique ID.
+	Span uint64
+	// Parent is the parent node's span ID; 0 marks the root.
+	Parent uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// Child allocates a child span of sc. Calling Child on an invalid
+// context starts a fresh trace, so call sites need not special-case
+// "no incoming span".
+func (sc SpanContext) Child() SpanContext {
+	if !sc.Valid() {
+		return NewTrace()
+	}
+	return SpanContext{Trace: sc.Trace, Span: nextID(), Parent: sc.Span}
+}
+
+// NewTrace allocates a root span beginning a new trace.
+func NewTrace() SpanContext {
+	return SpanContext{Trace: nextID(), Span: nextID()}
+}
+
+// Tag stamps the event with sc's identity and returns it — sugar for
+// emit sites that build events inline.
+func (sc SpanContext) Tag(e Event) Event {
+	e.Trace, e.Span, e.Parent = sc.Trace, sc.Span, sc.Parent
+	return e
+}
+
+// ctxKey is the context.Context key for span propagation.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sc, the propagation
+// vehicle from HTTP handlers down through campaign scheduling.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext extracts the propagated span, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// CollectSink retains every emitted event in order, bounded by cap —
+// the buffer behind trace exports (the serve /trace endpoint and the
+// CLI -trace-out flag). When the cap is reached further events are
+// counted but not stored, so a runaway campaign degrades to a truncated
+// trace instead of unbounded memory.
+type CollectSink struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// DefaultCollectCap bounds a collected trace; a full 86-function
+// campaign emits ~14k events, so the default keeps an order of
+// magnitude of headroom.
+const DefaultCollectCap = 262144
+
+// NewCollectSink returns a collector retaining up to capacity events
+// (<= 0 uses DefaultCollectCap).
+func NewCollectSink(capacity int) *CollectSink {
+	if capacity <= 0 {
+		capacity = DefaultCollectCap
+	}
+	return &CollectSink{cap: capacity}
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(e Event) {
+	s.mu.Lock()
+	if len(s.events) < s.cap {
+		s.events = append(s.events, e)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in emission order.
+func (s *CollectSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Dropped reports how many events overflowed the cap.
+func (s *CollectSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

@@ -4,6 +4,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"healers/internal/extract"
@@ -49,8 +50,9 @@ func Table1(c *injector.Campaign) string {
 }
 
 // Stats renders the observability report of a campaign: the per-phase
-// profile first (when spans were collected), then every registered
-// counter, gauge, and histogram in exposition format.
+// profile first (when spans were collected), then the latency quantiles
+// of every populated histogram, then every registered counter, gauge,
+// and histogram in exposition format.
 func Stats(reg *obs.Registry, spans *obs.Spans) string {
 	var b strings.Builder
 	if prof := spans.Report(); prof != "" {
@@ -58,6 +60,10 @@ func Stats(reg *obs.Registry, spans *obs.Spans) string {
 		b.WriteByte('\n')
 	}
 	if reg != nil {
+		if q := Quantiles(reg); q != "" {
+			b.WriteString(q)
+			b.WriteByte('\n')
+		}
 		b.WriteString("Metrics\n")
 		exp := reg.Exposition()
 		if exp == "" {
@@ -65,6 +71,39 @@ func Stats(reg *obs.Registry, spans *obs.Spans) string {
 		} else {
 			b.WriteString(exp)
 		}
+	}
+	return b.String()
+}
+
+// Quantiles renders p50/p95/p99 for every populated histogram, with the
+// exemplar trace ID of the last observation when one was recorded — the
+// bridge from an aggregate ("p99 fork is 210µs") to one concrete trace
+// that can be pulled up in a viewer. Empty when no histogram has data.
+func Quantiles(reg *obs.Registry) string {
+	snap := reg.Snapshot()
+	if len(snap.Histograms) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		if h.Count > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("Latency quantiles (bucket-interpolated)\n")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Fprintf(&b, "  %-28s n=%-6d p50=%-8d p95=%-8d p99=%-8d",
+			name, h.Count, h.P50, h.P95, h.P99)
+		if h.Exemplar != nil {
+			fmt.Fprintf(&b, " exemplar=%d@trace %016x", h.Exemplar.Value, h.Exemplar.Trace)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -31,6 +34,11 @@ type CampaignRequest struct {
 	// Seed is "static" to seed adaptive growth from the static
 	// pre-inference, or "none"/"" for a cold campaign.
 	Seed string `json:"seed,omitempty"`
+	// Profile opts this campaign into CPU profile capture: the run is
+	// wrapped in runtime/pprof's CPU profiler and the pprof data served
+	// at /v1/campaigns/{id}/profile. One profile runs at a time
+	// process-wide; a campaign that loses the race runs unprofiled.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // CampaignStatus is the JSON representation of one campaign, returned
@@ -66,6 +74,12 @@ type campaign struct {
 	hub     *hub
 	created time.Time
 
+	// sc is the campaign's HTTP-origin root span, allocated at submit
+	// time; the injector's campaign span becomes its child via context
+	// propagation. collect retains the full event stream for /trace.
+	sc      obs.SpanContext
+	collect *obs.CollectSink
+
 	done chan struct{} // closed by finish
 
 	mu       sync.Mutex
@@ -75,6 +89,7 @@ type campaign struct {
 	sigSHA   string
 	unsafe   int
 	calls    int
+	profile  []byte // pprof CPU profile when requested and captured
 	finished time.Time
 }
 
@@ -85,7 +100,10 @@ type campaign struct {
 // so submissions differing only in workers dedupe to one campaign.
 func campaignID(req CampaignRequest, names []string, protos []string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "campaign-v1|%t|%s\n", req.Conservative, normalizeSeed(req.Seed))
+	// Profile is part of the address even though it never changes the
+	// vectors: a profiled campaign produces a different artifact set, so
+	// it must not dedupe onto an unprofiled record (or vice versa).
+	fmt.Fprintf(h, "campaign-v1|%t|%s|%t\n", req.Conservative, normalizeSeed(req.Seed), req.Profile)
 	for i, name := range names {
 		fmt.Fprintf(h, "%s\x00%s\n", name, protos[i])
 	}
@@ -178,6 +196,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		workers: injector.ResolveWorkers(workers),
 		hub:     newHub(),
 		created: time.Now(),
+		sc:      obs.NewTrace(),
+		collect: obs.NewCollectSink(0),
 		done:    make(chan struct{}),
 		state:   "running",
 	}
@@ -192,8 +212,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, c.status())
 }
 
+// cpuProfileMu serializes per-campaign CPU profiling: the Go runtime
+// supports one CPU profile at a time process-wide, so a campaign that
+// cannot take the lock immediately runs unprofiled rather than queuing.
+var cpuProfileMu sync.Mutex
+
 // run executes one campaign on the worker-pool scheduler against the
-// server's shared cache, flight group, and metrics registry.
+// server's shared cache, flight group, and metrics registry. The
+// campaign's tracer fans out to the SSE hub (live progress) and the
+// collect sink (the /trace export); the injector's span tree parents to
+// the HTTP-origin span via context propagation.
 func (s *Server) run(c *campaign) {
 	defer s.wg.Done()
 	defer s.gInflight.Add(-1)
@@ -204,7 +232,8 @@ func (s *Server) run(c *campaign) {
 	cfg.Cache = s.cache
 	cfg.Flight = s.flight
 	cfg.Metrics = s.reg
-	cfg.Obs = obs.New(c.hub)
+	tr := obs.New(c.hub, c.collect)
+	cfg.Obs = tr
 	cfg.LibFactory = clib.New
 	if normalizeSeed(c.req.Seed) == "static" {
 		pred, err := analysis.Predict(s.ext, c.names)
@@ -216,7 +245,41 @@ func (s *Server) run(c *campaign) {
 		cfg.Seeds = pred.Seeds()
 	}
 
-	camp, err := injector.New(clib.New(), cfg).InjectAll(s.ext, c.names)
+	var profBuf bytes.Buffer
+	profiling := false
+	if c.req.Profile && cpuProfileMu.TryLock() {
+		if err := pprof.StartCPUProfile(&profBuf); err == nil {
+			profiling = true
+		} else {
+			cpuProfileMu.Unlock()
+		}
+	}
+
+	start := time.Now()
+	ctx := obs.ContextWithSpan(context.Background(), c.sc)
+	camp, err := injector.New(clib.New(), cfg).InjectAllContext(ctx, s.ext, c.names)
+
+	if profiling {
+		pprof.StopCPUProfile()
+		cpuProfileMu.Unlock()
+	}
+
+	// The HTTP-origin root span closes once the campaign returns, so the
+	// exported tree has a single root covering the whole request.
+	tr.Emit(c.sc.Tag(obs.Event{
+		Kind:  obs.KindSpan,
+		Phase: "http-campaign",
+		N:     len(c.names),
+		Total: len(c.names),
+		TS:    start.UnixMicro(),
+		DurUS: time.Since(start).Microseconds(),
+	}))
+
+	if profiling {
+		c.mu.Lock()
+		c.profile = profBuf.Bytes()
+		c.mu.Unlock()
+	}
 	c.finish(camp, err)
 	if err != nil {
 		s.mFailed.Inc()
@@ -313,6 +376,56 @@ func (s *Server) handleVectors(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, sig) //nolint:errcheck
+}
+
+// handleTrace serves the campaign's causal tree in Chrome trace-event
+// JSON — loadable directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Available while the campaign runs (a prefix of the
+// tree) and after it completes (the full tree, rooted at the
+// HTTP-origin span).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	data, err := obs.MarshalChromeTrace(c.collect.Events())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-trace.json", c.id))
+	w.Write(data) //nolint:errcheck
+}
+
+// handleProfile serves the campaign's captured CPU profile (pprof
+// format) for submissions that set "profile": true.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	c.mu.Lock()
+	prof := c.profile
+	state := c.state
+	c.mu.Unlock()
+	if state == "running" {
+		writeError(w, http.StatusConflict, "campaign %s is still running", c.id)
+		return
+	}
+	if len(prof) == 0 {
+		if !c.req.Profile {
+			writeError(w, http.StatusNotFound, "campaign %s was not submitted with \"profile\": true", c.id)
+		} else {
+			writeError(w, http.StatusNotFound, "campaign %s lost the profiler to a concurrent profiled campaign", c.id)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.pprof", c.id))
+	w.Write(prof) //nolint:errcheck
 }
 
 // handleEvents streams campaign progress as server-sent events: one

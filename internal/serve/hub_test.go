@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"healers/internal/obs"
+)
+
+func progressAt(n, total int) obs.Event {
+	return obs.Event{
+		Kind:  obs.KindCampaignPhase,
+		Func:  fmt.Sprintf("fn%d", n),
+		N:     n,
+		Total: total,
+	}
+}
+
+// TestHubMidCampaignSubscribeReplay pins the replay invariant: a
+// subscriber that arrives mid-campaign sees every prior event in its
+// replay slice and every later event on its channel — no gap and no
+// duplicate at the boundary, because replay copy and registration
+// happen under one lock.
+func TestHubMidCampaignSubscribeReplay(t *testing.T) {
+	h := newHub()
+	const total = 20
+	for n := 1; n <= 10; n++ {
+		h.Emit(progressAt(n, total))
+	}
+
+	replay, ch, cancel := h.subscribe()
+	defer cancel()
+	if len(replay) != 10 {
+		t.Fatalf("replay has %d events, want the 10 emitted before subscribe", len(replay))
+	}
+	for i, p := range replay {
+		if p.N != i+1 {
+			t.Fatalf("replay[%d].N = %d, want %d", i, p.N, i+1)
+		}
+	}
+
+	for n := 11; n <= total; n++ {
+		h.Emit(progressAt(n, total))
+	}
+	for n := 11; n <= total; n++ {
+		p := <-ch
+		if p.N != n {
+			t.Fatalf("live event N = %d, want %d (gap or duplicate at the subscribe boundary)", p.N, n)
+		}
+	}
+	select {
+	case p := <-ch:
+		t.Fatalf("unexpected extra live event %+v", p)
+	default:
+	}
+}
+
+// TestHubSlowSubscriberDoesNotBlockCampaign pins the non-blocking send:
+// a subscriber that never reads fills its channel buffer and then loses
+// live copies, while the campaign's Emit keeps returning — this test
+// emits twice the buffer from the same goroutine that nobody drains,
+// so any blocking send would deadlock it on the spot. The replay record
+// stays complete, so a reconnecting client recovers the lost events.
+func TestHubSlowSubscriberDoesNotBlockCampaign(t *testing.T) {
+	h := newHub()
+	_, stuck, cancelStuck := h.subscribe()
+	defer cancelStuck()
+
+	const total = subChanBuffer * 2
+	for n := 1; n <= total; n++ {
+		h.Emit(progressAt(n, total))
+	}
+
+	if len(stuck) != subChanBuffer {
+		t.Fatalf("stuck subscriber holds %d events, want a full buffer of %d", len(stuck), subChanBuffer)
+	}
+	// The buffered prefix is intact and in order — overflow drops the
+	// newest copies, it does not corrupt the delivered ones.
+	for n := 1; n <= subChanBuffer; n++ {
+		if p := <-stuck; p.N != n {
+			t.Fatalf("buffered event N = %d, want %d", p.N, n)
+		}
+	}
+	replay, _, cancel := h.subscribe()
+	cancel()
+	if len(replay) != total {
+		t.Fatalf("replay after overflow has %d events, want %d", len(replay), total)
+	}
+	if h.count() != total {
+		t.Fatalf("count() = %d, want %d", h.count(), total)
+	}
+}
+
+// TestHubConcurrentEmitAndSubscribe races emitters against subscribers
+// under the race detector: every subscriber's replay+live view must be
+// gapless in the prefix it observed (drops only ever trim the tail).
+func TestHubConcurrentEmitAndSubscribe(t *testing.T) {
+	h := newHub()
+	const total = 300
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replay, ch, cancel := h.subscribe()
+			defer cancel()
+			seen := len(replay)
+			for i, p := range replay {
+				if p.N != i+1 {
+					t.Errorf("replay gap: [%d].N = %d", i, p.N)
+					return
+				}
+			}
+			// total/2 < subChanBuffer, so this threshold is always
+			// reachable even when overflow trimmed the tail; checking
+			// before each receive keeps a subscriber whose replay
+			// already crossed it from blocking on a drained channel.
+			for seen < total/2 {
+				<-ch
+				seen++
+			}
+		}()
+	}
+	for n := 1; n <= total; n++ {
+		h.Emit(progressAt(n, total))
+	}
+	wg.Wait()
+	if h.count() != total {
+		t.Fatalf("count() = %d, want %d", h.count(), total)
+	}
+}
+
+// TestHubCancelDetaches pins unsubscribe: after cancel, the channel
+// receives nothing further and the hub does not leak the registration.
+func TestHubCancelDetaches(t *testing.T) {
+	h := newHub()
+	_, ch, cancel := h.subscribe()
+	h.Emit(progressAt(1, 2))
+	cancel()
+	cancel() // idempotent
+	h.Emit(progressAt(2, 2))
+
+	if got := len(ch); got != 1 {
+		t.Fatalf("channel holds %d events after cancel, want only the pre-cancel 1", got)
+	}
+	h.mu.Lock()
+	subs := len(h.subs)
+	h.mu.Unlock()
+	if subs != 0 {
+		t.Fatalf("hub retains %d subscriptions after cancel", subs)
+	}
+}
+
+// TestHubIgnoresNonProgressEvents pins the sink filter: span, probe,
+// and outcome events flow through the same tracer but must not leak
+// into the SSE stream.
+func TestHubIgnoresNonProgressEvents(t *testing.T) {
+	h := newHub()
+	h.Emit(obs.Event{Kind: obs.KindSpan, Phase: "campaign"})
+	h.Emit(obs.Event{Kind: obs.KindInjectionProbe, Func: "strlen"})
+	h.Emit(obs.Event{Kind: obs.KindSandboxOutcome, Func: "strlen", Outcome: "ret"})
+	if h.count() != 0 {
+		t.Fatalf("non-progress events reached the hub buffer: count = %d", h.count())
+	}
+}
+
+// TestSSESubscribeAfterTerminal is the HTTP-level edge case: a client
+// that connects after the campaign finished still gets the full replay
+// followed by the terminal done event, then the stream closes.
+func TestSSESubscribeAfterTerminal(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := submit(t, ts, CampaignRequest{Functions: []string{"strlen", "strcpy", "close"}}, http.StatusAccepted)
+
+	first := consumeSSE(t, ts, st.ID) // runs the campaign to done
+	late := consumeSSE(t, ts, st.ID)  // campaign already terminal
+
+	if len(late) != len(first) {
+		t.Fatalf("late subscriber got %d events, live subscriber got %d", len(late), len(first))
+	}
+	var progress int
+	for _, e := range late {
+		if e.event == "progress" {
+			progress++
+		}
+	}
+	if progress != 3 {
+		t.Errorf("late subscriber replayed %d progress events, want 3", progress)
+	}
+	if last := late[len(late)-1]; last.event != "done" {
+		t.Errorf("late subscriber's final event is %q, want done", last.event)
+	}
+}

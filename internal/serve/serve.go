@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -40,6 +41,10 @@ type Options struct {
 	// Registry receives every metric — request counters, in-flight
 	// gauges, and all injector campaign counters. Nil creates one.
 	Registry *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the service
+	// handler. Off by default: the profiler exposes goroutine dumps and
+	// CPU samples, which only an operator who asked for them should see.
+	Pprof bool
 }
 
 // Server owns the extraction products, the shared result cache, and
@@ -53,6 +58,7 @@ type Server struct {
 	flight  *injector.Flight
 	reg     *obs.Registry
 	workers int
+	pprof   bool
 	started time.Time
 
 	mu        sync.Mutex
@@ -93,6 +99,7 @@ func New(opts Options) (*Server, error) {
 		flight:    injector.NewFlight(),
 		reg:       reg,
 		workers:   opts.Workers,
+		pprof:     opts.Pprof,
 		started:   time.Now(),
 		campaigns: make(map[string]*campaign),
 	}
@@ -122,8 +129,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("/v1/campaigns/{id}", s.handleStatus))
 	mux.HandleFunc("GET /v1/campaigns/{id}/vectors", s.instrument("/v1/campaigns/{id}/vectors", s.handleVectors))
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.instrument("/v1/campaigns/{id}/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.instrument("/v1/campaigns/{id}/trace", s.handleTrace))
+	mux.HandleFunc("GET /v1/campaigns/{id}/profile", s.instrument("/v1/campaigns/{id}/profile", s.handleProfile))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -246,6 +262,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.reg.Gauge("healers_serve_campaigns").Set(int64(len(s.campaigns)))
 	s.mu.Unlock()
+
+	// Quantile gauges are materialized at scrape time from the histogram
+	// state, so /metrics carries ready-to-alert p50/p95/p99 series
+	// without a streaming quantile estimator on the hot paths.
+	snap := s.reg.Snapshot()
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		s.reg.Gauge(name + "_p50").Set(h.P50)
+		s.reg.Gauge(name + "_p95").Set(h.P95)
+		s.reg.Gauge(name + "_p99").Set(h.P99)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, s.reg.Exposition())

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"healers/internal/obs"
+)
+
+// getTrace fetches a campaign's Chrome trace JSON, asserting the code.
+func getTrace(t *testing.T, ts *httptest.Server, id string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET trace: code %d, want %d (body %.200s)", resp.StatusCode, wantCode, raw)
+	}
+	if wantCode == http.StatusOK {
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET trace: Content-Type %q", ct)
+		}
+	}
+	return raw
+}
+
+// traceNode is one exported event's causal identity, rebuilt from the
+// hex IDs the exporter stores in args.
+type traceNode struct {
+	name         string
+	cat          string
+	fn           string
+	span, parent uint64
+}
+
+// parseTraceNodes validates data as trace-event JSON and extracts the
+// causal IDs of every non-metadata event.
+func parseTraceNodes(t *testing.T, data []byte) []traceNode {
+	t.Helper()
+	events, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("invalid Chrome trace: %v", err)
+	}
+	hexID := func(e obs.ChromeTraceEvent, key string) uint64 {
+		s, ok := e.Args[key].(string)
+		if !ok {
+			t.Fatalf("event %q: args[%q] = %v, want hex string", e.Name, key, e.Args[key])
+		}
+		var v uint64
+		for _, c := range []byte(s) {
+			switch {
+			case c >= '0' && c <= '9':
+				v = v<<4 | uint64(c-'0')
+			case c >= 'a' && c <= 'f':
+				v = v<<4 | uint64(c-'a'+10)
+			default:
+				t.Fatalf("event %q: args[%q] = %q is not hex", e.Name, key, s)
+			}
+		}
+		return v
+	}
+	var nodes []traceNode
+	for _, e := range events {
+		if e.Ph == "M" {
+			continue
+		}
+		fn, _ := e.Args["func"].(string)
+		nodes = append(nodes, traceNode{
+			name:   e.Name,
+			cat:    e.Cat,
+			fn:     fn,
+			span:   hexID(e, "span"),
+			parent: hexID(e, "parent"),
+		})
+	}
+	return nodes
+}
+
+// TestE2ECampaignTraceTree is the tentpole acceptance criterion: a full
+// 86-function campaign submitted through the HTTP service reconstructs
+// as ONE tree — the exported Chrome trace validates, and every event
+// (function spans, probe slices that crossed the fork boundary) walks
+// its parent IDs back to the single "http-campaign" root span.
+func TestE2ECampaignTraceTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 86-function campaign")
+	}
+	_, ts := newTestServer(t, Options{Workers: 4})
+
+	st := submit(t, ts, CampaignRequest{}, http.StatusAccepted) // empty = the 86
+	consumeSSE(t, ts, st.ID)
+
+	nodes := parseTraceNodes(t, getTrace(t, ts, st.ID, http.StatusOK))
+
+	byID := make(map[uint64]traceNode, len(nodes))
+	var root traceNode
+	roots := 0
+	for _, n := range nodes {
+		if n.cat == "span" {
+			byID[n.span] = n
+		}
+		if n.parent == 0 {
+			root = n
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("want exactly 1 root event, got %d", roots)
+	}
+	if root.name != "http-campaign" {
+		t.Fatalf("root span is %q, want http-campaign", root.name)
+	}
+
+	funcs := map[string]bool{}
+	probes := 0
+	for _, n := range nodes {
+		cur := n
+		for hops := 0; cur.parent != 0; hops++ {
+			if hops > 64 {
+				t.Fatalf("parent chain from %q (span %x) did not terminate", n.name, n.span)
+			}
+			parent, ok := byID[cur.parent]
+			if !ok {
+				t.Fatalf("event %q (span %x) has dangling parent %x", n.name, n.span, cur.parent)
+			}
+			cur = parent
+		}
+		if cur.span != root.span {
+			t.Fatalf("event %q reaches root %x, want http-campaign root %x", n.name, cur.span, root.span)
+		}
+		switch {
+		case n.cat == "span" && n.name == "inject":
+			funcs[n.fn] = true
+		case n.cat == "probe":
+			probes++
+		}
+	}
+	if len(funcs) != 86 {
+		t.Errorf("trace contains %d function spans, want 86", len(funcs))
+	}
+	if probes == 0 {
+		t.Error("trace contains no probe slices")
+	}
+
+	// The trace endpoint must also answer for an unknown campaign:
+	// 404, not a hang or empty 200.
+	getTrace(t, ts, "c-nope", http.StatusNotFound)
+}
+
+// TestCampaignProfileEndpoint covers the opt-in CPU profile: a
+// profiled campaign serves pprof bytes after completion, and an
+// unprofiled one explains itself with a 404.
+func TestCampaignProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	prof := submit(t, ts, CampaignRequest{Functions: []string{"strlen", "strcpy"}, Profile: true}, http.StatusAccepted)
+	plain := submit(t, ts, CampaignRequest{Functions: []string{"strlen", "strcpy"}}, http.StatusAccepted)
+	if prof.ID == plain.ID {
+		t.Fatalf("profiled and unprofiled submissions deduped to %s; Profile must be part of the identity", prof.ID)
+	}
+	consumeSSE(t, ts, prof.ID)
+	consumeSSE(t, ts, plain.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + prof.ID + "/profile")
+	if err != nil {
+		t.Fatalf("GET profile: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiled campaign: code %d (body %.200s)", resp.StatusCode, raw)
+	}
+	if len(raw) == 0 {
+		t.Fatal("profiled campaign served an empty profile")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + plain.ID + "/profile")
+	if err != nil {
+		t.Fatalf("GET profile: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unprofiled campaign: code %d, want 404", resp.StatusCode)
+	}
+}

@@ -64,18 +64,18 @@ func BenchmarkWrapperCallOverhead(b *testing.B) {
 	})
 }
 
-// TestNopObservabilityAddsNoAllocations is the ISSUE's acceptance
-// criterion: the wrapper with a no-op tracer must allocate exactly as
-// much per call as the bare library call (the variadic argument slice),
-// i.e. the disabled instrumentation contributes zero allocations.
+// TestNopObservabilityAddsNoAllocations is the zero-alloc contract on
+// the wrapper's nop path: a call through the wrapper with a disabled
+// tracer and no registry must perform ZERO heap allocations — not
+// "no more than the bare library", exactly zero. The wrapper holds the
+// variadic argument slice in per-interposer scratch storage, so the
+// caller-site slice stack-allocates; any regression (an event built
+// outside the Enabled guard, a fmt.Sprintf on the hot path, the held
+// slice escaping) trips this before it reaches a benchmark chart.
 func TestNopObservabilityAddsNoAllocations(t *testing.T) {
 	lib, decls := fullAutoDecls(t)
 	p := newProc()
 	s := cstrAt(t, p, "hello world")
-
-	bare := testing.AllocsPerRun(500, func() {
-		lib.Call(p, "strlen", uint64(s))
-	})
 
 	opts := DefaultOptions()
 	opts.Obs = obs.Nop() // explicit nop; Attach uses the same when unset
@@ -84,8 +84,7 @@ func TestNopObservabilityAddsNoAllocations(t *testing.T) {
 		ip.Call(p, "strlen", uint64(s))
 	})
 
-	if extra := wrapped - bare; extra != 0 {
-		t.Fatalf("nop-instrumented wrapper adds %v allocations per call (bare %v, wrapped %v), want 0",
-			extra, bare, wrapped)
+	if wrapped != 0 {
+		t.Fatalf("nop-instrumented wrapper allocates %v per call, want exactly 0", wrapped)
 	}
 }

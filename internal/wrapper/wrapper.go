@@ -148,6 +148,16 @@ type Interposer struct {
 	// measure hCheckWork observes per checked call.
 	work int
 
+	// argScratch holds call arguments while they traverse the wrapper.
+	// Call copies its variadic slice here and threads the copy through
+	// checking and the library call, so the caller-site slice never
+	// escapes to the heap — the nop path runs at zero allocations.
+	// One slot per nesting level: the wrapper re-enters itself when
+	// FILE validation calls fileno. Calls deeper or wider than the
+	// scratch fall back to an allocated copy.
+	argScratch [4][8]uint64
+	argDepth   int
+
 	tr *obs.Tracer
 	// Registry instruments (detached dummies when Options.Metrics is
 	// nil, so the hot path never branches).
@@ -231,9 +241,27 @@ func (ip *Interposer) Stats() Stats {
 // HeapTableSize returns the number of tracked live allocations.
 func (ip *Interposer) HeapTableSize() int { return len(ip.heap) }
 
+// holdArgs copies args into the interposer's scratch storage for the
+// current nesting level and returns the held view. The copy is what the
+// rest of the call path (checks, the library call, postfix) operates
+// on; the variadic parameter itself is only read here, which keeps it
+// non-escaping — and the caller's argument slice on its stack.
+func (ip *Interposer) holdArgs(args []uint64) []uint64 {
+	if ip.argDepth < len(ip.argScratch) && len(args) <= len(ip.argScratch[0]) {
+		held := ip.argScratch[ip.argDepth][:len(args):len(args)]
+		copy(held, args)
+		return held
+	}
+	return append([]uint64(nil), args...)
+}
+
 // Call invokes name through the wrapper: prefix checks, original call,
 // postfix state upkeep (the structure of Figure 5).
 func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 {
+	held := ip.holdArgs(args)
+	ip.argDepth++
+	defer func() { ip.argDepth-- }()
+
 	ip.stats.calls.Add(1)
 	ip.mCalls.Inc()
 	fn := ip.lib.MustLookup(name)
@@ -244,7 +272,7 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 	if ip.inFlag {
 		ip.stats.reentrant.Add(1)
 		ip.mReentrant.Inc()
-		return fn.Impl(p, args)
+		return fn.Impl(p, held)
 	}
 	ip.inFlag = true
 	defer func() { ip.inFlag = false }()
@@ -259,8 +287,8 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 		if ip.tr.Enabled() {
 			ip.tr.Emit(obs.Event{Kind: obs.KindWrapperCall, Func: name, Outcome: "passthru"})
 		}
-		ret := fn.Impl(p, args)
-		ip.postfix(name, args, ret)
+		ret := fn.Impl(p, held)
+		ip.postfix(name, held, ret)
 		return ret
 	}
 
@@ -268,16 +296,16 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 	ip.mChecked.Inc()
 	ip.work = 0
 	for i, arg := range d.Args {
-		if i >= len(args) {
+		if i >= len(held) {
 			break
 		}
-		if ok, reason := ip.checkArg(arg, args, i); !ok {
+		if ok, reason := ip.checkArg(arg, held, i); !ok {
 			ip.hCheckWork.Observe(int64(ip.work))
 			return ip.reject(d, i, arg, reason)
 		}
 	}
 	for _, assertion := range d.Assertions {
-		if ok, i, reason := ip.checkAssertion(assertion, d, args); !ok {
+		if ok, i, reason := ip.checkAssertion(assertion, d, held); !ok {
 			ip.hCheckWork.Observe(int64(ip.work))
 			return ip.reject(d, i, d.Args[i], reason)
 		}
@@ -287,8 +315,8 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 		ip.tr.Emit(obs.Event{Kind: obs.KindWrapperCall, Func: name, Outcome: "checked", Steps: ip.work})
 	}
 
-	ret := fn.Impl(p, args)
-	ip.postfix(name, args, ret)
+	ret := fn.Impl(p, held)
+	ip.postfix(name, held, ret)
 	return ret
 }
 
