@@ -4,7 +4,11 @@
 #   make race          — tier 2: vet + the race detector over the full suite
 #   make race-parallel — the parallel-campaign concurrency audit under -race
 #   make serve-test    — the campaign-service e2e/soak layer under -race
-#   make lint          — gofmt diff + go vet, no test execution
+#   make lint          — gofmt diff + go vet + the repo AST lint
+#   make soundness     — the static↔dynamic gate: body facts never
+#                        stronger than the measured robust types
+#   make bodyfacts     — regenerate internal/analysis/bodyfacts from clib
+#   make bodyfacts-check — fail if the committed body facts have drifted
 #   make cover         — coverage with a failing floor at COVER_BASELINE
 #   make verify        — all tiers (the pre-commit gate)
 #   make bench         — wrapper call-path overhead benchmarks
@@ -21,7 +25,7 @@ GO ?= go
 # untested subsystems).
 COVER_BASELINE ?= 79.0
 
-.PHONY: all check race race-parallel serve-test lint cover verify bench bench-campaign bench-gate bench-smoke fuzz table1 figure6 stats analyze clean
+.PHONY: all check race race-parallel serve-test lint soundness bodyfacts bodyfacts-check cover verify bench bench-campaign bench-gate bench-smoke fuzz table1 figure6 stats analyze clean
 
 all: check
 
@@ -51,6 +55,22 @@ lint:
 		gofmt -d $$unformatted; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/bodyscan -lint
+
+# The soundness gate of the body-level static pass: every predicted
+# robust type must be no stronger than the dynamically measured one
+# (zero "wrong" rows across the 86), the body-seeded campaign must
+# reproduce the cold campaign's vectors byte-for-byte, and the
+# committed facts must regenerate as a no-op.
+soundness:
+	$(GO) test -count=1 -run 'TestBodySoundness|TestBodyVectorsIdentical|TestBodySeedingBeatsPrototype' ./internal/analysis/
+	$(GO) run ./cmd/bodyscan -check
+
+bodyfacts:
+	$(GO) run ./cmd/bodyscan -out internal/analysis/bodyfacts/facts.go
+
+bodyfacts-check:
+	$(GO) run ./cmd/bodyscan -check
 
 cover:
 	$(GO) test -count=1 -coverprofile=coverage.out ./...

@@ -1,0 +1,84 @@
+// Command bodyscan maintains the checked-in body-level access
+// summaries (internal/analysis/bodyfacts) and runs the repo-local AST
+// lint that shares the bodyscan loader.
+//
+// Usage:
+//
+//	bodyscan -out internal/analysis/bodyfacts/facts.go   # regenerate
+//	bodyscan -check                                      # CI drift gate
+//	bodyscan -lint                                       # repo AST lint
+//
+// -check regenerates the facts in memory and diffs them against the
+// committed file, exiting nonzero on drift — the gate that keeps the
+// facts in sync with the internal/clib bodies they summarize.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"healers/internal/analysis/bodyscan"
+	"healers/internal/clib"
+)
+
+func main() {
+	src := flag.String("src", "internal/clib", "clib source directory to scan")
+	out := flag.String("out", "", "write generated bodyfacts source to `file`")
+	check := flag.Bool("check", false, "regenerate and diff against the committed facts file")
+	checkPath := flag.String("check-path", "internal/analysis/bodyfacts/facts.go", "committed facts `file` the -check mode diffs against")
+	lint := flag.Bool("lint", false, "run the repo AST lint (cmem encapsulation, injector determinism)")
+	flag.Parse()
+
+	if err := run(*src, *out, *check, *checkPath, *lint); err != nil {
+		fmt.Fprintln(os.Stderr, "bodyscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(src, out string, check bool, checkPath string, lint bool) error {
+	if lint {
+		violations, err := bodyscan.LintRepo(".")
+		if err != nil {
+			return err
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		if n := len(violations); n > 0 {
+			return fmt.Errorf("%d lint violation(s)", n)
+		}
+		return nil
+	}
+	if !check && out == "" {
+		return fmt.Errorf("nothing to do: pass -out, -check, or -lint")
+	}
+
+	sc, err := bodyscan.Load(src)
+	if err != nil {
+		return err
+	}
+	sums, err := sc.SummarizeAll(clib.New().CrashProne86())
+	if err != nil {
+		return err
+	}
+	generated := bodyscan.GenGo(sums)
+
+	if check {
+		committed, err := os.ReadFile(checkPath)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(committed, generated) {
+			return fmt.Errorf("%s is stale: regenerate with `go run ./cmd/bodyscan -out %s`", checkPath, checkPath)
+		}
+		fmt.Printf("%s is up to date (%d functions)\n", checkPath, len(sums))
+		return nil
+	}
+	if err := os.WriteFile(out, generated, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d functions)\n", out, len(sums))
+	return nil
+}

@@ -29,8 +29,11 @@
 //
 // Command-specific flags:
 //
-//	inject -seed=static|none   seed adaptive growth from the static prediction
+//	inject -seed=static|body|none  seed adaptive growth from a static pass
+//	                           (static = prototype pass, body = bodyscan facts)
 //	analyze -json              emit the agreement report as JSON
+//	analyze -bodies            agreement table for the body-level bodyscan
+//	                           pass instead of the prototype pass
 //	serve -addr :8080          listen address for the campaign service
 //	serve -cache results.jsonl persistent result cache shared across restarts
 //	serve -pprof               mount net/http/pprof under /debug/pprof/
@@ -206,8 +209,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	of := registerObsFlags(fs)
 	stateless := fs.Bool("stateless", false, "figure6: add the stateless-wrapper ablation run")
-	seedMode := fs.String("seed", "none", "inject: seed adaptive growth from the static prediction (static|none)")
+	seedMode := fs.String("seed", "none", "inject: seed adaptive growth from a static pass (static|body|none)")
 	jsonOut := fs.Bool("json", false, "analyze: emit the agreement report as JSON")
+	useBodies := fs.Bool("bodies", false, "analyze: use the body-level bodyscan facts instead of the prototype pass")
 	addr := fs.String("addr", ":8080", "serve: listen `address` for the campaign service")
 	cachePath := fs.String("cache", "", "serve: persistent result cache `file` (JSONL; empty = in-memory)")
 	withPprof := fs.Bool("pprof", false, "serve: mount net/http/pprof under /debug/pprof/")
@@ -257,9 +261,15 @@ func run(args []string) error {
 				return err
 			}
 			cfg.Seeds = pred.Seeds()
+		case "body":
+			pred, err := sys.PredictBodies(names)
+			if err != nil {
+				return err
+			}
+			cfg.Seeds = pred.Seeds()
 		case "none":
 		default:
-			return fmt.Errorf("inject: -seed must be static or none, got %q", *seedMode)
+			return fmt.Errorf("inject: -seed must be static, body, or none, got %q", *seedMode)
 		}
 		stop := of.spans.Start("inject")
 		campaign, err := sys.InjectWith(names, cfg)
@@ -277,7 +287,11 @@ func run(args []string) error {
 			names = rest
 		}
 		stop := of.spans.Start("analyze")
-		rep, err := sys.Analyze(names, of.injectorConfig())
+		analyze := sys.Analyze
+		if *useBodies {
+			analyze = sys.AnalyzeBodies
+		}
+		rep, err := analyze(names, of.injectorConfig())
 		if err != nil {
 			return err
 		}

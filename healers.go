@@ -30,6 +30,7 @@ package healers
 
 import (
 	"healers/internal/analysis"
+	"healers/internal/analysis/bodyfacts"
 	"healers/internal/apps"
 	"healers/internal/ballista"
 	"healers/internal/clib"
@@ -190,6 +191,21 @@ func (s *System) Predict(names []string) (*Prediction, error) {
 // classification, and static verification of the generated wrapper C.
 func (s *System) Analyze(names []string, cfg InjectorConfig) (*AnalysisReport, error) {
 	return analysis.Run(s.Library, s.Extraction, names, cfg)
+}
+
+// PredictBodies runs the body-level static pass: robust types lowered
+// from the checked-in bodyscan access summaries (internal/analysis/
+// bodyfacts) rather than from prototypes alone. No fault injection is
+// performed.
+func (s *System) PredictBodies(names []string) (*Prediction, error) {
+	return analysis.BodyPredict(bodyfacts.Facts(), names)
+}
+
+// AnalyzeBodies is Analyze with the body-level pass in place of the
+// prototype pass: the seeded campaign and the agreement table both use
+// predictions lowered from the committed bodyscan summaries.
+func (s *System) AnalyzeBodies(names []string, cfg InjectorConfig) (*AnalysisReport, error) {
+	return analysis.RunBodies(s.Library, s.Extraction, bodyfacts.Facts(), names, cfg)
 }
 
 // UnmarshalDecls parses an archived <functions> declaration document

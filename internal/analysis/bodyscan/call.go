@@ -1,0 +1,347 @@
+package bodyscan
+
+import (
+	"go/ast"
+	"reflect"
+
+	"healers/internal/cmem"
+)
+
+// evalCall dispatches a call expression: builtins, type conversions,
+// interpreted functions and closures, library intrinsics (l.add,
+// l.Call), and reflective calls into the real csim/cmem packages with
+// memory-access interception.
+func (ip *interp) evalCall(x *ast.CallExpr, env *env) []val {
+	fun := ast.Unparen(x.Fun)
+
+	// []byte(s) and friends
+	if at, ok := fun.(*ast.ArrayType); ok {
+		rt, _ := ip.resolveType(at)
+		if rt == nil {
+			unknown("conversion to unmodeled slice type")
+		}
+		v := ip.evalExpr(x.Args[0], env)
+		return []val{convertVal(v, rt)}
+	}
+
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch f.Name {
+		case "len":
+			v := ip.evalExpr(x.Args[0], env)
+			if !v.rv.IsValid() {
+				unknown("len of nil")
+			}
+			switch v.rv.Kind() {
+			case reflect.String, reflect.Slice, reflect.Array, reflect.Map:
+				return []val{goval(v.rv.Len())}
+			}
+			unknown("len of %v", v.rv.Kind())
+		case "cap":
+			v := ip.evalExpr(x.Args[0], env)
+			if v.rv.IsValid() && v.rv.Kind() == reflect.Slice {
+				return []val{goval(v.rv.Cap())}
+			}
+			unknown("cap of non-slice")
+		case "append":
+			return []val{ip.evalAppend(x, env)}
+		case "panic":
+			unknown("interpreted panic")
+		}
+		if rt, ok := basicTypes[f.Name]; ok && env.lookup(f.Name) == nil {
+			v := ip.evalExpr(x.Args[0], env)
+			return []val{convertVal(v, rt)}
+		}
+		if c := env.lookup(f.Name); c != nil {
+			if fv := asFunc(c.v); fv != nil {
+				return ip.invoke(fv, ip.evalArgs(x, env))
+			}
+			if c.v.rv.IsValid() && c.v.rv.Kind() == reflect.Func {
+				return ip.realCall(c.v.rv, ip.evalArgs(x, env))
+			}
+			unknown("call of non-function %s", f.Name)
+		}
+		if fd, ok := ip.prog.funcs[f.Name]; ok {
+			return ip.invoke(ip.prog.declFunc(fd), ip.evalArgs(x, env))
+		}
+		unknown("call of unknown identifier %s", f.Name)
+
+	case *ast.SelectorExpr:
+		// Package-qualified call or conversion: fmt.Sprintf, cmem.Addr(x)
+		if id, ok := f.X.(*ast.Ident); ok && env.lookup(id.Name) == nil {
+			if m, ok := pkgTypes[id.Name]; ok {
+				if rt, ok := m[f.Sel.Name]; ok {
+					v := ip.evalExpr(x.Args[0], env)
+					return []val{convertVal(v, rt)}
+				}
+			}
+			if v, ok := resolvePkgSel(id.Name, f.Sel.Name); ok {
+				if v.rv.Kind() != reflect.Func {
+					unknown("call of non-function %s.%s", id.Name, f.Sel.Name)
+				}
+				return ip.realCall(v.rv, ip.evalArgs(x, env))
+			}
+			if _, ok := pkgVals[id.Name]; ok {
+				unknown("unmodeled call %s.%s", id.Name, f.Sel.Name)
+			}
+		}
+		recv := ip.evalExpr(f.X, env)
+		if recv.rv.IsValid() && recv.rv.Type() == libType {
+			return ip.callLibrary(recv.rv.Interface().(*libHandle), f.Sel.Name, x, env)
+		}
+		if sv := asStruct(recv); sv != nil {
+			// closure stored in a struct field
+			if fv, ok := sv.fields[f.Sel.Name]; ok {
+				if cf := asFunc(fv); cf != nil {
+					return ip.invoke(cf, ip.evalArgs(x, env))
+				}
+			}
+			unknown("method call on interpreted struct")
+		}
+		if recv.rv.IsValid() && recv.rv.Type() == processType {
+			return ip.callProcess(recv.rv, f.Sel.Name, x, env)
+		}
+		if recv.rv.IsValid() {
+			m := recv.rv.MethodByName(f.Sel.Name)
+			if m.IsValid() {
+				return ip.realCall(m, ip.evalArgs(x, env))
+			}
+		}
+		unknown("unsupported method call .%s", f.Sel.Name)
+
+	default:
+		v := ip.evalExpr(fun, env)
+		if fv := asFunc(v); fv != nil {
+			return ip.invoke(fv, ip.evalArgs(x, env))
+		}
+		if v.rv.IsValid() && v.rv.Kind() == reflect.Func {
+			return ip.realCall(v.rv, ip.evalArgs(x, env))
+		}
+		unknown("unsupported call %T", fun)
+	}
+	return nil
+}
+
+// evalArgs evaluates the plain (non-ellipsis) argument list.
+func (ip *interp) evalArgs(x *ast.CallExpr, env *env) []val {
+	if x.Ellipsis.IsValid() {
+		unknown("unexpected ... argument")
+	}
+	out := make([]val, len(x.Args))
+	for i, a := range x.Args {
+		out[i] = ip.evalExpr(a, env)
+	}
+	return out
+}
+
+func (ip *interp) evalAppend(x *ast.CallExpr, env *env) val {
+	base := ip.evalExpr(x.Args[0], env)
+	rv := base.rv
+	if x.Ellipsis.IsValid() {
+		tail := ip.evalExpr(x.Args[len(x.Args)-1], env)
+		if !rv.IsValid() {
+			return tail
+		}
+		tv := tail.rv
+		if tv.Kind() == reflect.String && rv.Type().Elem().Kind() == reflect.Uint8 {
+			tv = reflect.ValueOf([]byte(tv.String())) // append(b, s...)
+		}
+		if tv.Kind() != reflect.Slice {
+			unknown("append %s... to slice", tv.Kind())
+		}
+		return val{rv: reflect.AppendSlice(rv, tv)}
+	}
+	for _, a := range x.Args[1:] {
+		v := ip.evalExpr(a, env)
+		if !rv.IsValid() {
+			unknown("append to untyped nil")
+		}
+		rv = reflect.Append(rv, convertVal(v, rv.Type().Elem()).rv)
+	}
+	return val{rv: rv}
+}
+
+// realCall invokes a real reflect func with interpreted arguments.
+func (ip *interp) realCall(fn reflect.Value, args []val) []val {
+	ft := fn.Type()
+	in := make([]reflect.Value, len(args))
+	for i, a := range args {
+		var pt reflect.Type
+		if ft.IsVariadic() && i >= ft.NumIn()-1 {
+			pt = ft.In(ft.NumIn() - 1).Elem()
+		} else {
+			if i >= ft.NumIn() {
+				unknown("too many arguments in call")
+			}
+			pt = ft.In(i)
+		}
+		in[i] = convertArg(a, pt)
+	}
+	if !ft.IsVariadic() && len(args) != ft.NumIn() {
+		unknown("argument count mismatch: %d != %d", len(args), ft.NumIn())
+	}
+	outs := fn.Call(in)
+	res := make([]val, len(outs))
+	for i, o := range outs {
+		res[i] = val{rv: o}
+	}
+	return res
+}
+
+// convertArg adapts one interpreted value to a real parameter type.
+func convertArg(v val, t reflect.Type) reflect.Value {
+	if t.Kind() == reflect.Interface {
+		if !v.rv.IsValid() {
+			return reflect.Zero(t)
+		}
+		return v.rv
+	}
+	if !v.rv.IsValid() {
+		switch t.Kind() {
+		case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Func, reflect.Chan:
+			return reflect.Zero(t)
+		}
+		unknown("nil argument for %v", t)
+	}
+	if v.rv.Kind() == reflect.Func || t.Kind() == reflect.Func {
+		unknown("function value crossing the interpreter boundary")
+	}
+	return convertVal(v, t).rv
+}
+
+// callLibrary dispatches l.<method>: the Call and add intrinsics plus
+// interpreted *Library methods such as alias.
+func (ip *interp) callLibrary(l *libHandle, name string, x *ast.CallExpr, env *env) []val {
+	switch name {
+	case "Call":
+		// l.Call(p, target, args...) inlines the target's interpreted
+		// body; the compiled clib Impl is never invoked.
+		if len(x.Args) < 2 {
+			unknown("l.Call arity")
+		}
+		ip.evalExpr(x.Args[0], env) // the process; always ip.p
+		tv := ip.evalExpr(x.Args[1], env)
+		if !tv.rv.IsValid() || tv.rv.Kind() != reflect.String {
+			unknown("l.Call with non-constant target")
+		}
+		target := tv.rv.String()
+		if x.Ellipsis.IsValid() {
+			if len(x.Args) != 3 {
+				unknown("l.Call slice-forward arity")
+			}
+			sl := ip.evalExpr(x.Args[2], env)
+			return []val{ip.callSliceByName(target, sl)}
+		}
+		var args []val
+		for _, a := range x.Args[2:] {
+			args = append(args, ip.evalExpr(a, env))
+		}
+		return []val{ip.callByName(target, args)}
+	case "add":
+		sv := asStruct(ip.evalExpr(x.Args[0], env))
+		if sv == nil {
+			unknown("l.add of non-struct")
+		}
+		l.prog.register(sv)
+		return nil
+	case "MustLookup", "Lookup", "Names", "External", "Internal", "CrashProne86":
+		unknown("unmodeled Library method %s", name)
+	}
+	fd, ok := ip.prog.methods[name]
+	if !ok {
+		unknown("unknown Library method %s", name)
+	}
+	menv := newEnv(ip.prog.pkgEnv)
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		menv.define(fd.Recv.List[0].Names[0].Name, val{rv: reflect.ValueOf(l)})
+	}
+	fv := &funcVal{name: name, params: fd.Type.Params, results: fd.Type.Results, body: fd.Body, env: menv}
+	return ip.invoke(fv, ip.evalArgs(x, env))
+}
+
+// callProcess invokes a real *csim.Process method, logging memory
+// accesses that land inside the tracked argument's region and flow of
+// tracked values into the descriptor table or the callback trampoline.
+func (ip *interp) callProcess(recv reflect.Value, name string, x *ast.CallExpr, env *env) []val {
+	args := ip.evalArgs(x, env)
+	lg := ip.log
+
+	addrOf := func(i int) cmem.Addr {
+		return cmem.Addr(toUint64(args[i]))
+	}
+	tracked := func(i int) bool {
+		return lg != nil && lg.trkTag != 0 && i < len(args) && args[i].tag == lg.trkTag
+	}
+
+	// Pre-call notes record the *attempted* access even if the real
+	// operation faults (covers() includes the trailing guard page).
+	switch name {
+	case "Load":
+		lg.note(addrOf(0), toInt(args[1]), false)
+	case "Store":
+		n := 0
+		if args[1].rv.IsValid() && args[1].rv.Kind() == reflect.Slice {
+			n = args[1].rv.Len()
+		} else if args[1].rv.IsValid() && args[1].rv.Kind() == reflect.String {
+			n = args[1].rv.Len()
+		}
+		lg.note(addrOf(0), n, true)
+	case "LoadByte":
+		lg.note(addrOf(0), 1, false)
+	case "StoreByte":
+		lg.note(addrOf(0), 1, true)
+	case "LoadU32":
+		lg.note(addrOf(0), 4, false)
+	case "StoreU32":
+		lg.note(addrOf(0), 4, true)
+	case "LoadU64":
+		lg.note(addrOf(0), 8, false)
+	case "StoreU64":
+		lg.note(addrOf(0), 8, true)
+	case "StoreCString":
+		if args[1].rv.IsValid() && args[1].rv.Kind() == reflect.String {
+			lg.note(addrOf(0), args[1].rv.Len()+1, true)
+		}
+	case "LoadCString":
+		if lg != nil && lg.covers(addrOf(0)) {
+			lg.cstr = true
+		}
+	case "CopyFromUser":
+		lg.noteKernel(addrOf(0), toInt(args[1]), false)
+	case "CopyToUser":
+		if args[1].rv.IsValid() && args[1].rv.Kind() == reflect.Slice {
+			lg.noteKernel(addrOf(0), args[1].rv.Len(), true)
+		}
+	case "StrFromUser":
+		if lg != nil && lg.covers(addrOf(0)) {
+			lg.kernelCStr = true
+		}
+	case "FD", "CloseFD":
+		if tracked(0) {
+			lg.fdUse = true
+		}
+	case "CallPtr":
+		if tracked(0) {
+			lg.funcPtr = true
+		}
+	}
+
+	m := recv.MethodByName(name)
+	if !m.IsValid() {
+		unknown("no Process method %s", name)
+	}
+	res := ip.realCall(m, args)
+
+	// Post-call notes for scans whose extent is the returned string.
+	switch name {
+	case "LoadCString":
+		if len(res) == 1 && res[0].rv.Kind() == reflect.String {
+			lg.note(addrOf(0), res[0].rv.Len()+1, false)
+		}
+	case "StrFromUser":
+		if len(res) == 2 && res[0].rv.Kind() == reflect.String {
+			lg.noteKernel(addrOf(0), res[0].rv.Len()+1, false)
+		}
+	}
+	return res
+}

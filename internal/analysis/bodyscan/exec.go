@@ -1,0 +1,435 @@
+package bodyscan
+
+import (
+	"go/ast"
+	"go/token"
+	"reflect"
+	"unicode/utf8"
+)
+
+// Control flow signals threaded out of statement execution.
+const (
+	ctrlReturn = iota + 1
+	ctrlBreak
+	ctrlContinue
+)
+
+type ctrl struct {
+	kind  int
+	label string
+	vals  []val
+}
+
+func (ip *interp) execBlock(b *ast.BlockStmt, e *env) *ctrl {
+	inner := newEnv(e)
+	for _, s := range b.List {
+		if c := ip.execStmt(s, inner); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+func (ip *interp) execStmt(s ast.Stmt, e *env) *ctrl {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		ip.evalMulti(st.X, e)
+		return nil
+	case *ast.AssignStmt:
+		return ip.execAssign(st, e)
+	case *ast.IncDecStmt:
+		one := val{rv: reflect.ValueOf(1), untyped: true}
+		cur := ip.evalExpr(st.X, e)
+		op := token.ADD
+		if st.Tok == token.DEC {
+			op = token.SUB
+		}
+		ip.assignTo(st.X, ip.binop(op, cur, one), e)
+		return nil
+	case *ast.IfStmt:
+		ie := newEnv(e)
+		if st.Init != nil {
+			if c := ip.execStmt(st.Init, ie); c != nil {
+				return c
+			}
+		}
+		if truth(ip.evalExpr(st.Cond, ie)) {
+			return ip.execBlock(st.Body, ie)
+		}
+		if st.Else != nil {
+			return ip.execStmt(st.Else, ie)
+		}
+		return nil
+	case *ast.BlockStmt:
+		return ip.execBlock(st, e)
+	case *ast.ForStmt:
+		return ip.execFor(st, e, "")
+	case *ast.RangeStmt:
+		return ip.execRange(st, e, "")
+	case *ast.SwitchStmt:
+		return ip.execSwitch(st, e)
+	case *ast.ReturnStmt:
+		var vals []val
+		if len(st.Results) == 1 {
+			vals = ip.evalMulti(st.Results[0], e)
+		} else {
+			for _, r := range st.Results {
+				vals = append(vals, ip.evalExpr(r, e))
+			}
+		}
+		return &ctrl{kind: ctrlReturn, vals: vals}
+	case *ast.BranchStmt:
+		label := ""
+		if st.Label != nil {
+			label = st.Label.Name
+		}
+		switch st.Tok {
+		case token.BREAK:
+			return &ctrl{kind: ctrlBreak, label: label}
+		case token.CONTINUE:
+			return &ctrl{kind: ctrlContinue, label: label}
+		}
+		unknown("unsupported branch %v", st.Tok)
+	case *ast.LabeledStmt:
+		switch inner := st.Stmt.(type) {
+		case *ast.ForStmt:
+			return ip.execFor(inner, e, st.Label.Name)
+		case *ast.RangeStmt:
+			return ip.execRange(inner, e, st.Label.Name)
+		default:
+			unknown("label on non-loop statement")
+		}
+	case *ast.DeclStmt:
+		return ip.execDecl(st, e)
+	case *ast.EmptyStmt:
+		return nil
+	}
+	unknown("unsupported statement %T", s)
+	return nil
+}
+
+func (ip *interp) execDecl(st *ast.DeclStmt, e *env) *ctrl {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		unknown("unsupported declaration")
+	}
+	switch gd.Tok {
+	case token.CONST:
+		evalConstDecl(ip, gd, e)
+	case token.VAR:
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, n := range vs.Names {
+				var v val
+				switch {
+				case i < len(vs.Values):
+					v = copyIfStruct(ip.evalExpr(vs.Values[i], e))
+				case vs.Type != nil:
+					v = ip.zeroVal(vs.Type)
+				default:
+					unknown("var %s without type or value", n.Name)
+				}
+				e.define(n.Name, v)
+			}
+		}
+	case token.TYPE:
+		for _, spec := range gd.Specs {
+			ts := spec.(*ast.TypeSpec)
+			stype, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				unknown("local non-struct type %s", ts.Name.Name)
+			}
+			ip.localTypes[ts.Name.Name] = newIstruct(ts.Name.Name, stype)
+		}
+	default:
+		unknown("unsupported decl token %v", gd.Tok)
+	}
+	return nil
+}
+
+func (ip *interp) execAssign(st *ast.AssignStmt, e *env) *ctrl {
+	switch st.Tok {
+	case token.DEFINE, token.ASSIGN:
+		var vals []val
+		if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+			vals = ip.evalMulti(st.Rhs[0], e)
+		} else {
+			for _, r := range st.Rhs {
+				vals = append(vals, ip.evalExpr(r, e))
+			}
+		}
+		if len(vals) != len(st.Lhs) {
+			unknown("assignment arity mismatch: %d = %d", len(st.Lhs), len(vals))
+		}
+		for i, lhs := range st.Lhs {
+			v := copyIfStruct(vals[i])
+			if st.Tok == token.DEFINE {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					unknown(":= to non-identifier")
+				}
+				// Go redeclares only new names in a := with a mix; here
+				// defining fresh in the current scope matches clib usage.
+				e.define(id.Name, v)
+			} else {
+				ip.assignTo(lhs, v, e)
+			}
+		}
+		return nil
+	default: // op-assign: +=, -=, |=, ...
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			unknown("compound assignment arity")
+		}
+		op, ok := compoundOps[st.Tok]
+		if !ok {
+			unknown("unsupported assignment operator %v", st.Tok)
+		}
+		cur := ip.evalExpr(st.Lhs[0], e)
+		rhs := ip.evalExpr(st.Rhs[0], e)
+		ip.assignTo(st.Lhs[0], ip.binop(op, cur, rhs), e)
+		return nil
+	}
+}
+
+var compoundOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD, token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL, token.QUO_ASSIGN: token.QUO,
+	token.REM_ASSIGN: token.REM, token.AND_ASSIGN: token.AND,
+	token.OR_ASSIGN: token.OR, token.XOR_ASSIGN: token.XOR,
+	token.SHL_ASSIGN: token.SHL, token.SHR_ASSIGN: token.SHR,
+	token.AND_NOT_ASSIGN: token.AND_NOT,
+}
+
+// assignTo stores v into an lvalue expression.
+func (ip *interp) assignTo(lhs ast.Expr, v val, e *env) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		c := e.lookup(x.Name)
+		if c == nil {
+			unknown("assignment to undefined %s", x.Name)
+		}
+		if c.v.rv.IsValid() && v.rv.IsValid() && !v.untyped &&
+			c.v.rv.Type() != v.rv.Type() && v.rv.Type().ConvertibleTo(c.v.rv.Type()) &&
+			isScalarKind(c.v.rv.Kind()) && isScalarKind(v.rv.Kind()) {
+			// keep the variable's declared scalar type stable
+			v = val{rv: v.rv.Convert(c.v.rv.Type()), tag: v.tag}
+		}
+		if v.untyped && c.v.rv.IsValid() && isScalarKind(c.v.rv.Kind()) {
+			v = convertVal(v, c.v.rv.Type())
+		}
+		c.v = v
+	case *ast.SelectorExpr:
+		recv := ip.evalExpr(x.X, e)
+		if sv := asStruct(recv); sv != nil {
+			cur, ok := sv.fields[x.Sel.Name]
+			if ok && cur.rv.IsValid() && isScalarKind(cur.rv.Kind()) {
+				v = convertVal(v, cur.rv.Type())
+			}
+			sv.fields[x.Sel.Name] = v
+			return
+		}
+		rv := recv.rv
+		if !rv.IsValid() {
+			unknown("field assignment on nil")
+		}
+		if rv.Kind() == reflect.Ptr {
+			rv = rv.Elem()
+		}
+		f := rv.FieldByName(x.Sel.Name)
+		if !f.IsValid() || !f.CanSet() {
+			unknown("cannot set field %s", x.Sel.Name)
+		}
+		f.Set(convertVal(v, f.Type()).rv)
+	case *ast.IndexExpr:
+		base := ip.evalExpr(x.X, e)
+		idx := toInt(ip.evalExpr(x.Index, e))
+		bv := base.rv
+		if !bv.IsValid() || (bv.Kind() != reflect.Slice && bv.Kind() != reflect.Array) {
+			unknown("index assignment on %v", bv.Kind())
+		}
+		if idx < 0 || idx >= bv.Len() {
+			unknown("index out of range in assignment")
+		}
+		el := bv.Index(idx)
+		el.Set(convertVal(v, el.Type()).rv)
+	case *ast.StarExpr:
+		recv := ip.evalExpr(x.X, e)
+		if sv := asStruct(recv); sv != nil {
+			src := asStruct(v)
+			if src == nil {
+				unknown("struct deref assignment mismatch")
+			}
+			sv.fields = src.fields
+			return
+		}
+		unknown("unsupported pointer assignment")
+	default:
+		unknown("unsupported lvalue %T", lhs)
+	}
+}
+
+func isScalarKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+func (ip *interp) execFor(st *ast.ForStmt, e *env, label string) *ctrl {
+	fe := newEnv(e)
+	if st.Init != nil {
+		if c := ip.execStmt(st.Init, fe); c != nil {
+			return c
+		}
+	}
+	for {
+		ip.burn()
+		if st.Cond != nil && !truth(ip.evalExpr(st.Cond, fe)) {
+			return nil
+		}
+		c := ip.execBlock(st.Body, fe)
+		if c != nil {
+			switch {
+			case c.kind == ctrlReturn:
+				return c
+			case c.kind == ctrlBreak && (c.label == "" || c.label == label):
+				return nil
+			case c.kind == ctrlContinue && (c.label == "" || c.label == label):
+				// fall through to post
+			default:
+				return c // labeled break/continue for an outer loop
+			}
+		}
+		if st.Post != nil {
+			if c := ip.execStmt(st.Post, fe); c != nil {
+				return c
+			}
+		}
+	}
+}
+
+func (ip *interp) execRange(st *ast.RangeStmt, e *env, label string) *ctrl {
+	coll := ip.evalExpr(st.X, e)
+	re := newEnv(e)
+	bind := func(k, v val) *ctrl {
+		// Per-iteration scope: closures created in the body capture this
+		// iteration's variables, matching current Go loop semantics.
+		ie := newEnv(re)
+		if st.Key != nil {
+			if id, ok := st.Key.(*ast.Ident); ok {
+				if st.Tok == token.DEFINE {
+					ie.define(id.Name, k)
+				} else {
+					ip.assignTo(st.Key, k, ie)
+				}
+			}
+		}
+		if st.Value != nil {
+			if id, ok := st.Value.(*ast.Ident); ok {
+				if st.Tok == token.DEFINE {
+					ie.define(id.Name, copyIfStruct(v))
+				} else {
+					ip.assignTo(id, copyIfStruct(v), ie)
+				}
+			}
+		}
+		ip.burn()
+		return ip.execBlock(st.Body, ie)
+	}
+	handle := func(c *ctrl) (stop bool, out *ctrl) {
+		if c == nil {
+			return false, nil
+		}
+		switch {
+		case c.kind == ctrlReturn:
+			return true, c
+		case c.kind == ctrlBreak && (c.label == "" || c.label == label):
+			return true, nil
+		case c.kind == ctrlContinue && (c.label == "" || c.label == label):
+			return false, nil
+		}
+		return true, c
+	}
+	rv := coll.rv
+	if !rv.IsValid() {
+		unknown("range over nil")
+	}
+	switch rv.Kind() {
+	case reflect.String:
+		s := rv.String()
+		for i := 0; i < len(s); {
+			r, w := utf8.DecodeRuneInString(s[i:])
+			c := bind(val{rv: reflect.ValueOf(i)}, val{rv: reflect.ValueOf(r)})
+			if stop, out := handle(c); stop {
+				return out
+			}
+			i += w
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < rv.Len(); i++ {
+			c := bind(val{rv: reflect.ValueOf(i)}, val{rv: rv.Index(i)})
+			if stop, out := handle(c); stop {
+				return out
+			}
+		}
+	default:
+		unknown("range over %v", rv.Kind())
+	}
+	return nil
+}
+
+func (ip *interp) execSwitch(st *ast.SwitchStmt, e *env) *ctrl {
+	se := newEnv(e)
+	if st.Init != nil {
+		if c := ip.execStmt(st.Init, se); c != nil {
+			return c
+		}
+	}
+	var tag val
+	hasTag := st.Tag != nil
+	if hasTag {
+		tag = ip.evalExpr(st.Tag, se)
+	}
+	var deflt *ast.CaseClause
+	run := func(cc *ast.CaseClause) *ctrl {
+		ce := newEnv(se)
+		for _, s := range cc.Body {
+			if c := ip.execStmt(s, ce); c != nil {
+				if c.kind == ctrlBreak && c.label == "" {
+					return nil
+				}
+				return c
+			}
+		}
+		return nil
+	}
+	for _, cs := range st.Body.List {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, x := range cc.List {
+			cv := ip.evalExpr(x, se)
+			var match bool
+			if hasTag {
+				match = truth(ip.binop(token.EQL, tag, cv))
+			} else {
+				match = truth(cv)
+			}
+			if match {
+				return run(cc)
+			}
+		}
+	}
+	if deflt != nil {
+		return run(deflt)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package bodyscan
+
+import (
+	"go/ast"
+	"reflect"
+	"sort"
+)
+
+// fnFacts are the syntactic facts of one registered function: which
+// errno constants its body (or anything it calls) can set, whether it
+// can reach abort, and its direct l.Call edges. Errnos and aborts are
+// propagated over the call graph to a fixpoint — the "dataflow by
+// fixpoint" half of the pass that needs no concrete execution.
+type fnFacts struct {
+	errnos map[string]bool
+	aborts bool
+	calls  map[string]bool
+}
+
+func newFnFacts() *fnFacts {
+	return &fnFacts{errnos: map[string]bool{}, calls: map[string]bool{}}
+}
+
+// collectSyntactic walks one function body, recording SetErrno
+// constants, Abort reachability, l.Call edges (resolving variable
+// targets through the closure environment, which is how alias bodies
+// name their target), and recursing into package-level helpers.
+func (pr *program) collectSyntactic(body ast.Node, env *env, ff *fnFacts, helpers map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "SetErrno":
+				if len(call.Args) == 1 {
+					if sel, ok := call.Args[0].(*ast.SelectorExpr); ok {
+						if id, ok := sel.X.(*ast.Ident); ok && id.Name == "csim" {
+							ff.errnos[sel.Sel.Name] = true
+						}
+					}
+				}
+			case "Abort":
+				ff.aborts = true
+			case "Call":
+				if len(call.Args) >= 2 {
+					if name, ok := stringArg(call.Args[1], env); ok {
+						ff.calls[name] = true
+					}
+				}
+			}
+		case *ast.Ident:
+			// Package-level helper: fold its facts in, once per helper
+			// per function (cycle-guarded).
+			if fd, ok := pr.funcs[fun.Name]; ok && !helpers[fun.Name] {
+				helpers[fun.Name] = true
+				pr.collectSyntactic(fd.Body, pr.pkgEnv, ff, helpers)
+			}
+		}
+		return true
+	})
+}
+
+// stringArg resolves a call-target expression to a constant string:
+// either a literal or an identifier bound to a string in the closure
+// environment (the alias target parameter).
+func stringArg(e ast.Expr, env *env) (string, bool) {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		v := evalBasicLit(x)
+		if v.rv.IsValid() && v.rv.Kind() == reflect.String {
+			return v.rv.String(), true
+		}
+	case *ast.Ident:
+		if env == nil {
+			return "", false
+		}
+		if c := env.lookup(x.Name); c != nil && c.v.rv.IsValid() && c.v.rv.Kind() == reflect.String {
+			return c.v.rv.String(), true
+		}
+	}
+	return "", false
+}
+
+// computeFacts runs the syntactic collection over every registered
+// function and closes errno/abort facts over l.Call edges.
+func (pr *program) computeFacts() map[string]*fnFacts {
+	facts := make(map[string]*fnFacts, len(pr.registry))
+	for name, e := range pr.registry {
+		ff := newFnFacts()
+		pr.collectSyntactic(e.Impl.body, e.Impl.env, ff, map[string]bool{})
+		facts[name] = ff
+	}
+	// Monotone propagation to fixpoint: callee errnos and aborts flow
+	// into callers. The graph is tiny (hundreds of nodes), so iterate.
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range facts {
+			for callee := range ff.calls {
+				cf, ok := facts[callee]
+				if !ok {
+					continue
+				}
+				for e := range cf.errnos {
+					if !ff.errnos[e] {
+						ff.errnos[e] = true
+						changed = true
+					}
+				}
+				if cf.aborts && !ff.aborts {
+					ff.aborts = true
+					changed = true
+				}
+			}
+		}
+	}
+	return facts
+}
+
+func (ff *fnFacts) errnoList() []string {
+	out := make([]string, 0, len(ff.errnos))
+	for e := range ff.errnos {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ff *fnFacts) callList() []string {
+	out := make([]string, 0, len(ff.calls))
+	for c := range ff.calls {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package bodyscan
+
+import (
+	"strings"
+
+	"healers/internal/gens"
+)
+
+// defaultFixturePath is the scratch path the benign environment points
+// path-like string arguments at (same file the dynamic generators use).
+const defaultFixturePath = gens.DefaultFixturePath
+
+// Param classes, mirroring the generator selection the dynamic
+// injector performs in gens.ForParam. The static probe schedule keys
+// off the same classification so the two campaigns see the same
+// benign environment.
+const (
+	ClassCString = "cstring" // const char *
+	ClassCharBuf = "charbuf" // char * (writable)
+	ClassPtr     = "ptr"     // generic pointer (struct*, void*, scalar out-params, char**)
+	ClassFile    = "file"    // FILE *
+	ClassDir     = "dir"     // DIR *
+	ClassFd      = "fd"      // int descriptor
+	ClassInt     = "int"     // other integer
+	ClassDouble  = "double"
+	ClassFuncPtr = "funcptr"
+	ClassVoid    = "void" // no parameters
+)
+
+// protoParam is one parsed parameter of a C prototype string.
+type protoParam struct {
+	Name  string
+	CType string
+	Class string
+}
+
+// parseProto extracts the parameter list from a prototype string such
+// as "char *strtok(char *str, const char *delim);". The clib proto
+// strings are regular enough that a token-level split suffices; the
+// full header parser in internal/cparse is not needed here.
+func parseProto(proto string) []protoParam {
+	open := strings.IndexByte(proto, '(')
+	close := strings.LastIndexByte(proto, ')')
+	if open < 0 || close <= open {
+		return nil
+	}
+	inner := proto[open+1 : close]
+	if strings.TrimSpace(inner) == "" || strings.TrimSpace(inner) == "void" {
+		return nil
+	}
+	var params []protoParam
+	depth, start := 0, 0
+	fields := func(s string) {
+		s = strings.TrimSpace(s)
+		if s == "" || s == "..." {
+			return
+		}
+		params = append(params, protoParam{
+			Name:  paramName(s, len(params)),
+			CType: s,
+			Class: classify(s),
+		})
+	}
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				fields(inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	fields(inner[start:])
+	return params
+}
+
+// paramName pulls the declared identifier out of one parameter
+// declaration ("const char *delim" -> "delim").
+func paramName(decl string, idx int) string {
+	if i := strings.Index(decl, "(*"); i >= 0 {
+		// Function pointer: the name sits inside (*name).
+		rest := decl[i+2:]
+		if j := strings.IndexByte(rest, ')'); j >= 0 {
+			if n := strings.TrimSpace(rest[:j]); n != "" {
+				return n
+			}
+		}
+	}
+	toks := strings.FieldsFunc(decl, func(r rune) bool {
+		return r == ' ' || r == '*' || r == '[' || r == ']'
+	})
+	if len(toks) == 0 {
+		return ""
+	}
+	last := toks[len(toks)-1]
+	switch last {
+	case "int", "char", "void", "long", "unsigned", "double", "float",
+		"size_t", "time_t", "FILE", "DIR", "const", "struct":
+		return "" // unnamed parameter
+	}
+	return last
+}
+
+// classify maps a parameter declaration to the generator class used by
+// gens.ForParam for the same C type.
+func classify(decl string) string {
+	stars := strings.Count(decl, "*")
+	switch {
+	case strings.Contains(decl, "(*"):
+		return ClassFuncPtr
+	case stars >= 2:
+		return ClassPtr // char **endptr and friends: generic pointer
+	case stars == 1:
+		switch {
+		case strings.Contains(decl, "FILE"):
+			return ClassFile
+		case strings.Contains(decl, "DIR"):
+			return ClassDir
+		case strings.Contains(decl, "char") && strings.Contains(decl, "const"):
+			return ClassCString
+		case strings.Contains(decl, "char"):
+			return ClassCharBuf
+		default:
+			return ClassPtr
+		}
+	case strings.Contains(decl, "double") || strings.Contains(decl, "float"):
+		return ClassDouble
+	default:
+		if isFdParam(paramName(decl, 0)) {
+			return ClassFd
+		}
+		return ClassInt
+	}
+}
+
+// isFdParam mirrors gens.isFdParam: integer parameters that name a
+// file descriptor.
+func isFdParam(name string) bool {
+	switch name {
+	case "fd", "oldfd", "newfd", "fildes":
+		return true
+	}
+	return false
+}
+
+// benignString mirrors gens.benignStringDefault.
+func benignString(name string) string {
+	switch name {
+	case "mode":
+		return "r"
+	case "path", "pathname", "name", "filename":
+		return defaultFixturePath
+	case "delim":
+		return ","
+	default:
+		return "hello"
+	}
+}
+
+// benignInt mirrors gens.benignIntDefault.
+func benignInt(name string) int64 {
+	switch name {
+	case "whence", "flags", "optional_actions", "mode":
+		return 0
+	case "base":
+		return 10
+	case "speed":
+		return 13 // B9600
+	case "c":
+		return 'x'
+	case "loc", "offset":
+		return 0
+	default:
+		return 8
+	}
+}

@@ -66,7 +66,7 @@ func (inj *Injector) InjectAllContext(ctx context.Context, ext *extract.Result, 
 
 	parent, _ := obs.SpanFromContext(ctx)
 	campSC := parent.Child()
-	campStart := time.Now()
+	campStart := time.Now() //healers:allow-nondeterminism campaign wall-clock span duration, reporting only
 
 	results := make([]*Result, len(tasks))
 	if inj.cfg.Workers > 1 && len(tasks) > 1 {
@@ -90,7 +90,7 @@ func (inj *Injector) InjectAllContext(ctx context.Context, ext *extract.Result, 
 		}
 	}
 
-	mergeStart := time.Now()
+	mergeStart := time.Now() //healers:allow-nondeterminism merge-phase span duration, reporting only
 	c := &Campaign{Results: make(map[string]*Result, len(tasks)), Trace: campSC}
 	for i, t := range tasks {
 		c.Results[t.name] = results[i]

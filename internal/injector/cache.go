@@ -147,7 +147,7 @@ func (inj *Injector) injectOne(fi *extract.FuncInfo, table *cparse.TypeTable, pa
 		return r, false, err
 	}
 	key := cacheKey(fi, inj.cfg)
-	lookupStart := time.Now()
+	lookupStart := time.Now() //healers:allow-nondeterminism cache-lookup latency histogram, reporting only
 	r, ok := cache.Get(key)
 	inj.hPhaseCache.ObserveEx(time.Since(lookupStart).Microseconds(), parent.Trace)
 	if ok {

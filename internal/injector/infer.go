@@ -1,10 +1,14 @@
 package injector
 
 import (
+	"strings"
+	"time"
+
 	"healers/internal/cmem"
 	"healers/internal/csim"
 	"healers/internal/decl"
 	"healers/internal/gens"
+	"healers/internal/obs"
 )
 
 // Dependent-size inference. Fault injection with the other arguments
@@ -51,25 +55,100 @@ func (c *campaign) runChild(probes []*gens.Probe) (out csim.Outcome, errnoSet bo
 	if mat.Kind != csim.OutcomeReturn {
 		return csim.Outcome{}, false, false
 	}
+
+	// Re-measurement calls are sandboxed experiments like any other:
+	// they count toward the campaign's call total and appear in the
+	// trace, so the seeded-vs-cold savings accounting (and the trace
+	// reconciliation invariant) cover the dependent-size phase too.
+	traced := c.inj.tr.Enabled()
+	probeLabel := ""
+	var psc obs.SpanContext
+	if traced {
+		funds := make([]string, len(probes))
+		for i, p := range probes {
+			funds[i] = p.Fund
+		}
+		probeLabel = strings.Join(funds, ", ")
+		psc = obs.SpanContext{Trace: child.Mem.TraceID, Span: child.Mem.SpanID}.Child()
+		c.inj.tr.Emit(psc.Tag(obs.Event{
+			Kind:  obs.KindInjectionProbe,
+			Func:  c.fn.Name,
+			Arg:   -1,
+			Phase: "infer",
+			Probe: probeLabel,
+		}))
+	}
+
 	child.ClearErrno()
+	callStart := time.Now() //healers:allow-nondeterminism probe-phase latency histogram, reporting only
 	out = child.Run(func() uint64 { return c.fn.Impl(child, args) })
+	callDurUS := time.Since(callStart).Microseconds()
+	c.inj.hPhaseProbe.ObserveEx(callDurUS, c.span.Trace)
+	c.result.Calls++
+	c.inj.mExperiments.Inc()
+	if traced {
+		ev := psc.Tag(obs.Event{
+			Kind:    obs.KindSandboxOutcome,
+			Func:    c.fn.Name,
+			Arg:     -1,
+			Phase:   "infer",
+			Probe:   probeLabel,
+			Outcome: out.Kind.String(),
+			Steps:   out.Steps,
+			TS:      callStart.UnixMicro(),
+			DurUS:   callDurUS,
+		})
+		switch out.Kind {
+		case csim.OutcomeReturn:
+			ev.Ret = out.Ret
+			ev.Errno = out.Errno
+			ev.Err = csim.ErrnoName(out.Errno)
+		case csim.OutcomeSegfault:
+			ev.Addr = uint64(out.Fault.Addr)
+		}
+		c.inj.tr.Emit(ev)
+	}
 	return out, child.ErrnoSet(), true
 }
 
-func (c *campaign) measureMinimal(target int, prot cmem.Prot, overrides map[int]*gens.Probe) (int, bool) {
+func (c *campaign) measureMinimal(target int, prot cmem.Prot, overrides map[int]*gens.Probe, hint int) (int, bool) {
 	ag := chainArrayGen(c.gens[target])
 	if ag == nil {
 		return 0, false
 	}
-	pr := ag.ChainProbe(prot)
-	for steps := 0; steps < 600; steps++ {
+	compose := func(pr *gens.Probe) []*gens.Probe {
 		probes := make([]*gens.Probe, len(c.defaults))
 		copy(probes, c.defaults)
 		for j, o := range overrides {
 			probes[j] = o
 		}
 		probes[target] = pr
-
+		return probes
+	}
+	// Seeded campaigns may jump straight to a predicted minimum: one
+	// probe at the hint (clean return) plus one at hint-1 (fault inside
+	// the region) replaces the whole growth chain. Any other pair of
+	// outcomes falls back to the cold chain below, so a wrong hint costs
+	// two extra calls and decides nothing.
+	if hint > 0 && hint <= ag.MaxSize {
+		jump := gens.SizedProbe(ag, hint, prot)
+		if out, errnoSet, ok := c.runChild(compose(jump)); ok && out.Kind == csim.OutcomeReturn && !errnoSet {
+			if hint == 1 {
+				c.countHint(true)
+				return 1, true
+			}
+			confirm := gens.SizedProbe(ag, hint-1, prot)
+			if out2, _, ok2 := c.runChild(compose(confirm)); ok2 &&
+				out2.Kind == csim.OutcomeSegfault && out2.Fault != nil && confirm.Region.Owns(out2.Fault.Addr) {
+				c.countHint(true)
+				return hint, true
+			}
+		}
+		c.countHint(false)
+	}
+	pr := ag.ChainProbe(prot)
+	for steps := 0; steps < 600; steps++ {
+		probes := compose(pr)
 		out, errnoSet, ok := c.runChild(probes)
 		if !ok {
 			return 0, false
@@ -90,6 +169,31 @@ func (c *campaign) measureMinimal(target int, prot cmem.Prot, overrides map[int]
 		pr = np
 	}
 	return 0, false
+}
+
+// seedHint returns the statically predicted minimal size for argument
+// i, or 0 when this campaign is unseeded.
+func (c *campaign) seedHint(i int) int {
+	if i < len(c.hintSeeds) {
+		return c.hintSeeds[i].Size
+	}
+	return 0
+}
+
+// countHint folds one hinted re-measurement outcome into the seed
+// stats; settleSeeds has already aggregated the exploration chains by
+// the time re-measurement runs, so these land directly in the result
+// and the metrics registry.
+func (c *campaign) countHint(hit bool) {
+	if hit {
+		c.result.Seed.Jumps++
+		c.result.Seed.Confirms++
+		c.inj.mSeedJumps.Add(1)
+		c.inj.mSeedConfirms.Add(1)
+		return
+	}
+	c.result.Seed.Misses++
+	c.inj.mSeedMisses.Add(1)
 }
 
 // inferBoundedRead upgrades a weak R_ARRAY robust type on a string
@@ -158,7 +262,7 @@ func (c *campaign) inferSize(target int, rt decl.RobustType) decl.SizeExpr {
 	fixed := rt.Size
 	prot := protOfBase(rt.Base)
 
-	baseline, ok := c.measureMinimal(target, prot, nil)
+	baseline, ok := c.measureMinimal(target, prot, nil, c.seedHint(target))
 	if !ok || baseline == 0 {
 		return fixed
 	}
@@ -264,7 +368,11 @@ next:
 				if !ok {
 					continue next
 				}
-				m2, ok := c.measureMinimal(target, prot, map[int]*gens.Probe{j: pr})
+				hint := 0
+				if len(c.hintSeeds) > 0 {
+					hint = want2
+				}
+				m2, ok := c.measureMinimal(target, prot, map[int]*gens.Probe{j: pr}, hint)
 				if !ok || m2 != want2 {
 					continue next
 				}

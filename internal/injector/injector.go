@@ -298,6 +298,12 @@ type campaign struct {
 	errVals map[uint64]int // return values observed when errno was set
 	errnos  map[int]int    // errno values observed
 
+	// hintSeeds holds the static seeds verbatim when this campaign is
+	// seeded at all; the dependent-size re-measurement uses them (and
+	// expression-predicted sizes) as jump hints. Nil in cold campaigns,
+	// which therefore stay the unbiased reference.
+	hintSeeds []ArgSeed
+
 	// span is this function campaign's node in the causal tree; probes
 	// become its children (via the template memory's inherited IDs).
 	span obs.SpanContext
@@ -318,7 +324,7 @@ func (inj *Injector) injectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 	if !ok {
 		return nil, fmt.Errorf("injector: %s not in library", fi.Symbol.Name)
 	}
-	start := time.Now()
+	start := time.Now() //healers:allow-nondeterminism function-campaign span duration, reporting only
 	c := &campaign{
 		inj:      inj,
 		fn:       fn,
@@ -377,16 +383,29 @@ func (c *campaign) settleForkStats() {
 	c.template.Release()
 }
 
+// seedableArray returns the adaptive array chain behind a generator,
+// when it has one: plain array generators directly, char-buffer
+// generators through their inner array arm. String and stream
+// generators have no size to predict and return nil.
+func seedableArray(g gens.Generator) *gens.ArrayGen {
+	switch t := g.(type) {
+	case *gens.ArrayGen:
+		return t
+	case *gens.CharBufGen:
+		return t.Array()
+	}
+	return nil
+}
+
 // applySeeds arms the adaptive array generators with the static
-// pre-inference hints. Only plain array generators are seeded: string
-// and stream generators have no size to predict, and the char-buffer
-// generator's minimal size is call-dependent.
+// pre-inference hints.
 func (c *campaign) applySeeds(seeds []ArgSeed) {
+	c.hintSeeds = seeds
 	for i, s := range seeds {
 		if i >= len(c.gens) || (s.Size <= 0 && !s.ReadOnly) {
 			continue
 		}
-		if ag, ok := c.gens[i].(*gens.ArrayGen); ok {
+		if ag := seedableArray(c.gens[i]); ag != nil {
 			ag.SeedSize = s.Size
 			ag.SkipWriteChains = s.ReadOnly
 		}
@@ -398,8 +417,8 @@ func (c *campaign) applySeeds(seeds []ArgSeed) {
 // outcomes into the result, the metrics registry, and the trace.
 func (c *campaign) settleSeeds() {
 	for _, g := range c.gens {
-		ag, ok := g.(*gens.ArrayGen)
-		if !ok {
+		ag := seedableArray(g)
+		if ag == nil {
 			continue
 		}
 		ag.DisarmSeeds()
@@ -555,7 +574,7 @@ func selectRepresentatives(list []*gens.Probe, max int) []*gens.Probe {
 // under test, and records the experiment. It returns the typesys
 // outcome and the fault (if the call crashed with one).
 func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutcome, *cmem.Fault) {
-	forkStart := time.Now()
+	forkStart := time.Now() //healers:allow-nondeterminism fork-phase latency histogram, reporting only
 	child := c.template.Fork()
 	c.inj.hPhaseFork.ObserveEx(time.Since(forkStart).Microseconds(), c.span.Trace)
 	defer child.Release()
@@ -600,7 +619,7 @@ func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutc
 	}
 
 	child.ClearErrno()
-	callStart := time.Now()
+	callStart := time.Now() //healers:allow-nondeterminism probe-phase latency histogram, reporting only
 	out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
 	callDurUS := time.Since(callStart).Microseconds()
 	c.inj.hPhaseProbe.ObserveEx(callDurUS, c.span.Trace)

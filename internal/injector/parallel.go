@@ -102,7 +102,7 @@ func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, resul
 			wCopied := reg.Counter(fmt.Sprintf("healers_injector_worker_pages_copied_total{worker=%q}", fmt.Sprint(wid)))
 			stop := inj.cfg.Spans.Start(fmt.Sprintf("inject-worker-%d", wid))
 			wsc := campSC.Child()
-			workStart := time.Now()
+			workStart := time.Now() //healers:allow-nondeterminism worker busy-time metric, reporting only
 			done := 0
 			for t := range jobs {
 				worker.tr.Emit(wsc.Tag(obs.Event{
