@@ -15,7 +15,11 @@
 #   make bench-campaign — campaign benchmarks + BENCH_campaign.json refresh
 #   make bench-gate    — perf-regression gate against the committed history
 #   make bench-smoke   — one-iteration benchmark + COW differential audit
-#   make fuzz          — 30s of prototype-parser fuzzing beyond the corpus
+#   make fuzz          — 30s each of prototype-parser and cache-line
+#                        fuzzing beyond the checked-in corpora
+#   make test-e2e-crash — the Jepsen-style crash harness over real
+#                        child processes: blackbox SIGKILL/restart
+#                        loop, whitebox killpoint sweep, stress mode
 #   make table1 / figure6 / stats — run the paper's evaluations
 
 GO ?= go
@@ -25,7 +29,7 @@ GO ?= go
 # untested subsystems).
 COVER_BASELINE ?= 79.0
 
-.PHONY: all check race race-parallel serve-test lint soundness bodyfacts bodyfacts-check cover verify bench bench-campaign bench-gate bench-smoke fuzz table1 figure6 stats analyze clean
+.PHONY: all check race race-parallel serve-test lint soundness bodyfacts bodyfacts-check cover verify bench bench-campaign bench-gate bench-smoke fuzz test-e2e-crash table1 figure6 stats analyze clean
 
 all: check
 
@@ -79,7 +83,7 @@ cover:
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' || \
 		{ echo "FAIL: coverage $$total% is below the $(COVER_BASELINE)% baseline"; exit 1; }
 
-verify: check race serve-test lint cover
+verify: check race serve-test lint cover test-e2e-crash
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkWrapperCallOverhead -benchmem ./internal/wrapper/
@@ -111,6 +115,30 @@ bench-smoke:
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParsePrototype -fuzztime 30s ./internal/cparse/
+	$(GO) test -run '^$$' -fuzz FuzzDiskCacheLine -fuzztime 30s ./internal/injector/
+
+# Crash-loop iteration and client-count knobs for the blackbox mode;
+# the 25×8 defaults are the acceptance floor, raise them for soaks.
+CRASH_ITERATIONS ?= 25
+CRASH_CLIENTS ?= 8
+
+# The Jepsen-style crash harness: real `healers serve` children driven
+# by racing HTTP clients and killed with real SIGKILLs. Three passes —
+# the blackbox kill/restart loop over one shared cache file, the
+# whitebox sweep (one scenario per internal/crashpoint killpoint, armed
+# via a -tags crashtest build, restarted with the untagged binary), and
+# the randomized stress mode with its per-campaign-key oracle. All
+# artifacts (cache files, child logs, the serialized oracle) land in
+# crashtest-artifacts/, which CI uploads on failure.
+test-e2e-crash:
+	rm -rf crashtest-artifacts
+	mkdir -p bin
+	$(GO) build -o bin/healers ./cmd/healers
+	$(GO) build -tags crashtest -o bin/healers-crashtest ./cmd/healers
+	$(GO) build -o bin/crashtest ./cmd/crashtest
+	bin/crashtest -bin bin/healers -mode crash -iterations $(CRASH_ITERATIONS) -clients $(CRASH_CLIENTS) -artifacts crashtest-artifacts -v
+	bin/crashtest -bin bin/healers -crashbin bin/healers-crashtest -mode whitebox -artifacts crashtest-artifacts -v
+	bin/crashtest -bin bin/healers -mode stress -ops 200 -clients $(CRASH_CLIENTS) -artifacts crashtest-artifacts -v
 
 table1:
 	$(GO) run ./cmd/healers table1

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// violation collects oracle breaches observed by racing clients. The
+// clients tolerate transport errors — a SIGKILLed server mid-request
+// is the whole point — but any *successful* response that contradicts
+// the oracle is fatal.
+type violation struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (v *violation) add(err error) {
+	v.mu.Lock()
+	v.errs = append(v.errs, err)
+	v.mu.Unlock()
+}
+
+func (v *violation) first() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d oracle violation(s), first: %w", len(v.errs), v.errs[0])
+}
+
+// runCrash is the blackbox loop: iterations × (start the server over
+// the same cache file, race clients against it, SIGKILL it at a
+// random point, verify the restart), then a final generation that
+// must serve every workload byte-identically to the oracle without
+// recomputing anything already persisted.
+func runCrash(cfg *config) error {
+	ws := crashWorkloads(cfg.sets, true)
+	cfg.logf("computing expected state for %d workloads", len(ws))
+	exp, err := computeExpectations(ws)
+	if err != nil {
+		return err
+	}
+	if err := exp.persist(filepath.Join(cfg.artifacts, "expected.json")); err != nil {
+		return err
+	}
+	// Oracle self-check: the in-process full-set vectors must equal the
+	// committed golden file before we trust them to judge the server.
+	golden, err := os.ReadFile(cfg.golden)
+	if err != nil {
+		return fmt.Errorf("reading golden file: %w", err)
+	}
+	if exp.Vectors["full"] != string(golden) {
+		return fmt.Errorf("oracle disagrees with golden file %s (oracle %d bytes, golden %d) — refusing to run", cfg.golden, len(exp.Vectors["full"]), len(golden))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	logPath := filepath.Join(cfg.artifacts, "child.log")
+	var prevLoaded int64
+
+	for i := 0; i < cfg.iterations; i++ {
+		c, err := startChild(cfg.bin, cfg.cache, cfg.workers, nil, logPath)
+		if err != nil {
+			return fmt.Errorf("iteration %d: %w", i, err)
+		}
+		m, err := scrapeMetrics(c.baseURL)
+		if err != nil {
+			return fmt.Errorf("iteration %d: first scrape: %w", i, err)
+		}
+		// Restart invariants: nothing corrupt on disk (a torn final
+		// line from a mid-append kill is repaired and counted, not
+		// corruption), and the persisted state only ever grows.
+		if m["healers_cache_dropped"] != 0 {
+			return fmt.Errorf("iteration %d: restart dropped %d corrupt cache entries", i, m["healers_cache_dropped"])
+		}
+		if t := m["healers_cache_truncated"]; t > 1 {
+			return fmt.Errorf("iteration %d: restart found %d torn tails, one kill can leave at most 1", i, t)
+		}
+		if l := m["healers_cache_loaded"]; l < prevLoaded {
+			return fmt.Errorf("iteration %d: loaded entries shrank %d -> %d across restart", i, prevLoaded, l)
+		} else {
+			prevLoaded = l
+		}
+		cfg.logf("iteration %d/%d: %d entries recovered, truncated=%d",
+			i+1, cfg.iterations, m["healers_cache_loaded"], m["healers_cache_truncated"])
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		viol := &violation{}
+		for cl := 0; cl < cfg.clients; cl++ {
+			wg.Add(1)
+			// Per-client RNG: deterministic under -seed, no lock
+			// contention between clients.
+			crng := rand.New(rand.NewSource(cfg.seed + int64(i*cfg.clients+cl)))
+			go func() {
+				defer wg.Done()
+				raceClient(ctx, c.baseURL, ws, exp, crng, viol)
+			}()
+		}
+
+		// Let the clients race for a random window, then pull the plug
+		// mid-flight. The window is short enough that early iterations
+		// kill campaigns partway through (the interesting case) and
+		// long enough that later, cache-warm generations serve real
+		// traffic first.
+		delay := time.Duration(20+rng.Intn(300)) * time.Millisecond
+		time.Sleep(delay)
+		if err := c.kill(); err != nil {
+			cancel()
+			wg.Wait()
+			return fmt.Errorf("iteration %d: %w", i, err)
+		}
+		cancel()
+		wg.Wait()
+		if err := viol.first(); err != nil {
+			return fmt.Errorf("iteration %d: %w", i, err)
+		}
+	}
+
+	// Final generation: everything must be served correctly, and the
+	// cache must prove the crashes lost no completed work.
+	cfg.logf("final verification generation")
+	return verifyGeneration(cfg, ws, exp, prevLoaded)
+}
+
+// raceClient is one racing client: it loops picking a random workload
+// and a random observation style until the context is cancelled (the
+// orchestrator killed the server). Transport failures end the loop
+// quietly; oracle-contradicting successes are recorded as violations.
+func raceClient(ctx context.Context, baseURL string, ws []workload, exp *expectations, rng *rand.Rand, viol *violation) {
+	for ctx.Err() == nil {
+		w := ws[rng.Intn(len(ws))]
+		st, code, err := submit(baseURL, w.request())
+		if err != nil {
+			return // server is (being) killed
+		}
+		if code != http.StatusAccepted && code != http.StatusOK {
+			viol.add(fmt.Errorf("submit %s: unexpected status %d", w.Label, code))
+			return
+		}
+		switch rng.Intn(4) {
+		case 0: // poll to done, then oracle-check the served vectors
+			fin, err := waitDone(ctx, baseURL, st.ID, 30*time.Second)
+			if err != nil {
+				return
+			}
+			if fin.State != "done" {
+				viol.add(fmt.Errorf("campaign %s (%s) ended %q: %s", st.ID, w.Label, fin.State, fin.Error))
+				return
+			}
+			body, code, err := getVectors(baseURL, st.ID)
+			if err != nil {
+				return
+			}
+			if code == http.StatusOK && body != exp.Vectors[w.Label] {
+				viol.add(fmt.Errorf("campaign %s served %d corrupt vector bytes for %s (want %d)", st.ID, len(body), w.Label, len(exp.Vectors[w.Label])))
+				return
+			}
+			if fin.VectorSHA256 != exp.SHA[w.Label] {
+				viol.add(fmt.Errorf("campaign %s fingerprint %s, oracle %s", st.ID, fin.VectorSHA256, exp.SHA[w.Label]))
+				return
+			}
+		case 1: // follow SSE to completion (or death)
+			fin, done, err := followSSE(ctx, baseURL, st.ID, 0)
+			if err != nil || !done {
+				continue
+			}
+			if fin.VectorSHA256 != exp.SHA[w.Label] {
+				viol.add(fmt.Errorf("SSE done for %s carried fingerprint %s, oracle %s", w.Label, fin.VectorSHA256, exp.SHA[w.Label]))
+				return
+			}
+		case 2: // abandon the stream early — exercises hub unsubscribe
+			sctx, scancel := context.WithCancel(ctx)
+			_, _, _ = followSSE(sctx, baseURL, st.ID, 1+rng.Intn(3)) //nolint:errcheck
+			scancel()
+		case 3: // scrape under load; dropped must never move off zero
+			m, err := scrapeMetrics(baseURL)
+			if err != nil {
+				return
+			}
+			if m["healers_cache_dropped"] != 0 {
+				viol.add(fmt.Errorf("live scrape saw %d dropped cache entries", m["healers_cache_dropped"]))
+				return
+			}
+		}
+	}
+}
+
+// verifyGeneration starts a fresh server over the accumulated cache
+// file, serves every workload, and proves the three oracle clauses:
+// byte-identical vectors, zero recomputation of persisted results,
+// and the hits+misses+joins == slots identity. It ends with a
+// graceful SIGTERM so the harness also exercises the drain path.
+func verifyGeneration(cfg *config, ws []workload, exp *expectations, minLoaded int64) error {
+	c, err := startChild(cfg.bin, cfg.cache, cfg.workers, nil, filepath.Join(cfg.artifacts, "final.log"))
+	if err != nil {
+		return fmt.Errorf("final generation: %w", err)
+	}
+	fail := func(format string, args ...any) error {
+		c.kill() //nolint:errcheck
+		return fmt.Errorf("final generation: "+format, args...)
+	}
+
+	m0, err := scrapeMetrics(c.baseURL)
+	if err != nil {
+		return fail("first scrape: %v", err)
+	}
+	loaded := m0["healers_cache_loaded"]
+	if m0["healers_cache_dropped"] != 0 {
+		return fail("restart dropped %d corrupt entries", m0["healers_cache_dropped"])
+	}
+	if loaded < minLoaded {
+		return fail("loaded entries shrank %d -> %d", minLoaded, loaded)
+	}
+	if loaded == 0 && cfg.iterations > 0 {
+		return fail("no entries survived %d crash iterations — puts are not reaching disk", cfg.iterations)
+	}
+
+	var slots int
+	for _, w := range ws {
+		st, code, err := submit(c.baseURL, w.request())
+		if err != nil || (code != http.StatusAccepted && code != http.StatusOK) {
+			return fail("submit %s: code %d, err %v", w.Label, code, err)
+		}
+		if !st.Deduped {
+			slots += st.Functions
+		}
+		fin, err := waitDone(context.Background(), c.baseURL, st.ID, 2*time.Minute)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if fin.State != "done" {
+			return fail("campaign %s (%s) ended %q: %s", st.ID, w.Label, fin.State, fin.Error)
+		}
+		body, code, err := getVectors(c.baseURL, st.ID)
+		if err != nil || code != http.StatusOK {
+			return fail("vectors %s: code %d, err %v", w.Label, code, err)
+		}
+		if body != exp.Vectors[w.Label] {
+			return fail("workload %s served %d vector bytes, oracle has %d — corrupt state survived", w.Label, len(body), len(exp.Vectors[w.Label]))
+		}
+		if fin.VectorSHA256 != exp.SHA[w.Label] {
+			return fail("workload %s fingerprint %s, oracle %s", w.Label, fin.VectorSHA256, exp.SHA[w.Label])
+		}
+	}
+
+	m1, err := scrapeMetrics(c.baseURL)
+	if err != nil {
+		return fail("final scrape: %v", err)
+	}
+	// Zero-recompute clause: all crash workloads are cold-config, so
+	// the only possible misses are the functions never persisted
+	// before this generation started.
+	if want := int64(exp.UniqueFuncs) - loaded; m1["healers_cache_misses"] != want {
+		return fail("recompute check: %d misses, want exactly %d (= %d unique functions - %d loaded)",
+			m1["healers_cache_misses"], want, exp.UniqueFuncs, loaded)
+	}
+	// Dedup/single-flight identity: every submitted function slot was
+	// either a cache hit, a fresh computation, or a join onto an
+	// in-flight computation — no slot unaccounted, none double-counted.
+	got := m1["healers_cache_hits"] + m1["healers_cache_misses"] + m1["healers_flight_joins"]
+	if got != int64(slots) {
+		return fail("slot identity: hits(%d)+misses(%d)+joins(%d)=%d, want %d submitted slots",
+			m1["healers_cache_hits"], m1["healers_cache_misses"], m1["healers_flight_joins"], got, slots)
+	}
+	cfg.logf("final generation: loaded=%d misses=%d hits=%d — draining", loaded, m1["healers_cache_misses"], m1["healers_cache_hits"])
+
+	if err := c.terminate(60 * time.Second); err != nil {
+		return fmt.Errorf("final generation: %w", err)
+	}
+	if !c.sawDrained() {
+		return fmt.Errorf("final generation: child exited without printing its drain line")
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// child is one `healers serve` process under orchestration: started
+// with a cache file, watched through its stderr (the ready line
+// carries the bound address; crashpoint markers carry which killpoint
+// fired), and terminated either gracefully (SIGTERM, for drain
+// scenarios) or by SIGKILL (the crash scenarios).
+type child struct {
+	cmd     *exec.Cmd
+	baseURL string
+
+	mu      sync.Mutex
+	fired   []string // "crashpoint: firing <name>" markers seen on stderr
+	drained bool     // saw the "drained" line of a graceful shutdown
+
+	stderrDone chan struct{}
+	log        *os.File
+}
+
+// startChild launches `bin serve -addr 127.0.0.1:0 -cache cachePath
+// -workers N [extraArgs...]` with extraEnv appended to the
+// environment, tees its stderr into logPath, and waits until the
+// service answers /healthz. The ephemeral port comes back through the
+// ready line on stderr, so two children can never collide on an
+// address.
+func startChild(bin, cachePath string, workers int, extraEnv []string, logPath string) (*child, error) {
+	cmd := exec.Command(bin, "serve",
+		"-addr", "127.0.0.1:0",
+		"-cache", cachePath,
+		"-workers", fmt.Sprint(workers))
+	cmd.Env = append(os.Environ(), extraEnv...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, fmt.Errorf("starting %s serve: %w", bin, err)
+	}
+
+	c := &child{cmd: cmd, stderrDone: make(chan struct{}), log: logf}
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(c.stderrDone)
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logf, line)
+			switch {
+			case strings.Contains(line, "listening on "):
+				rest := line[strings.Index(line, "listening on ")+len("listening on "):]
+				if sp := strings.IndexByte(rest, ' '); sp > 0 {
+					rest = rest[:sp]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			case strings.HasPrefix(line, "crashpoint: firing "):
+				c.mu.Lock()
+				c.fired = append(c.fired, strings.TrimPrefix(line, "crashpoint: firing "))
+				c.mu.Unlock()
+			case strings.Contains(line, "healers serve: drained"):
+				c.mu.Lock()
+				c.drained = true
+				c.mu.Unlock()
+			}
+		}
+	}()
+
+	select {
+	case addr := <-addrCh:
+		c.baseURL = "http://" + addr
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		c.reap()           //nolint:errcheck
+		logf.Close()
+		return nil, fmt.Errorf("child never printed its listen address (log: %s)", logPath)
+	case <-c.stderrDone:
+		// stderr closed before the ready line: startup failure (for
+		// example the cache lock is held). Surface the exit error.
+		err := cmd.Wait()
+		logf.Close()
+		return nil, fmt.Errorf("child exited before ready (log: %s): %v", logPath, err)
+	}
+
+	// The ready line is printed just before Serve; poll /healthz so no
+	// client op can beat the accept loop.
+	hc := &http.Client{Timeout: time.Second}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		resp, err := hc.Get(c.baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return c, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill() //nolint:errcheck
+			c.reap()           //nolint:errcheck
+			logf.Close()
+			return nil, fmt.Errorf("child at %s never became healthy: %v", c.baseURL, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// reap waits for the stderr scanner to see EOF, then reaps the
+// process. The ordering is load-bearing: cmd.Wait closes the
+// StderrPipe the moment the process exits, so reaping while the
+// scanner still holds unread buffered lines silently drops the tail —
+// which is exactly where the drain marker and crashpoint lines live.
+// EOF always precedes reapability (the child's stderr closes at
+// process death), so this never deadlocks a dead child.
+func (c *child) reap() error {
+	<-c.stderrDone
+	return c.cmd.Wait()
+}
+
+// kill SIGKILLs the child — the crash under test — and reaps it,
+// returning an error unless the process actually died by SIGKILL.
+func (c *child) kill() error {
+	if err := c.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	return c.expectSignalDeath(syscall.SIGKILL)
+}
+
+// waitKilled reaps a child expected to kill *itself* (an armed
+// crashpoint), bounded by timeout.
+func (c *child) waitKilled(timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- c.reap() }()
+	select {
+	case err := <-done:
+		return c.checkSignalDeath(err, syscall.SIGKILL)
+	case <-time.After(timeout):
+		c.cmd.Process.Kill() //nolint:errcheck
+		<-done
+		c.closeLog()
+		return fmt.Errorf("child did not die at its crashpoint within %s", timeout)
+	}
+}
+
+// terminate sends SIGTERM (graceful drain) and waits for a clean,
+// zero-status exit within timeout.
+func (c *child) terminate(timeout time.Duration) error {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	return c.waitClean(timeout)
+}
+
+// waitClean waits for a clean, zero-status exit within timeout —
+// split from terminate so tests can probe the server between the
+// signal and the exit (the drain window).
+func (c *child) waitClean(timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- c.reap() }()
+	select {
+	case err := <-done:
+		c.closeLog()
+		if err != nil {
+			return fmt.Errorf("child exited uncleanly after SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(timeout):
+		c.cmd.Process.Kill() //nolint:errcheck
+		<-done
+		c.closeLog()
+		return fmt.Errorf("child did not drain within %s of SIGTERM", timeout)
+	}
+}
+
+func (c *child) expectSignalDeath(sig syscall.Signal) error {
+	return c.checkSignalDeath(c.reap(), sig)
+}
+
+func (c *child) checkSignalDeath(waitErr error, sig syscall.Signal) error {
+	c.closeLog()
+	ee, ok := waitErr.(*exec.ExitError)
+	if !ok {
+		return fmt.Errorf("child wait: %v, want death by %v", waitErr, sig)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != sig {
+		return fmt.Errorf("child exit state %v, want death by %v", ee, sig)
+	}
+	return nil
+}
+
+func (c *child) closeLog() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log != nil {
+		c.log.Close()
+		c.log = nil
+	}
+}
+
+// firedPoints returns the crashpoint markers the child printed before
+// dying.
+func (c *child) firedPoints() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.fired...)
+}
+
+// sawDrained reports whether the child printed its graceful-drain
+// completion line.
+func (c *child) sawDrained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drained
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"healers/internal/obs"
+	"healers/internal/serve"
+)
+
+// httpClient is shared by every orchestrated op. The timeout bounds
+// non-streaming requests so a SIGKILLed server never wedges a client
+// goroutine; SSE reads use their own context instead.
+var httpClient = &http.Client{Timeout: 10 * time.Second}
+
+// submit POSTs a campaign request and decodes the returned status.
+// Transport errors bubble up verbatim — during a crash window the
+// caller decides whether a dead server is expected or a breach.
+func submit(baseURL string, req serve.CampaignRequest) (serve.CampaignStatus, int, error) {
+	var st serve.CampaignStatus
+	body, err := json.Marshal(req)
+	if err != nil {
+		return st, 0, err
+	}
+	resp, err := httpClient.Post(baseURL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return st, resp.StatusCode, fmt.Errorf("decoding submit response %q: %w", raw, err)
+		}
+	}
+	return st, resp.StatusCode, nil
+}
+
+// getStatus fetches one campaign's status record.
+func getStatus(baseURL, id string) (serve.CampaignStatus, int, error) {
+	var st serve.CampaignStatus
+	resp, err := httpClient.Get(baseURL + "/v1/campaigns/" + id)
+	if err != nil {
+		return st, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return st, resp.StatusCode, fmt.Errorf("decoding status %q: %w", raw, err)
+		}
+	}
+	return st, resp.StatusCode, nil
+}
+
+// getVectors fetches a campaign's vector block; code 200 means the
+// body is the canonical block and the caller must oracle-check it.
+func getVectors(baseURL, id string) (string, int, error) {
+	resp, err := httpClient.Get(baseURL + "/v1/campaigns/" + id + "/vectors")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), resp.StatusCode, err
+}
+
+// scrapeMetrics fetches and parses /metrics.
+func scrapeMetrics(baseURL string) (map[string]int64, error) {
+	resp, err := httpClient.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics returned %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(string(raw))
+}
+
+// followSSE subscribes to a campaign's event stream and reads until
+// the done event, maxEvents progress events (0 = unbounded), or ctx
+// cancellation, returning the final CampaignStatus when done arrived.
+// A stream cut mid-read (the server died, or we cancelled) returns
+// done=false with the transport error.
+func followSSE(ctx context.Context, baseURL, id string, maxEvents int) (final serve.CampaignStatus, done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/campaigns/"+id+"/events", nil)
+	if err != nil {
+		return final, false, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return final, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return final, false, fmt.Errorf("events returned %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	event, data, seen := "", "", 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "done" {
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					return final, false, fmt.Errorf("decoding done event %q: %w", data, err)
+				}
+				return final, true, nil
+			}
+			if event != "" {
+				seen++
+				if maxEvents > 0 && seen >= maxEvents {
+					return final, false, nil
+				}
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return final, false, sc.Err()
+}
+
+// waitDone polls a campaign's status until it reaches a terminal
+// state, returning the final record. Cancelling ctx aborts the wait
+// early — a crash-loop client must not keep polling a server the
+// orchestrator just killed.
+func waitDone(ctx context.Context, baseURL, id string, timeout time.Duration) (serve.CampaignStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, code, err := getStatus(baseURL, id)
+		if err == nil && code == http.StatusOK && st.State != "running" {
+			return st, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return st, cerr
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("campaign %s not done within %s (last state %q, code %d, err %v)",
+				id, timeout, st.State, code, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,330 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"healers/internal/clib"
+	"healers/internal/crashpoint"
+	"healers/internal/injector"
+	"healers/internal/serve"
+)
+
+// The e2e tests drive real `healers serve` child processes with real
+// signals, so they need real binaries: built once per test run into a
+// shared temp dir, removed by TestMain.
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// buildBinaries compiles the untagged and crashtest-tagged healers
+// binaries the child-process tests exec.
+func buildBinaries(t *testing.T) (bin, crashbin string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("child-process e2e test")
+	}
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "crashtest-bins")
+		if buildErr != nil {
+			return
+		}
+		builds := []struct {
+			out  string
+			tags string
+		}{
+			{"healers", ""},
+			{"healers-crashtest", "crashtest"},
+		}
+		for _, b := range builds {
+			args := []string{"build"}
+			if b.tags != "" {
+				args = append(args, "-tags", b.tags)
+			}
+			args = append(args, "-o", filepath.Join(buildDir, b.out), "healers/cmd/healers")
+			if out, err := exec.Command("go", args...).CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("go build %s: %v\n%s", b.out, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(buildDir, "healers"), filepath.Join(buildDir, "healers-crashtest")
+}
+
+// TestE2ESIGTERMDrain sends a real SIGTERM to a real child while a
+// cold full campaign is in flight and asserts the three drain
+// promises at the process level: new submissions are refused with
+// 503, the in-flight campaign completes (every key reaches the synced
+// cache), and the process exits cleanly after printing its drain
+// line.
+func TestE2ESIGTERMDrain(t *testing.T) {
+	bin, _ := buildBinaries(t)
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "cache.jsonl")
+
+	c, err := startChild(bin, cachePath, 4, nil, filepath.Join(dir, "child.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cold 86-function campaign keeps the server busy long enough
+	// that the SIGTERM lands mid-flight.
+	st, code, err := submit(c.baseURL, serve.CampaignRequest{})
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("submit: code %d, err %v", code, err)
+	}
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+
+	// Probe the drain window: while the campaign is finishing, new
+	// submissions must get 503; reads must keep working. Each probe
+	// uses a different function: a probe that lands in the gap before
+	// the signal goroutine flips the drain flag gets accepted, and a
+	// repeat of the same request would then dedupe to 200 forever
+	// (duplicate reads during drain are deliberate), hiding the 503.
+	probeNames := clib.New().CrashProne86()
+	sort.Strings(probeNames)
+	sawBusy := false
+	for i, deadline := 0, time.Now().Add(30*time.Second); time.Now().Before(deadline) && i < len(probeNames); i++ {
+		probe := serve.CampaignRequest{Functions: []string{probeNames[i]}}
+		_, pcode, perr := submit(c.baseURL, probe)
+		if perr != nil {
+			break // listener closed: drain finished
+		}
+		if pcode == http.StatusServiceUnavailable {
+			sawBusy = true
+			if _, gcode, gerr := getStatus(c.baseURL, st.ID); gerr != nil || gcode != http.StatusOK {
+				t.Errorf("status read during drain: code %d, err %v", gcode, gerr)
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.waitClean(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBusy {
+		t.Error("never observed a 503 during the drain window")
+	}
+	if !c.sawDrained() {
+		t.Error("child exited without printing its drain line")
+	}
+
+	// In-flight completion: the campaign accepted before the signal
+	// must have finished and synced — all 86 keys present, no damage.
+	dc, err := injector.OpenDiskCache(cachePath)
+	if err != nil {
+		t.Fatalf("reopening drained cache: %v", err)
+	}
+	defer dc.Close()
+	dst := dc.Stats()
+	if want := int64(len(clib.New().CrashProne86())); dst.Loaded != want || dst.Dropped != 0 || dst.Truncated != 0 {
+		t.Fatalf("drained cache: loaded=%d dropped=%d truncated=%d, want loaded=%d dropped=0 truncated=0",
+			dst.Loaded, dst.Dropped, dst.Truncated, want)
+	}
+}
+
+// TestE2ELockReleasedBySIGKILL proves the single-writer lock at the
+// process level: a second server on the same cache file is refused
+// with a clear error while the first lives, and admitted the moment
+// the first dies by SIGKILL — the kernel releases the flock, no
+// cleanup code runs.
+func TestE2ELockReleasedBySIGKILL(t *testing.T) {
+	bin, _ := buildBinaries(t)
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "cache.jsonl")
+
+	a, err := startChild(bin, cachePath, 1, nil, filepath.Join(dir, "a.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blog := filepath.Join(dir, "b.log")
+	if _, err := startChild(bin, cachePath, 1, nil, blog); err == nil {
+		t.Fatal("second opener of a locked cache file started successfully")
+	}
+	raw, err := os.ReadFile(blog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "locked by another process"; !strings.Contains(string(raw), want) {
+		t.Fatalf("second opener's error does not mention %q:\n%s", want, raw)
+	}
+
+	if err := a.kill(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := startChild(bin, cachePath, 1, nil, blog)
+	if err != nil {
+		t.Fatalf("restart after SIGKILL of the lock holder: %v", err)
+	}
+	if err := b.terminate(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE2EWhiteboxMidlineKillpoint runs the nastiest killpoint
+// scenario end to end under `go test`: the child SIGKILLs itself
+// halfway through writing a cache line, and the restart must repair
+// the torn tail, recover exactly the completed entries, and serve
+// oracle-identical vectors. The full sweep runs in `make
+// test-e2e-crash`; this pins one representative in the default suite.
+func TestE2EWhiteboxMidlineKillpoint(t *testing.T) {
+	bin, crashbin := buildBinaries(t)
+	cfg := &config{bin: bin, crashbin: crashbin, artifacts: t.TempDir(), workers: 1}
+	ws := []workload{{Label: "wb", Functions: whiteboxFuncs()}}
+	exp, err := computeExpectations(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := crashpoint.DiskCachePutMidline
+	if err := runScenario(cfg, point, scenarios()[point], ws[0], exp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE2ECrashLoopSmoke runs a bounded blackbox loop — real SIGKILLs
+// under racing clients — as a permanent regression test. The full
+// 25-iteration run is `make test-e2e-crash`.
+func TestE2ECrashLoopSmoke(t *testing.T) {
+	bin, _ := buildBinaries(t)
+	dir := t.TempDir()
+	cfg := &config{
+		bin:        bin,
+		artifacts:  dir,
+		cache:      filepath.Join(dir, "cache.jsonl"),
+		golden:     filepath.Join("..", "..", "internal", "injector", "testdata", "golden_vectors.txt"),
+		iterations: 3,
+		clients:    4,
+		workers:    4,
+		sets:       2,
+		seed:       1,
+	}
+	if err := runCrash(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWhiteboxScenarioCoverage fails when a killpoint is registered
+// without a whitebox scenario — the sweep must never silently skip a
+// new point.
+func TestWhiteboxScenarioCoverage(t *testing.T) {
+	scen := scenarios()
+	for _, p := range crashpoint.Points() {
+		if _, ok := scen[p]; !ok {
+			t.Errorf("killpoint %s has no whitebox scenario", p)
+		}
+	}
+	if len(scen) != len(crashpoint.Points()) {
+		t.Errorf("%d scenarios for %d registered killpoints", len(scen), len(crashpoint.Points()))
+	}
+}
+
+// TestCrashWorkloadsCoverAllFunctions pins the oracle workload
+// construction: the overlapping windows plus the full set must cover
+// every crash-prone function, sorted input order notwithstanding.
+func TestCrashWorkloadsCoverAllFunctions(t *testing.T) {
+	ws := crashWorkloads(4, true)
+	if ws[len(ws)-1].Label != "full" || ws[len(ws)-1].Functions != nil {
+		t.Fatalf("last workload %+v, want the full default set", ws[len(ws)-1])
+	}
+	seen := map[string]bool{}
+	for _, w := range ws[:len(ws)-1] {
+		if !sort.StringsAreSorted(w.Functions) {
+			t.Errorf("workload %s is not sorted", w.Label)
+		}
+		for _, f := range w.Functions {
+			seen[f] = true
+		}
+	}
+	for _, f := range clib.New().CrashProne86() {
+		if !seen[f] {
+			t.Errorf("function %s not covered by any window", f)
+		}
+	}
+}
+
+// TestE2EStressSmoke runs a bounded stress pass — randomized
+// submit/poll/SSE-abandon/scrape ops against a live child, the
+// per-campaign-key oracle, the quiescent slot identity, and the
+// post-drain reload generation. The full 200-op run is `make
+// test-e2e-crash`.
+func TestE2EStressSmoke(t *testing.T) {
+	bin, _ := buildBinaries(t)
+	cfg := &config{
+		bin:       bin,
+		artifacts: t.TempDir(),
+		ops:       40,
+		clients:   4,
+		workers:   4,
+		sets:      2,
+		seed:      1,
+	}
+	if err := runStress(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyOracleDriftDetection pins the stress oracle's contract in
+// isolation: the first terminal observation of a campaign id wins,
+// re-observations with the same fingerprint are fine, and any drift
+// is an error.
+func TestKeyOracleDriftDetection(t *testing.T) {
+	o := newKeyOracle()
+	if err := o.observeDone("c1", "aaa"); err != nil {
+		t.Fatalf("first observation: %v", err)
+	}
+	if err := o.observeDone("c1", "aaa"); err != nil {
+		t.Fatalf("stable re-observation: %v", err)
+	}
+	if err := o.observeDone("c1", "bbb"); err == nil {
+		t.Fatal("fingerprint drift went undetected")
+	}
+	if err := o.observeDone("c2", "ccc"); err != nil {
+		t.Fatalf("second campaign: %v", err)
+	}
+	if got := o.ids(); len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("ids() = %v, want [c1 c2]", got)
+	}
+}
+
+// TestStressWorkloadsAddSeededVariant pins that the stress set
+// extends the crash set with a seeded config variant over the same
+// functions — a distinct content address the per-key oracle must
+// track separately.
+func TestStressWorkloadsAddSeededVariant(t *testing.T) {
+	ws := stressWorkloads(2, false)
+	base := crashWorkloads(2, false)
+	if len(ws) != len(base)+1 {
+		t.Fatalf("stress set has %d workloads, want %d", len(ws), len(base)+1)
+	}
+	last := ws[len(ws)-1]
+	if last.Seed != "static" {
+		t.Fatalf("variant seed %q, want static", last.Seed)
+	}
+	if len(last.Functions) != len(base[0].Functions) {
+		t.Fatalf("variant covers %d functions, want %d (same window as %s)",
+			len(last.Functions), len(base[0].Functions), base[0].Label)
+	}
+}

@@ -1,0 +1,124 @@
+// Command crashtest is the Jepsen-style crash/stress harness for
+// `healers serve`: it runs the real binary as a child process, drives
+// it with racing HTTP clients, kills it — SIGKILL from outside
+// (blackbox mode) or self-inflicted at tagged killpoints (whitebox
+// mode) — restarts it over the same cache file, and checks every
+// observation against an expected-state oracle computed in-process:
+//
+//   - no corrupt entry is ever served: every 200 /vectors body is
+//     byte-identical to the oracle's vector block for that workload
+//     (and, for the full 86-function set, to the committed golden
+//     file);
+//   - results completed before a kill are never recomputed: the
+//     restarted server's loaded/misses counters must account for
+//     every previously persisted key;
+//   - the dedup/single-flight identity holds at quiescence:
+//     cache hits + misses + flight joins == submitted function slots.
+//
+// Modes:
+//
+//	crash    blackbox kill/restart loop under racing clients
+//	whitebox one scenario per internal/crashpoint killpoint
+//	stress   long-lived server under random ops with a per-key oracle
+//
+// Whitebox mode needs a binary built with -tags crashtest (-crashbin);
+// the restart half of each scenario deliberately uses the untagged
+// binary to prove recovery needs no instrumentation. All artifacts
+// (cache files, child logs, the serialized oracle) land in -artifacts
+// so a failing run can be shipped whole.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// config carries the parsed flag set into the mode runners.
+type config struct {
+	bin       string // healers binary (untagged)
+	crashbin  string // healers binary built with -tags crashtest
+	mode      string
+	cache     string
+	artifacts string
+	golden    string
+
+	iterations int
+	clients    int
+	workers    int
+	sets       int
+
+	ops      int
+	duration time.Duration
+	point    string
+
+	seed    int64
+	verbose bool
+}
+
+func (c *config) logf(format string, args ...any) {
+	if c.verbose {
+		fmt.Fprintf(os.Stderr, "crashtest: "+format+"\n", args...)
+	}
+}
+
+func (c *config) reportf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crashtest: "+format+"\n", args...)
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.bin, "bin", "", "path to the healers binary (required)")
+	flag.StringVar(&cfg.crashbin, "crashbin", "", "path to a healers binary built with -tags crashtest (whitebox mode)")
+	flag.StringVar(&cfg.mode, "mode", "crash", "crash | whitebox | stress")
+	flag.StringVar(&cfg.artifacts, "artifacts", "crashtest-artifacts", "directory for cache files, child logs and the oracle dump")
+	flag.StringVar(&cfg.cache, "cache", "", "cache file path (default <artifacts>/cache.jsonl)")
+	flag.StringVar(&cfg.golden, "golden", "internal/injector/testdata/golden_vectors.txt", "committed golden vector file for the full 86-function set")
+	flag.IntVar(&cfg.iterations, "iterations", 25, "crash mode: kill/restart iterations")
+	flag.IntVar(&cfg.clients, "clients", 8, "racing client goroutines")
+	flag.IntVar(&cfg.workers, "workers", 4, "child campaign workers (whitebox forces 1 for deterministic killpoints)")
+	flag.IntVar(&cfg.sets, "sets", 4, "overlapping workload windows over the 86 functions")
+	flag.IntVar(&cfg.ops, "ops", 200, "stress mode: total client operations")
+	flag.DurationVar(&cfg.duration, "duration", 0, "stress mode: run for this long instead of -ops")
+	flag.StringVar(&cfg.point, "point", "", "whitebox mode: run only this killpoint (default: sweep all)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "RNG seed for workload/op/kill-delay choices")
+	flag.BoolVar(&cfg.verbose, "v", false, "log per-iteration progress")
+	flag.Parse()
+
+	if cfg.bin == "" {
+		fmt.Fprintln(os.Stderr, "crashtest: -bin is required")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(cfg.artifacts, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(1)
+	}
+	if cfg.cache == "" {
+		cfg.cache = filepath.Join(cfg.artifacts, "cache.jsonl")
+	}
+
+	var err error
+	switch cfg.mode {
+	case "crash":
+		err = runCrash(&cfg)
+	case "whitebox":
+		if cfg.crashbin == "" {
+			fmt.Fprintln(os.Stderr, "crashtest: whitebox mode needs -crashbin (a -tags crashtest build)")
+			os.Exit(2)
+		}
+		err = runWhitebox(&cfg)
+	case "stress":
+		err = runStress(&cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "crashtest: unknown mode %q\n", cfg.mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		cfg.reportf("FAIL (%s mode): %v", cfg.mode, err)
+		cfg.reportf("artifacts kept in %s", cfg.artifacts)
+		os.Exit(1)
+	}
+	cfg.reportf("PASS (%s mode)", cfg.mode)
+}

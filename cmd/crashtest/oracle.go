@@ -1,0 +1,193 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"healers/internal/analysis"
+	"healers/internal/clib"
+	"healers/internal/corpus"
+	"healers/internal/extract"
+	"healers/internal/injector"
+	"healers/internal/serve"
+)
+
+// workload is one campaign shape the harness submits over and over: a
+// function set plus the config axes that change the campaign's
+// content address. The zero Functions slice means the server default —
+// the paper's 86 crash-prone functions.
+type workload struct {
+	Label     string   `json:"label"`
+	Functions []string `json:"functions,omitempty"`
+	Seed      string   `json:"seed,omitempty"`
+}
+
+func (w workload) request() serve.CampaignRequest {
+	return serve.CampaignRequest{Functions: w.Functions, Seed: w.Seed}
+}
+
+// crashWorkloads builds the crash-loop campaign set: nSets overlapping
+// windows over the sorted 86 (the overlap is what drives cross-
+// campaign cache sharing and single-flight joins under racing
+// clients), plus — when includeFull is set — the full default set,
+// whose vectors are additionally pinned to the committed golden file.
+// Every crash workload is cold/unseeded so the zero-recompute
+// accounting (misses == unique functions − loaded) stays exact.
+func crashWorkloads(nSets int, includeFull bool) []workload {
+	names := clib.New().CrashProne86()
+	sort.Strings(names)
+	if nSets < 1 {
+		nSets = 1
+	}
+	stride := len(names) / nSets
+	if stride < 1 {
+		stride = 1
+	}
+	window := stride + stride/2 // ~50% overlap with the next set
+	var ws []workload
+	for i := 0; i < nSets; i++ {
+		lo := i * stride
+		hi := lo + window
+		if hi > len(names) {
+			hi = len(names)
+		}
+		ws = append(ws, workload{
+			Label:     fmt.Sprintf("w%d", i),
+			Functions: append([]string(nil), names[lo:hi]...),
+		})
+	}
+	if includeFull {
+		ws = append(ws, workload{Label: "full"})
+	}
+	return ws
+}
+
+// stressWorkloads extends the crash set with config variants (a
+// statically seeded campaign) so the stress oracle also covers
+// distinct content addresses over the same functions.
+func stressWorkloads(nSets int, includeFull bool) []workload {
+	ws := crashWorkloads(nSets, includeFull)
+	if len(ws) > 0 {
+		ws = append(ws, workload{
+			Label:     ws[0].Label + "-seeded",
+			Functions: ws[0].Functions,
+			Seed:      "static",
+		})
+	}
+	return ws
+}
+
+// expectations is the expected-state oracle: for every workload, the
+// exact vector block a healthy service must serve, computed
+// independently in-process (the same pipeline the CLI runs, no HTTP,
+// no disk cache, no child process). UniqueFuncs is the number of
+// distinct cold-config cache keys the workloads can ever write, the
+// denominator of the zero-recompute check.
+type expectations struct {
+	Vectors     map[string]string `json:"vectors"`
+	SHA         map[string]string `json:"sha256"`
+	UniqueFuncs int               `json:"unique_funcs"`
+}
+
+// computeExpectations runs every workload through the in-process
+// injector. Overlapping workloads share one in-memory result cache,
+// so the oracle costs roughly one campaign over the union.
+func computeExpectations(ws []workload) (*expectations, error) {
+	lib := clib.New()
+	ext, err := extract.Run(corpus.Build(lib))
+	if err != nil {
+		return nil, fmt.Errorf("oracle extraction: %w", err)
+	}
+	cache := injector.NewResultCache()
+	exp := &expectations{
+		Vectors: make(map[string]string, len(ws)),
+		SHA:     make(map[string]string, len(ws)),
+	}
+	union := make(map[string]bool)
+	for _, w := range ws {
+		names := w.Functions
+		if len(names) == 0 {
+			names = lib.CrashProne86()
+		}
+		names = append([]string(nil), names...)
+		sort.Strings(names)
+		cfg := injector.DefaultConfig()
+		cfg.Cache = cache
+		if w.Seed == "static" {
+			pred, err := analysis.Predict(ext, names)
+			if err != nil {
+				return nil, fmt.Errorf("oracle seeds for %s: %w", w.Label, err)
+			}
+			cfg.Seeds = pred.Seeds()
+		} else {
+			for _, n := range names {
+				union[n] = true
+			}
+		}
+		camp, err := injector.New(clib.New(), cfg).InjectAll(ext, names)
+		if err != nil {
+			return nil, fmt.Errorf("oracle campaign %s: %w", w.Label, err)
+		}
+		sig := camp.VectorSignature()
+		exp.Vectors[w.Label] = sig
+		exp.SHA[w.Label] = fmt.Sprintf("%x", sha256.Sum256([]byte(sig)))
+	}
+	exp.UniqueFuncs = len(union)
+	return exp, nil
+}
+
+// persist writes the expected state next to the other run artifacts,
+// so a failed run ships the oracle alongside the cache file it
+// disagreed with.
+func (e *expectations) persist(path string) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// keyOracle is the per-campaign-key oracle of the stress mode: the
+// first terminal observation of a campaign id pins its state forever —
+// a done campaign must stay done with the same vector fingerprint, on
+// every later status read, within and across ops.
+type keyOracle struct {
+	mu   sync.Mutex
+	done map[string]string // campaign id → vector_sha256
+}
+
+func newKeyOracle() *keyOracle {
+	return &keyOracle{done: make(map[string]string)}
+}
+
+// observeDone records (or re-checks) a campaign's terminal
+// fingerprint, returning an error on drift.
+func (o *keyOracle) observeDone(id, sha string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	prev, ok := o.done[id]
+	if !ok {
+		o.done[id] = sha
+		return nil
+	}
+	if prev != sha {
+		return fmt.Errorf("campaign %s changed fingerprint after completion: %s → %s", id, prev, sha)
+	}
+	return nil
+}
+
+// ids returns every campaign id the oracle has pinned.
+func (o *keyOracle) ids() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.done))
+	for id := range o.done {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runStress is the long-running mode: one server generation, many
+// clients doing randomized ops (submit, poll-to-done, abandon an SSE
+// stream early, scrape) against overlapping workloads *including a
+// config variant*, with a per-campaign-key oracle — once a campaign
+// id is observed done with a fingerprint, every later observation of
+// that id must agree. At quiescence the dedup/single-flight identity
+// is checked, the server is drained with SIGTERM, and a second
+// generation proves the cache file it left behind loads cleanly.
+func runStress(cfg *config) error {
+	ws := stressWorkloads(cfg.sets, false)
+	cfg.logf("computing expected state for %d workloads", len(ws))
+	exp, err := computeExpectations(ws)
+	if err != nil {
+		return err
+	}
+	if err := exp.persist(filepath.Join(cfg.artifacts, "expected-stress.json")); err != nil {
+		return err
+	}
+
+	cachePath := filepath.Join(cfg.artifacts, "cache-stress.jsonl")
+	logPath := filepath.Join(cfg.artifacts, "child-stress.log")
+	c, err := startChild(cfg.bin, cachePath, cfg.workers, nil, logPath)
+	if err != nil {
+		return err
+	}
+	fail := func(format string, args ...any) error {
+		c.kill() //nolint:errcheck
+		return fmt.Errorf(format, args...)
+	}
+
+	oracle := newKeyOracle()
+	viol := &violation{}
+	var slots atomic.Int64 // function slots of accepted (non-deduped) campaigns
+	var labels sync.Map    // campaign id -> workload label (ids are content-addressed)
+
+	var budget atomic.Int64
+	budget.Store(int64(cfg.ops))
+	deadline := time.Time{}
+	if cfg.duration > 0 {
+		deadline = time.Now().Add(cfg.duration)
+		budget.Store(1 << 30)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.clients; cl++ {
+		wg.Add(1)
+		crng := rand.New(rand.NewSource(cfg.seed + int64(cl)))
+		go func() {
+			defer wg.Done()
+			for budget.Add(-1) >= 0 {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				if err := stressOp(ctx, c.baseURL, ws, exp, crng, oracle, &slots, &labels); err != nil {
+					viol.add(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := viol.first(); err != nil {
+		return fail("%v", err)
+	}
+
+	// Quiescence: wait for in-flight campaigns to finish so the
+	// counter identity is exact.
+	if err := waitQuiescent(c.baseURL, time.Minute); err != nil {
+		return fail("%v", err)
+	}
+	m, err := scrapeMetrics(c.baseURL)
+	if err != nil {
+		return fail("quiescent scrape: %v", err)
+	}
+	if m["healers_cache_dropped"] != 0 {
+		return fail("%d dropped cache entries under stress", m["healers_cache_dropped"])
+	}
+	got := m["healers_cache_hits"] + m["healers_cache_misses"] + m["healers_flight_joins"]
+	if got != slots.Load() {
+		return fail("slot identity: hits(%d)+misses(%d)+joins(%d)=%d, want %d accepted slots",
+			m["healers_cache_hits"], m["healers_cache_misses"], m["healers_flight_joins"], got, slots.Load())
+	}
+
+	// Every campaign the oracle ever pinned must still be done with
+	// the same fingerprint, and its body must re-verify against the
+	// expected vectors.
+	for _, id := range oracle.ids() {
+		st, code, err := getStatus(c.baseURL, id)
+		if err != nil || code != http.StatusOK {
+			return fail("status %s at quiescence: code %d, err %v", id, code, err)
+		}
+		if st.State != "done" {
+			return fail("campaign %s regressed from done to %q", id, st.State)
+		}
+		if err := oracle.observeDone(id, st.VectorSHA256); err != nil {
+			return fail("%v", err)
+		}
+		lv, ok := labels.Load(id)
+		if !ok {
+			return fail("oracle pinned unknown campaign id %s", id)
+		}
+		body, code, err := getVectors(c.baseURL, id)
+		if err != nil || code != http.StatusOK {
+			return fail("vectors %s at quiescence: code %d, err %v", id, code, err)
+		}
+		if body != exp.Vectors[lv.(string)] {
+			return fail("campaign %s (%s) served corrupt vectors at quiescence", id, lv)
+		}
+	}
+	misses := m["healers_cache_misses"]
+	cfg.logf("stress quiescent: %d ops budgeted, %d slots, misses=%d hits=%d joins=%d — draining",
+		cfg.ops, slots.Load(), misses, m["healers_cache_hits"], m["healers_flight_joins"])
+
+	if err := c.terminate(60 * time.Second); err != nil {
+		return err
+	}
+	if !c.sawDrained() {
+		return fmt.Errorf("stress child exited without printing its drain line")
+	}
+
+	// Second generation over the synced cache: every distinct key the
+	// stress run computed (== misses, the cache started empty) must
+	// come back, with nothing dropped or torn.
+	c2, err := startChild(cfg.bin, cachePath, cfg.workers, nil, logPath)
+	if err != nil {
+		return fmt.Errorf("post-drain restart: %w", err)
+	}
+	m2, err := scrapeMetrics(c2.baseURL)
+	if err != nil {
+		c2.kill() //nolint:errcheck
+		return fmt.Errorf("post-drain scrape: %w", err)
+	}
+	if m2["healers_cache_loaded"] != misses || m2["healers_cache_dropped"] != 0 || m2["healers_cache_truncated"] != 0 {
+		c2.kill() //nolint:errcheck
+		return fmt.Errorf("post-drain cache: loaded=%d dropped=%d truncated=%d, want loaded=%d dropped=0 truncated=0",
+			m2["healers_cache_loaded"], m2["healers_cache_dropped"], m2["healers_cache_truncated"], misses)
+	}
+	return c2.terminate(30 * time.Second)
+}
+
+// stressOp performs one randomized client operation. Unlike the crash
+// loop's clients, transport errors here are failures — nothing kills
+// this server, so it has no excuse to drop a connection.
+func stressOp(ctx context.Context, baseURL string, ws []workload, exp *expectations,
+	rng *rand.Rand, oracle *keyOracle, slots *atomic.Int64, labels *sync.Map) error {
+	w := ws[rng.Intn(len(ws))]
+	st, code, err := submit(baseURL, w.request())
+	if err != nil {
+		return fmt.Errorf("submit %s: %w", w.Label, err)
+	}
+	if code != http.StatusAccepted && code != http.StatusOK {
+		return fmt.Errorf("submit %s: unexpected status %d", w.Label, code)
+	}
+	if !st.Deduped {
+		slots.Add(int64(st.Functions))
+	}
+	labels.Store(st.ID, w.Label)
+
+	switch rng.Intn(4) {
+	case 0: // poll to done, verify, pin in the oracle
+		fin, err := waitDone(ctx, baseURL, st.ID, time.Minute)
+		if err != nil {
+			return err
+		}
+		if fin.State != "done" {
+			return fmt.Errorf("campaign %s (%s) ended %q: %s", st.ID, w.Label, fin.State, fin.Error)
+		}
+		if fin.VectorSHA256 != exp.SHA[w.Label] {
+			return fmt.Errorf("campaign %s fingerprint %s, oracle %s", st.ID, fin.VectorSHA256, exp.SHA[w.Label])
+		}
+		return oracle.observeDone(st.ID, fin.VectorSHA256)
+	case 1: // follow SSE to done, pin
+		fin, done, err := followSSE(ctx, baseURL, st.ID, 0)
+		if err != nil {
+			return fmt.Errorf("SSE %s: %w", st.ID, err)
+		}
+		if !done {
+			return nil // ctx cancelled at shutdown
+		}
+		return oracle.observeDone(st.ID, fin.VectorSHA256)
+	case 2: // abandon the stream after a few events
+		sctx, scancel := context.WithCancel(ctx)
+		_, _, _ = followSSE(sctx, baseURL, st.ID, 1+rng.Intn(3)) //nolint:errcheck
+		scancel()
+		return nil
+	default: // status read: a previously pinned campaign must not drift
+		fin, code, err := getStatus(baseURL, st.ID)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("status %s: code %d, err %v", st.ID, code, err)
+		}
+		if fin.State == "done" {
+			return oracle.observeDone(st.ID, fin.VectorSHA256)
+		}
+		return nil
+	}
+}
+
+// waitQuiescent polls /metrics until no campaign is in flight.
+func waitQuiescent(baseURL string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m, err := scrapeMetrics(baseURL)
+		if err != nil {
+			return fmt.Errorf("quiescence scrape: %w", err)
+		}
+		if m["healers_serve_inflight_campaigns"] == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d campaigns still in flight after %s", m["healers_serve_inflight_campaigns"], timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"healers/internal/clib"
+	"healers/internal/crashpoint"
+)
+
+// scenario describes the deterministic post-kill disk state one
+// killpoint must leave behind. Whitebox children run with a single
+// campaign worker so puts are strictly ordered and the N-th-pass arm
+// count maps to an exact number of persisted entries.
+type scenario struct {
+	arm       string // HEALERS_CRASHPOINT value
+	loaded    int64  // entries a restart must recover
+	truncated int64  // torn tails a restart must repair (0 or 1)
+}
+
+// whiteboxFuncs is the small fixed workload every killpoint scenario
+// submits: five functions, alphabetical, so "the third put" is the
+// same put on every run.
+func whiteboxFuncs() []string {
+	names := clib.New().CrashProne86()
+	sort.Strings(names)
+	return names[:5]
+}
+
+// scenarios maps every registered killpoint to its expected disk
+// state. Process death preserves completed write(2) calls (the page
+// cache survives SIGKILL; fsync only matters for power loss), so the
+// four points around fsync all expect the full five entries — what
+// distinguishes them is *where* in the commit protocol the process
+// dies, which is exactly what the lock-release and recovery checks
+// exercise.
+func scenarios() map[string]scenario {
+	return map[string]scenario{
+		// Dies before the 3rd entry's write: 2 complete lines on disk.
+		crashpoint.DiskCachePutBefore: {arm: crashpoint.DiskCachePutBefore + ":3", loaded: 2},
+		// Dies after writing half of the 3rd line: 2 complete lines
+		// plus one torn tail the restart must truncate away.
+		crashpoint.DiskCachePutMidline: {arm: crashpoint.DiskCachePutMidline + ":3", loaded: 2, truncated: 1},
+		// Commit-protocol points: all five puts already hit write(2).
+		crashpoint.DiskCacheSyncBefore: {arm: crashpoint.DiskCacheSyncBefore + ":1", loaded: 5},
+		crashpoint.DiskCacheSyncAfter:  {arm: crashpoint.DiskCacheSyncAfter + ":1", loaded: 5},
+		crashpoint.ServeCommitBefore:   {arm: crashpoint.ServeCommitBefore + ":1", loaded: 5},
+		crashpoint.ServeCommitAfter:    {arm: crashpoint.ServeCommitAfter + ":1", loaded: 5},
+	}
+}
+
+// runWhitebox sweeps every registered killpoint (or just -point): arm
+// it in a crashtest-tagged child, submit the fixed workload, wait for
+// the self-SIGKILL, then restart the *untagged* binary over the same
+// cache file and verify lock release, exact recovery counts, correct
+// vectors on resubmit, and zero recomputation of what survived.
+func runWhitebox(cfg *config) error {
+	funcs := whiteboxFuncs()
+	ws := []workload{{Label: "wb", Functions: funcs}}
+	exp, err := computeExpectations(ws)
+	if err != nil {
+		return err
+	}
+	if err := exp.persist(filepath.Join(cfg.artifacts, "expected-whitebox.json")); err != nil {
+		return err
+	}
+
+	scen := scenarios()
+	points := crashpoint.Points()
+	if cfg.point != "" {
+		points = []string{cfg.point}
+	}
+	for _, point := range points {
+		sc, ok := scen[point]
+		if !ok {
+			// Driven off the registry on purpose: adding a killpoint
+			// without teaching the harness its expected state fails
+			// the sweep instead of silently skipping it.
+			return fmt.Errorf("killpoint %q has no whitebox scenario", point)
+		}
+		if err := runScenario(cfg, point, sc, ws[0], exp); err != nil {
+			return fmt.Errorf("killpoint %s: %w", point, err)
+		}
+		cfg.logf("killpoint %s: ok", point)
+	}
+	return nil
+}
+
+func runScenario(cfg *config, point string, sc scenario, w workload, exp *expectations) error {
+	// Fresh cache per scenario so recovery counts are exact.
+	slug := strings.ReplaceAll(point, ".", "-")
+	cachePath := filepath.Join(cfg.artifacts, "cache-"+slug+".jsonl")
+	logPath := filepath.Join(cfg.artifacts, "child-"+slug+".log")
+
+	c, err := startChild(cfg.crashbin, cachePath, 1,
+		[]string{crashpoint.EnvVar + "=" + sc.arm}, logPath)
+	if err != nil {
+		return err
+	}
+	if _, code, err := submit(c.baseURL, w.request()); err != nil || (code != http.StatusAccepted && code != http.StatusOK) {
+		c.kill() //nolint:errcheck
+		return fmt.Errorf("submit: code %d, err %v", code, err)
+	}
+	// The armed child must kill *itself* at the point, and say so on
+	// stderr first — that marker is the proof the right point fired.
+	if err := c.waitKilled(60 * time.Second); err != nil {
+		return err
+	}
+	fired := c.firedPoints()
+	if len(fired) != 1 || fired[0] != point {
+		return fmt.Errorf("child fired %v, want exactly [%s]", fired, point)
+	}
+
+	// Restart with the UNTAGGED binary: proves the flock died with the
+	// process and recovery needs no crashtest instrumentation.
+	c2, err := startChild(cfg.bin, cachePath, 1, nil, logPath)
+	if err != nil {
+		return fmt.Errorf("restart over killed child's cache: %w", err)
+	}
+	fail := func(format string, args ...any) error {
+		c2.kill() //nolint:errcheck
+		return fmt.Errorf(format, args...)
+	}
+	m, err := scrapeMetrics(c2.baseURL)
+	if err != nil {
+		return fail("restart scrape: %v", err)
+	}
+	if got := m["healers_cache_loaded"]; got != sc.loaded {
+		return fail("recovered %d entries, want %d", got, sc.loaded)
+	}
+	if got := m["healers_cache_truncated"]; got != sc.truncated {
+		return fail("repaired %d torn tails, want %d", got, sc.truncated)
+	}
+	if got := m["healers_cache_dropped"]; got != 0 {
+		return fail("restart dropped %d corrupt entries, want 0", got)
+	}
+
+	// Resubmit: the served vectors must match the oracle byte for
+	// byte, and only the functions the kill lost may be recomputed.
+	st, code, err := submit(c2.baseURL, w.request())
+	if err != nil || (code != http.StatusAccepted && code != http.StatusOK) {
+		return fail("resubmit: code %d, err %v", code, err)
+	}
+	fin, err := waitDone(context.Background(), c2.baseURL, st.ID, time.Minute)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if fin.State != "done" {
+		return fail("resubmitted campaign ended %q: %s", fin.State, fin.Error)
+	}
+	body, code, err := getVectors(c2.baseURL, st.ID)
+	if err != nil || code != http.StatusOK {
+		return fail("vectors: code %d, err %v", code, err)
+	}
+	if body != exp.Vectors[w.Label] {
+		return fail("served %d vector bytes, oracle has %d — recovery corrupted state", len(body), len(exp.Vectors[w.Label]))
+	}
+	m2, err := scrapeMetrics(c2.baseURL)
+	if err != nil {
+		return fail("final scrape: %v", err)
+	}
+	if want := int64(len(w.Functions)) - sc.loaded; m2["healers_cache_misses"] != want {
+		return fail("recomputed %d functions, want exactly %d (= %d submitted - %d recovered)",
+			m2["healers_cache_misses"], want, len(w.Functions), sc.loaded)
+	}
+
+	if err := c2.terminate(30 * time.Second); err != nil {
+		return err
+	}
+	return nil
+}

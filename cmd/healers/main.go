@@ -44,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -160,8 +161,17 @@ func (of *obsFlags) injectorConfig() healers.InjectorConfig {
 }
 
 // runServe hosts the campaign service until SIGINT/SIGTERM, then
-// drains: new submissions get 503, running campaigns finish, open SSE
-// streams receive their done events, and the disk cache is synced.
+// drains in two stages. First the application drains: new submissions
+// get 503 while status, vector, SSE, and metrics reads stay served;
+// running campaigns finish (open SSE streams receive their done
+// events); and the disk cache is synced and closed. Only then does the
+// HTTP listener shut down. The ordering is what makes the drain
+// observable — a client probing during the drain window sees an
+// explicit 503, never a torn-down socket with work still in flight.
+//
+// The listener is resolved before the ready line is printed, so
+// `-addr 127.0.0.1:0` works for harnesses (cmd/crashtest) that need an
+// ephemeral port: the printed address is the bound one.
 func runServe(addr, cachePath string, workers int, reg *obs.Registry, withPprof bool) error {
 	srv, err := serve.New(serve.Options{
 		CachePath: cachePath,
@@ -172,32 +182,45 @@ func runServe(addr, cachePath string, workers int, reg *obs.Registry, withPprof 
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx) //nolint:errcheck // release the cache lock on startup failure
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 
+	// Register the handler before the ready line is printed: a harness
+	// that signals the moment the server looks healthy must never catch
+	// the default SIGTERM action in the gap before Notify runs.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	idle := make(chan struct{})
 	go func() {
 		defer close(idle)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(os.Stderr, "healers serve: draining")
-		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
+		if err := srv.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "healers serve: drain:", err)
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
 			fmt.Fprintln(os.Stderr, "healers serve: shutdown:", err)
 		}
+		fmt.Fprintln(os.Stderr, "healers serve: drained")
 	}()
 
 	fmt.Fprintf(os.Stderr, "healers serve: listening on %s (cache %q, workers %d)\n",
-		addr, cachePath, injector.ResolveWorkers(workers))
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		ln.Addr(), cachePath, injector.ResolveWorkers(workers))
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return err
 	}
 	<-idle
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
-	return srv.Close(ctx)
+	return nil
 }
 
 func run(args []string) error {

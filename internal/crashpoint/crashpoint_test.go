@@ -1,0 +1,49 @@
+package crashpoint
+
+import "testing"
+
+// The tier-1 suite builds without the crashtest tag, so these tests
+// pin the disarmed personality: the registry is stable and the hooks
+// are inert — no environment variable can arm a killpoint in a
+// production build.
+func TestPointsRegistry(t *testing.T) {
+	pts := Points()
+	if len(pts) == 0 {
+		t.Fatal("empty killpoint registry")
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if p == "" {
+			t.Error("empty killpoint name")
+		}
+		if seen[p] {
+			t.Errorf("duplicate killpoint %s", p)
+		}
+		seen[p] = true
+	}
+	for _, want := range []string{
+		DiskCachePutBefore, DiskCachePutMidline,
+		DiskCacheSyncBefore, DiskCacheSyncAfter,
+		ServeCommitBefore, ServeCommitAfter,
+	} {
+		if !seen[want] {
+			t.Errorf("registered constant %s missing from Points()", want)
+		}
+	}
+}
+
+func TestDisarmedBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("crashtest build tag leaked into the tier-1 suite")
+	}
+	t.Setenv(EnvVar, DiskCachePutBefore)
+	for _, p := range Points() {
+		if Armed(p) {
+			t.Errorf("Armed(%s) true in a disarmed build", p)
+		}
+		if Firing(p) {
+			t.Errorf("Firing(%s) true in a disarmed build", p)
+		}
+		Hit(p) // must be a no-op, not a SIGKILL
+	}
+}

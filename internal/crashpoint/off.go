@@ -1,0 +1,19 @@
+//go:build !crashtest
+
+package crashpoint
+
+// Enabled reports whether this build carries the crashtest killpoint
+// machinery.
+const Enabled = false
+
+// Armed reports whether name is the armed killpoint. Always false
+// without the crashtest build tag.
+func Armed(string) bool { return false }
+
+// Firing reports whether the next Hit on name would kill the process.
+// Always false without the crashtest build tag.
+func Firing(string) bool { return false }
+
+// Hit marks one execution of the named killpoint. A no-op without the
+// crashtest build tag — the call compiles away on hot paths.
+func Hit(string) {}

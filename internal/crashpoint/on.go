@@ -1,0 +1,86 @@
+//go:build crashtest
+
+package crashpoint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+)
+
+// Enabled reports whether this build carries the crashtest killpoint
+// machinery.
+const Enabled = true
+
+// armed is parsed once from HEALERS_CRASHPOINT=<name>[:N]. n is the
+// 1-based hit count that fires; hits counts executions so far.
+var (
+	armedName string
+	armedN    int64 = 1
+	hits      atomic.Int64
+)
+
+func init() {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return
+	}
+	name, count, ok := strings.Cut(v, ":")
+	armedName = name
+	if ok {
+		n, err := strconv.ParseInt(count, 10, 64)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "crashpoint: bad %s=%q (want <name>[:N], N >= 1)\n", EnvVar, v)
+			os.Exit(2)
+		}
+		armedN = n
+	}
+	known := false
+	for _, p := range Points() {
+		if p == armedName {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "crashpoint: unknown killpoint %q (known: %s)\n",
+			armedName, strings.Join(Points(), ", "))
+		os.Exit(2)
+	}
+}
+
+// Armed reports whether name is the armed killpoint (regardless of how
+// many hits remain before it fires).
+func Armed(name string) bool { return armedName != "" && name == armedName }
+
+// Firing reports whether the next Hit on name would kill the process.
+// Callers that need to corrupt state *before* dying (the mid-line
+// write) branch on this, do their damage, then call Hit.
+func Firing(name string) bool {
+	return Armed(name) && hits.Load()+1 >= armedN
+}
+
+// Hit marks one execution of the named killpoint. The Nth execution of
+// the armed point SIGKILLs the process: no deferred cleanup, no
+// flushing, no unlock — the same state a power-yank leaves behind,
+// minus the page cache (which process death preserves).
+func Hit(name string) {
+	if !Armed(name) {
+		return
+	}
+	if hits.Add(1) < armedN {
+		return
+	}
+	// The marker line lets the orchestrator assert the intended point
+	// fired (stderr is line-buffered through the pipe; the write
+	// completes before the kill below).
+	fmt.Fprintf(os.Stderr, "crashpoint: firing %s\n", name)
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// The kernel never returns from a self-SIGKILL; the block below is
+	// belt-and-braces so a hypothetical failed Kill cannot limp on past
+	// the killpoint with half-done damage.
+	select {}
+}

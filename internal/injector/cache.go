@@ -50,9 +50,15 @@ type CacheStats struct {
 	Entries int64
 	// Loaded counts entries restored from disk at open (DiskCache only).
 	Loaded int64
-	// Dropped counts persisted entries rejected at load time — truncated,
-	// checksum-corrupt, or version-skewed lines (DiskCache only).
+	// Dropped counts persisted entries rejected at load time —
+	// checksum-corrupt, garbage, or version-skewed lines — plus entries
+	// that failed to serialize at Put time (DiskCache only).
 	Dropped int64
+	// Truncated counts a partial final line with no trailing newline,
+	// the expected residue of a process killed mid-append (DiskCache
+	// only). Distinct from Dropped so crash recovery is observable
+	// separately from genuine corruption.
+	Truncated int64
 }
 
 // ResultCache is the in-memory Cache: process-lifetime memoization

@@ -1,13 +1,15 @@
 package injector
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"os"
-	"strings"
+	"path/filepath"
 	"sync"
 
+	"healers/internal/crashpoint"
 	"healers/internal/decl"
 	"healers/internal/gens"
 )
@@ -25,9 +27,19 @@ import (
 // determines the result (prototype text + config fingerprint).
 //
 // Writes are appended under the cache lock, so the file is a serialized
-// log even with concurrent campaigns; duplicate keys (possible if two
-// processes shared a file, which is unsupported) resolve to the last
-// loaded entry.
+// log even with concurrent campaigns, and the file itself carries a
+// non-blocking exclusive flock for its open lifetime: a second process
+// opening the same path gets a clear error instead of interleaving
+// appends (the kernel releases the lock on process death, so a
+// SIGKILLed server never wedges its successor). Duplicate keys (from a
+// recomputation after a lost entry) resolve to the last loaded entry.
+//
+// A kill mid-append leaves a partial final line — bytes with no
+// trailing newline. Load treats that fragment as the expected residue
+// of a crash, not corruption: it is counted in Stats().Truncated
+// (exported as its own metric by the serve layer) and recomputed,
+// while Dropped stays reserved for genuine corruption — garbage,
+// bit-rot, version skew — anywhere in the file.
 type DiskCache struct {
 	mu     sync.Mutex
 	m      map[string]*Result
@@ -38,20 +50,29 @@ type DiskCache struct {
 	// dropped counts rejected persisted lines (load-time corruption) and
 	// entries that failed to serialize at Put time (kept in memory only).
 	dropped int64
+	// truncated counts a partial final line (no trailing newline) that
+	// failed to decode — the signature of a process killed mid-append.
+	truncated int64
 }
 
 var _ Cache = (*DiskCache)(nil)
 
 // diskCacheVersion tags each persisted line; bump it when diskResult's
-// shape changes so skewed entries from older builds are recomputed
-// instead of misread.
-const diskCacheVersion = 1
+// shape — or what the line checksum covers — changes, so skewed
+// entries from older builds are recomputed instead of misread.
+// Version 2 extended the checksum to cover the key, closing the bit
+// rot gap FuzzDiskCacheLine exposed: a v1 line with a flipped key byte
+// still checksummed clean and would have been served under the wrong
+// content address.
+const diskCacheVersion = 2
 
 // diskEntry is one JSONL line of the persistent cache.
 type diskEntry struct {
 	V   int    `json:"v"`
 	Key string `json:"key"`
-	// Sum is the fnv64a of the raw Result payload bytes, %016x.
+	// Sum is the fnv64a of the key, a NUL separator, and the raw
+	// Result payload bytes, %016x — every field that determines which
+	// result a lookup gets is under the checksum.
 	Sum    string          `json:"sum"`
 	Result json.RawMessage `json:"result"`
 }
@@ -74,8 +95,10 @@ type diskResult struct {
 	ErrClass    uint8          `json:"errclass"`
 }
 
-func payloadSum(payload []byte) string {
+func payloadSum(key string, payload []byte) string {
 	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
 	h.Write(payload)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -126,49 +149,120 @@ func decodeResult(payload []byte) (*Result, error) {
 	}, nil
 }
 
+// decodeDiskLine validates and decodes one persisted JSONL line: JSON
+// shape, format version, payload checksum, and result deserialization
+// all have to pass before an entry is eligible to be served. This is
+// the single gate between bytes on disk and results handed to
+// campaigns — FuzzDiskCacheLine hammers it directly.
+func decodeDiskLine(line []byte) (key string, r *Result, err error) {
+	var e diskEntry
+	if err := json.Unmarshal(line, &e); err != nil {
+		return "", nil, fmt.Errorf("injector: cache line: %w", err)
+	}
+	if e.V != diskCacheVersion {
+		return "", nil, fmt.Errorf("injector: cache line version %d, want %d", e.V, diskCacheVersion)
+	}
+	if payloadSum(e.Key, e.Result) != e.Sum {
+		return "", nil, fmt.Errorf("injector: cache line checksum mismatch")
+	}
+	if e.Key == "" {
+		return "", nil, fmt.Errorf("injector: cache line has no key")
+	}
+	r, err = decodeResult(e.Result)
+	if err != nil {
+		return "", nil, err
+	}
+	return e.Key, r, nil
+}
+
 // OpenDiskCache opens (creating if absent) the persistent cache at
-// path, loading every entry that passes version and checksum
-// validation. It never fails on a corrupt file — only on I/O errors
-// opening or creating it.
+// path, taking the single-writer lock and loading every entry that
+// passes version and checksum validation. It never fails on a corrupt
+// file — only on I/O errors opening or creating it, or when another
+// live process already holds the file's lock.
 func OpenDiskCache(path string) (*DiskCache, error) {
 	c := &DiskCache{m: make(map[string]*Result)}
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("injector: open disk cache: %w", err)
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		var e diskEntry
-		if err := json.Unmarshal([]byte(line), &e); err != nil {
-			c.dropped++ // truncated tail or garbage
-			continue
-		}
-		if e.V != diskCacheVersion {
-			c.dropped++ // version skew: recompute rather than misread
-			continue
-		}
-		if payloadSum(e.Result) != e.Sum {
-			c.dropped++ // bit rot: the payload no longer matches its checksum
-			continue
-		}
-		r, err := decodeResult(e.Result)
-		if err != nil || e.Key == "" {
-			c.dropped++
-			continue
-		}
-		if _, dup := c.m[e.Key]; !dup {
-			c.loaded++
-		}
-		c.m[e.Key] = r
-	}
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("injector: open disk cache: %w", err)
 	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if created {
+		// Make the new file's directory entry durable before anything is
+		// written through it; best-effort on filesystems that reject
+		// directory fsync, fatal on real I/O failure.
+		if err := syncDir(filepath.Dir(path)); err != nil && !os.IsNotExist(err) {
+			f.Close()
+			return nil, fmt.Errorf("injector: open disk cache: fsync dir: %w", err)
+		}
+	}
+	// The lock is held, so no live writer can race this read.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("injector: open disk cache: %w", err)
+	}
+	c.load(data)
+	// Tail repair: a file that does not end in a newline was torn by a
+	// kill mid-append. Appending behind the fragment would weld the
+	// next entry onto it and corrupt both, so the opener — which holds
+	// the exclusive lock — fixes the tail first: a fragment that is a
+	// complete, checksummed entry just gets its newline back; a torn
+	// fragment is chopped at the last clean line boundary.
+	if n := len(data); n > 0 && data[n-1] != '\n' {
+		tailStart := bytes.LastIndexByte(data[:n-1], '\n') + 1
+		if _, _, err := decodeDiskLine(data[tailStart:]); err != nil {
+			if terr := f.Truncate(int64(tailStart)); terr != nil {
+				f.Close()
+				return nil, fmt.Errorf("injector: open disk cache: repairing torn tail: %w", terr)
+			}
+		} else if _, werr := f.Write([]byte{'\n'}); werr != nil {
+			f.Close()
+			return nil, fmt.Errorf("injector: open disk cache: completing tail line: %w", werr)
+		}
+	}
 	c.f = f
 	return c, nil
+}
+
+// load replays the JSONL log. Lines are split manually (not
+// strings.Split) so the loader can tell a complete-but-corrupt line
+// (dropped) from a partial final fragment with no trailing newline
+// (truncated — the normal residue of a kill mid-append). A fragment
+// that decodes and checksums cleanly is a complete entry that lost
+// only its newline to the crash, and is loaded.
+func (c *DiskCache) load(data []byte) {
+	for len(data) > 0 {
+		var line []byte
+		nl := bytes.IndexByte(data, '\n')
+		complete := nl >= 0
+		if complete {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			line, data = data, nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		key, r, err := decodeDiskLine(line)
+		if err != nil {
+			if complete {
+				c.dropped++ // garbage, bit rot, or version skew
+			} else {
+				c.truncated++ // mid-append kill tore the tail
+			}
+			continue
+		}
+		if _, dup := c.m[key]; !dup {
+			c.loaded++
+		}
+		c.m[key] = r
+	}
 }
 
 // Get returns the cached result for key, if present, counting a hit
@@ -200,7 +294,7 @@ func (c *DiskCache) Put(key string, r *Result) {
 	line, err := json.Marshal(diskEntry{
 		V:      diskCacheVersion,
 		Key:    key,
-		Sum:    payloadSum(payload),
+		Sum:    payloadSum(key, payload),
 		Result: payload,
 	})
 	if err != nil {
@@ -211,9 +305,35 @@ func (c *DiskCache) Put(key string, r *Result) {
 		c.dropped++
 		return
 	}
-	if _, err := c.f.Write(append(line, '\n')); err != nil {
+	line = append(line, '\n')
+	if crashpoint.Armed(crashpoint.DiskCachePutMidline) {
+		if crashpoint.Firing(crashpoint.DiskCachePutMidline) {
+			// Whitebox crash: push half the line through write(2), then
+			// die mid-append (the Hit below). The surviving prefix is
+			// exactly the truncated tail the loader must tolerate.
+			c.f.Write(line[:len(line)/2]) //nolint:errcheck // about to SIGKILL
+		}
+		crashpoint.Hit(crashpoint.DiskCachePutMidline)
+	}
+	crashpoint.Hit(crashpoint.DiskCachePutBefore)
+	if _, err := c.f.Write(line); err != nil {
 		c.dropped++
 	}
+}
+
+// Sync forces every appended entry through to stable storage. The
+// serve layer calls it at campaign commit so a campaign acknowledged
+// as done has all of its results durable, not just written.
+func (c *DiskCache) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	crashpoint.Hit(crashpoint.DiskCacheSyncBefore)
+	err := c.f.Sync()
+	crashpoint.Hit(crashpoint.DiskCacheSyncAfter)
+	return err
 }
 
 // Len returns the number of cached functions.
@@ -228,11 +348,12 @@ func (c *DiskCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:    c.hits,
-		Misses:  c.misses,
-		Entries: int64(len(c.m)),
-		Loaded:  c.loaded,
-		Dropped: c.dropped,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   int64(len(c.m)),
+		Loaded:    c.loaded,
+		Dropped:   c.dropped,
+		Truncated: c.truncated,
 	}
 }
 

@@ -1,6 +1,7 @@
 package injector
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -160,10 +161,11 @@ func TestDiskCacheCorruptionTolerance(t *testing.T) {
 	}
 	lines[1] = string(b)
 	// Version-skew the third entry.
-	if !strings.HasPrefix(lines[2], `{"v":1,`) {
+	vprefix := fmt.Sprintf(`{"v":%d,`, diskCacheVersion)
+	if !strings.HasPrefix(lines[2], vprefix) {
 		t.Fatalf("unexpected entry prefix: %q", lines[2])
 	}
-	lines[2] = `{"v":99,` + strings.TrimPrefix(lines[2], `{"v":1,`)
+	lines[2] = `{"v":99,` + strings.TrimPrefix(lines[2], vprefix)
 	// And append a line that is not JSON at all.
 	lines = append(lines, "!!! not a cache entry !!!")
 
@@ -252,4 +254,119 @@ func TestCacheStatsConsistentUnderConcurrentReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-done
+}
+
+// TestDiskCacheSingleWriterLock is the two-process guard: while one
+// DiskCache holds the file, a second open must fail with a clear
+// error, and a close must release the lock for the next opener.
+func TestDiskCacheSingleWriterLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	dc, err := OpenDiskCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskCache(path); err == nil {
+		t.Fatal("second opener acquired a locked cache file")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("second opener error %q does not name the lock", err)
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dc2, err := OpenDiskCache(path)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	dc2.Close()
+}
+
+// TestDiskCachePartialFinalLine exercises the two flavors of a
+// mid-append kill: a fragment that lost payload bytes is counted as
+// Truncated (not Dropped) and recomputed, while a complete entry that
+// lost only its trailing newline still loads.
+func TestDiskCachePartialFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	dc, err := OpenDiskCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSig, _ := runCampaignWithCache(t, dc, cacheTestNames)
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flavor 1: the final entry lost only its newline — still a
+	// complete, checksummed record, so it loads.
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dc2, err := OpenDiskCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := dc2.Stats(); st.Loaded != int64(len(cacheTestNames)) || st.Truncated != 0 || st.Dropped != 0 {
+		t.Fatalf("newline-less tail: stats %+v, want %d loaded and nothing rejected", st, len(cacheTestNames))
+	}
+	dc2.Close()
+
+	// Flavor 2: the final entry lost payload bytes too — a torn write,
+	// counted as Truncated and recomputed into identical vectors.
+	if err := os.WriteFile(path, data[:len(data)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dc3, err := OpenDiskCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc3.Close()
+	st := dc3.Stats()
+	if st.Loaded != int64(len(cacheTestNames)-1) || st.Truncated != 1 || st.Dropped != 0 {
+		t.Fatalf("torn tail: stats %+v, want %d loaded / 1 truncated / 0 dropped", st, len(cacheTestNames)-1)
+	}
+	warmSig, _ := runCampaignWithCache(t, dc3, cacheTestNames)
+	if warmSig != coldSig {
+		t.Errorf("recovery from torn tail diverged:\n%s", diffLines(coldSig, warmSig))
+	}
+	if st := dc3.Stats(); st.Misses != 1 || st.Hits != int64(len(cacheTestNames)-1) {
+		t.Errorf("torn-tail recovery recomputed %d functions (hits %d), want exactly 1", st.Misses, st.Hits)
+	}
+	if err := dc3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tail repair: the opener chopped the torn fragment before the
+	// recomputed entry was appended, so the next generation loads a
+	// fully clean file — nothing welded, nothing lost.
+	dc4, err := OpenDiskCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc4.Close()
+	if st := dc4.Stats(); st.Loaded != int64(len(cacheTestNames)) || st.Truncated != 0 || st.Dropped != 0 {
+		t.Fatalf("post-repair reopen: stats %+v, want %d loaded and a clean file", st, len(cacheTestNames))
+	}
+}
+
+// TestDiskCacheSync covers the commit path: Sync on a live cache
+// succeeds, and Sync after Close is a no-op rather than an error.
+func TestDiskCacheSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	dc, err := OpenDiskCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCampaignWithCache(t, dc, cacheTestNames[:1])
+	if err := dc.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Sync(); err != nil {
+		t.Fatalf("Sync after Close: %v", err)
+	}
 }

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package injector
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; the single-writer
+// guard is advisory hardening, not a correctness requirement for the
+// single-process tiers.
+func lockFile(*os.File) error { return nil }
+
+// syncDir is a no-op where directory fsync is unsupported.
+func syncDir(string) error { return nil }

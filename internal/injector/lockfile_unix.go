@@ -1,0 +1,41 @@
+//go:build unix
+
+package injector
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on the cache file, the
+// single-writer guard: two `healers serve` processes appending to one
+// JSONL log would interleave half-lines into each other's entries, so
+// the second opener must fail loudly instead. The kernel drops the
+// lock when the file descriptor closes — including when the holder is
+// SIGKILLed — so a crashed server never wedges its successor (the
+// crashtest restart loop exercises exactly that).
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return fmt.Errorf("injector: cache file %s is locked by another process (is another `healers serve` running over this cache?)", f.Name())
+	}
+	if err != nil {
+		return fmt.Errorf("injector: locking cache file %s: %w", f.Name(), err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making a just-created file's directory
+// entry durable. Without it, a power loss after creating the cache
+// file can recover to a filesystem where the file never existed even
+// though its first entries were fsynced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition parses the Prometheus text format Exposition emits
+// back into a name → value map — the read half of the metrics
+// round-trip. It exists for the crash/stress oracle (cmd/crashtest)
+// and e2e tests, which verify counter invariants like
+// hits+misses+joins == lookups by scraping a live /metrics endpoint;
+// it is not a general Prometheus parser. Names keep their label block
+// verbatim (`healers_http_requests_total{method="POST",...}`), exactly
+// as the registry stores them; histogram series appear under their
+// exposition names (_bucket{le="..."}, _sum, _count). Every value the
+// registry renders is an integer; a malformed line is an error, since
+// a scrape that half-parses would silently weaken the oracle.
+func ParseExposition(text string) (map[string]int64, error) {
+	m := make(map[string]int64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: unparseable exposition line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %q: %w", line, err)
+		}
+		m[name] = v
+	}
+	return m, nil
+}

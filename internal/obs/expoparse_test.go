@@ -1,0 +1,66 @@
+package obs
+
+import "testing"
+
+// TestParseExpositionRoundTrip renders a registry with every metric
+// kind — including a labeled counter family — and requires the parser
+// to read back exactly the values that went in.
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("healers_cache_hits_total").Add(7)
+	reg.Counter(`healers_http_requests_total{method="POST",path="/v1/campaigns",code="202"}`).Add(3)
+	reg.Gauge("healers_cache_truncated").Set(1)
+	h := reg.Histogram("healers_http_request_ms", []int64{1, 10})
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(50)
+
+	m, err := ParseExposition(reg.Exposition())
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	want := map[string]int64{
+		"healers_cache_hits_total": 7,
+		`healers_http_requests_total{method="POST",path="/v1/campaigns",code="202"}`: 3,
+		"healers_cache_truncated":                   1,
+		`healers_http_request_ms_bucket{le="1"}`:    1,
+		`healers_http_request_ms_bucket{le="10"}`:   2,
+		`healers_http_request_ms_bucket{le="+Inf"}`: 3,
+		"healers_http_request_ms_sum":               55,
+		"healers_http_request_ms_count":             3,
+	}
+	for name, v := range want {
+		if got, ok := m[name]; !ok || got != v {
+			t.Errorf("%s = %d (present %t), want %d", name, got, ok, v)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("parsed %d series, want %d: %v", len(m), len(want), m)
+	}
+}
+
+// TestParseExpositionRejectsGarbage: a half-parsed scrape must be an
+// error, never a silently smaller map.
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	for _, text := range []string{
+		"healers_cache_hits_total seven",
+		"lonely_name",
+		"name 1.5",
+	} {
+		if _, err := ParseExposition(text); err == nil {
+			t.Errorf("ParseExposition(%q) accepted garbage", text)
+		}
+	}
+}
+
+// TestParseExpositionSkipsCommentsAndBlanks: TYPE/HELP headers and
+// blank lines are structure, not series.
+func TestParseExpositionSkipsCommentsAndBlanks(t *testing.T) {
+	m, err := ParseExposition("# TYPE a counter\n\na 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m["a"] != 4 {
+		t.Fatalf("parsed %v, want {a: 4}", m)
+	}
+}

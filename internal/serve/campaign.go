@@ -15,6 +15,7 @@ import (
 
 	"healers/internal/analysis"
 	"healers/internal/clib"
+	"healers/internal/crashpoint"
 	"healers/internal/injector"
 	"healers/internal/obs"
 )
@@ -274,6 +275,24 @@ func (s *Server) run(c *campaign) {
 		TS:    start.UnixMicro(),
 		DurUS: time.Since(start).Microseconds(),
 	}))
+
+	// Campaign commit: before the campaign is published as done, every
+	// result it appended to the disk cache is forced to stable storage,
+	// so an acknowledged campaign survives not just process death (the
+	// writes already did) but power loss. The crashpoints bracketing
+	// the sync are the whitebox seams cmd/crashtest kills at.
+	if err == nil && s.disk != nil {
+		crashpoint.Hit(crashpoint.ServeCommitBefore)
+		if serr := s.disk.Sync(); serr != nil {
+			// A failed fsync must not pretend durability: the campaign
+			// still completes (results are correct and in memory), but the
+			// commit counter stays put and the failure is logged.
+			s.reg.Counter("healers_serve_commit_errors_total").Inc()
+		} else {
+			s.mCommits.Inc()
+		}
+		crashpoint.Hit(crashpoint.ServeCommitAfter)
+	}
 
 	if profiling {
 		c.mu.Lock()

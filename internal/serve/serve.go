@@ -73,6 +73,7 @@ type Server struct {
 	mDeduped   *obs.Counter
 	mDone      *obs.Counter
 	mFailed    *obs.Counter
+	mCommits   *obs.Counter
 	hRequestMS *obs.Histogram
 }
 
@@ -117,6 +118,7 @@ func New(opts Options) (*Server, error) {
 	s.mDeduped = reg.Counter("healers_serve_campaigns_deduped_total")
 	s.mDone = reg.Counter("healers_serve_campaigns_done_total")
 	s.mFailed = reg.Counter("healers_serve_campaigns_failed_total")
+	s.mCommits = reg.Counter("healers_serve_commits_total")
 	s.hRequestMS = reg.Histogram("healers_http_request_ms", requestMSBuckets)
 	return s, nil
 }
@@ -255,6 +257,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("healers_cache_misses").Set(st.Misses)
 	s.reg.Gauge("healers_cache_loaded").Set(st.Loaded)
 	s.reg.Gauge("healers_cache_dropped").Set(st.Dropped)
+	// Truncated is the crash-loop counter: how many times this cache
+	// generation found the partial final line a mid-append kill leaves.
+	s.reg.Gauge("healers_cache_truncated").Set(st.Truncated)
 	fst := s.flight.Stats()
 	s.reg.Gauge("healers_flight_leads").Set(fst.Leads)
 	s.reg.Gauge("healers_flight_joins").Set(fst.Joins)
