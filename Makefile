@@ -10,6 +10,10 @@
 #   make bodyfacts     — regenerate internal/analysis/bodyfacts from clib
 #   make bodyfacts-check — fail if the committed body facts have drifted
 #   make cover         — coverage with a failing floor at COVER_BASELINE
+#   make strategy-matrix — the differential strategy harness: all three
+#                        wrapper modes + unwrapped over the identical
+#                        suite, golden-checked and mode-invariant-checked
+#                        under the race detector
 #   make verify        — all tiers (the pre-commit gate)
 #   make bench         — wrapper call-path overhead benchmarks
 #   make bench-campaign — campaign benchmarks + BENCH_campaign.json refresh
@@ -25,11 +29,11 @@
 GO ?= go
 
 # Total statement coverage must not fall below this floor (measured
-# 81.0% when the floor was set; the margin absorbs counting noise, not
-# untested subsystems).
-COVER_BASELINE ?= 79.0
+# 79.4% when the floor was last raised; the margin absorbs counting
+# noise, not untested subsystems).
+COVER_BASELINE ?= 79.2
 
-.PHONY: all check race race-parallel serve-test lint soundness bodyfacts bodyfacts-check cover verify bench bench-campaign bench-gate bench-smoke fuzz test-e2e-crash table1 figure6 stats analyze clean
+.PHONY: all check race race-parallel serve-test lint soundness bodyfacts bodyfacts-check cover strategy-matrix verify bench bench-campaign bench-gate bench-smoke fuzz test-e2e-crash table1 figure6 stats analyze clean
 
 all: check
 
@@ -83,7 +87,15 @@ cover:
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' || \
 		{ echo "FAIL: coverage $$total% is below the $(COVER_BASELINE)% baseline"; exit 1; }
 
-verify: check race serve-test lint cover test-e2e-crash
+# The differential strategy harness: unwrapped + reject + heal +
+# introspect over the identical 11,995-test suite, byte-compared to the
+# committed golden matrix, the three mode invariants checked, and the
+# sharded run byte-compared to the sequential one — all under the race
+# detector.
+strategy-matrix:
+	$(GO) test -race -count=1 -run 'TestStrategyMatrix' -v ./
+
+verify: check race serve-test lint cover strategy-matrix test-e2e-crash
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkWrapperCallOverhead -benchmem ./internal/wrapper/
@@ -116,6 +128,7 @@ bench-smoke:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParsePrototype -fuzztime 30s ./internal/cparse/
 	$(GO) test -run '^$$' -fuzz FuzzDiskCacheLine -fuzztime 30s ./internal/injector/
+	$(GO) test -run '^$$' -fuzz FuzzHealString -fuzztime 30s ./internal/wrapper/
 
 # Crash-loop iteration and client-count knobs for the blackbox mode;
 # the 25×8 defaults are the acceptance floor, raise them for soaks.

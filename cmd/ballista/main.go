@@ -2,6 +2,11 @@
 // 11,995-test suite over the 86 crash-prone POSIX functions, under the
 // unwrapped, fully automatic, and semi-automatic configurations, and
 // prints the Figure 6 comparison plus per-function crash lists.
+//
+// With -mode heal|introspect the two wrapped configurations run under
+// the selected strategy instead of rejection; -mode matrix runs the
+// differential strategy harness (unwrapped + all three wrapper modes
+// over the identical suite) and prints the mode × outcome matrix.
 package main
 
 import (
@@ -22,11 +27,36 @@ func main() {
 	}
 }
 
+// writeTrace dumps the collected events as Chrome trace-event JSON; a
+// nil collector (no -trace-out) is a no-op.
+func writeTrace(collect *obs.CollectSink, path string) error {
+	if collect == nil {
+		return nil
+	}
+	data, err := obs.MarshalChromeTrace(collect.Events())
+	if err == nil {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	fmt.Printf("\nwrote Chrome trace (%d events) to %s\n", len(collect.Events()), path)
+	return nil
+}
+
 func run() error {
 	workersFlag := flag.Int("workers", 1, "parallel workers for injection and suite runs (0 = one per CPU, 1 = sequential)")
 	traceOut := flag.String("trace-out", "", "write injection + suite runs as Chrome trace-event JSON to `file`")
+	modeFlag := flag.String("mode", "", "wrapper strategy for the wrapped runs (reject|heal|introspect), or matrix for the differential strategy harness")
 	flag.Parse()
 	workers := injector.ResolveWorkers(*workersFlag)
+	var mode healers.Mode
+	if *modeFlag != "matrix" {
+		var err error
+		if mode, err = healers.ParseMode(*modeFlag); err != nil {
+			return err
+		}
+	}
 
 	// One collector spans the injection campaign and all three suite
 	// configurations, so the written trace shows the whole evaluation.
@@ -54,22 +84,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("running %d tests x 3 configurations (%d workers)...\n\n", len(suite.Tests), workers)
-	fig := sys.RunFigure6Observed(suite, decls, healers.SemiAuto(decls), healers.Observability{
+	if *modeFlag == "matrix" {
+		fmt.Printf("running %d tests x 4 strategy configurations (%d workers)...\n\n", len(suite.Tests), workers)
+		m, err := sys.RunStrategyMatrix(suite, healers.SemiAuto(decls), healers.Observability{
+			Tracer:  tracer,
+			Workers: workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(m.Format())
+		if violations := m.InvariantViolations(suite); len(violations) > 0 {
+			fmt.Printf("\n%d mode-invariant violations:\n", len(violations))
+			for _, v := range violations {
+				fmt.Println(" ", v)
+			}
+		}
+		return writeTrace(collect, *traceOut)
+	}
+
+	fmt.Printf("running %d tests x 3 configurations (%d workers, mode %s)...\n\n", len(suite.Tests), workers, mode)
+	fig := sys.RunFigure6WithMode(suite, decls, healers.SemiAuto(decls), healers.Observability{
 		Tracer:  tracer,
 		Workers: workers,
-	})
+	}, mode)
 	fmt.Print(fig.Format())
 
-	if collect != nil {
-		data, err := obs.MarshalChromeTrace(collect.Events())
-		if err == nil {
-			err = os.WriteFile(*traceOut, data, 0o644)
-		}
-		if err != nil {
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		fmt.Printf("\nwrote Chrome trace (%d events) to %s\n", len(collect.Events()), *traceOut)
+	if err := writeTrace(collect, *traceOut); err != nil {
+		return err
 	}
 
 	fmt.Printf("\ncrashing functions, unwrapped (%d):\n  %v\n",

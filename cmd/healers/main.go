@@ -11,6 +11,7 @@
 //	healers wrap [func...]               # Figure 5 C wrapper source
 //	healers table1 [flags]               # Table 1 error-return classification
 //	healers figure6 [flags]              # Figure 6 robustness evaluation
+//	healers strategy [flags]             # differential wrapper-strategy matrix
 //	healers table2                       # Table 2 performance overhead
 //	healers stats [flags]                # full campaign with metrics + phase profile
 //	healers bitflip [func...]            # §9 future work: bit-flip injection
@@ -31,6 +32,10 @@
 //
 //	inject -seed=static|body|none  seed adaptive growth from a static pass
 //	                           (static = prototype pass, body = bodyscan facts)
+//	wrap/figure6/stats -mode M wrapper strategy: reject (default), heal
+//	                           (repair failing arguments and forward), or
+//	                           introspect (allocation-table rescue of
+//	                           false rejections)
 //	analyze -json              emit the agreement report as JSON
 //	analyze -bodies            agreement table for the body-level bodyscan
 //	                           pass instead of the prototype pass
@@ -225,13 +230,14 @@ func runServe(addr, cachePath string, workers int, reg *obs.Registry, withPprof 
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: healers extract|inject|analyze|decl|wrap|table1|figure6|table2|stats|bitflip|serve")
+		return fmt.Errorf("usage: healers extract|inject|analyze|decl|wrap|table1|figure6|strategy|table2|stats|bitflip|serve")
 	}
 	cmd, rest := args[0], args[1:]
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	of := registerObsFlags(fs)
 	stateless := fs.Bool("stateless", false, "figure6: add the stateless-wrapper ablation run")
+	modeFlag := fs.String("mode", "", "wrap/figure6/stats: wrapper strategy (reject|heal|introspect)")
 	seedMode := fs.String("seed", "none", "inject: seed adaptive growth from a static pass (static|body|none)")
 	jsonOut := fs.Bool("json", false, "analyze: emit the agreement report as JSON")
 	useBodies := fs.Bool("bodies", false, "analyze: use the body-level bodyscan facts instead of the prototype pass")
@@ -348,13 +354,16 @@ func run(args []string) error {
 		return nil
 
 	case "wrap":
+		if _, err := healers.ParseMode(*modeFlag); err != nil {
+			return fmt.Errorf("wrap: %v", err)
+		}
 		campaign, err := inject(rest)
 		if err != nil {
 			return err
 		}
 		fmt.Print(wrapgen.ChecksHeader())
 		fmt.Println()
-		fmt.Print(wrapgen.File(campaign.Decls(), wrapgen.Options{LogViolations: true}))
+		fmt.Print(wrapgen.File(campaign.Decls(), wrapgen.Options{LogViolations: true, Mode: *modeFlag}))
 		return nil
 
 	case "table1":
@@ -367,6 +376,10 @@ func run(args []string) error {
 		return nil
 
 	case "figure6", "stats":
+		mode, err := healers.ParseMode(*modeFlag)
+		if err != nil {
+			return fmt.Errorf("%s: %v", cmd, err)
+		}
 		campaign, err := inject(nil)
 		if err != nil {
 			return err
@@ -378,12 +391,12 @@ func run(args []string) error {
 			return err
 		}
 		stop(len(suite.Tests))
-		fig := sys.RunFigure6Observed(suite, decls, healers.SemiAuto(decls), healers.Observability{
+		fig := sys.RunFigure6WithMode(suite, decls, healers.SemiAuto(decls), healers.Observability{
 			Tracer:  of.tracer,
 			Metrics: of.registry,
 			Spans:   of.spans,
 			Workers: injector.ResolveWorkers(*of.workers),
-		})
+		}, mode)
 		fmt.Print(fig.Format())
 		if cmd == "stats" {
 			fmt.Println()
@@ -404,6 +417,37 @@ func run(args []string) error {
 				}, 0)
 			fmt.Printf("\nablation: %s\n", rep)
 		}
+		return nil
+
+	case "strategy":
+		campaign, err := inject(nil)
+		if err != nil {
+			return err
+		}
+		semi := healers.SemiAuto(campaign.Decls())
+		stop := of.spans.Start("generate")
+		suite, err := sys.GenerateSuite()
+		if err != nil {
+			return err
+		}
+		stop(len(suite.Tests))
+		m, err := sys.RunStrategyMatrix(suite, semi, healers.Observability{
+			Tracer:  of.tracer,
+			Metrics: of.registry,
+			Spans:   of.spans,
+			Workers: injector.ResolveWorkers(*of.workers),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(m.Format())
+		if violations := m.InvariantViolations(suite); len(violations) > 0 {
+			fmt.Printf("\n%d mode-invariant violations:\n", len(violations))
+			for _, v := range violations {
+				fmt.Println(" ", v)
+			}
+		}
+		of.finish()
 		return nil
 
 	case "bitflip":

@@ -69,6 +69,11 @@ type (
 	Figure6 = ballista.Figure6
 	// Report is one Ballista run's aggregation.
 	Report = ballista.Report
+	// Mode selects the wrapper's response strategy for failed checks.
+	Mode = wrapper.Mode
+	// StrategyMatrix is the differential comparison of the wrapper
+	// strategies over one suite.
+	StrategyMatrix = ballista.StrategyMatrix
 	// Measurement is one Table 2 row as measured.
 	Measurement = apps.Measurement
 	// Extraction is the phase-one output: prototypes plus statistics.
@@ -99,6 +104,20 @@ type (
 	// Spans collects per-phase campaign timings.
 	Spans = obs.Spans
 )
+
+// The wrapper's strategies for a call whose argument fails its check:
+// reject it with errno (the paper's behaviour), heal the argument and
+// forward the repaired call, or introspect the live allocation table to
+// rescue false rejections of legal-but-small buffers.
+const (
+	ModeReject     = wrapper.ModeReject
+	ModeHeal       = wrapper.ModeHeal
+	ModeIntrospect = wrapper.ModeIntrospect
+)
+
+// ParseMode parses a -mode flag value ("reject", "heal", "introspect";
+// empty means reject).
+func ParseMode(s string) (Mode, error) { return wrapper.ParseMode(s) }
 
 // NewTracer returns a tracer fanning out to the given sinks; with no
 // sinks it is disabled at zero cost.
@@ -262,12 +281,19 @@ func (s *System) RunFigure6(suite *Suite, fullAuto, semiAuto *DeclSet) *Figure6 
 // suite runner, wrapper counters and violation events, sandbox
 // boundary counters, and one span per configuration.
 func (s *System) RunFigure6Observed(suite *Suite, fullAuto, semiAuto *DeclSet, o Observability) *Figure6 {
+	return s.RunFigure6WithMode(suite, fullAuto, semiAuto, o, ModeReject)
+}
+
+// RunFigure6WithMode is RunFigure6Observed with the wrapped
+// configurations running under an explicit wrapper mode.
+func (s *System) RunFigure6WithMode(suite *Suite, fullAuto, semiAuto *DeclSet, o Observability, mode Mode) *Figure6 {
 	template := ballista.NewTemplate()
 	lib := s.Library
 	runOpts := ballista.RunOptions{Obs: o.Tracer, Metrics: o.Metrics, Workers: o.Workers}
 	wrapOpts := wrapper.DefaultOptions()
 	wrapOpts.Obs = o.Tracer
 	wrapOpts.Metrics = o.Metrics
+	wrapOpts.Mode = mode
 
 	run := func(config string, factory func(p *Process) ballista.Caller) *Report {
 		stop := o.Spans.Start(config)
@@ -288,6 +314,40 @@ func (s *System) RunFigure6Observed(suite *Suite, fullAuto, semiAuto *DeclSet, o
 		Tests: len(suite.Tests),
 		Funcs: len(suite.PerFunc),
 	}
+}
+
+// RunStrategyMatrix runs the identical suite under the unwrapped
+// library and all three wrapper modes (semi-automatic declarations) in
+// one pass, returning the aligned differential matrix. Each
+// configuration gets its own span; with o.Workers > 1 every
+// configuration's run is sharded and the matrix is identical to the
+// sequential one.
+func (s *System) RunStrategyMatrix(suite *Suite, decls *DeclSet, o Observability) (*StrategyMatrix, error) {
+	template := ballista.NewTemplate()
+	lib := s.Library
+	runOpts := ballista.RunOptions{Obs: o.Tracer, Metrics: o.Metrics, Workers: o.Workers}
+
+	run := func(config string, mode Mode, wrapped bool) *Report {
+		wrapOpts := wrapper.DefaultOptions()
+		wrapOpts.Obs = o.Tracer
+		wrapOpts.Metrics = o.Metrics
+		wrapOpts.Mode = mode
+		factory := func(p *Process) ballista.Caller {
+			if !wrapped {
+				return lib
+			}
+			return wrapper.Attach(p, lib, decls, wrapOpts)
+		}
+		stop := o.Spans.Start(config)
+		rep := suite.RunWith(config, template, factory, runOpts)
+		stop(len(suite.Tests))
+		return rep
+	}
+	unwrapped := run("unwrapped", ModeReject, false)
+	reject := run("mode-reject", ModeReject, true)
+	heal := run("mode-heal", ModeHeal, true)
+	introspect := run("mode-introspect", ModeIntrospect, true)
+	return ballista.NewStrategyMatrix(suite, unwrapped, reject, heal, introspect)
 }
 
 // MeasureTable2 runs the four utility-program workloads of Table 2

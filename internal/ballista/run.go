@@ -35,6 +35,56 @@ func (b Bucket) String() string {
 	return fmt.Sprintf("Bucket(%d)", uint8(b))
 }
 
+// StrategyOutcome refines the Figure-6 bucket for the differential
+// strategy matrix: the same test classified per wrapper mode. Reject
+// mode never heals, so its outcomes stay within pass/reject/crash;
+// Heal mode adds the healed classes.
+type StrategyOutcome uint8
+
+const (
+	// StratPass: the call went through unmodified and returned without
+	// setting errno.
+	StratPass StrategyOutcome = iota + 1
+	// StratReject: the wrapper refused the call (errno-set in Reject
+	// mode, or an unrepairable argument in Heal mode).
+	StratReject
+	// StratHealSuccess: at least one argument was repaired and the
+	// forwarded call completed silently.
+	StratHealSuccess
+	// StratHealDiverge: an argument was repaired but the forwarded call
+	// still set errno — the repair changed observable behaviour rather
+	// than silently absorbing the fault.
+	StratHealDiverge
+	// StratCrash: segfault, hang, or abort despite (or without) the
+	// wrapper.
+	StratCrash
+)
+
+func (o StrategyOutcome) String() string {
+	switch o {
+	case StratPass:
+		return "pass"
+	case StratReject:
+		return "reject"
+	case StratHealSuccess:
+		return "heal-success"
+	case StratHealDiverge:
+		return "heal-diverge"
+	case StratCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("StrategyOutcome(%d)", uint8(o))
+}
+
+// StrategyStats is implemented by callers (the wrapper interposer) that
+// can report cumulative reject/heal counts; RunWith snapshots it around
+// the main call to attribute the outcome to the strategy that produced
+// it. Callers without it (the unwrapped library) classify on the
+// outcome kind and errno alone.
+type StrategyStats interface {
+	StrategyCounts() (rejected, healed int64)
+}
+
 // FuncReport aggregates one function's outcomes.
 type FuncReport struct {
 	Name   string
@@ -54,6 +104,10 @@ func (r *FuncReport) Tests() int { return r.Errno + r.Silent + r.Crash }
 type Report struct {
 	Config  string
 	PerFunc map[string]*FuncReport
+	// Outcomes holds the per-test strategy classification in suite
+	// order (index-aligned with Suite.Tests), the raw material of the
+	// strategy matrix and its mode-invariant tests.
+	Outcomes []StrategyOutcome
 }
 
 // Totals sums the buckets across all functions.
@@ -138,6 +192,7 @@ func (s *Suite) Run(config string, template *csim.Process, factory CallerFactory
 type testResult struct {
 	bucket Bucket
 	kind   csim.OutcomeKind // crash sub-kind; zero when not a crash
+	strat  StrategyOutcome
 }
 
 // suiteRunner holds the per-configuration execution state shared by
@@ -218,22 +273,59 @@ func (r *suiteRunner) runTest(template *csim.Process, test *Test, sc obs.SpanCon
 		// Setup trouble counts as silent: the test could not be
 		// delivered (rare; kept for accounting completeness).
 		r.cSilent.Inc()
-		return finish(testResult{bucket: BucketSilent}, "silent", setup)
+		return finish(testResult{bucket: BucketSilent, strat: StratPass}, "silent", setup)
+	}
+
+	// Snapshot the caller's strategy counters after setup (pool
+	// construction may route calls through the wrapper) so the deltas
+	// below belong to the main call alone.
+	ss, _ := caller.(StrategyStats)
+	var rej0, heal0 int64
+	if ss != nil {
+		rej0, heal0 = ss.StrategyCounts()
 	}
 
 	child.ClearErrno()
 	out := child.Run(func() uint64 { return caller.Call(child, test.Func, args...) })
+	strat := func() StrategyOutcome {
+		// Precedence crash > reject > heal > pass: a crash is terminal
+		// whatever the wrapper did first, and a rejection means the call
+		// never reached the library even if an earlier argument healed.
+		switch out.Kind {
+		case csim.OutcomeSegfault, csim.OutcomeHang, csim.OutcomeAbort:
+			return StratCrash
+		}
+		if ss != nil {
+			rej1, heal1 := ss.StrategyCounts()
+			if rej1 > rej0 {
+				return StratReject
+			}
+			if heal1 > heal0 {
+				if child.ErrnoSet() {
+					return StratHealDiverge
+				}
+				return StratHealSuccess
+			}
+		}
+		if child.ErrnoSet() {
+			// Unwrapped (or unhealed wrapped) errno-set: the library's
+			// own refusal, kept distinct from StratPass so the matrix
+			// mirrors Figure 6's errno bucket.
+			return StratReject
+		}
+		return StratPass
+	}()
 	switch out.Kind {
 	case csim.OutcomeSegfault, csim.OutcomeHang, csim.OutcomeAbort:
 		r.cCrash.Inc()
-		return finish(testResult{bucket: BucketCrash, kind: out.Kind}, "crash", out)
+		return finish(testResult{bucket: BucketCrash, kind: out.Kind, strat: strat}, "crash", out)
 	default:
 		if child.ErrnoSet() {
 			r.cErrno.Inc()
-			return finish(testResult{bucket: BucketErrno}, "errno-set", out)
+			return finish(testResult{bucket: BucketErrno, strat: strat}, "errno-set", out)
 		}
 		r.cSilent.Inc()
-		return finish(testResult{bucket: BucketSilent}, "silent", out)
+		return finish(testResult{bucket: BucketSilent, strat: strat}, "silent", out)
 	}
 }
 
@@ -332,9 +424,14 @@ func (s *Suite) RunWith(config string, template *csim.Process, factory CallerFac
 	// Deterministic merge: aggregate in suite order, so PerFunc is the
 	// same map the sequential loop built regardless of completion order.
 	mergeStart := time.Now()
-	report := &Report{Config: config, PerFunc: make(map[string]*FuncReport)}
+	report := &Report{
+		Config:   config,
+		PerFunc:  make(map[string]*FuncReport),
+		Outcomes: make([]StrategyOutcome, len(s.Tests)),
+	}
 	for ti := range s.Tests {
 		test := &s.Tests[ti]
+		report.Outcomes[ti] = results[ti].strat
 		fr := report.PerFunc[test.Func]
 		if fr == nil {
 			fr = &FuncReport{Name: test.Func}

@@ -1,0 +1,173 @@
+package ballista
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StrategyMatrix is the differential strategy comparison: the identical
+// Ballista suite run under the unwrapped library and the three wrapper
+// modes (Reject / Heal / Introspect), with every test's outcome
+// classified per configuration. The per-test alignment (each Report's
+// Outcomes slice is suite-ordered) is what makes the mode invariants
+// checkable test-by-test rather than only in aggregate.
+type StrategyMatrix struct {
+	Unwrapped  *Report
+	Reject     *Report
+	Heal       *Report
+	Introspect *Report
+	Tests      int
+	Funcs      int
+
+	// HealCrashConversions counts tests that crash the unwrapped
+	// library but complete as heal-success under ModeHeal: faults the
+	// healing wrapper silently absorbed.
+	HealCrashConversions int
+	// FalseRejectsRemoved counts tests ModeReject rejects but
+	// ModeIntrospect passes cleanly: legal calls the inferred
+	// worst-case robust types refused and the allocation table proved
+	// in-bounds.
+	FalseRejectsRemoved int
+
+	perFunc map[string]*funcStrategy
+	funcs   []string
+}
+
+// funcStrategy holds one function's outcome histogram per
+// configuration, indexed by StrategyOutcome.
+type funcStrategy struct {
+	counts [4][StratCrash + 1]int
+}
+
+// matrixConfigs orders the four configurations everywhere (summary
+// rows, per-function rows, histogram indices).
+var matrixConfigs = [4]string{"unwrapped", "mode-reject", "mode-heal", "mode-introspect"}
+
+// NewStrategyMatrix aligns the four suite-ordered reports and
+// precomputes the per-function histograms and the cross-mode deltas.
+// All four reports must come from runs of the same suite.
+func NewStrategyMatrix(s *Suite, unwrapped, reject, heal, introspect *Report) (*StrategyMatrix, error) {
+	m := &StrategyMatrix{
+		Unwrapped:  unwrapped,
+		Reject:     reject,
+		Heal:       heal,
+		Introspect: introspect,
+		Tests:      len(s.Tests),
+		perFunc:    make(map[string]*funcStrategy),
+	}
+	reports := [4]*Report{unwrapped, reject, heal, introspect}
+	for ci, r := range reports {
+		if len(r.Outcomes) != len(s.Tests) {
+			return nil, fmt.Errorf("ballista: %s report has %d outcomes for a %d-test suite",
+				matrixConfigs[ci], len(r.Outcomes), len(s.Tests))
+		}
+	}
+	for ti := range s.Tests {
+		name := s.Tests[ti].Func
+		fs := m.perFunc[name]
+		if fs == nil {
+			fs = &funcStrategy{}
+			m.perFunc[name] = fs
+			m.funcs = append(m.funcs, name)
+		}
+		for ci, r := range reports {
+			fs.counts[ci][r.Outcomes[ti]]++
+		}
+		if unwrapped.Outcomes[ti] == StratCrash && heal.Outcomes[ti] == StratHealSuccess {
+			m.HealCrashConversions++
+		}
+		if reject.Outcomes[ti] == StratReject && introspect.Outcomes[ti] == StratPass {
+			m.FalseRejectsRemoved++
+		}
+	}
+	sort.Strings(m.funcs)
+	m.Funcs = len(m.funcs)
+	return m, nil
+}
+
+// InvariantViolations checks the three mode invariants test-by-test and
+// returns one line per violating test (empty = all hold):
+//
+//  1. Introspect rejections ⊆ Reject rejections — introspection only
+//     widens the accepted set.
+//  2. Heal never crashes where Reject rejects — an unrepairable
+//     argument falls back to rejection, never to forwarding a call the
+//     checks refused.
+//  3. No wrapped mode crashes where Reject passes — the rescue paths
+//     engage only after a check fails, so a check-clean call is
+//     forwarded identically in every mode.
+func (m *StrategyMatrix) InvariantViolations(s *Suite) []string {
+	var out []string
+	violate := func(ti int, inv, detail string) {
+		out = append(out, fmt.Sprintf("test %d (%s): %s: %s", ti, s.Tests[ti].Func, inv, detail))
+	}
+	for ti := range s.Tests {
+		rej := m.Reject.Outcomes[ti]
+		if m.Introspect.Outcomes[ti] == StratReject && rej != StratReject {
+			violate(ti, "introspect-subset", fmt.Sprintf("introspect rejects but reject mode %s", rej))
+		}
+		if rej == StratReject && m.Heal.Outcomes[ti] == StratCrash {
+			violate(ti, "heal-no-crash-on-reject", "heal crashes where reject mode rejects")
+		}
+		if rej == StratPass {
+			if o := m.Heal.Outcomes[ti]; o == StratCrash {
+				violate(ti, "pass-stability", "heal crashes where reject mode passes")
+			}
+			if o := m.Introspect.Outcomes[ti]; o == StratCrash {
+				violate(ti, "pass-stability", "introspect crashes where reject mode passes")
+			}
+		}
+	}
+	return out
+}
+
+// FuncOutcomes returns one function's outcome histogram for the given
+// configuration index into matrixConfigs (exposed for tests).
+func (m *StrategyMatrix) FuncOutcomes(name string, config string) ([StratCrash + 1]int, bool) {
+	fs := m.perFunc[name]
+	if fs == nil {
+		return [StratCrash + 1]int{}, false
+	}
+	for ci, c := range matrixConfigs {
+		if c == config {
+			return fs.counts[ci], true
+		}
+	}
+	return [StratCrash + 1]int{}, false
+}
+
+// Format renders the matrix: the aggregate mode × outcome table, the
+// two headline deltas, and the per-function rows the golden file pins.
+func (m *StrategyMatrix) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Strategy matrix — %d Ballista tests over %d functions\n", m.Tests, m.Funcs)
+	fmt.Fprintf(&b, "%-18s %8s %8s %13s %13s %8s\n",
+		"configuration", "pass", "reject", "heal-success", "heal-diverge", "crash")
+	totals := [4][StratCrash + 1]int{}
+	for _, fs := range m.perFunc {
+		for ci := range matrixConfigs {
+			for o := StratPass; o <= StratCrash; o++ {
+				totals[ci][o] += fs.counts[ci][o]
+			}
+		}
+	}
+	for ci, config := range matrixConfigs {
+		t := totals[ci]
+		fmt.Fprintf(&b, "%-18s %8d %8d %13d %13d %8d\n",
+			config, t[StratPass], t[StratReject], t[StratHealSuccess], t[StratHealDiverge], t[StratCrash])
+	}
+	fmt.Fprintf(&b, "\nheal: %d unwrapped-crash tests converted to silent heal-success\n", m.HealCrashConversions)
+	fmt.Fprintf(&b, "introspect: %d mode-reject rejections converted to pass (false rejections avoided)\n", m.FalseRejectsRemoved)
+	fmt.Fprintf(&b, "\n%-22s %-18s %6s %6s %6s %6s %6s\n",
+		"function", "configuration", "pass", "rej", "heal+", "heal~", "crash")
+	for _, name := range m.funcs {
+		fs := m.perFunc[name]
+		for ci, config := range matrixConfigs {
+			c := fs.counts[ci]
+			fmt.Fprintf(&b, "%-22s %-18s %6d %6d %6d %6d %6d\n",
+				name, config, c[StratPass], c[StratReject], c[StratHealSuccess], c[StratHealDiverge], c[StratCrash])
+		}
+	}
+	return b.String()
+}

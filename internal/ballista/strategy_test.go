@@ -1,0 +1,139 @@
+package ballista
+
+import (
+	"strings"
+	"testing"
+)
+
+// Unit tests for the strategy-matrix construction over hand-built
+// reports: alignment validation, histogram and delta computation, the
+// three mode invariants, and the rendered table. The end-to-end matrix
+// over the real suite lives in the top-level strategy_matrix_test.go
+// against the committed golden.
+
+func syntheticSuite(funcs ...string) *Suite {
+	s := &Suite{PerFunc: map[string]int{}}
+	for _, f := range funcs {
+		s.Tests = append(s.Tests, Test{Func: f})
+		s.PerFunc[f]++
+	}
+	return s
+}
+
+func outcomeReport(config string, outcomes ...StrategyOutcome) *Report {
+	return &Report{Config: config, Outcomes: outcomes}
+}
+
+func TestStrategyMatrixComputation(t *testing.T) {
+	// Four tests across two functions, chosen so every delta and
+	// histogram cell is exercised:
+	//   t0: crash unwrapped, heal-success under heal  -> conversion
+	//   t1: rejected by reject, pass under introspect -> false reject removed
+	//   t2: pass everywhere
+	//   t3: crash unwrapped, heal-diverge (no conversion credit)
+	s := syntheticSuite("alpha", "alpha", "beta", "beta")
+	m, err := NewStrategyMatrix(s,
+		outcomeReport("unwrapped", StratCrash, StratReject, StratPass, StratCrash),
+		outcomeReport("mode-reject", StratReject, StratReject, StratPass, StratReject),
+		outcomeReport("mode-heal", StratHealSuccess, StratReject, StratPass, StratHealDiverge),
+		outcomeReport("mode-introspect", StratReject, StratPass, StratPass, StratReject),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tests != 4 || m.Funcs != 2 {
+		t.Errorf("Tests=%d Funcs=%d, want 4, 2", m.Tests, m.Funcs)
+	}
+	if m.HealCrashConversions != 1 {
+		t.Errorf("HealCrashConversions = %d, want 1 (diverge earns no credit)", m.HealCrashConversions)
+	}
+	if m.FalseRejectsRemoved != 1 {
+		t.Errorf("FalseRejectsRemoved = %d, want 1", m.FalseRejectsRemoved)
+	}
+	if v := m.InvariantViolations(s); len(v) != 0 {
+		t.Errorf("unexpected invariant violations: %v", v)
+	}
+
+	alpha, ok := m.FuncOutcomes("alpha", "mode-heal")
+	if !ok {
+		t.Fatal("alpha histogram missing")
+	}
+	if alpha[StratHealSuccess] != 1 || alpha[StratReject] != 1 {
+		t.Errorf("alpha heal histogram = %v", alpha)
+	}
+	if _, ok := m.FuncOutcomes("gamma", "mode-heal"); ok {
+		t.Error("unknown function reported a histogram")
+	}
+	if _, ok := m.FuncOutcomes("alpha", "mode-bogus"); ok {
+		t.Error("unknown configuration reported a histogram")
+	}
+
+	got := m.Format()
+	for _, want := range []string{
+		"4 Ballista tests over 2 functions",
+		"heal: 1 unwrapped-crash tests converted",
+		"introspect: 1 mode-reject rejections converted",
+		"alpha",
+		"beta",
+		"mode-introspect",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format() missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestStrategyMatrixMisalignedReports(t *testing.T) {
+	s := syntheticSuite("alpha", "beta")
+	full := outcomeReport("x", StratPass, StratPass)
+	short := outcomeReport("short", StratPass)
+	if _, err := NewStrategyMatrix(s, full, full, short, full); err == nil {
+		t.Fatal("misaligned heal report accepted")
+	}
+}
+
+func TestStrategyMatrixInvariantViolations(t *testing.T) {
+	// One test per violated invariant:
+	//   t0: introspect rejects where reject passes (subset violation)
+	//   t1: heal crashes where reject rejects
+	//   t2: introspect crashes where reject passes (pass stability)
+	//   t3: heal crashes where reject passes (pass stability)
+	s := syntheticSuite("f", "f", "f", "f")
+	m, err := NewStrategyMatrix(s,
+		outcomeReport("unwrapped", StratPass, StratPass, StratPass, StratPass),
+		outcomeReport("mode-reject", StratPass, StratReject, StratPass, StratPass),
+		outcomeReport("mode-heal", StratPass, StratCrash, StratPass, StratCrash),
+		outcomeReport("mode-introspect", StratReject, StratPass, StratCrash, StratPass),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.InvariantViolations(s)
+	if len(v) != 4 {
+		t.Fatalf("violations = %d (%v), want 4", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{"introspect-subset", "heal-no-crash-on-reject", "pass-stability"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestStrategyOutcomeString(t *testing.T) {
+	want := map[StrategyOutcome]string{
+		StratPass:        "pass",
+		StratReject:      "reject",
+		StratHealSuccess: "heal-success",
+		StratHealDiverge: "heal-diverge",
+		StratCrash:       "crash",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+	if s := StrategyOutcome(0).String(); s == "" {
+		t.Error("zero outcome renders empty")
+	}
+}

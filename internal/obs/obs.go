@@ -53,6 +53,12 @@ const (
 	// an HTTP-origin span. Phase names it, TS/DurUS time it, and
 	// Trace/Span/Parent place it in the tree.
 	KindSpan
+	// KindHealAction is one argument repair (ModeHeal) or
+	// allocation-table rescue (ModeIntrospect) performed by the
+	// wrapper: Func/Arg locate it, Probe carries the robust type, and
+	// Detail the action applied ("truncate", "substitute-fd",
+	// "introspect-rescue", ...).
+	KindHealAction
 )
 
 var kindNames = [...]string{
@@ -65,6 +71,7 @@ var kindNames = [...]string{
 	KindTestOutcome:    "test-outcome",
 	KindStaticSeed:     "static-seed",
 	KindSpan:           "span",
+	KindHealAction:     "heal-action",
 }
 
 func (k Kind) String() string {
@@ -186,6 +193,8 @@ func (e Event) String() string {
 	case KindSpan:
 		return fmt.Sprintf("#%d span %s [%dus] trace=%x span=%x parent=%x",
 			e.Seq, e.Phase, e.DurUS, e.Trace, e.Span, e.Parent)
+	case KindHealAction:
+		return fmt.Sprintf("#%d heal %s arg%d (%s): %s", e.Seq, e.Func, e.Arg, e.Probe, e.Detail)
 	}
 	return fmt.Sprintf("#%d %s", e.Seq, e.Kind)
 }

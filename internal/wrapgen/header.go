@@ -67,6 +67,24 @@ static inline size_t healers_min(size_t a, size_t b) { return a < b ? a : b; }
 /* Violation logging for the deployed wrapper. */
 void healers_log_violation(const char *func);
 
+/* Repair helpers for heal-mode wrappers (Options.Mode == "heal"). Each
+ * returns non-zero when the argument was repaired so that it now passes
+ * the corresponding check_* function (the fixpoint contract); zero
+ * means unrepairable and the wrapper falls back to rejection. Pointer
+ * repairs may rewrite *p to the interposer's zeroed sink region or to a
+ * substituted resource (a FILE/fd open on the sink scratch file). */
+#define HEALERS_MAX_STRLEN 4096
+int healers_heal_array(void **p, size_t n);
+int healers_heal_string(char **s, size_t bound);
+int healers_heal_file(FILE **f);
+int healers_heal_fd(int *fd);
+int healers_heal_func(void **p);
+
+/* Allocation-table rescue for introspect-mode wrappers: non-zero when
+ * p lies inside a live tracked allocation, whose actual extent then
+ * stands in for the inferred worst-case bound. */
+int healers_introspect(const void *p);
+
 #endif /* HEALERS_CHECKS_H */
 `
 }

@@ -244,3 +244,131 @@ func TestChecksHeader(t *testing.T) {
 		}
 	}
 }
+
+// TestCodegenModeDefaultUnchanged pins the byte-identity contract the
+// static wrapper verifier depends on: an unset Mode (and the explicit
+// "reject") emit exactly the pre-mode Figure 5 wrapper.
+func TestCodegenModeDefaultUnchanged(t *testing.T) {
+	base := Function(asctimeDecl(), Options{LogViolations: true})
+	if got := Function(asctimeDecl(), Options{LogViolations: true, Mode: "reject"}); got != base {
+		t.Errorf("Mode reject diverges from default emission:\n%s", got)
+	}
+	for _, bad := range []string{"healers_heal", "healers_introspect"} {
+		if strings.Contains(base, bad) {
+			t.Errorf("default emission contains %s:\n%s", bad, base)
+		}
+	}
+}
+
+func TestCodegenHealMode(t *testing.T) {
+	d := &decl.FuncDecl{
+		Name: "strncpy",
+		Ret:  "char*",
+		Args: []decl.ArgDecl{
+			{CType: "char*", Robust: decl.RobustType{Base: "W_ARRAY", Size: decl.SizeExpr{Kind: decl.SizeArgValue, A: 2}}},
+			{CType: "const char*", Robust: decl.RobustType{Base: "CSTR"}},
+			{CType: "size_t", Robust: decl.RobustType{Base: "INT_NONNEG"}},
+		},
+		HasErrorValue: true,
+		ErrnoOnReject: csim.EINVAL,
+		Attribute:     decl.AttrUnsafe,
+	}
+	src := Function(d, Options{Mode: "heal"})
+	for _, want := range []string{
+		// Array repair nests inside the failed check; rejection only
+		// when the repair itself refuses.
+		"if (!check_W_ARRAY(a1, (size_t)a3)) {\n\t\tif (!healers_heal_array((void **)&a1, (size_t)a3)) {",
+		"if (!check_CSTR(a2)) {\n\t\tif (!healers_heal_string((char **)&a2, HEALERS_MAX_STRLEN)) {",
+		// Integer repair is an unconditional clamp, no reject path.
+		"if (!((long)a3 >= 0)) {\n\t\ta3 = (size_t)0;\n\t}",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("heal emission missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestCodegenHealModeUnrepairable(t *testing.T) {
+	d := &decl.FuncDecl{
+		Name:          "closedir",
+		Ret:           "int",
+		Args:          []decl.ArgDecl{{CType: "struct __dirstream*", Robust: decl.RobustType{Base: "OPEN_DIR"}}},
+		HasErrorValue: true,
+		ErrorValue:    ^uint64(0),
+		ErrnoOnReject: csim.EINVAL,
+		Attribute:     decl.AttrUnsafe,
+		Assertions:    []decl.Assertion{decl.AssertValidDir},
+	}
+	src := Function(d, Options{Mode: "heal"})
+	if strings.Contains(src, "healers_heal") {
+		t.Errorf("DIR argument emitted a repair:\n%s", src)
+	}
+	if !strings.Contains(src, "if (!check_OPEN_DIR(a1)) {") {
+		t.Errorf("DIR check lost its rejection path:\n%s", src)
+	}
+}
+
+func TestCodegenHealModeFileAssertion(t *testing.T) {
+	d := &decl.FuncDecl{
+		Name:          "fclose",
+		Ret:           "int",
+		Args:          []decl.ArgDecl{{CType: "struct _IO_FILE*", Robust: decl.RobustType{Base: "OPEN_FILE"}}},
+		HasErrorValue: true,
+		ErrorValue:    ^uint64(0),
+		ErrnoOnReject: csim.EINVAL,
+		Attribute:     decl.AttrUnsafe,
+		Assertions:    []decl.Assertion{decl.AssertFileIntegrity},
+	}
+	src := Function(d, Options{Mode: "heal"})
+	for _, want := range []string{
+		"if (!check_OPEN_FILE(a1)) {\n\t\tif (!healers_heal_file((FILE **)&a1)) {",
+		// The assertion repair substitutes and re-asserts (fixpoint).
+		"if (!healers_heal_file((FILE **)&a1) || !healers_file_integrity(a1)) {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("heal emission missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestCodegenIntrospectMode(t *testing.T) {
+	d := &decl.FuncDecl{
+		Name: "memcpy",
+		Ret:  "void*",
+		Args: []decl.ArgDecl{
+			{CType: "void*", Robust: decl.RobustType{Base: "W_ARRAY", Size: decl.Fixed(8)}},
+			{CType: "const void*", Robust: decl.RobustType{Base: "R_ARRAY", Size: decl.Fixed(8)}},
+			{CType: "size_t", Robust: decl.RobustType{Base: "INT_NONNEG"}},
+		},
+		HasErrorValue: true,
+		ErrnoOnReject: csim.EINVAL,
+		Attribute:     decl.AttrUnsafe,
+	}
+	src := Function(d, Options{Mode: "introspect"})
+	for _, want := range []string{
+		"if (!check_W_ARRAY(a1, 8) && !healers_introspect((const void *)a1)) {",
+		"if (!check_R_ARRAY(a2, 8) && !healers_introspect((const void *)a2)) {",
+		// Non-array checks keep the plain rejection path.
+		"if (!((long)a3 >= 0)) {\n\t\terrno",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("introspect emission missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(src, "healers_heal") {
+		t.Errorf("introspect emission contains heal calls:\n%s", src)
+	}
+}
+
+func TestChecksHeaderModeHelpers(t *testing.T) {
+	h := ChecksHeader()
+	for _, want := range []string{
+		"healers_heal_array", "healers_heal_string", "healers_heal_file",
+		"healers_heal_fd", "healers_heal_func", "healers_introspect",
+		"HEALERS_MAX_STRLEN",
+	} {
+		if !strings.Contains(h, want) {
+			t.Errorf("checks header missing %q", want)
+		}
+	}
+}

@@ -74,17 +74,23 @@ func BenchmarkWrapperCallOverhead(b *testing.B) {
 // slice escaping) trips this before it reaches a benchmark chart.
 func TestNopObservabilityAddsNoAllocations(t *testing.T) {
 	lib, decls := fullAutoDecls(t)
-	p := newProc()
-	s := cstrAt(t, p, "hello world")
-
-	opts := DefaultOptions()
-	opts.Obs = obs.Nop() // explicit nop; Attach uses the same when unset
-	ip := Attach(p, lib, decls, opts)
-	wrapped := testing.AllocsPerRun(500, func() {
-		ip.Call(p, "strlen", uint64(s))
-	})
-
-	if wrapped != 0 {
-		t.Fatalf("nop-instrumented wrapper allocates %v per call, want exactly 0", wrapped)
+	// The contract holds in every mode: the rescue paths sit behind the
+	// failed-check branch, so a clean call never reaches them and the
+	// mode dispatch itself must not allocate.
+	for _, mode := range []Mode{ModeReject, ModeHeal, ModeIntrospect} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := newProc()
+			s := cstrAt(t, p, "hello world")
+			opts := DefaultOptions()
+			opts.Obs = obs.Nop() // explicit nop; Attach uses the same when unset
+			opts.Mode = mode
+			ip := Attach(p, lib, decls, opts)
+			wrapped := testing.AllocsPerRun(500, func() {
+				ip.Call(p, "strlen", uint64(s))
+			})
+			if wrapped != 0 {
+				t.Fatalf("nop-instrumented wrapper allocates %v per call in mode %s, want exactly 0", wrapped, mode)
+			}
+		})
 	}
 }

@@ -1,0 +1,176 @@
+package wrapper
+
+import (
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/csim"
+)
+
+func introspectOpts() Options {
+	opts := DefaultOptions()
+	opts.Mode = ModeIntrospect
+	return opts
+}
+
+// TestIntrospectRescuesLiveAllocation is the false-reject scenario the
+// introspection strategy exists for: asctime's inferred argument type
+// is the fixed worst case probed under training (R_ARRAY_NULL[44], the
+// full struct tm), so a call on a smaller live heap allocation is
+// rejected by Reject mode even though every byte the library reads sits
+// in mapped memory. Introspect consults the live allocation table,
+// proves the pointer backed, and forwards the call.
+func TestIntrospectRescuesLiveAllocation(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, introspectOpts())
+
+	tm := ip.Call(p, "malloc", 8)
+	if tm == 0 {
+		t.Fatal("malloc failed")
+	}
+
+	// Reject mode refuses this call: the inferred extent exceeds the
+	// allocation.
+	if ok, _ := ip.CheckOnly("asctime", tm); ok {
+		t.Fatal("reject-mode check passes; the scenario exercises nothing")
+	}
+
+	out := p.Run(func() uint64 { return ip.Call(p, "asctime", tm) })
+	if out.Crashed() {
+		t.Fatalf("introspect-rescued asctime crashed: %v", out)
+	}
+	if out.Kind != csim.OutcomeReturn || out.Ret == 0 {
+		t.Errorf("asctime = %v, want a formatted string", out)
+	}
+
+	st := ip.Stats()
+	if st.FalseRejectAvoided != 1 {
+		t.Errorf("FalseRejectAvoided = %d, want 1", st.FalseRejectAvoided)
+	}
+	if len(st.Introspections) != 1 {
+		t.Fatalf("introspection records = %d, want 1", len(st.Introspections))
+	}
+	rec := st.Introspections[0]
+	if rec.Func != "asctime" || rec.Arg != 0 || rec.Addr != tm {
+		t.Errorf("record = %+v, want asctime arg0 at %#x", rec, tm)
+	}
+	if rec.Need != 44 {
+		t.Errorf("inferred worst-case extent = %d, want the trained 44", rec.Need)
+	}
+	if rec.AllocBase != tm || rec.AllocSize != 8 {
+		t.Errorf("allocation = [%#x,+%d), want [%#x,+8)", rec.AllocBase, rec.AllocSize, tm)
+	}
+}
+
+// TestIntrospectRecordsProveMembership is the satellite property: every
+// Introspection record must itself prove the rescued pointer lay inside
+// a live allocation — both by its recorded interval and against the
+// allocation table at rescue time.
+func TestIntrospectRecordsProveMembership(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, introspectOpts())
+
+	// Several distinct rescues across allocation sizes smaller than the
+	// trained 44-byte extent.
+	for _, size := range []uint64{8, 16, 24} {
+		tm := ip.Call(p, "malloc", size)
+		out := p.Run(func() uint64 { return ip.Call(p, "asctime", tm) })
+		if out.Crashed() {
+			t.Fatalf("rescued asctime on %d-byte alloc crashed: %v", size, out)
+		}
+	}
+	recs := ip.Stats().Introspections
+	if len(recs) == 0 {
+		t.Fatal("no rescues recorded")
+	}
+	for _, rec := range recs {
+		if rec.Addr < rec.AllocBase || rec.Addr >= rec.AllocBase+uint64(rec.AllocSize) {
+			t.Errorf("record %+v: address outside its own allocation interval", rec)
+		}
+		// The allocation must still be identifiable in the table.
+		info, ok := p.Mem.AllocAt(cmem.Addr(rec.Addr))
+		if !ok || uint64(info.Base) != rec.AllocBase || info.Size != rec.AllocSize {
+			t.Errorf("record %+v: allocation table disagrees (%+v, %v)", rec, info, ok)
+		}
+	}
+}
+
+// TestIntrospectNoRescueWildOrFreed: membership is the whole gate —
+// NULL, wild addresses, and freed allocations keep their rejection.
+func TestIntrospectNoRescueWildOrFreed(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, introspectOpts())
+	src := region(t, p, 8, cmem.ProtRW)
+
+	freed := ip.Call(p, "malloc", 16)
+	ip.Call(p, "free", freed)
+
+	for _, bad := range []uint64{0, 0xdead0000, freed} {
+		p.ClearErrno()
+		out := p.Run(func() uint64 { return ip.Call(p, "memcpy", bad, uint64(src), 4) })
+		if out.Crashed() {
+			t.Fatalf("introspect memcpy(%#x) crashed: %v", bad, out)
+		}
+		if out.Ret != 0 || p.Errno() != csim.EINVAL {
+			t.Errorf("memcpy(%#x) not rejected: ret=%#x errno=%d", bad, out.Ret, p.Errno())
+		}
+	}
+	st := ip.Stats()
+	if st.FalseRejectAvoided != 0 || len(st.Introspections) != 0 {
+		t.Errorf("unbacked pointers rescued: %+v", st.Introspections)
+	}
+}
+
+// TestIntrospectStatelessNoTable: without the allocation table there is
+// nothing to introspect; the check verdict stands.
+func TestIntrospectStatelessNoTable(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	opts := introspectOpts()
+	opts.Stateless = true
+	ip := Attach(p, lib, decls, opts)
+
+	src := region(t, p, 8, cmem.ProtRW)
+	p.ClearErrno()
+	out := p.Run(func() uint64 { return ip.Call(p, "memcpy", 0xdead0000, uint64(src), 4) })
+	if out.Crashed() {
+		t.Fatalf("stateless introspect memcpy crashed: %v", out)
+	}
+	if out.Ret != 0 || p.Errno() != csim.EINVAL {
+		t.Errorf("wild pointer not rejected: ret=%#x errno=%d", out.Ret, p.Errno())
+	}
+	if got := ip.Stats().FalseRejectAvoided; got != 0 {
+		t.Errorf("FalseRejectAvoided = %d under Stateless, want 0", got)
+	}
+}
+
+// TestIntrospectNonArrayKeepsVerdict: the rescue is arrays-only by
+// design — a bad FILE stream, string, or descriptor keeps its Reject
+// verdict even when its bytes happen to sit in a live allocation.
+func TestIntrospectNonArrayKeepsVerdict(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	p := newProc()
+	ip := Attach(p, lib, decls, introspectOpts())
+
+	// An unterminated heap string sits in a live allocation, but CSTR is
+	// not an array type: strlen must still reject it rather than rescue
+	// on membership.
+	s := ip.Call(p, "malloc", 16)
+	for i := 0; i < 16; i++ {
+		p.Mem.StoreByte(cmem.Addr(s)+cmem.Addr(i), 'D')
+	}
+	p.ClearErrno()
+	out := p.Run(func() uint64 { return ip.Call(p, "strlen", s) })
+	if out.Crashed() {
+		t.Fatalf("strlen(unterminated) crashed: %v", out)
+	}
+	if p.Errno() != csim.EINVAL {
+		t.Errorf("strlen(unterminated) not rejected: ret=%#x errno=%d", out.Ret, p.Errno())
+	}
+	if got := ip.Stats().FalseRejectAvoided; got != 0 {
+		t.Errorf("non-array arguments rescued: FalseRejectAvoided = %d", got)
+	}
+}

@@ -1,0 +1,82 @@
+package wrapper
+
+import (
+	"sync"
+	"testing"
+
+	"healers/internal/cmem"
+)
+
+// TestStatsSnapshotsDuringCalls pins the wrapper's concurrency
+// contract under the race detector: Call itself is single-goroutine
+// (the interposer shares scratch state with its process), but Stats and
+// StrategyCounts may be taken from other goroutines at any time — a
+// monitoring thread sampling a live wrapper. The snapshot must copy the
+// violation, heal, and introspection slices under their lock; reading a
+// returned snapshot while the caller keeps appending must be safe in
+// every mode, since each mode appends to a different record slice.
+func TestStatsSnapshotsDuringCalls(t *testing.T) {
+	lib, decls := fullAutoDecls(t)
+	for _, mode := range []Mode{ModeReject, ModeHeal, ModeIntrospect} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := newProc()
+			opts := DefaultOptions()
+			opts.Mode = mode
+			ip := Attach(p, lib, decls, opts)
+
+			good := cstrAt(t, p, "hello")
+			small := ip.Call(p, "malloc", 8)
+
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						st := ip.Stats()
+						// Walk the copied slices: a shallow copy that
+						// aliased the live backing arrays would trip
+						// the race detector here.
+						for i := range st.Violations {
+							_ = st.Violations[i].Func
+						}
+						for i := range st.Heals {
+							_ = st.Heals[i].Action
+						}
+						for i := range st.Introspections {
+							_ = st.Introspections[i].AllocBase
+						}
+						rej, healed := ip.StrategyCounts()
+						if rej < 0 || healed < 0 {
+							t.Error("impossible counter values")
+						}
+					}
+				}()
+			}
+
+			// One goroutine drives calls that reject, heal, introspect,
+			// and pass, so every record slice grows while being sampled.
+			for i := 0; i < 400; i++ {
+				p.Run(func() uint64 { return ip.Call(p, "strlen", uint64(good)) })
+				p.Run(func() uint64 { return ip.Call(p, "asctime", small) })
+				p.Run(func() uint64 { return ip.Call(p, "asctime", 0xdead0000) })
+				p.Run(func() uint64 { return ip.Call(p, "memcpy", 0xdead0000, uint64(good), 4) })
+			}
+			close(done)
+			wg.Wait()
+
+			st := ip.Stats()
+			if st.Rejected != len(st.Violations) {
+				t.Errorf("final snapshot inconsistent: Rejected=%d records=%d",
+					st.Rejected, len(st.Violations))
+			}
+			_ = cmem.Addr(small)
+		})
+	}
+}

@@ -72,6 +72,9 @@ type Options struct {
 	// region validated once stays trusted until the allocation state
 	// changes (free/realloc/fclose/closedir invalidate it).
 	CacheChecks bool
+	// Mode selects the response strategy for failed checks: reject
+	// (default), heal, or introspect.
+	Mode Mode
 }
 
 // DefaultOptions returns the deployed-wrapper configuration.
@@ -79,28 +82,90 @@ func DefaultOptions() Options {
 	return Options{Policy: PolicyReturnError, MaxStrlen: 1 << 20}
 }
 
+// Mode selects the wrapper's response strategy when a check fails. The
+// zero value is the paper's wrapper; the other two are the stronger
+// strategies of the related work (Rigger et al.): failure-oblivious
+// healing and allocation-table introspection.
+type Mode uint8
+
+// Wrapper strategies.
+const (
+	// ModeReject returns the function's error code with errno set, as
+	// in the paper (§5). No argument is modified.
+	ModeReject Mode = iota
+	// ModeHeal repairs the failing argument in place — truncate an
+	// unterminated string at its actual bound, substitute a valid
+	// descriptor or FILE, redirect a wild pointer to a sink page — and
+	// forwards the repaired call, counting it as Healed. A failing
+	// argument no repair can fix falls back to rejection, so healing
+	// never weakens the wrapper's crash protection.
+	ModeHeal
+	// ModeIntrospect overrides an array-bound rejection when the live
+	// allocation table proves the pointer targets allocated memory: the
+	// actual allocation extent replaces the inferred worst-case robust
+	// type, eliminating false rejections of legal-but-smaller buffers
+	// (counted as FalseRejectAvoided). Everything else keeps its
+	// Reject-mode verdict, so Introspect rejections are a subset of
+	// Reject rejections by construction.
+	ModeIntrospect
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeReject:
+		return "reject"
+	case ModeHeal:
+		return "heal"
+	case ModeIntrospect:
+		return "introspect"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode inverts Mode.String for command-line flags.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "reject":
+		return ModeReject, nil
+	case "heal":
+		return ModeHeal, nil
+	case "introspect":
+		return ModeIntrospect, nil
+	}
+	return 0, fmt.Errorf("wrapper: unknown mode %q (want reject, heal, or introspect)", s)
+}
+
 // Stats is a race-free snapshot of wrapper activity, taken by
 // Interposer.Stats from atomic counters.
 type Stats struct {
-	Calls      int // calls that entered the wrapper
-	Checked    int // calls that went through argument checking
-	Rejected   int // calls rejected by a check or assertion
-	Passthru   int // calls forwarded without checks (safe or undeclared)
-	Reentrant  int // calls short-circuited by the recursion flag
-	ChecksRun  int // individual argument checks performed
-	Violations []Violation
+	Calls     int // calls that entered the wrapper
+	Checked   int // calls that went through argument checking
+	Rejected  int // calls rejected by a check or assertion
+	Passthru  int // calls forwarded without checks (safe or undeclared)
+	Reentrant int // calls short-circuited by the recursion flag
+	ChecksRun int // individual argument checks performed
+	// Healed counts calls forwarded after at least one successful
+	// ModeHeal repair; FalseRejectAvoided counts check failures
+	// overridden by ModeIntrospect's allocation-table proof.
+	Healed             int
+	FalseRejectAvoided int
+	Violations         []Violation
+	Heals              []Heal
+	Introspections     []Introspection
 }
 
 // counters is the interposer's live counter set. Updates are atomic so
 // a monitor goroutine can snapshot Stats while calls are in flight
 // (and so concurrent interposers can be driven under -race).
 type counters struct {
-	calls     atomic.Int64
-	checked   atomic.Int64
-	rejected  atomic.Int64
-	passthru  atomic.Int64
-	reentrant atomic.Int64
-	checksRun atomic.Int64
+	calls        atomic.Int64
+	checked      atomic.Int64
+	rejected     atomic.Int64
+	passthru     atomic.Int64
+	reentrant    atomic.Int64
+	checksRun    atomic.Int64
+	healed       atomic.Int64
+	falseRejects atomic.Int64
 }
 
 // Violation records one rejected call for later failure diagnosis
@@ -138,10 +203,26 @@ type Interposer struct {
 	fileCache map[fileCacheKey]bool
 
 	stats counters
-	// vmu guards the violation log so Stats can copy it while another
-	// goroutine is rejecting calls.
-	vmu        sync.Mutex
-	violations []Violation
+	// vmu guards the violation, heal, and introspection logs so Stats
+	// can copy them while another goroutine is rejecting or repairing
+	// calls. The matching counters are updated inside the same critical
+	// section, so a snapshot always sees counter == len(slice).
+	vmu            sync.Mutex
+	violations     []Violation
+	heals          []Heal
+	introspections []Introspection
+
+	// ModeHeal repair state: the sink region wild pointers are
+	// redirected to (sinkChunk), the substituted FILE/fd/callback
+	// resources, and the per-call healed flag (see heal.go).
+	sinkBase   cmem.Addr
+	sinkCursor int
+	zeroPage   []byte
+	sinkFILE   cmem.Addr
+	sinkFD     int
+	sinkFDSet  bool
+	healCB     cmem.Addr
+	healedThis bool
 
 	// work accumulates the simulated cost of the current call's checks
 	// (bytes walked, pages probed, table lookups) — the check-latency
@@ -161,13 +242,17 @@ type Interposer struct {
 	tr *obs.Tracer
 	// Registry instruments (detached dummies when Options.Metrics is
 	// nil, so the hot path never branches).
-	mCalls     *obs.Counter
-	mChecked   *obs.Counter
-	mRejected  *obs.Counter
-	mPassthru  *obs.Counter
-	mReentrant *obs.Counter
-	mChecksRun *obs.Counter
-	hCheckWork *obs.Histogram
+	mCalls            *obs.Counter
+	mChecked          *obs.Counter
+	mRejected         *obs.Counter
+	mPassthru         *obs.Counter
+	mReentrant        *obs.Counter
+	mChecksRun        *obs.Counter
+	mHealed           *obs.Counter
+	mHealRepairs      *obs.Counter
+	mFalseReject      *obs.Counter
+	mHealFixpointFail *obs.Counter
+	hCheckWork        *obs.Histogram
 }
 
 // checkWorkBuckets bound the per-call check-work histogram: table hits
@@ -205,6 +290,10 @@ func Attach(p *csim.Process, lib *clib.Library, decls *decl.DeclSet, opts Option
 	ip.mPassthru = reg.Counter("healers_wrapper_passthru_total")
 	ip.mReentrant = reg.Counter("healers_wrapper_reentrant_total")
 	ip.mChecksRun = reg.Counter("healers_wrapper_checks_run_total")
+	ip.mHealed = reg.Counter("healers_wrapper_healed_total")
+	ip.mHealRepairs = reg.Counter("healers_wrapper_heal_repairs_total")
+	ip.mFalseReject = reg.Counter("healers_wrapper_false_reject_avoided_total")
+	ip.mHealFixpointFail = reg.Counter("healers_wrapper_heal_fixpoint_failures_total")
 	ip.hCheckWork = reg.Histogram("healers_wrapper_check_work", checkWorkBuckets)
 	return ip
 }
@@ -222,20 +311,37 @@ type fileCacheKey struct {
 func (ip *Interposer) Stats() Stats {
 	// The rejected counter and the violation log are updated together
 	// under vmu, so loading both inside the lock yields an exactly
-	// consistent pair (Rejected == len(Violations) at snapshot time).
+	// consistent pair (Rejected == len(Violations) at snapshot time);
+	// likewise the introspection counter and its record slice. Heals
+	// are per-repair records while Healed counts forwarded calls, so
+	// those two are not expected to be equal.
 	ip.vmu.Lock()
 	violations := append([]Violation(nil), ip.violations...)
+	heals := append([]Heal(nil), ip.heals...)
+	introspections := append([]Introspection(nil), ip.introspections...)
 	rejected := ip.stats.rejected.Load()
+	falseRejects := ip.stats.falseRejects.Load()
 	ip.vmu.Unlock()
 	return Stats{
-		Calls:      int(ip.stats.calls.Load()),
-		Checked:    int(ip.stats.checked.Load()),
-		Rejected:   int(rejected),
-		Passthru:   int(ip.stats.passthru.Load()),
-		Reentrant:  int(ip.stats.reentrant.Load()),
-		ChecksRun:  int(ip.stats.checksRun.Load()),
-		Violations: violations,
+		Calls:              int(ip.stats.calls.Load()),
+		Checked:            int(ip.stats.checked.Load()),
+		Rejected:           int(rejected),
+		Passthru:           int(ip.stats.passthru.Load()),
+		Reentrant:          int(ip.stats.reentrant.Load()),
+		ChecksRun:          int(ip.stats.checksRun.Load()),
+		Healed:             int(ip.stats.healed.Load()),
+		FalseRejectAvoided: int(falseRejects),
+		Violations:         violations,
+		Heals:              heals,
+		Introspections:     introspections,
 	}
+}
+
+// StrategyCounts returns the live rejected and healed call counters.
+// Differential strategy runs snapshot them around a call to classify
+// its outcome (reject / heal / pass) without a full Stats copy.
+func (ip *Interposer) StrategyCounts() (rejected, healed int64) {
+	return ip.stats.rejected.Load(), ip.stats.healed.Load()
 }
 
 // HeapTableSize returns the number of tracked live allocations.
@@ -295,22 +401,47 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 	ip.stats.checked.Add(1)
 	ip.mChecked.Inc()
 	ip.work = 0
+	if ip.opts.Mode == ModeHeal {
+		ip.healedThis = false
+		ip.sinkCursor = 0
+	}
 	for i, arg := range d.Args {
 		if i >= len(held) {
 			break
 		}
-		if ok, reason := ip.checkArg(arg, held, i); !ok {
+		ok, reason := ip.checkArg(arg, held, i)
+		if !ok {
+			// A failed check is where the strategies diverge: Reject
+			// falls straight through, Introspect may prove the access
+			// backed by a live allocation, Heal may repair the
+			// argument. Both rescues leave the pass path untouched.
+			switch ip.opts.Mode {
+			case ModeIntrospect:
+				ok = ip.introspectArg(d, i, arg, held)
+			case ModeHeal:
+				ok = ip.healArg(d, i, arg, held)
+			}
+		}
+		if !ok {
 			ip.hCheckWork.Observe(int64(ip.work))
 			return ip.reject(d, i, arg, reason)
 		}
 	}
 	for _, assertion := range d.Assertions {
-		if ok, i, reason := ip.checkAssertion(assertion, d, held); !ok {
+		ok, ai, reason := ip.checkAssertion(assertion, d, held)
+		if !ok && ip.opts.Mode == ModeHeal {
+			ok, ai, reason = ip.healAssertion(assertion, d, ai, held)
+		}
+		if !ok {
 			ip.hCheckWork.Observe(int64(ip.work))
-			return ip.reject(d, i, d.Args[i], reason)
+			return ip.reject(d, ai, d.Args[ai], reason)
 		}
 	}
 	ip.hCheckWork.Observe(int64(ip.work))
+	if ip.healedThis {
+		ip.stats.healed.Add(1)
+		ip.mHealed.Inc()
+	}
 	if ip.tr.Enabled() {
 		ip.tr.Emit(obs.Event{Kind: obs.KindWrapperCall, Func: name, Outcome: "checked", Steps: ip.work})
 	}
@@ -318,6 +449,33 @@ func (ip *Interposer) Call(p *csim.Process, name string, args ...uint64) uint64 
 	ret := fn.Impl(p, held)
 	ip.postfix(name, held, ret)
 	return ret
+}
+
+// CheckOnly runs name's argument checks and assertions over args under
+// Reject semantics — no rescue strategy, no function call, no
+// violation recording — and reports the first failure. The metamorphic
+// heal tests use it to prove repaired argument vectors are fixpoints:
+// what a repair produced must pass the unmodified checks cleanly.
+func (ip *Interposer) CheckOnly(name string, args ...uint64) (bool, string) {
+	d, declared := ip.decls.Get(name)
+	if !declared || !d.Unsafe() {
+		return true, ""
+	}
+	held := append([]uint64(nil), args...)
+	for i, arg := range d.Args {
+		if i >= len(held) {
+			break
+		}
+		if ok, reason := ip.checkArg(arg, held, i); !ok {
+			return false, fmt.Sprintf("arg%d: %s", i, reason)
+		}
+	}
+	for _, assertion := range d.Assertions {
+		if ok, i, reason := ip.checkAssertion(assertion, d, held); !ok {
+			return false, fmt.Sprintf("arg%d: %s", i, reason)
+		}
+	}
+	return true, ""
 }
 
 // reject implements the violation policy.
