@@ -33,7 +33,7 @@ GO ?= go
 # noise, not untested subsystems).
 COVER_BASELINE ?= 79.2
 
-.PHONY: all check race race-parallel serve-test lint soundness bodyfacts bodyfacts-check cover strategy-matrix verify bench bench-campaign bench-gate bench-smoke fuzz test-e2e-crash table1 figure6 stats analyze clean
+.PHONY: all check race race-parallel serve-test lint soundness bodyfacts bodyfacts-check cover strategy-matrix verify bench bench-campaign bench-gate bench-profile bench-smoke fuzz test-e2e-crash table1 figure6 stats analyze clean
 
 all: check
 
@@ -115,6 +115,20 @@ bench-campaign:
 # append a git-SHA-stamped entry to the history on a clean pass.
 bench-gate:
 	BENCH_JSON=$(CURDIR)/BENCH_campaign.json BENCH_GATE=1 $(GO) test -count=1 -run TestBenchTrajectory -v ./internal/injector/
+
+# Contention capture for the multicore work: run the 8-worker golden
+# campaign with the cpu, mutex, and block profilers armed, leaving
+# pprof files plus the test binary (symbol source) in ./profiles.
+# Inspect with: go tool pprof profiles/injector.test profiles/mutex.pprof
+bench-profile:
+	mkdir -p profiles
+	$(GO) test -count=1 -run 'TestParallelVectorsMatchGolden|TestParallelCheckpointDifferential' \
+		-cpuprofile profiles/cpu.pprof \
+		-mutexprofile profiles/mutex.pprof \
+		-blockprofile profiles/block.pprof \
+		-o profiles/injector.test \
+		./internal/injector/
+	@echo "wrote profiles/{cpu,mutex,block}.pprof — go tool pprof profiles/injector.test profiles/<which>.pprof"
 
 # CI's cheap perf gate: every campaign benchmark runs one iteration (so
 # a hang or a golden-vector divergence fails fast), the wrapper nop

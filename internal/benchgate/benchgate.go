@@ -29,6 +29,11 @@ type Entry struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	NumCPU int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler width the entry ran under — a 4-proc
+	// CI shard and a 1-proc one are different machines for timing
+	// purposes even on identical hardware. Zero in pre-multicore
+	// entries, which match any width.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 
 	Functions int `json:"functions"`
 
@@ -45,10 +50,41 @@ type Entry struct {
 	PagesCopied    int64   `json:"pages_copied"`
 	BytesAvoidedMB float64 `json:"bytes_avoided_mb"`
 
+	// Checkpoint-tree accounting of the cold sequential campaign:
+	// checkpoint nodes materialized, prefix probe builds skipped, and
+	// the setup phase (fork + materialize) wall time with checkpointing
+	// on versus the same campaign with it disabled. The on/off pair is
+	// measured in one process back to back, so the savings ratio is
+	// immune to runner-speed drift between entries.
+	CheckpointNodes int64   `json:"checkpoint_nodes,omitempty"`
+	BuildsAvoided   int64   `json:"builds_avoided,omitempty"`
+	SetupPhaseMS    float64 `json:"setup_phase_ms,omitempty"`
+	SetupNoCkptMS   float64 `json:"setup_nockpt_ms,omitempty"`
+
 	// The wrapper's nop-observability call path (strlen through the
 	// interposer with a no-op tracer).
 	WrapperNopNsPerOp     float64 `json:"wrapper_nop_ns_per_op"`
 	WrapperNopAllocsPerOp int64   `json:"wrapper_nop_allocs_per_op"`
+}
+
+// Comparable reports whether prev is an honest baseline for cur: same
+// OS, architecture, CPU count, and scheduler width. Legacy entries
+// with zero provenance fields match anything (the numbers are all they
+// recorded).
+func (prev Entry) Comparable(cur Entry) bool {
+	if prev.GOOS != "" && prev.GOOS != cur.GOOS {
+		return false
+	}
+	if prev.GOARCH != "" && prev.GOARCH != cur.GOARCH {
+		return false
+	}
+	if prev.NumCPU != 0 && prev.NumCPU != cur.NumCPU {
+		return false
+	}
+	if prev.GoMaxProcs != 0 && prev.GoMaxProcs != cur.GoMaxProcs {
+		return false
+	}
+	return true
 }
 
 // History is the BENCH_campaign.json schema: an append-only entry list,
@@ -63,6 +99,19 @@ func (h *History) Last() (Entry, bool) {
 		return Entry{}, false
 	}
 	return h.Entries[len(h.Entries)-1], true
+}
+
+// LastComparable returns the most recent entry whose machine shape
+// matches cur (see Entry.Comparable), or false when none does. The
+// gate compares against this, never raw Last: a 1-CPU entry must not
+// judge a 4-proc run and vice versa.
+func (h *History) LastComparable(cur Entry) (Entry, bool) {
+	for i := len(h.Entries) - 1; i >= 0; i-- {
+		if h.Entries[i].Comparable(cur) {
+			return h.Entries[i], true
+		}
+	}
+	return Entry{}, false
 }
 
 // Append adds e to the history.
@@ -123,6 +172,15 @@ const (
 	CatForksPerSec    = "forks_per_sec"
 	CatWrapperNs      = "wrapper_ns"
 	CatWrapperAllocs  = "wrapper_allocs"
+	// CatCheckpointSavings is a self-ratio on the fresh entry: the
+	// checkpointed setup phase must stay at or below CheckpointRatio of
+	// the same process's checkpoint-disabled setup phase.
+	CatCheckpointSavings = "checkpoint_savings"
+	// CatParallelScaling is a self-ratio on the fresh entry, checked
+	// only when the run had at least MinScalingProcs schedulable CPUs:
+	// the 8-worker cold wall must stay at or below ParallelRatio of the
+	// sequential cold wall.
+	CatParallelScaling = "parallel_scaling"
 )
 
 // Tolerances configure how much each category may regress before the
@@ -148,6 +206,17 @@ type Tolerances struct {
 	// MaxWrapperAllocs is the absolute ceiling on wrapper nop-path
 	// allocations per op — not relative: the contract is zero.
 	MaxWrapperAllocs int64
+	// CheckpointRatio is the ceiling on SetupPhaseMS / SetupNoCkptMS:
+	// the checkpoint tree must cut the measured fork+materialize phase
+	// by at least (1 - ratio). Self-contained in one entry, so it holds
+	// on any runner speed.
+	CheckpointRatio float64
+	// ParallelRatio is the ceiling on ColdParallel8MS /
+	// ColdSequentialMS, and MinScalingProcs is the effective CPU count
+	// (min of NumCPU and GoMaxProcs) below which the check is skipped —
+	// parallel speedup is unobservable on a 1-CPU runner.
+	ParallelRatio   float64
+	MinScalingProcs int
 	// Soft marks categories whose violations warn instead of fail —
 	// the 1-CPU CI runner softens the timing categories and keeps the
 	// structural ones hard.
@@ -159,13 +228,16 @@ type Tolerances struct {
 // regressions (an accidental O(n²), a lost cache), not 5% jitter.
 func DefaultTolerances() Tolerances {
 	return Tolerances{
-		ColdPct:          50,
+		ColdPct:          25,
 		ParallelPct:      75,
 		WarmPct:          100,
 		WarmSlackMS:      2.0,
 		ForksPct:         40,
 		WrapperNsPct:     75,
 		MaxWrapperAllocs: 0,
+		CheckpointRatio:  0.70,
+		ParallelRatio:    0.50,
+		MinScalingProcs:  4,
 	}
 }
 
@@ -188,6 +260,8 @@ func TolerancesFromEnv(getenv func(string) string) Tolerances {
 	override("BENCH_GATE_WARM_SLACK_MS", &tol.WarmSlackMS)
 	override("BENCH_GATE_FORKS_PCT", &tol.ForksPct)
 	override("BENCH_GATE_WRAPPER_NS_PCT", &tol.WrapperNsPct)
+	override("BENCH_GATE_CKPT_RATIO", &tol.CheckpointRatio)
+	override("BENCH_GATE_PARALLEL_RATIO", &tol.ParallelRatio)
 	if soft := getenv("BENCH_GATE_SOFT"); soft != "" {
 		tol.Soft = make(map[string]bool)
 		for _, cat := range strings.Split(soft, ",") {
@@ -229,7 +303,9 @@ func Hard(vs []Violation) bool {
 // tol and returns every violated category. Relative checks are skipped
 // when the previous entry lacks the number (zero): a partially
 // populated legacy entry gates only what it recorded. The wrapper
-// allocation ceiling is absolute and always checked.
+// allocation ceiling and the two self-ratio categories (checkpoint
+// savings, parallel scaling) are absolute properties of the fresh
+// entry and are checked regardless of prev.
 func Check(prev, cur Entry, tol Tolerances) []Violation {
 	var out []Violation
 	add := func(cat, msg string) {
@@ -274,6 +350,26 @@ func Check(prev, cur Entry, tol Tolerances) []Violation {
 	if cur.WrapperNopAllocsPerOp > tol.MaxWrapperAllocs {
 		add(CatWrapperAllocs, fmt.Sprintf("wrapper nop path allocates %d/op, ceiling is %d",
 			cur.WrapperNopAllocsPerOp, tol.MaxWrapperAllocs))
+	}
+	if tol.CheckpointRatio > 0 && cur.SetupPhaseMS > 0 && cur.SetupNoCkptMS > 0 {
+		if cur.SetupPhaseMS > cur.SetupNoCkptMS*tol.CheckpointRatio {
+			add(CatCheckpointSavings, fmt.Sprintf(
+				"checkpointed setup %.1fms is %.0f%% of the uncheckpointed %.1fms, ceiling %.0f%%",
+				cur.SetupPhaseMS, 100*cur.SetupPhaseMS/cur.SetupNoCkptMS,
+				cur.SetupNoCkptMS, 100*tol.CheckpointRatio))
+		}
+	}
+	if tol.ParallelRatio > 0 && cur.ColdSequentialMS > 0 && cur.ColdParallel8MS > 0 {
+		procs := cur.NumCPU
+		if cur.GoMaxProcs > 0 && cur.GoMaxProcs < procs {
+			procs = cur.GoMaxProcs
+		}
+		if procs >= tol.MinScalingProcs && cur.ColdParallel8MS > cur.ColdSequentialMS*tol.ParallelRatio {
+			add(CatParallelScaling, fmt.Sprintf(
+				"parallel8 %.1fms is %.0f%% of sequential %.1fms on %d procs, ceiling %.0f%%",
+				cur.ColdParallel8MS, 100*cur.ColdParallel8MS/cur.ColdSequentialMS,
+				cur.ColdSequentialMS, procs, 100*tol.ParallelRatio))
+		}
 	}
 	return out
 }

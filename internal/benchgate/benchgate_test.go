@@ -7,13 +7,17 @@ import (
 	"testing"
 )
 
-// baseline mirrors the shape of a real committed entry.
+// baseline mirrors the shape of a real committed entry: a 1-proc CI
+// runner (parallel wall above sequential is expected there, and the
+// scaling self-check stays out of play) with a healthy checkpoint
+// setup ratio.
 func baseline() Entry {
 	return Entry{
 		GitSHA:                "6d779fd",
 		GOOS:                  "linux",
 		GOARCH:                "amd64",
 		NumCPU:                8,
+		GoMaxProcs:            1,
 		Functions:             86,
 		ColdSequentialMS:      211.4,
 		ColdParallel8MS:       216.7,
@@ -22,6 +26,10 @@ func baseline() Entry {
 		ForksPerSec:           42562.7,
 		PagesShared:           71984,
 		BytesAvoidedMB:        281.2,
+		CheckpointNodes:       800,
+		BuildsAvoided:         12000,
+		SetupPhaseMS:          40,
+		SetupNoCkptMS:         90,
 		WrapperNopNsPerOp:     359,
 		WrapperNopAllocsPerOp: 0,
 	}
@@ -37,7 +45,7 @@ func TestCheckPassesOnIdenticalEntry(t *testing.T) {
 func TestCheckPassesWithinTolerance(t *testing.T) {
 	prev := baseline()
 	cur := prev
-	cur.ColdSequentialMS *= 1.3  // < +50%
+	cur.ColdSequentialMS *= 1.2  // < +25%
 	cur.ColdParallel8MS *= 1.5   // < +75%
 	cur.WarmCachedMS = 2.0       // < 0.555*2 + 2.0 slack
 	cur.ForksPerSec *= 0.7       // < -40% drop
@@ -61,6 +69,12 @@ func TestCheckFailsOnSyntheticRegression(t *testing.T) {
 		{CatForksPerSec, func(e *Entry) { e.ForksPerSec = prev.ForksPerSec * 0.3 }},
 		{CatWrapperNs, func(e *Entry) { e.WrapperNopNsPerOp = prev.WrapperNopNsPerOp * 2 }},
 		{CatWrapperAllocs, func(e *Entry) { e.WrapperNopAllocsPerOp = 1 }},
+		// Checkpoints losing their bite: setup phase barely below the
+		// uncheckpointed run.
+		{CatCheckpointSavings, func(e *Entry) { e.SetupPhaseMS = e.SetupNoCkptMS * 0.9 }},
+		// A genuinely multicore run whose 8-worker wall stays at the
+		// sequential wall: the scaling self-check must trip.
+		{CatParallelScaling, func(e *Entry) { e.GoMaxProcs = 8 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.category, func(t *testing.T) {
@@ -160,6 +174,36 @@ func TestParseMigratesLegacySingleObject(t *testing.T) {
 	}
 	if e.GitSHA != "" {
 		t.Fatalf("legacy entries have no provenance, got git_sha %q", e.GitSHA)
+	}
+}
+
+// TestLastComparableKeysOnMachineShape pins the gate's baseline
+// selection: entries from a different scheduler width or CPU count are
+// never used as a timing baseline, while legacy entries without
+// provenance match anything.
+func TestLastComparableKeysOnMachineShape(t *testing.T) {
+	one := baseline() // GoMaxProcs 1
+	four := baseline()
+	four.GitSHA = "fff4444"
+	four.GoMaxProcs = 4
+	four.ColdParallel8MS = 70
+	h := &History{Entries: []Entry{one, four}}
+
+	if got, ok := h.LastComparable(one); !ok || got.GitSHA != one.GitSHA {
+		t.Fatalf("1-proc run must gate against the 1-proc entry, got %+v %v", got, ok)
+	}
+	if got, ok := h.LastComparable(four); !ok || got.GitSHA != four.GitSHA {
+		t.Fatalf("4-proc run must gate against the 4-proc entry, got %+v %v", got, ok)
+	}
+	other := baseline()
+	other.NumCPU = 64
+	if _, ok := h.LastComparable(other); ok {
+		t.Fatal("a 64-CPU run has no comparable entry in this history")
+	}
+
+	legacy := &History{Entries: []Entry{{ColdSequentialMS: 200}}}
+	if _, ok := legacy.LastComparable(four); !ok {
+		t.Fatal("legacy entries without provenance must remain comparable")
 	}
 }
 

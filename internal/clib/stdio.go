@@ -84,10 +84,15 @@ func fdReadByte(of *csim.OpenFD) (byte, bool) {
 	return b, true
 }
 
-func fdWriteByte(of *csim.OpenFD, b byte) bool {
+// fdWriteByte appends or overwrites one byte at the descriptor's
+// position. The file may still be fork-shared (writable opens and
+// forks no longer copy eagerly), so every mutation privatizes first —
+// an atomic load per byte on the already-private fast path.
+func fdWriteByte(p *csim.Process, of *csim.OpenFD, b byte) bool {
 	if of == nil || !of.Mode.Writable() || of.File == nil {
 		return false
 	}
+	p.PrivatizeForWrite(of)
 	if of.Append {
 		of.Pos = len(of.File.Data)
 	}
@@ -275,7 +280,7 @@ func (l *Library) registerStdio() {
 				p.Step()
 				b := p.LoadByte(ptr + cmem.Addr(i))
 				stage(p, fp, &ff, b)
-				fdWriteByte(of, b)
+				fdWriteByte(p, of, b)
 			}
 			return nmemb
 		},
@@ -336,7 +341,7 @@ func (l *Library) registerStdio() {
 			for i := 0; i < len(str); i++ {
 				p.Step()
 				stage(p, fp, &ff, str[i])
-				fdWriteByte(of, str[i])
+				fdWriteByte(p, of, str[i])
 			}
 			return retInt(len(str))
 		},
@@ -377,7 +382,7 @@ func (l *Library) registerStdio() {
 				return cEOF
 			}
 			stage(p, fp, &ff, c)
-			fdWriteByte(of, c)
+			fdWriteByte(p, of, c)
 			return uint64(c)
 		},
 	})

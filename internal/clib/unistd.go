@@ -65,7 +65,9 @@ func (l *Library) registerUnistd() {
 			}
 			fd := p.OpenFile(path, csim.WriteOnly, true)
 			if fd >= 0 {
-				p.FD(fd).File.Data = p.FD(fd).File.Data[:0]
+				of := p.FD(fd)
+				p.PrivatizeForWrite(of)
+				of.File.Data = of.File.Data[:0]
 			}
 			return retInt(fd)
 		},
@@ -131,7 +133,7 @@ func (l *Library) registerUnistd() {
 			}
 			for _, b := range data {
 				p.Step()
-				fdWriteByte(of, b)
+				fdWriteByte(p, of, b)
 			}
 			return uint64(count)
 		},

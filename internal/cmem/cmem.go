@@ -8,13 +8,20 @@
 // with independent read/write protection, every access is checked, and a
 // failed access reports the exact faulting address and access kind.
 //
-// Forking is copy-on-write: Clone copies only the page table and takes a
-// reference on every page; the first mutation of a shared page (a store,
-// a protection change, a re-map) copies it. Read paths are strictly
-// side-effect-free, which makes a Memory safe to Clone concurrently from
-// several goroutines as long as nobody mutates it — the property the
-// parallel campaign schedulers rely on to fork worker templates without
-// serializing.
+// Forking is copy-on-write at two granularities. Pages: the first
+// mutation of a shared page (a store, a protection change, a re-map)
+// copies that page. Page tables: Clone freezes the parent's private
+// pages into an immutable, refcounted layer and hands the child the
+// layer list — O(layers), not O(pages), so forking a large address
+// space costs the same as forking a small one. A Memory is its layer
+// stack (shared, frozen) plus a private delta map; lookups probe the
+// delta first, then the layers top-down. Read paths are strictly
+// side-effect-free, and Clone serializes its internal freeze, which
+// makes a Memory safe to Clone concurrently from several goroutines as
+// long as nobody mutates it — the property the parallel campaign
+// schedulers rely on to fork worker templates without serializing.
+// Freeze a template explicitly before sharing it to make concurrent
+// Clones entirely write-free.
 //
 // All methods return a *Fault on bad accesses instead of panicking; the
 // process layer (package csim) converts faults into simulated signals.
@@ -105,36 +112,105 @@ func (f *Fault) Error() string {
 var ErrNoMemory = errors.New("cmem: out of simulated memory")
 
 // page is one 4 KiB unit of simulated memory. Pages are shared across
-// forked address spaces: refs counts the page tables referencing this
-// page, and a page may be mutated in place only while refs == 1. The
-// refcount is atomic because sibling forks copy-on-write (and release)
-// shared pages concurrently.
+// forked address spaces through frozen layers; a page sits in exactly
+// one private delta map (mutable, exclusively owned) or one layer
+// (immutable, copied on write), so refs stays 1 and exists for pool
+// hygiene: release returns the page to its shard exactly once, from
+// whichever container dies last. The refcount is atomic because
+// sibling forks release layer pages concurrently; the header padding
+// keeps that hot word on its own cache line, so releases never
+// false-share with the payload bytes a sibling is copying.
 type page struct {
-	prot Prot
-	refs atomic.Int32
-	data [PageSize]byte
+	prot  Prot
+	_     [3]byte
+	shard uint32 // pool shard this page returns to on release
+	refs  atomic.Int32
+	_     [52]byte // pad the header to one cache line
+	data  [PageSize]byte
 }
 
-// pagePool recycles page buffers: every fork that diverges copies a few
-// pages and then discards them when its experiment ends, so a campaign
-// would otherwise churn millions of 4 KiB allocations through the GC.
-var pagePool = sync.Pool{New: func() any { return new(page) }}
+// PoolShards is the number of independent page-pool shards. Each shard
+// has its own sync.Pool and its own counter cache line; a Memory is
+// pinned to one shard at New and every Memory cloned from it inherits
+// the pin, so one campaign's fork tree recycles pages through a single
+// shard while concurrent campaigns (parallel workers build one template
+// per function) spread across all of them.
+const PoolShards = 8
+
+const shardMask = PoolShards - 1
+
+// poolShard is one shard of the page pool: a freelist plus its traffic
+// counters, padded so neighbouring shards never share a cache line.
+type poolShard struct {
+	pool   sync.Pool
+	gets   atomic.Int64
+	puts   atomic.Int64
+	misses atomic.Int64
+	_      [64]byte
+}
+
+// pageShards recycles page buffers: every fork that diverges copies a
+// few pages and then discards them when its experiment ends, so a
+// campaign would otherwise churn millions of 4 KiB allocations through
+// the GC.
+var pageShards [PoolShards]poolShard
+
+// nextShard round-robins fresh address spaces across the pool shards.
+var nextShard atomic.Uint32
+
+// PoolShardCounts is a snapshot of one pool shard's traffic: pages
+// taken from the shard, pages returned to it, and gets that missed the
+// freelist and allocated.
+type PoolShardCounts struct {
+	Gets   int64
+	Puts   int64
+	Misses int64
+}
+
+// PoolCounts snapshots every shard's counters, index == shard id. The
+// counters are process-global and monotonic; exposure layers publish
+// them as per-shard gauges.
+func PoolCounts() [PoolShards]PoolShardCounts {
+	var out [PoolShards]PoolShardCounts
+	for i := range pageShards {
+		s := &pageShards[i]
+		out[i] = PoolShardCounts{Gets: s.gets.Load(), Puts: s.puts.Load(), Misses: s.misses.Load()}
+	}
+	return out
+}
+
+// getPage takes a page buffer from the given shard, allocating on a
+// freelist miss. The returned page remembers its shard so release puts
+// it back where it came from.
+func getPage(shard uint32) *page {
+	s := &pageShards[shard&shardMask]
+	s.gets.Add(1)
+	v := s.pool.Get()
+	if v == nil {
+		s.misses.Add(1)
+		pg := new(page)
+		pg.shard = shard & shardMask
+		return pg
+	}
+	return v.(*page)
+}
 
 // newPage returns an exclusively owned, zeroed page. Pooled pages carry
 // the data of their previous life and must be cleared: freshly mapped
 // simulated memory reads as zero.
-func newPage(prot Prot) *page {
-	pg := pagePool.Get().(*page)
+func newPage(prot Prot, shard uint32) *page {
+	pg := getPage(shard)
 	pg.prot = prot
 	pg.data = [PageSize]byte{}
 	pg.refs.Store(1)
 	return pg
 }
 
-// copyOf returns an exclusively owned copy of src. No clearing is
-// needed: the whole payload is overwritten.
-func copyOf(src *page) *page {
-	pg := pagePool.Get().(*page)
+// copyOf returns an exclusively owned copy of src, drawn from the
+// writing Memory's shard. No clearing is needed: the whole payload is
+// overwritten.
+func copyOf(src *page, shard uint32) *page {
+	pg := getPage(shard)
 	pg.prot = src.prot
 	pg.data = src.data
 	pg.refs.Store(1)
@@ -142,10 +218,14 @@ func copyOf(src *page) *page {
 }
 
 // release drops one reference; the last referent returns the page to
-// the pool.
+// its shard. An exclusively owned page (refs == 1) skips the atomic
+// decrement entirely — no sibling can race a load that observes 1,
+// because observing 1 proves there is no sibling.
 func (pg *page) release() {
-	if pg.refs.Add(-1) == 0 {
-		pagePool.Put(pg)
+	if pg.refs.Load() == 1 || pg.refs.Add(-1) == 0 {
+		s := &pageShards[pg.shard&shardMask]
+		s.puts.Add(1)
+		s.pool.Put(pg)
 	}
 }
 
@@ -186,14 +266,38 @@ func (c ForkCounts) BytesAvoided() int64 {
 	return (c.PagesShared - c.PagesCopied) * PageSize
 }
 
+// layer is one frozen stratum of a forked address space: an immutable
+// page map shared by reference between every Memory whose history
+// includes it. A nil entry is a tombstone — the page was unmapped in
+// this stratum, shadowing any mapping in the layers below. refs counts
+// the Memories referencing the layer; the last Release returns the
+// layer's pages to the pool.
+type layer struct {
+	pages map[Addr]*page
+	live  int // non-tombstone entries, for sharing stats
+	refs  atomic.Int32
+}
+
 // Memory is a simulated address space. The zero value is not usable;
 // call New. A Memory is owned by one goroutine: mutating methods are
-// not safe for concurrent use. Read-only methods and Clone perform no
-// writes to shared state, so concurrent Clones of (and reads from) an
-// otherwise-idle Memory are safe — forked children then diverge under
-// their exclusive owners via copy-on-write.
+// not safe for concurrent use. Read-only methods perform no writes to
+// shared state, and Clone serializes its freeze step, so concurrent
+// Clones of an otherwise-idle Memory are safe — forked children then
+// diverge under their exclusive owners via copy-on-write. Reads
+// concurrent with the Memory's *first* Clone race against the freeze;
+// call Freeze once before sharing a template across goroutines and
+// every subsequent Clone is write-free.
 type Memory struct {
-	pages map[Addr]*page // keyed by page base address
+	// layers is the frozen history, bottom-up: entries in later layers
+	// shadow earlier ones. own is the private delta on top — the only
+	// map this Memory may write. Pages in own are exclusively owned
+	// (refs == 1); pages in layers are immutable and copied on write.
+	layers []*layer
+	own    map[Addr]*page
+
+	// cloneMu serializes the lazy freeze inside Clone so sibling
+	// goroutines may fork one template concurrently.
+	cloneMu sync.Mutex
 
 	// Region cursors for the distinct address-space areas. Keeping the
 	// areas far apart mirrors a real process layout and guarantees that
@@ -207,6 +311,10 @@ type Memory struct {
 
 	// stats is shared by every Memory in this fork tree.
 	stats *ForkStats
+
+	// shard pins this address space (and, via Clone inheritance, its
+	// whole fork tree) to one page-pool shard.
+	shard uint32
 
 	// TraceID and SpanID identify the causal span that owns this address
 	// space (internal/obs span IDs, kept as plain integers so cmem stays
@@ -232,89 +340,189 @@ const (
 // New returns an empty simulated address space with a mapped stack.
 func New() *Memory {
 	m := &Memory{
-		pages:      make(map[Addr]*page),
+		own:        make(map[Addr]*page),
 		heapCursor: heapBase,
 		mmapCursor: mmapBase,
 		stats:      &ForkStats{},
+		shard:      nextShard.Add(1) & shardMask,
 	}
 	m.heap = newHeapState()
 	m.stack = newStack(m)
 	return m
 }
 
+// lookup resolves the page containing base: the private delta first,
+// then the frozen layers top-down. A nil result means unmapped —
+// either never mapped or shadowed by a tombstone.
+func (m *Memory) lookup(base Addr) *page {
+	if pg, ok := m.own[base]; ok {
+		return pg
+	}
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		if pg, ok := m.layers[i].pages[base]; ok {
+			return pg
+		}
+	}
+	return nil
+}
+
+// inLayers reports whether any frozen layer has an entry for base
+// (tombstones included — they shadow like mappings do).
+func (m *Memory) inLayers(base Addr) bool {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		if _, ok := m.layers[i].pages[base]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachPage visits every mapped page, with own entries and later
+// layers shadowing earlier ones.
+func (m *Memory) forEachPage(fn func(base Addr, pg *page)) {
+	seen := make(map[Addr]bool, len(m.own))
+	visit := func(base Addr, pg *page) {
+		if seen[base] {
+			return
+		}
+		seen[base] = true
+		if pg != nil {
+			fn(base, pg)
+		}
+	}
+	for base, pg := range m.own {
+		visit(base, pg)
+	}
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		for base, pg := range m.layers[i].pages {
+			visit(base, pg)
+		}
+	}
+}
+
+// Freeze seals the Memory's private pages into a new immutable layer.
+// After Freeze, Clone performs no writes at all, so a fork template can
+// be cloned from many goroutines while others read it. Freezing is
+// idempotent and happens implicitly on the first Clone.
+func (m *Memory) Freeze() {
+	m.cloneMu.Lock()
+	m.freezeLocked()
+	m.cloneMu.Unlock()
+}
+
+func (m *Memory) freezeLocked() {
+	if len(m.own) == 0 {
+		return
+	}
+	l := &layer{pages: m.own}
+	for _, pg := range m.own {
+		if pg != nil {
+			l.live++
+		}
+	}
+	l.refs.Store(1)
+	m.layers = append(m.layers, l)
+	m.own = make(map[Addr]*page)
+}
+
 // Clone returns a copy-on-write fork of the address space. The fault
 // injector forks a fresh child for every call of the function under
-// test; Clone is the memory half of that fork. Only the page table is
-// copied — every page is shared by reference and copied lazily when
-// either side first mutates it.
+// test; Clone is the memory half of that fork. The parent's private
+// pages are frozen into a shared layer (once — repeated Clones reuse
+// it) and the child starts as the layer stack plus an empty delta, so
+// a fork costs O(layers), independent of the address-space size.
+// Either side's first mutation of a shared page copies that page into
+// its delta.
 //
-// Clone reads the parent but never writes it, so several goroutines may
+// Clone serializes the freeze internally, so several goroutines may
 // Clone the same Memory concurrently (the scheduler's worker-template
 // fork); concurrency with mutations of the parent remains undefined.
 func (m *Memory) Clone() *Memory {
+	m.cloneMu.Lock()
+	m.freezeLocked()
+	layers := m.layers
+	m.cloneMu.Unlock()
 	c := &Memory{
-		pages:      make(map[Addr]*page, len(m.pages)),
+		layers:     append(make([]*layer, 0, len(layers)+1), layers...),
+		own:        make(map[Addr]*page),
 		heapCursor: m.heapCursor,
 		mmapCursor: m.mmapCursor,
 		stats:      m.stats,
+		shard:      m.shard,
 		TraceID:    m.TraceID,
 		SpanID:     m.SpanID,
 	}
-	for base, pg := range m.pages {
-		pg.refs.Add(1)
-		c.pages[base] = pg
+	shared := int64(0)
+	for _, l := range layers {
+		l.refs.Add(1)
+		shared += int64(l.live)
 	}
 	c.heap = m.heap.clone()
 	c.stack = m.stack.clone(c)
 	m.stats.forks.Add(1)
-	m.stats.pagesShared.Add(int64(len(m.pages)))
+	m.stats.pagesShared.Add(shared)
 	return c
 }
 
-// CloneEager returns a deep copy sharing no pages: the pre-COW fork,
-// kept as the reference implementation for the differential tests and
-// the eager-vs-COW benchmarks. It does not count toward ForkStats.
+// CloneEager returns a deep copy sharing no pages or layers: the
+// pre-COW fork, kept as the reference implementation for the
+// differential tests and the eager-vs-COW benchmarks. It does not
+// count toward ForkStats.
 func (m *Memory) CloneEager() *Memory {
 	c := &Memory{
-		pages:      make(map[Addr]*page, len(m.pages)),
+		own:        make(map[Addr]*page),
 		heapCursor: m.heapCursor,
 		mmapCursor: m.mmapCursor,
 		stats:      m.stats,
+		shard:      m.shard,
 		TraceID:    m.TraceID,
 		SpanID:     m.SpanID,
 	}
-	for base, pg := range m.pages {
-		c.pages[base] = copyOf(pg)
-	}
+	m.forEachPage(func(base Addr, pg *page) {
+		c.own[base] = copyOf(pg, m.shard)
+	})
 	c.heap = m.heap.clone()
 	c.stack = m.stack.clone(c)
 	return c
 }
 
-// Release drops the address space's page references, returning
-// exclusively owned pages to the page pool. The fault injector calls it
-// when a forked child's experiment completes; the Memory must not be
-// used afterwards (mutations panic, accesses fault as unmapped).
+// Release drops the address space's pages and layer references,
+// returning pages nothing else references to the page pool. The fault
+// injector calls it when a forked child's experiment completes; the
+// Memory must not be used afterwards (mutations panic, accesses fault
+// as unmapped).
 func (m *Memory) Release() {
-	for _, pg := range m.pages {
-		pg.release()
+	for _, pg := range m.own {
+		if pg != nil {
+			pg.release()
+		}
 	}
-	m.pages = nil
+	m.own = nil
+	for _, l := range m.layers {
+		if l.refs.Add(-1) == 0 {
+			for _, pg := range l.pages {
+				if pg != nil {
+					pg.release()
+				}
+			}
+		}
+	}
+	m.layers = nil
 }
 
 // ForkStats returns the sharing counters of this Memory's fork tree.
 func (m *Memory) ForkStats() *ForkStats { return m.stats }
 
 // ensureOwned returns a page for base that this Memory owns
-// exclusively, copying the shared page first if needed. Every mutation
-// path funnels through it — the copy-on-write fault handler.
+// exclusively, copying a layer-shared page into the delta first if
+// needed. Every mutation path funnels through it — the copy-on-write
+// fault handler. pg must be the result of lookup(base).
 func (m *Memory) ensureOwned(base Addr, pg *page) *page {
-	if pg.refs.Load() == 1 {
-		return pg
+	if opg, ok := m.own[base]; ok {
+		return opg
 	}
-	np := copyOf(pg)
-	m.pages[base] = np
-	pg.release()
+	np := copyOf(pg, m.shard)
+	m.own[base] = np
 	m.stats.pagesCopied.Add(1)
 	return np
 }
@@ -329,12 +537,12 @@ func (m *Memory) Map(addr Addr, n int, prot Prot) {
 	first := addr.PageBase()
 	last := (addr + Addr(n) - 1).PageBase()
 	for base := first; ; base += PageSize {
-		if pg, ok := m.pages[base]; ok {
+		if pg := m.lookup(base); pg != nil {
 			if pg.prot != prot {
 				m.ensureOwned(base, pg).prot = prot
 			}
 		} else {
-			m.pages[base] = newPage(prot)
+			m.own[base] = newPage(prot, m.shard)
 		}
 		if base == last {
 			break
@@ -351,9 +559,14 @@ func (m *Memory) Unmap(addr Addr, n int) {
 	first := addr.PageBase()
 	last := (addr + Addr(n) - 1).PageBase()
 	for base := first; ; base += PageSize {
-		if pg, ok := m.pages[base]; ok {
-			delete(m.pages, base)
+		if pg, ok := m.own[base]; ok && pg != nil {
 			pg.release()
+		}
+		if m.inLayers(base) {
+			// A tombstone shadows the frozen mapping below.
+			m.own[base] = nil
+		} else {
+			delete(m.own, base)
 		}
 		if base == last {
 			break
@@ -372,7 +585,7 @@ func (m *Memory) Protect(addr Addr, n int, prot Prot) {
 	first := addr.PageBase()
 	last := (addr + Addr(n) - 1).PageBase()
 	for base := first; ; base += PageSize {
-		if pg, ok := m.pages[base]; ok && pg.prot != prot {
+		if pg := m.lookup(base); pg != nil && pg.prot != prot {
 			m.ensureOwned(base, pg).prot = prot
 		}
 		if base == last {
@@ -384,8 +597,8 @@ func (m *Memory) Protect(addr Addr, n int, prot Prot) {
 // ProtAt reports the protection of the page containing addr and whether
 // the page is mapped at all.
 func (m *Memory) ProtAt(addr Addr) (Prot, bool) {
-	pg, ok := m.pages[addr.PageBase()]
-	if !ok {
+	pg := m.lookup(addr.PageBase())
+	if pg == nil {
 		return ProtNone, false
 	}
 	return pg.prot, true
@@ -419,12 +632,12 @@ func (m *Memory) check(addr Addr, n int, access Access) *Fault {
 	first := addr.PageBase()
 	last := (addr + Addr(n) - 1).PageBase()
 	for base := first; ; base += PageSize {
-		pg, ok := m.pages[base]
+		pg := m.lookup(base)
 		at := base
 		if at < addr {
 			at = addr
 		}
-		if !ok {
+		if pg == nil {
 			return &Fault{Addr: at, Access: access}
 		}
 		switch access {
@@ -466,7 +679,7 @@ func (m *Memory) Write(addr Addr, data []byte) *Fault {
 // copyOut copies from memory into out; all pages must be mapped.
 func (m *Memory) copyOut(addr Addr, out []byte) {
 	for len(out) > 0 {
-		pg := m.pages[addr.PageBase()]
+		pg := m.lookup(addr.PageBase())
 		off := int(addr - addr.PageBase())
 		n := copy(out, pg.data[off:])
 		out = out[n:]
@@ -479,7 +692,7 @@ func (m *Memory) copyOut(addr Addr, out []byte) {
 func (m *Memory) copyIn(addr Addr, data []byte) {
 	for len(data) > 0 {
 		base := addr.PageBase()
-		pg := m.ensureOwned(base, m.pages[base])
+		pg := m.ensureOwned(base, m.lookup(base))
 		off := int(addr - base)
 		n := copy(pg.data[off:], data)
 		data = data[n:]
@@ -491,7 +704,7 @@ func (m *Memory) copyIn(addr Addr, data []byte) {
 // state writes, so frozen snapshots and fork templates stay pristine
 // under arbitrary reads.
 func (m *Memory) LoadByte(addr Addr) (byte, *Fault) {
-	pg := m.pages[addr.PageBase()]
+	pg := m.lookup(addr.PageBase())
 	if pg == nil {
 		return 0, &Fault{Addr: addr, Access: AccessRead}
 	}
@@ -505,7 +718,7 @@ func (m *Memory) LoadByte(addr Addr) (byte, *Fault) {
 // copy-on-write fault, so a denied store never copies the page.
 func (m *Memory) StoreByte(addr Addr, b byte) *Fault {
 	base := addr.PageBase()
-	pg := m.pages[base]
+	pg := m.lookup(base)
 	if pg == nil {
 		return &Fault{Addr: addr, Access: AccessWrite}
 	}
@@ -581,7 +794,7 @@ func (m *Memory) CString(addr Addr) (string, *Fault) {
 	var buf []byte
 	a := addr
 	for {
-		pg := m.pages[a.PageBase()]
+		pg := m.lookup(a.PageBase())
 		if pg == nil {
 			return "", &Fault{Addr: a, Access: AccessRead}
 		}

@@ -1,6 +1,7 @@
 package cmem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -351,6 +352,148 @@ func TestConcurrentTemplateForks(t *testing.T) {
 	}
 	fk := template.ForkStats().Snapshot()
 	if want := int64(workers * forksPerWorker); fk.Forks != want {
+		t.Errorf("Forks = %d, want %d", fk.Forks, want)
+	}
+}
+
+// TestPoolHygieneStalePagePoisoning is the pool-hygiene audit: a page
+// handed back on Release carries its previous life's bytes in the
+// freelist, so a recycled mapping that skipped the newPage zeroing —
+// or a page released while still shared — would surface here as
+// poison. Poison a released fork's private pages, recycle them through
+// fresh mappings, and verify the survivors and the recycled view both
+// stay clean, with the shard counters accounting for the round trip.
+func TestPoolHygieneStalePagePoisoning(t *testing.T) {
+	before := PoolCounts()
+
+	m := New()
+	p, err := m.MmapRegion(2*PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := m.WriteCString(p, "pristine"); f != nil {
+		t.Fatal(f)
+	}
+	sib := m.Clone()
+
+	// Diverge a child with poison across both pages; its private copies
+	// go back to the pool on Release still holding the poison bytes.
+	child := m.Clone()
+	for off := 0; off < 2*PageSize; off += PageSize {
+		if f := child.WriteCString(p+Addr(off), "POISON"); f != nil {
+			t.Fatal(f)
+		}
+	}
+	child.Release()
+
+	// Recycle: fresh mappings drawn from the freelist must read as zero
+	// even though the buffers last held the poison.
+	fresh := New()
+	q, err := fresh.MmapRegion(4*PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, f := fresh.Read(q, 4*PageSize)
+	if f != nil {
+		t.Fatal(f)
+	}
+	for i, b := range data {
+		if b != 0 {
+			t.Fatalf("recycled page byte %d = %#x, want 0 (stale pool data leaked)", i, b)
+		}
+	}
+
+	// Scribbling over the recycled pages must not reach the survivors:
+	// if Release had returned a still-shared page, this write would
+	// tear through the parent or sibling view.
+	if f := fresh.WriteCString(q, "scribble"); f != nil {
+		t.Fatal(f)
+	}
+	if s, f := m.CString(p); f != nil || s != "pristine" {
+		t.Errorf("parent = %q, %v after pool recycle; want \"pristine\"", s, f)
+	}
+	if s, f := sib.CString(p); f != nil || s != "pristine" {
+		t.Errorf("sibling = %q, %v after pool recycle; want \"pristine\"", s, f)
+	}
+	fresh.Release()
+	sib.Release()
+
+	after := PoolCounts()
+	var gets, puts int64
+	for i := range after {
+		gets += after[i].Gets - before[i].Gets
+		puts += after[i].Puts - before[i].Puts
+	}
+	if gets == 0 || puts == 0 {
+		t.Errorf("pool counters did not move: gets=%d puts=%d", gets, puts)
+	}
+}
+
+// TestConcurrentTemplateForksThroughCheckpoints extends the race audit
+// to the injector's checkpoint shape: each worker forks the shared
+// template into a diverged mid-depth checkpoint, then forks a stream
+// of short-lived run children from that checkpoint (a fork-of-fork
+// chain, the refcount protocol's deepest sharing pattern). Run under
+// -race via the bench-smoke regex, this validates that checkpoint
+// children release back through two levels of sharing without
+// corrupting the checkpoint, its siblings, or the template.
+func TestConcurrentTemplateForksThroughCheckpoints(t *testing.T) {
+	template := New()
+	p, err := template.Malloc(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := template.WriteCString(p, "template"); f != nil {
+		t.Fatal(f)
+	}
+
+	const workers, runsPerCheckpoint = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*4)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mark := fmt.Sprintf("checkpoint-%d", w)
+			ckpt := template.Clone()
+			if f := ckpt.WriteCString(p, mark); f != nil {
+				errs <- f.Error()
+				return
+			}
+			for i := 0; i < runsPerCheckpoint; i++ {
+				c := ckpt.Clone()
+				if s, f := c.CString(p); f != nil || s != mark {
+					errs <- "run child saw corrupted checkpoint state: " + s
+				}
+				if f := c.StoreByte(p+PageSize, byte(i+1)); f != nil {
+					errs <- f.Error()
+				}
+				if got, _ := c.LoadByte(p + PageSize); got != byte(i+1) {
+					errs <- "run child lost its private write"
+				}
+				c.Release()
+			}
+			// Children released; the checkpoint's divergence must survive.
+			if s, f := ckpt.CString(p); f != nil || s != mark {
+				errs <- "checkpoint corrupted by its released children: " + s
+			}
+			if got, _ := ckpt.LoadByte(p + PageSize); got != 0 {
+				errs <- "run-child write leaked into its checkpoint"
+			}
+			ckpt.Release()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if s, f := template.CString(p); f != nil || s != "template" {
+		t.Fatalf("template mutated by checkpoint forks: %q, %v", s, f)
+	}
+	fk := template.ForkStats().Snapshot()
+	if want := int64(workers * (runsPerCheckpoint + 1)); fk.Forks != want {
 		t.Errorf("Forks = %d, want %d", fk.Forks, want)
 	}
 }

@@ -17,13 +17,15 @@ import (
 // observe.
 func dumpState(m *Memory) string {
 	var b strings.Builder
-	bases := make([]Addr, 0, len(m.pages))
-	for base := range m.pages {
+	merged := make(map[Addr]*page)
+	m.forEachPage(func(base Addr, pg *page) { merged[base] = pg })
+	bases := make([]Addr, 0, len(merged))
+	for base := range merged {
 		bases = append(bases, base)
 	}
 	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
 	for _, base := range bases {
-		pg := m.pages[base]
+		pg := merged[base]
 		h := fnv.New64a()
 		h.Write(pg.data[:])
 		fmt.Fprintf(&b, "page %#x %s %#x\n", uint64(base), pg.prot, h.Sum64())

@@ -106,14 +106,97 @@ func TestFSCloneIsolation(t *testing.T) {
 	fs := NewFS()
 	fs.Create("/f", []byte("original"))
 	c := fs.Clone()
+	// The clone shares file pointers frozen; name-table mutations are
+	// already private, and data mutations must privatize first.
 	cf, _ := c.Lookup("/f")
-	cf.Data[0] = 'X'
-	c.Remove("/f")
+	if !cf.Frozen() {
+		t.Fatal("cloned file not frozen")
+	}
+	c.Create("/f", []byte("Xriginal")) // replace = private copy
+	c.Remove("/g")
 	of, ok := fs.Lookup("/f")
 	if !ok {
 		t.Fatal("original lost the file")
 	}
 	if string(of.Data) != "original" {
 		t.Errorf("original mutated: %q", of.Data)
+	}
+}
+
+// TestForkWritableFDIsolation pins the descriptor half of the COW
+// filesystem: writable descriptors survive a fork still sharing the
+// frozen file bytes (a fork costs no copy), the first in-place
+// mutation privatizes through PrivatizeForWrite, and after it the
+// writer's bytes never reach the parent or a sibling.
+func TestForkWritableFDIsolation(t *testing.T) {
+	parent := NewProcess(nil)
+	parent.FS.Create("/fix", []byte("fixture"))
+	wfd := parent.OpenFile("/fix", WriteOnly, false)
+	if wfd < 0 {
+		t.Fatal("parent open failed")
+	}
+
+	childA := parent.Fork()
+	childB := parent.Fork()
+
+	// Forking copies nothing: every side still references the frozen
+	// shared file, writable descriptor or not.
+	for name, pr := range map[string]*Process{"parent": parent, "childA": childA, "childB": childB} {
+		of := pr.FD(wfd)
+		if of == nil {
+			t.Fatalf("%s lost the descriptor", name)
+		}
+		if !of.File.Frozen() {
+			t.Fatalf("%s paid an eager copy for its writable descriptor", name)
+		}
+	}
+
+	// In-place truncate+write in child A, privatizing first as every
+	// stdio/unistd mutation path does.
+	ofA := childA.FD(wfd)
+	childA.PrivatizeForWrite(ofA)
+	if ofA.File.Frozen() {
+		t.Fatal("PrivatizeForWrite left the file frozen")
+	}
+	ofA.File.Data = append(ofA.File.Data[:0], 'A')
+	bf, _ := childB.FS.Lookup("/fix")
+	pf, _ := parent.FS.Lookup("/fix")
+	if string(bf.Data) != "fixture" || string(pf.Data) != "fixture" {
+		t.Fatalf("child A write leaked: parent=%q childB=%q", pf.Data, bf.Data)
+	}
+	// The privatization re-pointed child A's own name table too.
+	if af, _ := childA.FS.Lookup("/fix"); string(af.Data) != "A" {
+		t.Fatalf("child A name table out of sync with its descriptor: %q", af.Data)
+	}
+
+	// Advancing a child's position must not move the parent's.
+	ofA.Pos = 3
+	if parent.FD(wfd).Pos != 0 {
+		t.Fatalf("child position shared with parent: %d", parent.FD(wfd).Pos)
+	}
+}
+
+// TestForkDupAliasPreserved pins that dup'd descriptors stay aliased
+// within each forked process: the pair shares one open-file description
+// per process, not one per descriptor.
+func TestForkDupAliasPreserved(t *testing.T) {
+	parent := NewProcess(nil)
+	parent.FS.Create("/fix", []byte("fixture"))
+	fd1 := parent.OpenFile("/fix", ReadOnly, false)
+	fd2 := parent.DupFD(parent.FD(fd1))
+
+	child := parent.Fork()
+	if child.FD(fd1) != child.FD(fd2) {
+		t.Fatal("dup alias broken by fork")
+	}
+	if child.FD(fd1) == parent.FD(fd1) {
+		t.Fatal("child shares the parent's open-file description")
+	}
+	child.FD(fd1).Pos = 5
+	if child.FD(fd2).Pos != 5 {
+		t.Fatal("aliased descriptors diverged in child")
+	}
+	if parent.FD(fd1).Pos != 0 {
+		t.Fatal("child position moved the parent's")
 	}
 }

@@ -188,13 +188,26 @@ func NewProcess(fs *FS) *Process {
 
 // Fork returns a copy of the process: copy-on-write memory (the child
 // shares every page with the parent until one of them writes it),
-// copied descriptor table (descriptors share open-file state like a
-// real fork), cloned filesystem. The fault injector forks a child per
-// test call so a crash cannot corrupt the parent.
+// copy-on-write filesystem (files are shared frozen and privatized on
+// the first mutation), and a deep-copied descriptor table. The fault
+// injector forks a child per test call so a crash cannot corrupt the
+// parent.
 //
-// Fork only reads the parent, so one template process may be forked
-// concurrently from several goroutines — the parallel campaign
-// schedulers do exactly that — as long as nothing mutates the template.
+// Descriptor semantics matter for checkpoint forking (fork-of-fork
+// with descriptors open): each child gets its own OpenFD structs —
+// dup aliases within one process stay aliased, but a child advancing a
+// file position can never move a sibling's. Descriptors inherited open
+// for writing keep referencing the frozen shared file; the first
+// in-place mutation on either side privatizes through
+// PrivatizeForWrite, so a child that only reads its inherited FILE
+// shares the bytes for free.
+//
+// Fork only reads the parent besides the atomic freeze bits, so one
+// idle process may be forked concurrently from several goroutines —
+// the parallel campaign schedulers fork templates that way, and
+// checkpoint nodes are additionally confined to their owning
+// goroutine because their descriptors carry mutable state (positions,
+// lazily privatized files) with no synchronization.
 func (p *Process) Fork() *Process {
 	c := &Process{
 		Mem:        p.Mem.Clone(),
@@ -210,8 +223,25 @@ func (p *Process) Fork() *Process {
 		Cwd:        p.Cwd,
 		Metrics:    p.Metrics,
 	}
+	// Deep-copy the descriptor table preserving dup aliasing: two fds
+	// sharing one open-file description in the parent share one copied
+	// description in the child.
+	copied := make(map[*OpenFD]*OpenFD, len(p.fds))
 	for fd, of := range p.fds {
-		c.fds[fd] = of
+		nf, ok := copied[of]
+		if !ok {
+			cp := *of
+			cp.Entries = append([]string(nil), of.Entries...)
+			// The description's file may be unlinked-but-open (absent
+			// from the name table, so FS.Clone never froze it); freeze
+			// it here — both processes now reference it.
+			if cp.File != nil {
+				cp.File.frozen.Store(true)
+			}
+			nf = &cp
+			copied[of] = nf
+		}
+		c.fds[fd] = nf
 	}
 	if p.statics != nil {
 		c.statics = make(map[string]cmem.Addr, len(p.statics))

@@ -3,6 +3,7 @@ package csim
 import (
 	"path"
 	"sort"
+	"sync/atomic"
 )
 
 // VFile is an in-memory file. Files are shared between processes like
@@ -12,6 +13,28 @@ type VFile struct {
 	Mode  uint32 // permission bits, 0644-style
 	IsDir bool
 	Ino   uint64
+
+	// frozen marks a file shared copy-on-write across forked
+	// filesystems. A frozen file's Data must never be mutated in place;
+	// every mutation path privatizes first (unshareFile). The flag is
+	// atomic because concurrent template forks freeze the same inode
+	// from several goroutines.
+	frozen atomic.Bool
+}
+
+// Frozen reports whether the file is currently shared copy-on-write
+// between forked filesystems (and therefore must not be mutated in
+// place). Tests use it to audit the privatize-on-write funnel.
+func (f *VFile) Frozen() bool { return f.frozen.Load() }
+
+// unfrozenCopy returns a private, mutable copy of f.
+func (f *VFile) unfrozenCopy() *VFile {
+	return &VFile{
+		Data:  append([]byte(nil), f.Data...),
+		Mode:  f.Mode,
+		IsDir: f.IsDir,
+		Ino:   f.Ino,
+	}
 }
 
 // FS is an in-memory filesystem shared by simulated processes.
@@ -61,18 +84,22 @@ func (fs *FS) mkParents(name string) {
 	fs.Mkdir(dir)
 }
 
-// Clone deep-copies the filesystem. Fork gives each child its own
-// clone so a test that truncates or unlinks a fixture cannot pollute
-// sibling tests — the moral equivalent of each Ballista test program
-// recreating its fixtures. Note that already-open descriptors keep
-// referencing the pre-clone inodes (like POSIX shared open-file
-// descriptions); templates fork with no descriptors open.
+// Clone forks the filesystem copy-on-write: the name table is copied
+// (it is small and mutated by Create/Mkdir/Remove without any funnel),
+// but the files themselves are shared by pointer and frozen. A frozen
+// file is privatized the moment either side needs to mutate it — at
+// writable open, or at Fork time for descriptors the child inherits
+// open for writing — so a test that truncates or unlinks a fixture
+// still cannot pollute sibling tests, while the historical eager clone
+// (which deep-copied every fixture byte on every fork, the dominant
+// fork cost) is gone. Clone only reads fs besides the atomic freeze
+// bits, so one filesystem may be cloned concurrently from several
+// goroutines.
 func (fs *FS) Clone() *FS {
 	c := &FS{files: make(map[string]*VFile, len(fs.files)), nextIno: fs.nextIno}
 	for name, f := range fs.files {
-		cf := *f
-		cf.Data = append([]byte(nil), f.Data...)
-		c.files[name] = &cf
+		f.frozen.Store(true)
+		c.files[name] = f
 	}
 	return c
 }
@@ -140,8 +167,50 @@ type OpenFD struct {
 	DirPos  int
 }
 
+// unshareFile replaces a frozen (fork-shared) file with a private
+// mutable copy throughout this process: the filesystem name table and
+// every open descriptor referencing the shared inode are re-pointed,
+// so all of this process's views of the file stay coherent while
+// sibling forks keep the pre-fork bytes. This is the copy-on-write
+// privatize funnel every file mutation path goes through.
+func (p *Process) unshareFile(f *VFile) *VFile {
+	if f == nil || !f.frozen.Load() {
+		return f
+	}
+	nf := f.unfrozenCopy()
+	for name, g := range p.FS.files {
+		if g == f {
+			p.FS.files[name] = nf
+		}
+	}
+	for _, of := range p.fds {
+		if of.File == f {
+			of.File = nf
+		}
+	}
+	return nf
+}
+
+// PrivatizeForWrite prepares an open description for an in-place Data
+// mutation: a file still fork-shared (frozen) is replaced by a private
+// copy throughout the process first. The stdio/unistd writers call it
+// immediately before every mutation, which is what lets Fork hand a
+// child writable descriptors over still-shared file bytes — a
+// checkpoint child that never writes its inherited FILE never pays for
+// a copy.
+func (p *Process) PrivatizeForWrite(of *OpenFD) {
+	if of == nil || of.File == nil || !of.File.frozen.Load() {
+		return
+	}
+	of.File = p.unshareFile(of.File)
+}
+
 // OpenFile opens name with the given mode, allocating a descriptor.
-// It returns -1 and sets errno on failure.
+// It returns -1 and sets errno on failure. A writable open of a
+// fork-shared file does NOT copy it: privatization is deferred to the
+// first in-place mutation (PrivatizeForWrite), so the common campaign
+// shape — fopen a fixture "r+" and only ever read it — shares the
+// fixture bytes across every fork.
 func (p *Process) OpenFile(name string, mode AccessMode, create bool) int {
 	f, ok := p.FS.Lookup(name)
 	if !ok {

@@ -42,6 +42,12 @@ type Probe struct {
 	Build func(p *csim.Process) uint64
 	// Region is the memory owned by the most recent Build.
 	Region Region
+	// Pure marks a Build that neither reads nor mutates the process —
+	// it returns a constant (scalar values, NULL, invalid pointers).
+	// The injector's checkpoint tree treats pure probes as transparent:
+	// they cost nothing to rebuild per experiment and never need a
+	// checkpoint of their own.
+	Pure bool
 }
 
 // Generator produces probes for one argument.
@@ -101,11 +107,10 @@ func mountFlushData(p *csim.Process, data []byte, prot cmem.Prot) Region {
 	return r
 }
 
-// FixtureFileContents is the standard content of the scratch file the
-// generators open: a long first line (so fgets-style sizing inference
-// has room to grow) followed by filler up to a few KiB (so fread-style
-// product inference never runs out of file).
-func FixtureFileContents() []byte {
+// fixtureFileTemplate is the precomputed fixture payload; file probes
+// recreate the fixture on every Build, so rendering these 8 KiB
+// byte-by-byte each time was a measurable slice of campaign CPU.
+var fixtureFileTemplate = func() []byte {
 	line := make([]byte, 0, 8192)
 	for i := 0; i < 120; i++ {
 		line = append(line, byte('a'+i%26))
@@ -115,6 +120,15 @@ func FixtureFileContents() []byte {
 		line = append(line, byte('0'+len(line)%10))
 	}
 	return line
+}()
+
+// FixtureFileContents is the standard content of the scratch file the
+// generators open: a long first line (so fgets-style sizing inference
+// has room to grow) followed by filler up to a few KiB (so fread-style
+// product inference never runs out of file). Each call returns a fresh
+// copy; callers may mutate it freely.
+func FixtureFileContents() []byte {
+	return append([]byte(nil), fixtureFileTemplate...)
 }
 
 // FixtureStdinLine is the first line of the simulated standard input
@@ -127,6 +141,7 @@ func FixtureStdinLine() string { return "healers standard input!" }
 func nullProbe() *Probe {
 	return &Probe{
 		Fund:  typesys.TypeNull,
+		Pure:  true,
 		Build: func(p *csim.Process) uint64 { return 0 },
 	}
 }
@@ -143,6 +158,7 @@ func invalidProbes() []*Probe {
 		val := v
 		out[i] = &Probe{
 			Fund:  typesys.TypeInvalid,
+			Pure:  true,
 			Build: func(p *csim.Process) uint64 { return val },
 		}
 	}

@@ -40,6 +40,7 @@ func intProbe(v int64) *Probe {
 	}
 	return &Probe{
 		Fund:  fund,
+		Pure:  true,
 		Build: func(p *csim.Process) uint64 { return uint64(v) },
 	}
 }
@@ -104,6 +105,7 @@ const TypeDoubleAny = typesys.TypeDoubleAny
 func doubleProbe(v float64) *Probe {
 	return &Probe{
 		Fund:  typeDouble,
+		Pure:  true,
 		Build: func(p *csim.Process) uint64 { return math.Float64bits(v) },
 	}
 }

@@ -61,54 +61,99 @@ type CacheStats struct {
 	Truncated int64
 }
 
-// ResultCache is the in-memory Cache: process-lifetime memoization
-// with no persistence.
-type ResultCache struct {
+// cacheShardCount spreads the in-memory cache over independently locked
+// shards so a warm parallel campaign's workers do not serialize on one
+// mutex per lookup. Power of two for mask indexing.
+const cacheShardCount = 8
+
+// cacheShard is one lock domain of the ResultCache, padded so two
+// shards' mutexes never share a cache line.
+type cacheShard struct {
 	mu     sync.Mutex
 	m      map[string]*Result
 	hits   int64
 	misses int64
+	_      [64]byte
+}
+
+// ResultCache is the in-memory Cache: process-lifetime memoization
+// with no persistence. Keys are sharded by hash; the counting contract
+// holds per shard (a shard's entry and its miss are recorded under one
+// lock), so a summed Stats snapshot still never reports an entry whose
+// miss is missing — summation only interleaves already-consistent
+// shard states.
+type ResultCache struct {
+	shards [cacheShardCount]cacheShard
 }
 
 var _ Cache = (*ResultCache)(nil)
 
 // NewResultCache returns an empty in-memory campaign result cache.
 func NewResultCache() *ResultCache {
-	return &ResultCache{m: make(map[string]*Result)}
+	c := &ResultCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*Result)
+	}
+	return c
+}
+
+// shard maps a key to its lock domain (inline FNV-1a; the keys are
+// long prototype strings, so the cheap hash spreads well).
+func (c *ResultCache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h&(cacheShardCount-1)]
 }
 
 // Get returns the cached result for key, if present, counting a hit
 // when it is.
 func (c *ResultCache) Get(key string) (*Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.m[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[key]
 	if ok {
-		c.hits++
+		s.hits++
 	}
 	return r, ok
 }
 
 // Put stores a computed result under key, counting a miss.
 func (c *ResultCache) Put(key string, r *Result) {
-	c.mu.Lock()
-	c.m[key] = r
-	c.misses++
-	c.mu.Unlock()
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = r
+	s.misses++
+	s.mu.Unlock()
 }
 
 // Len returns the number of cached functions.
 func (c *ResultCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a consistent snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, summed over
+// per-shard-consistent states.
 func (c *ResultCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: int64(len(c.m))}
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Entries += int64(len(s.m))
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // cacheKey builds the memoization key for one function under one

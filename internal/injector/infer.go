@@ -36,22 +36,50 @@ func chainArrayGen(g gens.Generator) *gens.ArrayGen {
 // given probe overrides on the other arguments and returns the minimal
 // region size that lets the function return, or ok=false if the chain
 // never succeeds.
-// runChild forks a fresh child from the template, materializes probes,
-// and calls the function under test, releasing the child's pages before
-// returning. ok is false when materialization failed (a harness
-// problem, not an experiment); errnoSet reports the child's errno
-// observation after the call.
+// runChild forks a fresh child (through the checkpoint tree when
+// enabled — re-measurement vectors share their default-probe prefixes
+// with the exploration phase), materializes the probes the checkpoint
+// has not already built, and calls the function under test, releasing
+// the child's pages before returning. ok is false when materialization
+// failed (a harness problem, not an experiment); errnoSet reports the
+// child's errno observation after the call.
 func (c *campaign) runChild(probes []*gens.Probe) (out csim.Outcome, errnoSet bool, ok bool) {
-	child := c.template.Fork()
+	timed := c.inj.timed
+	var forkStart time.Time
+	if timed {
+		forkStart = time.Now() //healers:allow-nondeterminism fork-phase latency histogram, reporting only
+	}
+	order := c.buildOrder(probes)
+	child, node := c.forkChild(probes, order)
+	if timed {
+		c.inj.hPhaseFork.ObserveEx(time.Since(forkStart).Microseconds(), c.span.Trace)
+	}
 	defer child.Release()
 	child.SetStepBudget(c.inj.cfg.StepBudget)
 	args := make([]uint64, len(probes))
+	var mask uint64
+	if node != nil {
+		mask = node.mask
+		copy(args, node.vals)
+	}
+	var matStart time.Time
+	if timed {
+		matStart = time.Now() //healers:allow-nondeterminism materialize-phase latency histogram, reporting only
+	}
 	mat := child.Run(func() uint64 {
-		for i, p := range probes {
-			args[i] = p.Build(child)
+		// Builds run in the vector's build order; positions the
+		// checkpoint already holds (its mask) are skipped, pure probes
+		// are rebuilt for free.
+		for _, k := range order {
+			if mask&(1<<uint(k)) == 0 {
+				args[k] = probes[k].Build(child)
+			}
 		}
 		return 0
 	})
+	if timed {
+		c.inj.hPhaseMaterialize.ObserveEx(time.Since(matStart).Microseconds(), c.span.Trace)
+	}
 	if mat.Kind != csim.OutcomeReturn {
 		return csim.Outcome{}, false, false
 	}
@@ -80,10 +108,18 @@ func (c *campaign) runChild(probes []*gens.Probe) (out csim.Outcome, errnoSet bo
 	}
 
 	child.ClearErrno()
-	callStart := time.Now() //healers:allow-nondeterminism probe-phase latency histogram, reporting only
+	var callStart time.Time
+	if timed || traced {
+		callStart = time.Now() //healers:allow-nondeterminism probe-phase latency histogram, reporting only
+	}
 	out = child.Run(func() uint64 { return c.fn.Impl(child, args) })
-	callDurUS := time.Since(callStart).Microseconds()
-	c.inj.hPhaseProbe.ObserveEx(callDurUS, c.span.Trace)
+	var callDurUS int64
+	if timed || traced {
+		callDurUS = time.Since(callStart).Microseconds()
+	}
+	if timed {
+		c.inj.hPhaseProbe.ObserveEx(callDurUS, c.span.Trace)
+	}
 	c.result.Calls++
 	c.inj.mExperiments.Inc()
 	if traced {

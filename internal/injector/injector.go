@@ -34,6 +34,14 @@ type Config struct {
 	ProductCap int
 	// Conservative selects the stricter robust-type variant of §4.3.
 	Conservative bool
+	// NoCheckpoints disables the per-campaign checkpoint fork tree
+	// (checkpoint.go), so every experiment rebuilds its full probe
+	// vector from the template. The zero value — checkpoints on — is
+	// what campaigns should run; the switch exists for the differential
+	// determinism tests and the setup-phase benchmark ablation. Robust
+	// type vectors are identical either way, which is why the cache
+	// fingerprint deliberately excludes this field.
+	NoCheckpoints bool
 	// Trace, when non-nil, receives one line per experiment — probe
 	// labels, outcome, and adaptive adjustments.
 	//
@@ -145,6 +153,10 @@ type Injector struct {
 
 	tr      *obs.Tracer
 	sandbox *csim.Metrics // nil when cfg.Metrics is nil
+	// timed gates the phase-duration clocking in the per-experiment hot
+	// path: with no metrics registry the histograms are detached and
+	// unreadable, so the time.Now pair per phase is pure overhead.
+	timed bool
 
 	mExperiments *obs.Counter
 	mCrashes     *obs.Counter
@@ -172,12 +184,19 @@ type Injector struct {
 	mForkPagesShared  *obs.Counter
 	mForkPagesCopied  *obs.Counter
 	mForkBytesAvoided *obs.Counter
+	// Checkpoint-tree counters: nodes materialized, experiments forked
+	// from a non-root checkpoint, and prefix probe builds those
+	// experiments skipped.
+	mCheckpoints     *obs.Counter
+	mCheckpointForks *obs.Counter
+	mBuildsAvoided   *obs.Counter
 	// Phase-duration histograms (microseconds), each carrying an
 	// exemplar trace ID so a fat tail links back to a concrete campaign.
-	hPhaseFork  *obs.Histogram
-	hPhaseProbe *obs.Histogram
-	hPhaseCache *obs.Histogram
-	hPhaseMerge *obs.Histogram
+	hPhaseFork        *obs.Histogram
+	hPhaseMaterialize *obs.Histogram
+	hPhaseProbe       *obs.Histogram
+	hPhaseCache       *obs.Histogram
+	hPhaseMerge       *obs.Histogram
 }
 
 // adaptiveIterBuckets bound the adjustments-per-chain histogram; the
@@ -225,12 +244,17 @@ func New(lib *clib.Library, cfg Config) *Injector {
 	inj.mForkPagesShared = reg.Counter("healers_injector_fork_pages_shared_total")
 	inj.mForkPagesCopied = reg.Counter("healers_injector_fork_pages_copied_total")
 	inj.mForkBytesAvoided = reg.Counter("healers_injector_fork_bytes_avoided_total")
+	inj.mCheckpoints = reg.Counter("healers_injector_checkpoints_total")
+	inj.mCheckpointForks = reg.Counter("healers_injector_checkpoint_forks_total")
+	inj.mBuildsAvoided = reg.Counter("healers_injector_checkpoint_builds_avoided_total")
 	inj.hPhaseFork = reg.Histogram("healers_phase_fork_us", phaseBuckets)
+	inj.hPhaseMaterialize = reg.Histogram("healers_phase_materialize_us", phaseBuckets)
 	inj.hPhaseProbe = reg.Histogram("healers_phase_probe_us", phaseBuckets)
 	inj.hPhaseCache = reg.Histogram("healers_phase_cache_us", phaseBuckets)
 	inj.hPhaseMerge = reg.Histogram("healers_phase_merge_us", phaseBuckets)
 	if cfg.Metrics != nil {
 		inj.sandbox = csim.NewMetrics(cfg.Metrics)
+		inj.timed = true
 	}
 	return inj
 }
@@ -298,6 +322,13 @@ type campaign struct {
 	errVals map[uint64]int // return values observed when errno was set
 	errnos  map[int]int    // errno values observed
 
+	// ckpt is the campaign's checkpoint fork tree (nil when
+	// Config.NoCheckpoints disables it).
+	ckpt *ckptTree
+	// orderScratch is reused by buildOrder to avoid a per-experiment
+	// allocation.
+	orderScratch []int
+
 	// hintSeeds holds the static seeds verbatim when this campaign is
 	// seeded at all; the dependent-size re-measurement uses them (and
 	// expression-predicted sizes) as jump hints. Nil in cold campaigns,
@@ -347,6 +378,9 @@ func (inj *Injector) injectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 		c.defaults = append(c.defaults, g.Default())
 		c.tried = append(c.tried, nil)
 	}
+	if !inj.cfg.NoCheckpoints {
+		c.ckpt = newCkptTree(c)
+	}
 	c.applySeeds(inj.cfg.Seeds[fn.Name])
 	c.exploreArguments()
 	c.productPhase()
@@ -371,8 +405,9 @@ func (inj *Injector) injectFunction(fi *extract.FuncInfo, table *cparse.TypeTabl
 
 // settleForkStats snapshots the template fork tree's copy-on-write
 // counters into the result and the campaign metrics, then returns the
-// template's pages to the shared page pool — every child has already
-// been released by runOnce, so the template holds the last references.
+// campaign's pages to the shared page pool: the checkpoint nodes first
+// (they fork from the template), then the template itself — every run
+// child has already been released, so these hold the last references.
 func (c *campaign) settleForkStats() {
 	fk := c.template.Mem.ForkStats().Snapshot()
 	c.result.Fork = fk
@@ -380,6 +415,9 @@ func (c *campaign) settleForkStats() {
 	c.inj.mForkPagesShared.Add(fk.PagesShared)
 	c.inj.mForkPagesCopied.Add(fk.PagesCopied)
 	c.inj.mForkBytesAvoided.Add(fk.BytesAvoided())
+	if c.ckpt != nil {
+		c.ckpt.release()
+	}
 	c.template.Release()
 }
 
@@ -570,27 +608,55 @@ func selectRepresentatives(list []*gens.Probe, max int) []*gens.Probe {
 	return out
 }
 
-// runOnce forks a child, materializes the probes, calls the function
-// under test, and records the experiment. It returns the typesys
-// outcome and the fault (if the call crashed with one).
+// runOnce forks a child (through the checkpoint tree when enabled),
+// materializes the probes the checkpoint has not already built, calls
+// the function under test, and records the experiment. It returns the
+// typesys outcome and the fault (if the call crashed with one).
 func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutcome, *cmem.Fault) {
-	forkStart := time.Now() //healers:allow-nondeterminism fork-phase latency histogram, reporting only
-	child := c.template.Fork()
-	c.inj.hPhaseFork.ObserveEx(time.Since(forkStart).Microseconds(), c.span.Trace)
+	// Resolve nil slots to defaults up front: the checkpoint walk keys
+	// its edges on the resolved probe pointers.
+	for i, pr := range probes {
+		if pr == nil {
+			probes[i] = c.defaults[i]
+		}
+	}
+	timed := c.inj.timed
+	var forkStart time.Time
+	if timed {
+		forkStart = time.Now() //healers:allow-nondeterminism fork-phase latency histogram, reporting only
+	}
+	order := c.buildOrder(probes)
+	child, node := c.forkChild(probes, order)
+	if timed {
+		c.inj.hPhaseFork.ObserveEx(time.Since(forkStart).Microseconds(), c.span.Trace)
+	}
 	defer child.Release()
 	child.SetStepBudget(c.inj.cfg.StepBudget)
 
 	args := make([]uint64, len(probes))
+	var mask uint64
+	if node != nil {
+		mask = node.mask
+		copy(args, node.vals)
+	}
+	var matStart time.Time
+	if timed {
+		matStart = time.Now() //healers:allow-nondeterminism materialize-phase latency histogram, reporting only
+	}
 	mat := child.Run(func() uint64 {
-		for i, pr := range probes {
-			if pr == nil {
-				pr = c.defaults[i]
-				probes[i] = pr
+		// Builds run in the vector's build order; positions the
+		// checkpoint already holds (its mask) are skipped, pure probes
+		// are rebuilt for free.
+		for _, k := range order {
+			if mask&(1<<uint(k)) == 0 {
+				args[k] = probes[k].Build(child)
 			}
-			args[i] = pr.Build(child)
 		}
 		return 0
 	})
+	if timed {
+		c.inj.hPhaseMaterialize.ObserveEx(time.Since(matStart).Microseconds(), c.span.Trace)
+	}
 	if mat.Kind != csim.OutcomeReturn {
 		// Materialization failure is a harness problem, not an
 		// experiment; skip silently.
@@ -619,10 +685,18 @@ func (c *campaign) runOnce(probes []*gens.Probe, explored int) (typesys.CaseOutc
 	}
 
 	child.ClearErrno()
-	callStart := time.Now() //healers:allow-nondeterminism probe-phase latency histogram, reporting only
+	var callStart time.Time
+	if timed || traced {
+		callStart = time.Now() //healers:allow-nondeterminism probe-phase latency histogram, reporting only
+	}
 	out := child.Run(func() uint64 { return c.fn.Impl(child, args) })
-	callDurUS := time.Since(callStart).Microseconds()
-	c.inj.hPhaseProbe.ObserveEx(callDurUS, c.span.Trace)
+	var callDurUS int64
+	if timed || traced {
+		callDurUS = time.Since(callStart).Microseconds()
+	}
+	if timed {
+		c.inj.hPhaseProbe.ObserveEx(callDurUS, c.span.Trace)
+	}
 
 	c.result.Calls++
 	c.inj.mExperiments.Inc()

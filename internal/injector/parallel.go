@@ -80,7 +80,11 @@ func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, resul
 
 	var started atomic.Int64
 	errs := make([]error, len(tasks))
-	jobs := make(chan task)
+	// Buffered to the full task list: the feeder deposits every job and
+	// closes before a single worker needs to synchronize with it, so
+	// workers never rendezvous on an unbuffered channel handoff between
+	// functions.
+	jobs := make(chan task, len(tasks))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wid := w
@@ -105,13 +109,17 @@ func (inj *Injector) injectParallel(tasks []task, table *cparse.TypeTable, resul
 			workStart := time.Now() //healers:allow-nondeterminism worker busy-time metric, reporting only
 			done := 0
 			for t := range jobs {
-				worker.tr.Emit(wsc.Tag(obs.Event{
-					Kind:  obs.KindCampaignPhase,
-					Phase: "inject",
-					Func:  t.name,
-					N:     int(started.Add(1)),
-					Total: len(tasks),
-				}))
+				// The progress event costs a mutex-serialized Emit per
+				// function; skip building it entirely when nothing listens.
+				if worker.tr.Enabled() {
+					worker.tr.Emit(wsc.Tag(obs.Event{
+						Kind:  obs.KindCampaignPhase,
+						Phase: "inject",
+						Func:  t.name,
+						N:     int(started.Add(1)),
+						Total: len(tasks),
+					}))
+				}
 				res, _, err := worker.injectOne(t.fi, table, wsc)
 				if err != nil {
 					errs[t.idx] = err

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -196,5 +198,52 @@ func TestSSELateSubscriber(t *testing.T) {
 	}
 	if events[len(events)-1].event != "done" {
 		t.Fatalf("late subscriber's last event %q, want done", events[len(events)-1].event)
+	}
+}
+
+// TestHTTPPprofContentionProfiles: -pprof must arm the mutex and block
+// samplers (a bare pprof mount without them serves empty contention
+// profiles) and the scrape must carry the per-shard page-pool series.
+func TestHTTPPprofContentionProfiles(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Pprof: true})
+	defer func() {
+		// Don't leave sampling on for the rest of the package's tests.
+		runtime.SetMutexProfileFraction(0)
+		runtime.SetBlockProfileRate(0)
+	}()
+	if frac := runtime.SetMutexProfileFraction(-1); frac != 1 {
+		t.Errorf("mutex profile fraction = %d, want 1 under -pprof", frac)
+	}
+	for _, prof := range []string{"mutex", "block"} {
+		resp, err := http.Get(ts.URL + "/debug/pprof/" + prof + "?debug=1")
+		if err != nil {
+			t.Fatalf("GET %s profile: %v", prof, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s profile: status %d", prof, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "cycles/second") {
+			t.Errorf("%s profile served no sampler header:\n%.200s", prof, body)
+		}
+	}
+
+	// One campaign so the pool has seen traffic, then the scrape must
+	// expose every shard's gets/puts/misses as labeled gauges.
+	st := submit(t, ts, CampaignRequest{Functions: []string{"strcpy"}}, http.StatusAccepted)
+	consumeSSE(t, ts, st.ID)
+	g := scrapeGauges(t, ts)
+	var gets int64
+	for shard := 0; shard < 8; shard++ {
+		name := fmt.Sprintf("healers_cmem_pool_gets{shard=%q}", fmt.Sprint(shard))
+		v, ok := g[name]
+		if !ok {
+			t.Fatalf("scrape missing %s", name)
+		}
+		gets += v
+	}
+	if gets == 0 {
+		t.Error("pool gauges all zero after a campaign")
 	}
 }

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sync"
 	"time"
 
 	"healers/internal/clib"
+	"healers/internal/cmem"
 	"healers/internal/corpus"
 	"healers/internal/extract"
 	"healers/internal/injector"
@@ -42,8 +44,10 @@ type Options struct {
 	// gauges, and all injector campaign counters. Nil creates one.
 	Registry *obs.Registry
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the service
-	// handler. Off by default: the profiler exposes goroutine dumps and
-	// CPU samples, which only an operator who asked for them should see.
+	// handler and switches on mutex/block contention sampling, so the
+	// pool-shard and cache-shard lock profiles are capturable live.
+	// Off by default: the profiler exposes goroutine dumps and CPU
+	// samples, which only an operator who asked for them should see.
 	Pprof bool
 }
 
@@ -112,6 +116,14 @@ func New(opts Options) (*Server, error) {
 		s.cache, s.disk = dc, dc
 	} else {
 		s.cache = injector.NewResultCache()
+	}
+	if s.pprof {
+		// Contention profiling is only useful when an operator asked for
+		// the profiler, and it is not free: sample every mutex hand-off
+		// (fraction 1) and block events ≥ ~1µs, enough to see page-pool
+		// and cache-shard contention without drowning the scheduler.
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(int(time.Microsecond))
 	}
 	s.gInflight = reg.Gauge("healers_serve_inflight_campaigns")
 	s.mSubmitted = reg.Counter("healers_serve_campaigns_submitted_total")
@@ -267,6 +279,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.reg.Gauge("healers_serve_campaigns").Set(int64(len(s.campaigns)))
 	s.mu.Unlock()
+
+	// Page-pool shard traffic, one labeled series per shard: skewed
+	// gets/puts across shards is the signature of round-robin placement
+	// going wrong, and misses growing faster than gets means the pool
+	// stopped recycling.
+	for i, sc := range cmem.PoolCounts() {
+		shard := fmt.Sprintf("%d", i)
+		s.reg.Gauge(fmt.Sprintf("healers_cmem_pool_gets{shard=%q}", shard)).Set(sc.Gets)
+		s.reg.Gauge(fmt.Sprintf("healers_cmem_pool_puts{shard=%q}", shard)).Set(sc.Puts)
+		s.reg.Gauge(fmt.Sprintf("healers_cmem_pool_misses{shard=%q}", shard)).Set(sc.Misses)
+	}
 
 	// Quantile gauges are materialized at scrape time from the histogram
 	// state, so /metrics carries ready-to-alert p50/p95/p99 series
